@@ -1,0 +1,134 @@
+//! ConvE (Dettmers et al., 2018): 2-D convolution over stacked, reshaped
+//! head and relation embeddings, scored 1-N against the entity table. The
+//! closest unimodal relative of CamE's scorer (§IV-C discusses the lineage).
+
+use came_kg::{KgDataset, OneToNModel};
+use came_tensor::{Conv2dLayer, EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var};
+
+/// Factor `d` into the most square `(h, w)` (duplicated from the CamE scorer
+/// so the baseline crate stays independent of the core crate).
+fn map_dims(d: usize) -> (usize, usize) {
+    let mut h = (d as f64).sqrt() as usize;
+    while h > 1 && d % h != 0 {
+        h -= 1;
+    }
+    (h, d / h)
+}
+
+/// The ConvE model.
+pub struct ConvE {
+    ent: EmbeddingTable,
+    rel: EmbeddingTable,
+    conv: Conv2dLayer,
+    fc: Linear,
+    bias: ParamId,
+    h: usize,
+    w: usize,
+    d: usize,
+}
+
+impl ConvE {
+    /// Build with width `d`, `n_filters` filters of size `kernel`.
+    pub fn new(
+        store: &mut ParamStore,
+        dataset: &KgDataset,
+        d: usize,
+        n_filters: usize,
+        kernel: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let (h, w) = map_dims(d);
+        // embeddings are stacked along the height axis: map is [2h, w]
+        assert!(kernel <= 2 * h && kernel <= w, "kernel too large for {h}x{w}");
+        let (oh, ow) = (2 * h - kernel + 1, w - kernel + 1);
+        let conv = Conv2dLayer::new(store, "conve.conv", 1, n_filters, kernel, kernel, rng);
+        let fc = Linear::new(store, "conve.fc", n_filters * oh * ow, d, rng);
+        ConvE {
+            ent: EmbeddingTable::new(store, "conve.ent", dataset.num_entities(), d, rng),
+            rel: EmbeddingTable::new(store, "conve.rel", dataset.num_relations_aug(), d, rng),
+            conv,
+            fc,
+            bias: store.add_zeros("conve.bias", Shape::d1(dataset.num_entities())),
+            h,
+            w,
+            d,
+        }
+    }
+}
+
+impl OneToNModel for ConvE {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        let b = heads.len();
+        let e = self.ent.lookup(g, store, heads);
+        let r = self.rel.lookup(g, store, rels);
+        let e_map = g.reshape(e, Shape::d4(b, 1, self.h, self.w));
+        let r_map = g.reshape(r, Shape::d4(b, 1, self.h, self.w));
+        let stacked = g.concat(&[e_map, r_map], 2); // [B,1,2h,w]
+        let conved = g.relu(self.conv.apply(g, store, stacked));
+        let s = g.shape(conved);
+        let flat = g.reshape(conved, Shape::d2(b, s.at(1) * s.at(2) * s.at(3)));
+        let hidden = g.relu(self.fc.apply(g, store, flat)); // [B, d]
+        let scores = g.matmul(hidden, g.transpose(self.ent.full(g, store), 0, 1));
+        g.add(scores, g.param(store, self.bias))
+    }
+}
+
+/// Width accessor for tests.
+impl ConvE {
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use came_kg::{evaluate, train_one_to_n, EvalConfig, OneToNScorer, Split, TrainConfig};
+
+    fn toy() -> KgDataset {
+        use came_kg::{EntityKind, Triple, Vocab};
+        let mut vocab = Vocab::new();
+        for i in 0..12 {
+            vocab.add_entity(format!("e{i}"), EntityKind::Other);
+        }
+        vocab.add_relation("r0");
+        let triples: Vec<Triple> = (0..10).map(|i| Triple::new(i, 0, (i + 1) % 12)).collect();
+        KgDataset {
+            vocab,
+            train: triples,
+            valid: vec![],
+            test: vec![],
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let d = toy();
+        let mut rng = Prng::new(0);
+        let mut store = ParamStore::new();
+        let m = ConvE::new(&mut store, &d, 16, 4, 3, &mut rng);
+        let g = Graph::inference();
+        let out = m.forward(&g, &store, &[0, 1], &[0, 1]);
+        assert_eq!(g.shape(out), Shape::d2(2, 12));
+    }
+
+    #[test]
+    fn conve_learns_a_chain() {
+        let d = toy();
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let m = ConvE::new(&mut store, &d, 16, 4, 3, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 80,
+            batch_size: 16,
+            lr: 5e-3,
+            label_smoothing: 0.0,
+            ..Default::default()
+        };
+        train_one_to_n(&m, &mut store, &d, &cfg, |_, _, _| {});
+        let filter = d.filter_index();
+        let mrr = evaluate(&OneToNScorer::new(&m, &store), &d, Split::Train, &filter, &EvalConfig::default()).mrr();
+        assert!(mrr > 0.5, "ConvE train MRR {mrr}");
+    }
+}

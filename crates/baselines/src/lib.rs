@@ -1,0 +1,32 @@
+//! # came-baselines
+//!
+//! The thirteen knowledge-graph completion baselines the CamE paper
+//! evaluates against (Table III):
+//!
+//! **Unimodal** — TransE, DistMult, ComplEx, ConvE, CompGCN (implemented in
+//! `came-encoders` and re-exported here), RotatE, a-RotatE, DualE, PairRE.
+//!
+//! **Multimodal** — IKRL, MTAKGR, TransAE, and the MKGformer "M-Encoder"
+//! core, all consuming the same frozen [`came_encoders::ModalFeatures`] as
+//! CamE.
+//!
+//! Use [`registry::train_baseline`] to build, train, and wrap any row behind
+//! a uniform [`came_kg::TailScorer`].
+
+#![warn(missing_docs)]
+
+pub mod bilinear;
+pub mod conve;
+pub mod mkgformer;
+pub mod multimodal;
+pub mod registry;
+pub mod translational;
+pub mod util;
+
+pub use bilinear::{ComplEx, DistMult, DualE};
+pub use came_encoders::CompGcn;
+pub use conve::ConvE;
+pub use mkgformer::MkgFormer;
+pub use multimodal::{Ikrl, Mtakgr, TransAe};
+pub use registry::{train_baseline, Baseline, BaselineHp, EpochHook, TrainedBaseline};
+pub use translational::{PairRE, RotatE, TransE};

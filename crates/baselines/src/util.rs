@@ -1,0 +1,92 @@
+//! Shared pieces for the baseline models: embedding pairs, norm helpers,
+//! frozen-feature gathering.
+
+use came_tensor::{EmbeddingTable, Graph, ParamStore, Prng, Shape, Tensor, Var};
+
+/// Learnable entity + relation tables shared by most baselines.
+pub struct EmbeddingPair {
+    /// Entity table `[N, d]`.
+    pub ent: EmbeddingTable,
+    /// Relation table `[2R, d]` (inverse-augmented).
+    pub rel: EmbeddingTable,
+}
+
+impl EmbeddingPair {
+    /// Xavier-initialised tables.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        n_ent: usize,
+        n_rel_aug: usize,
+        d: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        EmbeddingPair {
+            ent: EmbeddingTable::new(store, format!("{name}.ent"), n_ent, d, rng),
+            rel: EmbeddingTable::new(store, format!("{name}.rel"), n_rel_aug, d, rng),
+        }
+    }
+}
+
+/// `-||x||₁` per row of `x: [B, d]` → `[B]` (negated so that higher = better).
+pub fn neg_l1_rows(g: &Graph, x: Var) -> Var {
+    g.neg(g.sum_axis(g.abs(x), 1, false))
+}
+
+/// `-||x||₂` per row.
+pub fn neg_l2_rows(g: &Graph, x: Var) -> Var {
+    let eps = g.constant(1e-9);
+    g.neg(g.sqrt(g.add(g.sum_axis(g.square(x), 1, false), eps)))
+}
+
+/// Gather rows of a frozen (no-gradient) feature table as a graph input.
+pub fn frozen_input(g: &Graph, table: &Tensor, ids: &[u32]) -> Var {
+    let d = table.shape().at(1);
+    let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+    for (row, &id) in ids.iter().enumerate() {
+        out.data_mut()[row * d..(row + 1) * d]
+            .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
+    }
+    g.input(out)
+}
+
+/// Split a `[B, 2k]` node into real/imaginary halves `([B,k], [B,k])`.
+pub fn complex_halves(g: &Graph, x: Var) -> (Var, Var) {
+    let d = g.shape(x).at(1);
+    assert!(d % 2 == 0, "complex embedding width must be even");
+    let k = d / 2;
+    (g.narrow(x, 1, 0, k), g.narrow(x, 1, k, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_helpers_match_hand_values() {
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(Shape::d2(2, 2), vec![3.0, -4.0, 0.0, 2.0]));
+        let l1 = g.value(neg_l1_rows(&g, x));
+        assert_eq!(l1.data(), &[-7.0, -2.0]);
+        let l2 = g.value(neg_l2_rows(&g, x));
+        assert!((l2.data()[0] + 5.0).abs() < 1e-4);
+        assert!((l2.data()[1] + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn complex_halves_split() {
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(Shape::d2(1, 4), vec![1.0, 2.0, 3.0, 4.0]));
+        let (re, im) = complex_halves(&g, x);
+        assert_eq!(g.value(re).data(), &[1.0, 2.0]);
+        assert_eq!(g.value(im).data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn frozen_input_gathers_rows() {
+        let g = Graph::new();
+        let t = Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = frozen_input(&g, &t, &[1, 1, 0]);
+        assert_eq!(g.value(v).data(), &[3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the kernels that dominate each
+//! experiment's wall-clock: the TCA operator, the CamE forward pass, the
+//! filtered-ranking evaluator, and the convolutional scorer.
+
+use came::{CamE, CamEConfig, TcaModule};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{EntityId, OneToNModel, OneToNScorer, RelationId, TailScorer};
+use came_tensor::{Graph, ParamStore, Prng, Shape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tca_forward(c: &mut Criterion) {
+    let mut rng = Prng::new(0);
+    let mut store = ParamStore::new();
+    let tca = TcaModule::new(&mut store, "tca", 48, 2, 5.0, &mut rng);
+    let q = Tensor::randn(Shape::d2(128, 48), 1.0, &mut rng);
+    let d = Tensor::randn(Shape::d2(128, 48), 1.0, &mut rng);
+    c.bench_function("tca_forward_b128_d48_h2", |b| {
+        b.iter(|| {
+            let g = Graph::inference();
+            let qv = g.input(q.clone());
+            let dv = g.input(d.clone());
+            let (qo, do_) = tca.apply(&g, &store, qv, dv);
+            black_box((g.value(qo), g.value(do_)))
+        })
+    });
+}
+
+fn bench_tca_train_step(c: &mut Criterion) {
+    let mut rng = Prng::new(1);
+    let mut store = ParamStore::new();
+    let tca = TcaModule::new(&mut store, "tca", 48, 2, 5.0, &mut rng);
+    let q = Tensor::randn(Shape::d2(128, 48), 1.0, &mut rng);
+    let d = Tensor::randn(Shape::d2(128, 48), 1.0, &mut rng);
+    c.bench_function("tca_fwd_bwd_b128_d48_h2", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let qv = g.input(q.clone());
+            let dv = g.input(d.clone());
+            let (qo, _) = tca.apply(&g, &store, qv, dv);
+            let loss = g.sum_all(g.square(qo));
+            g.backward(loss, &mut store);
+            store.zero_grad();
+        })
+    });
+}
+
+fn came_fixture() -> (CamE, ParamStore, came_biodata::MultimodalBkg) {
+    let bkg = presets::tiny(0);
+    let features = ModalFeatures::build(
+        &bkg,
+        &FeatureConfig {
+            compgcn_epochs: 1,
+            ..FeatureConfig::default()
+        },
+    );
+    let mut store = ParamStore::new();
+    let model = CamE::new(
+        &mut store,
+        &bkg.dataset,
+        &features,
+        CamEConfig {
+            d_embed: 48,
+            d_fusion: 48,
+            ..CamEConfig::default()
+        },
+    );
+    (model, store, bkg)
+}
+
+fn bench_came_forward(c: &mut Criterion) {
+    let (model, store, _bkg) = came_fixture();
+    let heads: Vec<u32> = (0..64u32).collect();
+    let rels: Vec<u32> = (0..64u32).map(|i| i % 6).collect();
+    c.bench_function("came_forward_b64", |b| {
+        b.iter(|| {
+            let g = Graph::inference();
+            let s = model.forward(&g, &store, &heads, &rels);
+            black_box(g.value(s))
+        })
+    });
+}
+
+fn bench_filtered_eval(c: &mut Criterion) {
+    let (model, store, bkg) = came_fixture();
+    let scorer = OneToNScorer::new(&model, &store);
+    let filter = bkg.dataset.filter_index();
+    let queries: Vec<(EntityId, RelationId)> = bkg
+        .dataset
+        .test
+        .iter()
+        .take(32)
+        .map(|t| (t.h, t.r))
+        .collect();
+    c.bench_function("filtered_rank_32_queries", |b| {
+        b.iter(|| {
+            let scores = scorer.score_tails(&queries);
+            let mut acc = 0.0;
+            for ((h, r), s) in queries.iter().zip(&scores) {
+                acc += came_kg::filtered_rank(s, bkg.dataset.test[0].t, None, *h, *r, &filter);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Prng::new(2);
+    let a = Tensor::randn(Shape::d2(128, 64), 1.0, &mut rng);
+    let b_ = Tensor::randn(Shape::d2(64, 1000), 1.0, &mut rng);
+    c.bench_function("matmul_128x64x1000", |b| {
+        b.iter(|| black_box(a.matmul(&b_)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Prng::new(3);
+    let t = Tensor::randn(Shape::d3(128, 48, 48), 1.0, &mut rng);
+    c.bench_function("softmax_axis1_b128_48x48", |b| {
+        b.iter(|| black_box(t.softmax_axis(1)))
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("generate_tiny_bkg", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(presets::tiny(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tca_forward, bench_tca_train_step, bench_came_forward,
+              bench_filtered_eval, bench_matmul, bench_softmax, bench_dataset_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 1: the diamond experiment — does molecular similarity of the two
+//! arm drugs predict whether their relations to a shared gene coincide?
+//!
+//! Paper result on DRKG-MM: balanced sample 50.00% "Same"; conditioning on
+//! molecular similarity lifts it to 66.98%.
+
+use came_bench::Scale;
+use came_biodata::{presets, sample_diamonds, similarity_conditioned_same_rate};
+use came_encoders::MoleculeEncoder;
+use came_tensor::Prng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let mut rng = Prng::new(0xD1A);
+    // paper: 5,000 + 5,000; the scaled graph holds fewer distinct diamonds
+    let diamonds = sample_diamonds(&bkg, 5_000, 5_000, &mut rng);
+    let base = diamonds.iter().filter(|d| d.same()).count() as f64 / diamonds.len() as f64;
+
+    // similarity via the frozen GIN encoder (the paper uses pretrained GIN
+    // vectors and an inner-product similarity)
+    let enc = MoleculeEncoder::new(32, 3, 0x617E);
+    let embs: Vec<Option<Vec<f32>>> = bkg
+        .molecules
+        .iter()
+        .map(|m| m.as_ref().map(|m| enc.encode(m)))
+        .collect();
+    let sim = |a: came_kg::EntityId, b: came_kg::EntityId| -> f32 {
+        match (&embs[a.0 as usize], &embs[b.0 as usize]) {
+            (Some(x), Some(y)) => x.iter().zip(y).map(|(p, q)| p * q).sum(),
+            _ => 0.0,
+        }
+    };
+    let lifted = similarity_conditioned_same_rate(&diamonds, sim, 100, 100, &mut rng);
+
+    println!("# Fig. 1 — diamond experiment\n");
+    println!("diamonds sampled (balanced): {}", diamonds.len());
+    println!("                         Same    Not-Same");
+    println!("paper, random sample:    50.00%  50.00%");
+    println!("paper, similarity-cond.: 66.98%  33.02%");
+    println!("ours,  random sample:    {:.2}%  {:.2}%", base * 100.0, (1.0 - base) * 100.0);
+    println!(
+        "ours,  similarity-cond.: {:.2}%  {:.2}%",
+        lifted * 100.0,
+        (1.0 - lifted) * 100.0
+    );
+    println!(
+        "\nshape check: conditioning lifts the Same rate by {:+.1} points (paper: +17.0)",
+        (lifted - base) * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 5: parameter evaluation — number of heads m, exchanging factor θ,
+//! and temperature interval λ.
+//!
+//! `cargo run --release --bin fig5_params [-- heads|theta|lambda]`
+//! (no argument = all three sweeps).
+
+use came_bench::*;
+use came_biodata::presets;
+use came_encoders::ModalFeatures;
+use came_kg::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let features = ModalFeatures::build(&bkg, &feature_config());
+    // the sweep trains CamE 14 times; a triple subsample keeps it tractable
+    // on one core while preserving the sweep's shape
+    let sub = bkg.dataset.subsample(scale.sweep_frac * 0.75);
+    let sweep_epochs = scale.came_epochs.div_ceil(2).max(2);
+    let run = |cfg: came::CamEConfig| -> f64 {
+        let (model, store) = train_came_on(&sub, &features, cfg, sweep_epochs);
+        eval_came(&model, &store, &sub, Split::Test, scale.eval_cap).mrr() * 100.0
+    };
+    println!("# Fig. 5 — parameter evaluation (DRKG-MM-like subsample, test MRR x100)\n");
+    if arg == "all" || arg == "heads" {
+        println!("## (a) number of heads m (paper peak: m=2)\n");
+        for m in [1usize, 2, 3, 4] {
+            let mut cfg = came_config_drkg();
+            cfg.n_heads = m;
+            let mrr = run(cfg);
+            println!("  m={m}: MRR {mrr:.1} {}", ascii_bar(mrr, 60.0, 40));
+        }
+        println!();
+    }
+    if arg == "all" || arg == "theta" {
+        println!("## (b) exchanging factor θ (paper peak: θ=-0.5)\n");
+        for theta in [-4.0f32, -2.0, -1.0, -0.5, 0.0] {
+            let mut cfg = came_config_drkg();
+            cfg.theta = theta;
+            let mrr = run(cfg);
+            println!("  θ={theta:>4}: MRR {mrr:.1} {}", ascii_bar(mrr, 60.0, 40));
+        }
+        println!();
+    }
+    if arg == "all" || arg == "lambda" {
+        println!("## (c) temperature interval λ at m=2 (paper peak: λ=5)\n");
+        for lambda in [1.0f32, 2.0, 5.0, 10.0, 20.0] {
+            let mut cfg = came_config_drkg();
+            cfg.lambda = lambda;
+            let mrr = run(cfg);
+            println!("  λ={lambda:>4}: MRR {mrr:.1} {}", ascii_bar(mrr, 60.0, 40));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 7 case study: top-3 tails CamE reasons for drug-drug-interaction
+//! queries, showing the shared lexeme/scaffold semantics the paper
+//! highlights ("-cillin" names ↔ penicillin-type substructures).
+
+use came_bench::*;
+use came_biodata::presets;
+use came_encoders::ModalFeatures;
+use came_kg::{EntityKind, RelationId};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let d = &bkg.dataset;
+    let features = ModalFeatures::build(&bkg, &feature_config());
+    eprintln!("[fig7] training CamE…");
+    let (model, store) = train_came(&bkg, &features, came_config_drkg(), scale.came_epochs);
+
+    let ddi_rel = (0..d.num_relations() as u32)
+        .map(RelationId)
+        .find(|&r| d.vocab.relation_name(r).starts_with("compound_compound"))
+        .expect("DRKG-MM-like has drug-drug relations");
+
+    println!("# Fig. 7 — case study: Drug-drug Interaction reasoning\n");
+    let compounds = d.vocab.entities_of_kind(EntityKind::Compound);
+    let mut shown = 0;
+    let mut family_hits = 0usize;
+    let mut total = 0usize;
+    for &q in &compounds {
+        if shown >= 3 {
+            break;
+        }
+        let Some(q_family) = bkg.families[q.0 as usize] else { continue };
+        let top: Vec<_> = model
+            .predict_topk(&store, q, ddi_rel, 30, None)
+            .into_iter()
+            .filter(|(e, _)| d.vocab.entity_kind(*e) == EntityKind::Compound && *e != q)
+            .take(3)
+            .collect();
+        if top.is_empty() {
+            continue;
+        }
+        shown += 1;
+        println!("case {shown}: head = {}  (scaffold {:?})", d.vocab.entity_name(q), q_family);
+        println!("  text: {}", bkg.texts[q.0 as usize]);
+        println!("  relation: Drug-drug Interaction — top-3 reasoned tails:");
+        for (rank, (e, score)) in top.iter().enumerate() {
+            let fam = bkg.families[e.0 as usize].unwrap();
+            total += 1;
+            family_hits += usize::from(fam == q_family);
+            println!(
+                "    #{} {:<24} score {:>7.2}  scaffold {:?}{}",
+                rank + 1,
+                d.vocab.entity_name(*e),
+                score,
+                fam,
+                if fam == q_family { "  <- shared semantics" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!(
+        "{family_hits}/{total} reasoned tails share the head's scaffold family \
+         (chance ≈ 1/8); the paper's Fig. 7 shows the same lexeme/scaffold clustering."
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig. 8: test-MRR vs training wall-time. (a) CamE against baselines,
+//! (b) CamE against its ablation variants. As in the paper, evaluation uses
+//! a random subsample of test triples and CamE runs WITHOUT pretrained
+//! structural features for fairness.
+
+use came::{Ablation, CamE};
+use came_baselines::{train_baseline, Baseline, BaselineHp};
+use came_bench::*;
+use came_biodata::presets;
+use came_encoders::ModalFeatures;
+use came_kg::{OneToNScorer, Split, TailScorer};
+use came_tensor::ParamStore;
+
+fn main() {
+    let scale = Scale::from_env();
+    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let d = bkg.dataset.subsample(scale.sweep_frac.max(0.5));
+    let features = ModalFeatures::build(&bkg, &feature_config());
+    let cap = scale.eval_cap.map(|c| c / 2);
+
+    println!("# Fig. 8 — test MRR vs training time (seconds)\n");
+    println!("## (a) vs baselines\n");
+    println!("series: model, then (elapsed_s, MRRx100) per epoch");
+    for kind in [Baseline::DistMult, Baseline::ConvE, Baseline::DualE, Baseline::PairRE] {
+        let mut series = Vec::new();
+        {
+            let mut hook = |e: usize, t: f64, s: &dyn TailScorer| {
+                // evaluate every other epoch to keep the run cheap
+                if e % 2 == 0 {
+                    let m = eval_scorer(s, &d, Split::Test, cap);
+                    series.push((t, m.mrr() * 100.0));
+                }
+            };
+            let hp = BaselineHp {
+                epochs: scale.baseline_epochs,
+                ..Default::default()
+            };
+            train_baseline(kind, &d, Some(&features), &hp, Some(&mut hook));
+        }
+        print_series(kind.label(), &series);
+    }
+    // CamE without pretrained structural embedding (paper's fairness note)
+    let mut cfg = came_config_drkg();
+    cfg.use_pretrained_struct = false;
+    let series = came_series(&d, &features, cfg, scale.came_epochs, cap);
+    print_series("CamE (no pretrained h_s)", &series);
+
+    println!("\n## (b) vs ablation variants\n");
+    for ab in [Ablation::Full, Ablation::WithoutTca, Ablation::WithoutMmfAndRic] {
+        let cfg = ab.apply(came_config_drkg());
+        let series = came_series(&d, &features, cfg, scale.came_epochs, cap);
+        print_series(ab.label(), &series);
+    }
+}
+
+fn came_series(
+    d: &came_kg::KgDataset,
+    features: &ModalFeatures,
+    cfg: came::CamEConfig,
+    epochs: usize,
+    cap: Option<usize>,
+) -> Vec<(f64, f64)> {
+    let mut store = ParamStore::new();
+    let model = CamE::new(&mut store, d, features, cfg);
+    let mut series = Vec::new();
+    came_kg::train_one_to_n(&model, &mut store, d, &came_train_config(epochs), |s, m, st| {
+        if s.epoch % 2 == 0 {
+            let metr = eval_scorer(&OneToNScorer::new(m, st), d, Split::Test, cap);
+            series.push((s.elapsed_s, metr.mrr() * 100.0));
+        }
+    });
+    series
+}
+
+fn print_series(label: &str, series: &[(f64, f64)]) {
+    let pts: Vec<String> = series
+        .iter()
+        .map(|(t, m)| format!("({t:.0}s, {m:.1})"))
+        .collect();
+    println!("{label:<24} {}", pts.join(" "));
+}

@@ -1,0 +1,65 @@
+//! Table III: overall link-prediction comparison — 13 baselines + CamE on
+//! both datasets, filtered MRR / MR / Hits@{1,3,10}.
+//!
+//! Set `CAME_DATASET=drkg` or `omaha` to run one dataset only;
+//! `CAME_QUICK=1` shrinks budgets for a smoke run.
+
+use came_baselines::{train_baseline, Baseline, BaselineHp};
+use came_bench::*;
+use came_biodata::presets;
+use came_encoders::ModalFeatures;
+use came_kg::Split;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let which = std::env::var("CAME_DATASET").unwrap_or_else(|_| "both".into());
+    println!("# Table III — overall comparison (filtered test metrics x100; MR absolute)\n");
+    for (name, bkg, came_cfg) in [
+        ("DRKG-MM-like", presets::drkg_mm_like(scale.data_seed), came_config_drkg()),
+        ("OMAHA-MM-like", presets::omaha_mm_like(scale.data_seed), came_config_omaha()),
+    ] {
+        let key = if name.starts_with("DRKG") { "drkg" } else { "omaha" };
+        if which != "both" && which != key {
+            continue;
+        }
+        eprintln!("[table3] dataset {name}: building modal features…");
+        let features = ModalFeatures::build(&bkg, &feature_config());
+        let hp = BaselineHp {
+            epochs: scale.baseline_epochs,
+            ..Default::default()
+        };
+        let mut rows = Vec::new();
+        for kind in Baseline::all() {
+            let t0 = Instant::now();
+            let trained = train_baseline(kind, &bkg.dataset, Some(&features), &hp, None);
+            let m = eval_scorer(&trained, &bkg.dataset, Split::Test, scale.eval_cap);
+            eprintln!(
+                "[table3] {name} {} done in {:.0}s (MRR {:.3})",
+                kind.label(),
+                t0.elapsed().as_secs_f64(),
+                m.mrr()
+            );
+            let mut row = vec![kind.label().to_string()];
+            row.extend(metric_cells(&m));
+            rows.push(row);
+        }
+        let t0 = Instant::now();
+        let (model, store) = train_came(&bkg, &features, came_cfg, scale.came_epochs);
+        let m = eval_came(&model, &store, &bkg.dataset, Split::Test, scale.eval_cap);
+        eprintln!(
+            "[table3] {name} CamE done in {:.0}s (MRR {:.3})",
+            t0.elapsed().as_secs_f64(),
+            m.mrr()
+        );
+        let mut row = vec!["CamE (ours)".to_string()];
+        row.extend(metric_cells(&m));
+        rows.push(row);
+
+        println!("## {name}\n");
+        println!(
+            "{}",
+            markdown_table(&["Model", "MRR", "MR", "H@1", "H@3", "H@10"], &rows)
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! Assembly of complete multimodal biological knowledge graphs.
+
+use std::collections::HashSet;
+
+use came_kg::{EntityId, EntityKind, KgDataset, Triple, Vocab};
+use came_tensor::Prng;
+
+use crate::graphgen::{random_compat, sample_relation_triples, RelationSpec, TypedEntities, ZipfSampler};
+use crate::molecule::{generate_molecule, Molecule, Scaffold};
+use crate::text;
+
+/// How many entities of a kind and how many latent clusters they use.
+#[derive(Clone, Debug)]
+pub struct KindSpec {
+    /// The entity kind.
+    pub kind: EntityKind,
+    /// Number of entities.
+    pub count: usize,
+    /// Number of latent clusters (ignored for Compound, which always uses
+    /// the eight scaffold families).
+    pub n_clusters: usize,
+}
+
+/// A family of relation types between two entity kinds.
+#[derive(Clone, Debug)]
+pub struct FamilySpec {
+    /// Head entity kind.
+    pub head: EntityKind,
+    /// Tail entity kind.
+    pub tail: EntityKind,
+    /// How many distinct relation types in the family.
+    pub n_relations: usize,
+    /// Total triples across the family (split evenly per relation).
+    pub n_triples: usize,
+}
+
+/// Full generator configuration.
+#[derive(Clone, Debug)]
+pub struct BkgConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// Entity population.
+    pub kinds: Vec<KindSpec>,
+    /// Relation schema.
+    pub families: Vec<FamilySpec>,
+    /// Zipf exponent for head/tail popularity (Fig. 4 long tail).
+    pub zipf_exponent: f64,
+    /// Fraction of edges with uniformly random tails (irreducible noise).
+    pub noise_edge_frac: f64,
+    /// Fraction of compounds whose *textual* family is shuffled (modality
+    /// disagreement noise).
+    pub modality_text_noise: f64,
+    /// Whether compounds carry molecule graphs (false for OMAHA-MM).
+    pub with_molecules: bool,
+    /// Train/valid/test ratios.
+    pub split: (f64, f64, f64),
+    /// Minimum entity degree; lower-degree entities are pruned after
+    /// generation (OMAHA-MM construction rule 3). `None` disables.
+    pub min_degree: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// A generated multimodal BKG: structured triples plus per-entity modal data.
+pub struct MultimodalBkg {
+    /// The split dataset.
+    pub dataset: KgDataset,
+    /// Molecule graph per entity (None for non-compounds or molecule-free
+    /// datasets).
+    pub molecules: Vec<Option<Molecule>>,
+    /// Textual description per entity (includes the entity name).
+    pub texts: Vec<String>,
+    /// Latent cluster per entity (ground truth; used only for analysis).
+    pub clusters: Vec<usize>,
+    /// Scaffold family per entity (compounds only; ground truth).
+    pub families: Vec<Option<Scaffold>>,
+    /// The generator configuration.
+    pub config: BkgConfig,
+}
+
+impl MultimodalBkg {
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.dataset.num_entities()
+    }
+}
+
+/// Disease group a scaffold family treats (the alignment that makes the
+/// molecule/text modalities informative about Compound-Disease links and
+/// drives the Fig. 7 case-study behaviour).
+pub fn indication_group(family: Scaffold) -> usize {
+    match family {
+        Scaffold::Penicillin | Scaffold::Sulfonamide | Scaffold::Cephalosporin | Scaffold::Macrolide => 0, // bacterial infection
+        Scaffold::Phenol => 1,     // cardiovascular
+        Scaffold::Statin => 2,     // metabolic
+        Scaffold::Benzodiazepine => 3, // anxiety
+        Scaffold::Piperazine => 4, // inflammatory
+    }
+}
+
+/// Generate a complete multimodal BKG from a configuration.
+pub fn build(config: &BkgConfig) -> MultimodalBkg {
+    let mut rng = Prng::new(config.seed);
+    let mut vocab = Vocab::new();
+    let mut molecules: Vec<Option<Molecule>> = Vec::new();
+    let mut texts: Vec<String> = Vec::new();
+    let mut clusters: Vec<usize> = Vec::new();
+    let mut families: Vec<Option<Scaffold>> = Vec::new();
+    let mut groups: Vec<TypedEntities> = Vec::new();
+
+    // ---- entities, clusters, modal data --------------------------------
+    for spec in &config.kinds {
+        let n_clusters = if spec.kind == EntityKind::Compound {
+            Scaffold::all().len()
+        } else {
+            spec.n_clusters
+        };
+        assert!(n_clusters > 0 && spec.count > 0, "empty kind spec");
+        let cluster_z = ZipfSampler::new(n_clusters, 0.5); // mildly skewed cluster sizes
+        let mut ids = Vec::with_capacity(spec.count);
+        let mut cls = Vec::with_capacity(spec.count);
+        for i in 0..spec.count {
+            let c = cluster_z.sample(&mut rng);
+            let (name, descr, family) = describe_entity(spec.kind, c, i, config, &mut rng);
+            let id = vocab.add_entity(name, spec.kind);
+            ids.push(id);
+            cls.push(c);
+            clusters.push(c);
+            texts.push(descr);
+            families.push(family);
+            molecules.push(match family {
+                Some(f) if config.with_molecules => Some(generate_molecule(f, &mut rng)),
+                _ => None,
+            });
+        }
+        groups.push(TypedEntities::new(spec.kind, ids, cls, n_clusters));
+    }
+
+    // ---- relations and triples ------------------------------------------
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut seen: HashSet<Triple> = HashSet::new();
+    for fam in &config.families {
+        let head_group = group_of(&groups, fam.head);
+        let tail_group = group_of(&groups, fam.tail);
+        let per_rel = fam.n_triples.div_ceil(fam.n_relations.max(1));
+        for k in 0..fam.n_relations {
+            let name = format!(
+                "{}_{}_{}",
+                fam.head.label().to_lowercase(),
+                fam.tail.label().to_lowercase(),
+                k
+            );
+            let rel = vocab.add_relation(name.clone());
+            let compat = make_compat(fam, head_group, tail_group, &mut rng);
+            let spec = RelationSpec {
+                name,
+                head: fam.head,
+                tail: fam.tail,
+                n_triples: per_rel,
+                compat,
+            };
+            triples.extend(sample_relation_triples(
+                rel.0,
+                &spec,
+                head_group,
+                tail_group,
+                config.zipf_exponent,
+                config.noise_edge_frac,
+                &mut seen,
+                &mut rng,
+            ));
+        }
+    }
+
+    let dataset = KgDataset::split(vocab, triples, config.split, &mut rng);
+    let mut bkg = MultimodalBkg {
+        dataset,
+        molecules,
+        texts,
+        clusters,
+        families,
+        config: config.clone(),
+    };
+    if let Some(min_deg) = config.min_degree {
+        bkg = prune_min_degree(bkg, min_deg);
+    }
+    bkg
+}
+
+fn group_of<'a>(groups: &'a [TypedEntities], kind: EntityKind) -> &'a TypedEntities {
+    groups
+        .iter()
+        .find(|g| g.kind == kind)
+        .unwrap_or_else(|| panic!("relation family references absent entity kind {kind:?}"))
+}
+
+/// Cluster compatibility for a relation family. Compound→Disease relations
+/// are aligned to [`indication_group`]; everything else is random.
+fn make_compat(
+    fam: &FamilySpec,
+    heads: &TypedEntities,
+    tails: &TypedEntities,
+    rng: &mut Prng,
+) -> Vec<Vec<usize>> {
+    let nh = heads.by_cluster.len();
+    let nt = tails.by_cluster.len();
+    if fam.head == EntityKind::Compound && fam.tail == EntityKind::Disease {
+        Scaffold::all()
+            .iter()
+            .map(|&f| {
+                // the indicated group is listed twice so tail-cluster draws
+                // favour it 2:1 over the extra random group
+                let ind = indication_group(f) % nt;
+                let mut v = vec![ind, ind];
+                let extra = rng.below(nt);
+                if extra != ind {
+                    v.push(extra);
+                }
+                v
+            })
+            .collect()
+    } else {
+        random_compat(nh, nt, 3, rng)
+    }
+}
+
+fn describe_entity(
+    kind: EntityKind,
+    cluster: usize,
+    uniq: usize,
+    config: &BkgConfig,
+    rng: &mut Prng,
+) -> (String, String, Option<Scaffold>) {
+    match kind {
+        EntityKind::Compound => {
+            let family = Scaffold::all()[cluster % Scaffold::all().len()];
+            // text-modality noise: the written family may differ from the
+            // structural one
+            let text_family = if rng.chance(config.modality_text_noise) {
+                Scaffold::all()[rng.below(Scaffold::all().len())]
+            } else {
+                family
+            };
+            let name = text::compound_name(text_family, uniq, rng);
+            let descr =
+                text::compound_description(&name, text_family, indication_group(text_family));
+            (name, descr, Some(family))
+        }
+        EntityKind::Gene => {
+            let name = text::gene_name(uniq, rng);
+            let descr = text::gene_description(&name, cluster);
+            (name, descr, None)
+        }
+        EntityKind::Disease => {
+            let name = text::disease_name(cluster, uniq, rng);
+            let descr = text::disease_description(&name, cluster);
+            (name, descr, None)
+        }
+        EntityKind::SideEffect => {
+            let name = text::side_effect_name(cluster, uniq, rng);
+            let descr = text::side_effect_description(&name, cluster);
+            (name, descr, None)
+        }
+        EntityKind::Symptom | EntityKind::Other => {
+            let name = text::symptom_name(cluster, uniq, rng);
+            let descr = format!("{name} is a clinical finding of group {cluster}.");
+            (name, descr, None)
+        }
+    }
+}
+
+/// Drop entities whose total degree (train+valid+test, both endpoints) is
+/// below `min_degree`, compacting ids — OMAHA-MM construction rule 3.
+/// Applied once (not to fixpoint), matching the paper's single filter pass.
+pub fn prune_min_degree(bkg: MultimodalBkg, min_degree: usize) -> MultimodalBkg {
+    let n = bkg.dataset.num_entities();
+    let mut degree = vec![0usize; n];
+    for split in [came_kg::Split::Train, came_kg::Split::Valid, came_kg::Split::Test] {
+        for t in bkg.dataset.get(split) {
+            degree[t.h.0 as usize] += 1;
+            degree[t.t.0 as usize] += 1;
+        }
+    }
+    let keep: Vec<bool> = degree.iter().map(|&d| d >= min_degree).collect();
+    if keep.iter().all(|&k| k) {
+        return bkg;
+    }
+    // old id -> new id
+    let mut remap = vec![u32::MAX; n];
+    let mut vocab = Vocab::new();
+    let mut molecules = Vec::new();
+    let mut texts = Vec::new();
+    let mut clusters = Vec::new();
+    let mut families = Vec::new();
+    for old in 0..n {
+        if !keep[old] {
+            continue;
+        }
+        let old_id = EntityId(old as u32);
+        let new_id = vocab.add_entity(
+            bkg.dataset.vocab.entity_name(old_id),
+            bkg.dataset.vocab.entity_kind(old_id),
+        );
+        remap[old] = new_id.0;
+        molecules.push(bkg.molecules[old].clone());
+        texts.push(bkg.texts[old].clone());
+        clusters.push(bkg.clusters[old]);
+        families.push(bkg.families[old]);
+    }
+    for r in 0..bkg.dataset.num_relations() {
+        vocab.add_relation(bkg.dataset.vocab.relation_name(came_kg::RelationId(r as u32)));
+    }
+    let remap_triples = |ts: &[Triple]| -> Vec<Triple> {
+        ts.iter()
+            .filter(|t| keep[t.h.0 as usize] && keep[t.t.0 as usize])
+            .map(|t| Triple {
+                h: EntityId(remap[t.h.0 as usize]),
+                r: t.r,
+                t: EntityId(remap[t.t.0 as usize]),
+            })
+            .collect()
+    };
+    MultimodalBkg {
+        dataset: KgDataset {
+            train: remap_triples(&bkg.dataset.train),
+            valid: remap_triples(&bkg.dataset.valid),
+            test: remap_triples(&bkg.dataset.test),
+            vocab,
+        },
+        molecules,
+        texts,
+        clusters,
+        families,
+        config: bkg.config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn build_produces_consistent_parallel_arrays() {
+        let bkg = presets::tiny(7);
+        let n = bkg.num_entities();
+        assert_eq!(bkg.molecules.len(), n);
+        assert_eq!(bkg.texts.len(), n);
+        assert_eq!(bkg.clusters.len(), n);
+        assert_eq!(bkg.families.len(), n);
+        assert!(n > 0);
+        assert!(!bkg.dataset.train.is_empty());
+    }
+
+    #[test]
+    fn compounds_have_molecules_others_do_not() {
+        let bkg = presets::tiny(7);
+        for e in 0..bkg.num_entities() as u32 {
+            let kind = bkg.dataset.vocab.entity_kind(EntityId(e));
+            let has_mol = bkg.molecules[e as usize].is_some();
+            if kind == EntityKind::Compound {
+                assert!(has_mol, "compound without molecule");
+            } else {
+                assert!(!has_mol, "non-compound with molecule");
+            }
+        }
+    }
+
+    #[test]
+    fn texts_reflect_family_lexemes_mostly() {
+        let bkg = presets::tiny(3);
+        let mut hit = 0;
+        let mut total = 0;
+        for e in 0..bkg.num_entities() {
+            if let Some(f) = bkg.families[e] {
+                total += 1;
+                let lx = crate::text::FamilyLexeme::of(f);
+                let name = bkg.dataset.vocab.entity_name(EntityId(e as u32));
+                let affix_hit = (!lx.suffix.is_empty() && name.contains(lx.suffix))
+                    || (!lx.prefix.is_empty() && name.starts_with(lx.prefix));
+                if affix_hit {
+                    hit += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        // modality_text_noise is small, so most names match their family
+        assert!(hit * 10 >= total * 7, "{hit}/{total} names carry family affix");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_graph() {
+        let a = presets::tiny(42);
+        let b = presets::tiny(42);
+        assert_eq!(a.dataset.train, b.dataset.train);
+        assert_eq!(a.texts, b.texts);
+        let c = presets::tiny(43);
+        assert_ne!(a.dataset.train, c.dataset.train);
+    }
+
+    #[test]
+    fn prune_removes_low_degree_and_remaps() {
+        let bkg = presets::tiny(5);
+        let pruned = prune_min_degree(bkg, 3);
+        let d = &pruned.dataset;
+        let n = d.num_entities();
+        assert_eq!(pruned.texts.len(), n);
+        for t in d.train.iter().chain(&d.valid).chain(&d.test) {
+            assert!((t.h.0 as usize) < n && (t.t.0 as usize) < n);
+        }
+        // all triples reference surviving entities and relation count intact
+        assert!(d.num_relations() > 0);
+    }
+
+    #[test]
+    fn compound_disease_links_align_with_indication() {
+        // with noise off, compound-disease tails live in the indicated group
+        // far more often than chance
+        let mut cfg = presets::tiny_config(11);
+        cfg.noise_edge_frac = 0.0;
+        cfg.modality_text_noise = 0.0;
+        let bkg = build(&cfg);
+        let mut aligned = 0;
+        let mut total = 0;
+        for t in bkg
+            .dataset
+            .train
+            .iter()
+            .chain(&bkg.dataset.valid)
+            .chain(&bkg.dataset.test)
+        {
+            let hk = bkg.dataset.vocab.entity_kind(t.h);
+            let tk = bkg.dataset.vocab.entity_kind(t.t);
+            if hk == EntityKind::Compound && tk == EntityKind::Disease {
+                total += 1;
+                let fam = bkg.families[t.h.0 as usize].unwrap();
+                if bkg.clusters[t.t.0 as usize] == indication_group(fam) {
+                    aligned += 1;
+                }
+            }
+        }
+        assert!(total > 0, "no compound-disease triples generated");
+        assert!(
+            aligned * 2 > total,
+            "only {aligned}/{total} CD links hit the indicated disease group"
+        );
+    }
+}

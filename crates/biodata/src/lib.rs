@@ -1,0 +1,37 @@
+//! # came-biodata
+//!
+//! Synthetic multimodal biological knowledge graphs for the CamE
+//! reproduction. The paper's datasets (DRKG-MM, OMAHA-MM) attach proprietary
+//! and large-scale modal data — real molecular structures and curated
+//! descriptions — to each entity; this crate substitutes a generator whose
+//! latent-cluster model gives the synthetic graph the same *exploitable
+//! correlation structure*:
+//!
+//! - entity clusters (scaffold families, gene pathways, disease groups)
+//!   drive link formation ([`graphgen`]),
+//! - the same clusters drive molecule scaffolds ([`molecule`]) and textual
+//!   lexemes ([`text`]), so modal features are noisy views of the link
+//!   structure — the property the paper's Fig. 1 diamond analysis
+//!   ([`diamond`]) demonstrates on real data,
+//! - degree distributions are Zipf long-tailed (paper Fig. 4).
+//!
+//! ```
+//! let bkg = came_biodata::presets::tiny(0);
+//! assert!(bkg.dataset.train.len() > 100);
+//! // compounds carry molecules, everything carries text
+//! assert!(bkg.molecules.iter().any(|m| m.is_some()));
+//! assert_eq!(bkg.texts.len(), bkg.num_entities());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bkg;
+pub mod diamond;
+pub mod graphgen;
+pub mod molecule;
+pub mod presets;
+pub mod text;
+
+pub use bkg::{build, indication_group, prune_min_degree, BkgConfig, FamilySpec, KindSpec, MultimodalBkg};
+pub use diamond::{sample_diamonds, similarity_conditioned_same_rate, Diamond};
+pub use molecule::{cosine, generate_molecule, triad_fingerprint, Bond, Element, Molecule, Scaffold};

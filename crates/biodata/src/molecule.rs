@@ -1,0 +1,518 @@
+//! Synthetic small-molecule graphs.
+//!
+//! The paper attaches a real molecular structure to every drug in DRKG-MM and
+//! encodes it with a pretrained GIN. We substitute a generator that emits
+//! molecule *graphs* (typed atoms, typed bonds) built from a library of
+//! recognisable pharmacophore scaffolds — a β-lactam core for penicillins, a
+//! sulfonamide group, a phenol ring, and so on — plus random decorations.
+//! Compounds in the same family therefore share a large common subgraph,
+//! which is exactly the property the paper's Fig. 1/Fig. 7 analyses exploit:
+//! structurally similar drugs behave similarly in the KG.
+
+use came_tensor::Prng;
+
+/// Chemical element of an atom (a compact subset suffices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Sulphur.
+    S,
+    /// Phosphorus.
+    P,
+    /// Fluorine.
+    F,
+    /// Chlorine.
+    Cl,
+}
+
+impl Element {
+    /// Stable small integer code (used as GIN input feature).
+    pub fn code(self) -> usize {
+        match self {
+            Element::C => 0,
+            Element::N => 1,
+            Element::O => 2,
+            Element::S => 3,
+            Element::P => 4,
+            Element::F => 5,
+            Element::Cl => 6,
+        }
+    }
+
+    /// Number of distinct element codes.
+    pub const COUNT: usize = 7;
+}
+
+/// Bond order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bond {
+    /// Single bond.
+    Single,
+    /// Double bond.
+    Double,
+    /// Aromatic bond.
+    Aromatic,
+}
+
+impl Bond {
+    /// Stable small integer code.
+    pub fn code(self) -> usize {
+        match self {
+            Bond::Single => 0,
+            Bond::Double => 1,
+            Bond::Aromatic => 2,
+        }
+    }
+
+    /// Number of distinct bond codes.
+    pub const COUNT: usize = 3;
+}
+
+/// An undirected molecular graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Molecule {
+    /// Atom elements.
+    pub atoms: Vec<Element>,
+    /// Undirected bonds `(i, j, order)` with `i < j`.
+    pub bonds: Vec<(u16, u16, Bond)>,
+}
+
+impl Molecule {
+    /// Number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of bonds.
+    pub fn num_bonds(&self) -> usize {
+        self.bonds.len()
+    }
+
+    /// Add an atom, returning its index.
+    pub fn add_atom(&mut self, e: Element) -> u16 {
+        self.atoms.push(e);
+        (self.atoms.len() - 1) as u16
+    }
+
+    /// Add a bond (indices are normalised to `i < j`).
+    ///
+    /// # Panics
+    /// Panics on out-of-range or self bonds.
+    pub fn add_bond(&mut self, a: u16, b: u16, order: Bond) {
+        assert!(a != b, "self-bond");
+        assert!(
+            (a as usize) < self.atoms.len() && (b as usize) < self.atoms.len(),
+            "bond endpoint out of range"
+        );
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        self.bonds.push((i, j, order));
+    }
+
+    /// Adjacency list (neighbour, bond order).
+    pub fn adjacency(&self) -> Vec<Vec<(u16, Bond)>> {
+        let mut adj = vec![Vec::new(); self.atoms.len()];
+        for &(i, j, o) in &self.bonds {
+            adj[i as usize].push((j, o));
+            adj[j as usize].push((i, o));
+        }
+        adj
+    }
+
+    /// True if every atom is reachable from atom 0 (molecules must be
+    /// connected graphs).
+    pub fn is_connected(&self) -> bool {
+        if self.atoms.is_empty() {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.atoms.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &(n, _) in &adj[v] {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    stack.push(n as usize);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Graft `other` onto `self`, bonding `other`'s atom 0 to `at`.
+    pub fn attach(&mut self, at: u16, other: &Molecule) {
+        let offset = self.atoms.len() as u16;
+        self.atoms.extend_from_slice(&other.atoms);
+        for &(i, j, o) in &other.bonds {
+            self.bonds.push((i + offset, j + offset, o));
+        }
+        self.add_bond(at, offset, Bond::Single);
+    }
+}
+
+/// The scaffold families used by the generator. Each maps to a distinctive
+/// core structure and (in [`crate::text`]) a name affix — mirroring the
+/// paper's observation that "-cillin" names co-occur with penicillin-type
+/// substructures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scaffold {
+    /// β-lactam + thiazolidine: penicillins ("-cillin").
+    Penicillin,
+    /// Aromatic sulfonamide: "Sulfa-" drugs.
+    Sulfonamide,
+    /// Hydroxylated aromatic ring: phenolic compounds ("-phrine").
+    Phenol,
+    /// Piperazine ring: "-azine" drugs.
+    Piperazine,
+    /// Dihydroxyheptanoate chain: statins ("-statin").
+    Statin,
+    /// Fused benzene+diazepine: "-azepam" drugs.
+    Benzodiazepine,
+    /// β-lactam + dihydrothiazine: cephalosporins ("Cef-").
+    Cephalosporin,
+    /// Macrolide-like large ring: "-mycin" drugs.
+    Macrolide,
+}
+
+impl Scaffold {
+    /// All families.
+    pub fn all() -> [Scaffold; 8] {
+        [
+            Scaffold::Penicillin,
+            Scaffold::Sulfonamide,
+            Scaffold::Phenol,
+            Scaffold::Piperazine,
+            Scaffold::Statin,
+            Scaffold::Benzodiazepine,
+            Scaffold::Cephalosporin,
+            Scaffold::Macrolide,
+        ]
+    }
+
+    /// Index in [`Scaffold::all`].
+    pub fn index(self) -> usize {
+        Scaffold::all().iter().position(|&s| s == self).unwrap()
+    }
+
+    /// The characteristic core structure of the family.
+    pub fn core(self) -> Molecule {
+        use Bond::*;
+        use Element::*;
+        let mut m = Molecule::default();
+        match self {
+            Scaffold::Penicillin => {
+                // 4-membered β-lactam (C-C-N-C=O) fused to 5-membered S ring
+                let c1 = m.add_atom(C);
+                let c2 = m.add_atom(C);
+                let n = m.add_atom(N);
+                let c3 = m.add_atom(C);
+                let o = m.add_atom(O);
+                m.add_bond(c1, c2, Single);
+                m.add_bond(c2, n, Single);
+                m.add_bond(n, c3, Single);
+                m.add_bond(c3, c1, Single);
+                m.add_bond(c3, o, Double);
+                let s = m.add_atom(S);
+                let c4 = m.add_atom(C);
+                let c5 = m.add_atom(C);
+                m.add_bond(c2, s, Single);
+                m.add_bond(s, c4, Single);
+                m.add_bond(c4, c5, Single);
+                m.add_bond(c5, n, Single);
+            }
+            Scaffold::Sulfonamide => {
+                // benzene ring + S(=O)(=O)N
+                let ring: Vec<u16> = (0..6).map(|_| m.add_atom(C)).collect();
+                for k in 0..6 {
+                    m.add_bond(ring[k], ring[(k + 1) % 6], Aromatic);
+                }
+                let s = m.add_atom(S);
+                let o1 = m.add_atom(O);
+                let o2 = m.add_atom(O);
+                let n = m.add_atom(N);
+                m.add_bond(ring[0], s, Single);
+                m.add_bond(s, o1, Double);
+                m.add_bond(s, o2, Double);
+                m.add_bond(s, n, Single);
+            }
+            Scaffold::Phenol => {
+                // benzene + two hydroxyls + ethylamine side chain
+                let ring: Vec<u16> = (0..6).map(|_| m.add_atom(C)).collect();
+                for k in 0..6 {
+                    m.add_bond(ring[k], ring[(k + 1) % 6], Aromatic);
+                }
+                let o1 = m.add_atom(O);
+                let o2 = m.add_atom(O);
+                m.add_bond(ring[1], o1, Single);
+                m.add_bond(ring[2], o2, Single);
+                let c1 = m.add_atom(C);
+                let c2 = m.add_atom(C);
+                let n = m.add_atom(N);
+                m.add_bond(ring[4], c1, Single);
+                m.add_bond(c1, c2, Single);
+                m.add_bond(c2, n, Single);
+            }
+            Scaffold::Piperazine => {
+                // 6-ring with N at 1,4
+                let a: Vec<u16> = [N, C, C, N, C, C].iter().map(|&e| m.add_atom(e)).collect();
+                for k in 0..6 {
+                    m.add_bond(a[k], a[(k + 1) % 6], Single);
+                }
+            }
+            Scaffold::Statin => {
+                // HO-CH-CH2-CH(OH)-CH2-COOH chain
+                let cs: Vec<u16> = (0..6).map(|_| m.add_atom(C)).collect();
+                for k in 0..5 {
+                    m.add_bond(cs[k], cs[k + 1], Single);
+                }
+                let o1 = m.add_atom(O);
+                let o2 = m.add_atom(O);
+                let o3 = m.add_atom(O);
+                let o4 = m.add_atom(O);
+                m.add_bond(cs[0], o1, Single);
+                m.add_bond(cs[2], o2, Single);
+                m.add_bond(cs[5], o3, Double);
+                m.add_bond(cs[5], o4, Single);
+            }
+            Scaffold::Benzodiazepine => {
+                // benzene fused to a 7-ring with two N
+                let ring: Vec<u16> = (0..6).map(|_| m.add_atom(C)).collect();
+                for k in 0..6 {
+                    m.add_bond(ring[k], ring[(k + 1) % 6], Aromatic);
+                }
+                let n1 = m.add_atom(N);
+                let c1 = m.add_atom(C);
+                let n2 = m.add_atom(N);
+                let c2 = m.add_atom(C);
+                let c3 = m.add_atom(C);
+                m.add_bond(ring[0], n1, Single);
+                m.add_bond(n1, c1, Single);
+                m.add_bond(c1, n2, Double);
+                m.add_bond(n2, c2, Single);
+                m.add_bond(c2, c3, Single);
+                m.add_bond(c3, ring[1], Single);
+            }
+            Scaffold::Cephalosporin => {
+                // β-lactam fused to 6-membered S ring (vs penicillin's 5)
+                let c1 = m.add_atom(C);
+                let c2 = m.add_atom(C);
+                let n = m.add_atom(N);
+                let c3 = m.add_atom(C);
+                let o = m.add_atom(O);
+                m.add_bond(c1, c2, Single);
+                m.add_bond(c2, n, Single);
+                m.add_bond(n, c3, Single);
+                m.add_bond(c3, c1, Single);
+                m.add_bond(c3, o, Double);
+                let s = m.add_atom(S);
+                let c4 = m.add_atom(C);
+                let c5 = m.add_atom(C);
+                let c6 = m.add_atom(C);
+                m.add_bond(c2, s, Single);
+                m.add_bond(s, c4, Single);
+                m.add_bond(c4, c5, Single);
+                m.add_bond(c5, c6, Double);
+                m.add_bond(c6, n, Single);
+            }
+            Scaffold::Macrolide => {
+                // 12-membered lactone ring with scattered O
+                let ring: Vec<u16> = (0..12)
+                    .map(|k| m.add_atom(if k % 4 == 3 { O } else { C }))
+                    .collect();
+                for k in 0..12 {
+                    m.add_bond(ring[k], ring[(k + 1) % 12], Single);
+                }
+                let o = m.add_atom(O);
+                m.add_bond(ring[0], o, Double);
+            }
+        }
+        debug_assert!(m.is_connected());
+        m
+    }
+}
+
+/// Small substituent groups used as random decorations.
+fn substituent(rng: &mut Prng) -> Molecule {
+    use Bond::*;
+    use Element::*;
+    let mut m = Molecule::default();
+    match rng.below(6) {
+        0 => {
+            // methyl
+            m.add_atom(C);
+        }
+        1 => {
+            // hydroxyl
+            m.add_atom(O);
+        }
+        2 => {
+            // amine
+            m.add_atom(N);
+        }
+        3 => {
+            // chloro
+            m.add_atom(Cl);
+        }
+        4 => {
+            // fluoro
+            m.add_atom(F);
+        }
+        _ => {
+            // carboxyl
+            let c = m.add_atom(C);
+            let o1 = m.add_atom(O);
+            let o2 = m.add_atom(O);
+            m.add_bond(c, o1, Double);
+            m.add_bond(c, o2, Single);
+        }
+    }
+    m
+}
+
+/// Generate a family member: the scaffold core plus 1..=4 random
+/// substituents at random positions.
+pub fn generate_molecule(family: Scaffold, rng: &mut Prng) -> Molecule {
+    let mut m = family.core();
+    let n_dec = 1 + rng.below(4);
+    for _ in 0..n_dec {
+        let at = rng.below(m.num_atoms()) as u16;
+        let sub = substituent(rng);
+        m.attach(at, &sub);
+    }
+    debug_assert!(m.is_connected());
+    m
+}
+
+/// A cheap structural fingerprint: counts of (element, bond-order,
+/// element) triads, normalised. Used by tests and the Fig. 1 diamond
+/// experiment's similarity threshold (the paper uses GIN embeddings; the
+/// GIN encoder lives in `came-encoders`).
+pub fn triad_fingerprint(m: &Molecule) -> Vec<f32> {
+    let dim = Element::COUNT * Bond::COUNT * Element::COUNT;
+    let mut fp = vec![0.0f32; dim];
+    for &(i, j, o) in &m.bonds {
+        let (a, b) = (m.atoms[i as usize].code(), m.atoms[j as usize].code());
+        let (lo, hi) = (a.min(b), a.max(b));
+        fp[(lo * Bond::COUNT + o.code()) * Element::COUNT + hi] += 1.0;
+    }
+    let norm: f32 = fp.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for v in &mut fp {
+            *v /= norm;
+        }
+    }
+    fp
+}
+
+/// Cosine similarity of two fingerprints.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cores_are_connected_nonempty() {
+        for s in Scaffold::all() {
+            let m = s.core();
+            assert!(m.num_atoms() >= 5, "{s:?} too small");
+            assert!(m.is_connected(), "{s:?} disconnected");
+        }
+    }
+
+    #[test]
+    fn cores_are_mutually_distinct() {
+        let fps: Vec<Vec<f32>> = Scaffold::all().iter().map(|s| triad_fingerprint(&s.core())).collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert!(
+                    cosine(&fps[i], &fps[j]) < 0.999,
+                    "scaffolds {i} and {j} indistinguishable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_molecules_stay_connected() {
+        let mut rng = Prng::new(0);
+        for s in Scaffold::all() {
+            for _ in 0..20 {
+                let m = generate_molecule(s, &mut rng);
+                assert!(m.is_connected());
+                assert!(m.num_atoms() > s.core().num_atoms());
+            }
+        }
+    }
+
+    #[test]
+    fn same_family_more_similar_than_cross_family() {
+        let mut rng = Prng::new(1);
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut n_same = 0;
+        let mut n_cross = 0;
+        let fams = Scaffold::all();
+        let mols: Vec<Vec<Molecule>> = fams
+            .iter()
+            .map(|&f| (0..10).map(|_| generate_molecule(f, &mut rng)).collect())
+            .collect();
+        for (fi, mi) in mols.iter().enumerate() {
+            for (fj, mj) in mols.iter().enumerate() {
+                for a in mi {
+                    for b in mj {
+                        let s = cosine(&triad_fingerprint(a), &triad_fingerprint(b));
+                        if fi == fj {
+                            same += s;
+                            n_same += 1;
+                        } else {
+                            cross += s;
+                            n_cross += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let (same, cross) = (same / n_same as f32, cross / n_cross as f32);
+        assert!(
+            same > cross + 0.1,
+            "intra-family similarity {same} not above cross-family {cross}"
+        );
+    }
+
+    #[test]
+    fn attach_preserves_existing_structure() {
+        let mut m = Scaffold::Phenol.core();
+        let before = m.bonds.clone();
+        let sub = Molecule {
+            atoms: vec![Element::C],
+            bonds: vec![],
+        };
+        m.attach(0, &sub);
+        assert_eq!(&m.bonds[..before.len()], &before[..]);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn fingerprint_is_normalised() {
+        let m = Scaffold::Statin.core();
+        let fp = triad_fingerprint(&m);
+        let norm: f32 = fp.iter().map(|x| x * x).sum::<f32>();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-bond")]
+    fn self_bond_rejected() {
+        let mut m = Molecule::default();
+        let a = m.add_atom(Element::C);
+        m.add_bond(a, a, Bond::Single);
+    }
+}

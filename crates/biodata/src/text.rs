@@ -1,0 +1,264 @@
+//! Synthetic textual descriptions.
+//!
+//! DRKG-MM carries DrugBank/HGNC descriptions encoded by CharacterBERT; the
+//! key property the model exploits is that *surface text correlates with
+//! function*: penicillins end in "-cillin", sulfa drugs start with "Sulfa-",
+//! and descriptions name the disease class a drug treats (paper Fig. 7).
+//! This module reproduces that correlation synthetically: every entity's name
+//! and description embed lexical tokens of its latent cluster, with a
+//! configurable fraction of noisy (shuffled) descriptions.
+
+use came_tensor::Prng;
+
+use crate::molecule::Scaffold;
+
+/// Name affix + descriptive vocabulary of a scaffold family.
+pub struct FamilyLexeme {
+    /// Name prefix (may be empty).
+    pub prefix: &'static str,
+    /// Name suffix (may be empty).
+    pub suffix: &'static str,
+    /// Substructure phrase used in descriptions.
+    pub moiety: &'static str,
+    /// Pharmacological class phrase used in descriptions.
+    pub class: &'static str,
+}
+
+impl FamilyLexeme {
+    /// The lexeme of a scaffold family (mirrors the paper's examples:
+    /// "-cillin" ↔ penicillin-type substructure, "Sulfa-" ↔ sulfonamides…).
+    pub fn of(family: Scaffold) -> FamilyLexeme {
+        match family {
+            Scaffold::Penicillin => FamilyLexeme {
+                prefix: "",
+                suffix: "cillin",
+                moiety: "beta-lactam thiazolidine core",
+                class: "penicillin antibiotic",
+            },
+            Scaffold::Sulfonamide => FamilyLexeme {
+                prefix: "Sulfa",
+                suffix: "",
+                moiety: "aromatic sulfonamide group",
+                class: "sulfonamide antibacterial",
+            },
+            Scaffold::Phenol => FamilyLexeme {
+                prefix: "",
+                suffix: "phrine",
+                moiety: "hydroxylated aromatic ring",
+                class: "phenolic sympathomimetic",
+            },
+            Scaffold::Piperazine => FamilyLexeme {
+                prefix: "",
+                suffix: "azine",
+                moiety: "piperazine ring",
+                class: "piperazine-derived agent",
+            },
+            Scaffold::Statin => FamilyLexeme {
+                prefix: "",
+                suffix: "statin",
+                moiety: "dihydroxyheptanoate chain",
+                class: "HMG-CoA reductase inhibitor",
+            },
+            Scaffold::Benzodiazepine => FamilyLexeme {
+                prefix: "",
+                suffix: "azepam",
+                moiety: "fused benzodiazepine ring system",
+                class: "benzodiazepine anxiolytic",
+            },
+            Scaffold::Cephalosporin => FamilyLexeme {
+                prefix: "Cef",
+                suffix: "",
+                moiety: "beta-lactam dihydrothiazine core",
+                class: "cephalosporin antibiotic",
+            },
+            Scaffold::Macrolide => FamilyLexeme {
+                prefix: "",
+                suffix: "mycin",
+                moiety: "macrocyclic lactone ring",
+                class: "macrolide antibiotic",
+            },
+        }
+    }
+}
+
+/// Tokens naming gene pathway clusters.
+pub const PATHWAY_TOKENS: [&str; 10] = [
+    "kinase signalling",
+    "immune response",
+    "lipid metabolism",
+    "DNA repair",
+    "ion transport",
+    "apoptosis regulation",
+    "neurotransmitter release",
+    "cell adhesion",
+    "oxidative stress response",
+    "transcription regulation",
+];
+
+/// Tokens naming disease group clusters.
+pub const DISEASE_TOKENS: [&str; 6] = [
+    "bacterial infection",
+    "cardiovascular disorder",
+    "metabolic disorder",
+    "anxiety disorder",
+    "inflammatory disease",
+    "neoplastic disease",
+];
+
+/// Tokens naming side-effect clusters.
+pub const SIDE_EFFECT_TOKENS: [&str; 4] = [
+    "gastrointestinal reaction",
+    "hypersensitivity reaction",
+    "neurological reaction",
+    "hepatic reaction",
+];
+
+const SYLLABLES: [&str; 16] = [
+    "ba", "do", "ke", "lu", "mi", "no", "pa", "ri", "sa", "te", "vo", "xa", "ze", "qui", "tor",
+    "lan",
+];
+
+/// Random pronounceable stem of 2–3 syllables.
+pub fn stem(rng: &mut Prng) -> String {
+    let n = 2 + rng.below(2);
+    (0..n).map(|_| SYLLABLES[rng.below(SYLLABLES.len())]).collect()
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A compound name carrying its family affix, e.g. "Temocillin", "Sulfalune".
+pub fn compound_name(family: Scaffold, uniq: usize, rng: &mut Prng) -> String {
+    let lx = FamilyLexeme::of(family);
+    let mut name = format!("{}{}{}", lx.prefix, stem(rng), lx.suffix);
+    if lx.prefix.is_empty() {
+        name = capitalise(&name);
+    }
+    // guarantee global uniqueness without disturbing the affix
+    format!("{name}-{uniq}")
+}
+
+/// A compound description naming the family moiety, class, and the disease
+/// group the compound's cluster targets.
+pub fn compound_description(name: &str, family: Scaffold, disease_group: usize) -> String {
+    let lx = FamilyLexeme::of(family);
+    format!(
+        "{name} is a {} bearing a {} in its structure, indicated for {}.",
+        lx.class,
+        lx.moiety,
+        DISEASE_TOKENS[disease_group % DISEASE_TOKENS.len()],
+    )
+}
+
+/// A gene symbol like "KLMT3-12".
+pub fn gene_name(uniq: usize, rng: &mut Prng) -> String {
+    let letters: String = (0..3 + rng.below(2))
+        .map(|_| (b'A' + rng.below(26) as u8) as char)
+        .collect();
+    format!("{letters}{}-{uniq}", 1 + rng.below(9))
+}
+
+/// A gene description naming its pathway cluster.
+pub fn gene_description(name: &str, pathway: usize) -> String {
+    format!(
+        "{name} encodes a protein involved in {} pathways.",
+        PATHWAY_TOKENS[pathway % PATHWAY_TOKENS.len()]
+    )
+}
+
+/// A disease name carrying its group token.
+pub fn disease_name(group: usize, uniq: usize, rng: &mut Prng) -> String {
+    format!(
+        "{} {}-{uniq}",
+        capitalise(&stem(rng)),
+        DISEASE_TOKENS[group % DISEASE_TOKENS.len()]
+    )
+}
+
+/// A disease description.
+pub fn disease_description(name: &str, group: usize) -> String {
+    format!(
+        "{name} is a {} affecting multiple organ systems.",
+        DISEASE_TOKENS[group % DISEASE_TOKENS.len()]
+    )
+}
+
+/// A side-effect name.
+pub fn side_effect_name(group: usize, uniq: usize, rng: &mut Prng) -> String {
+    format!(
+        "{} {}-{uniq}",
+        capitalise(&stem(rng)),
+        SIDE_EFFECT_TOKENS[group % SIDE_EFFECT_TOKENS.len()]
+    )
+}
+
+/// A side-effect description.
+pub fn side_effect_description(name: &str, group: usize) -> String {
+    format!(
+        "{name} is an adverse {} reported during treatment.",
+        SIDE_EFFECT_TOKENS[group % SIDE_EFFECT_TOKENS.len()]
+    )
+}
+
+/// A symptom name (OMAHA-style entity type).
+pub fn symptom_name(group: usize, uniq: usize, rng: &mut Prng) -> String {
+    format!("{} symptom {}-{uniq}", capitalise(&stem(rng)), group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penicillin_names_end_in_cillin() {
+        let mut rng = Prng::new(0);
+        for i in 0..20 {
+            let n = compound_name(Scaffold::Penicillin, i, &mut rng);
+            assert!(n.contains("cillin"), "{n}");
+        }
+    }
+
+    #[test]
+    fn sulfa_names_start_with_sulfa() {
+        let mut rng = Prng::new(1);
+        for i in 0..20 {
+            let n = compound_name(Scaffold::Sulfonamide, i, &mut rng);
+            assert!(n.starts_with("Sulfa"), "{n}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_via_counter() {
+        let mut rng = Prng::new(2);
+        let a = compound_name(Scaffold::Statin, 1, &mut rng);
+        let b = compound_name(Scaffold::Statin, 2, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn descriptions_name_moiety_and_indication() {
+        let d = compound_description("Temocillin-1", Scaffold::Penicillin, 0);
+        assert!(d.contains("beta-lactam"));
+        assert!(d.contains("bacterial infection"));
+    }
+
+    #[test]
+    fn gene_description_names_pathway() {
+        let d = gene_description("ABC1-3", 2);
+        assert!(d.contains("lipid metabolism"));
+    }
+
+    #[test]
+    fn family_lexemes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for f in Scaffold::all() {
+            let lx = FamilyLexeme::of(f);
+            assert!(seen.insert(format!("{}{}", lx.prefix, lx.suffix)));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the synthetic BKG generator.
+
+use came_biodata::{generate_molecule, triad_fingerprint, Scaffold};
+use came_biodata::{bkg, presets};
+use came_kg::Split;
+use came_tensor::Prng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_molecules_are_valid_graphs(seed in 0u64..1000, fam_idx in 0usize..8) {
+        let fam = Scaffold::all()[fam_idx];
+        let mut rng = Prng::new(seed);
+        let m = generate_molecule(fam, &mut rng);
+        prop_assert!(m.is_connected());
+        prop_assert!(m.num_atoms() >= 5);
+        prop_assert!(m.num_bonds() + 1 >= m.num_atoms(), "too few bonds for connectivity");
+        for &(i, j, _) in &m.bonds {
+            prop_assert!(i < j, "bonds must be normalised");
+            prop_assert!((j as usize) < m.num_atoms());
+        }
+        // fingerprint is unit-normalised
+        let fp = triad_fingerprint(&m);
+        let norm: f32 = fp.iter().map(|x| x * x).sum();
+        prop_assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tiny_preset_invariants(seed in 0u64..200) {
+        let b = presets::tiny(seed);
+        let d = &b.dataset;
+        let n = d.num_entities();
+        // parallel arrays aligned
+        prop_assert_eq!(b.texts.len(), n);
+        prop_assert_eq!(b.molecules.len(), n);
+        prop_assert_eq!(b.clusters.len(), n);
+        // all triples reference valid ids and no self-loops
+        for s in [Split::Train, Split::Valid, Split::Test] {
+            for t in d.get(s) {
+                prop_assert!((t.h.0 as usize) < n);
+                prop_assert!((t.t.0 as usize) < n);
+                prop_assert!((t.r.0 as usize) < d.num_relations());
+                prop_assert!(t.h != t.t, "self-loop generated");
+            }
+        }
+        // no duplicate triples across the whole graph
+        let mut all: Vec<_> = d.train.iter().chain(&d.valid).chain(&d.test).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), before, "duplicate triples");
+        // texts are non-empty and names unique (vocab enforces, spot check)
+        prop_assert!(b.texts.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn pruning_is_sound(seed in 0u64..100, min_deg in 1usize..5) {
+        let b = presets::tiny(seed);
+        let before_entities = b.num_entities();
+        let pruned = bkg::prune_min_degree(b, min_deg);
+        let d = &pruned.dataset;
+        prop_assert!(d.num_entities() <= before_entities);
+        prop_assert_eq!(pruned.texts.len(), d.num_entities());
+        prop_assert_eq!(pruned.molecules.len(), d.num_entities());
+        // all triples remapped into the compacted id space
+        for s in [Split::Train, Split::Valid, Split::Test] {
+            for t in d.get(s) {
+                prop_assert!((t.h.0 as usize) < d.num_entities());
+                prop_assert!((t.t.0 as usize) < d.num_entities());
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # came — triple Co-attention multimodal Embedding
+//!
+//! A from-scratch Rust implementation of **CamE** (Xu et al., *Multimodal
+//! Biological Knowledge Graph Completion via Triple Co-attention Mechanism*,
+//! ICDE 2023): multimodal biological knowledge-graph completion that fuses
+//! molecular structure, textual description, and structured knowledge
+//! through a Triple Co-Attention operator.
+//!
+//! Architecture map (paper section → module):
+//!
+//! - §IV-A TCA operator (Eqns. 1–8) → [`tca::TcaModule`]
+//! - §IV-B MMF: pairwise TCA matching, exchanging fusion, low-rank bilinear
+//!   fusion (Eqns. 9–13) → [`mmf::MmfModule`], [`mmf::exchange`]
+//! - §IV-C RIC (Eqn. 14) and the convolutional scorer (Eqn. 15) →
+//!   [`ric::RicModule`], [`scorer::ConvBranch`]
+//! - §IV-D 1-N Bernoulli optimisation (Eqn. 16) → [`came_kg::train_one_to_n`]
+//! - §V-F ablation variants → [`config::Ablation`]
+//!
+//! ```no_run
+//! use came::{CamE, CamEConfig};
+//! use came_biodata::presets;
+//! use came_encoders::{FeatureConfig, ModalFeatures};
+//! use came_kg::{evaluate, EvalConfig, OneToNScorer, Split, TrainConfig};
+//! use came_tensor::ParamStore;
+//!
+//! let bkg = presets::drkg_mm_like(0);
+//! let features = ModalFeatures::build(&bkg, &FeatureConfig::default());
+//! let mut store = ParamStore::new();
+//! let model = CamE::new(&mut store, &bkg.dataset, &features, CamEConfig::default());
+//! model.fit(&mut store, &bkg.dataset, &TrainConfig::default());
+//! let metrics = evaluate(
+//!     &OneToNScorer::new(&model, &store),
+//!     &bkg.dataset,
+//!     Split::Test,
+//!     &bkg.dataset.filter_index(),
+//!     &EvalConfig::default(),
+//! );
+//! println!("MRR {:.3}", metrics.mrr());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod mmf;
+pub mod model;
+pub mod ric;
+pub mod scorer;
+pub mod tca;
+
+pub use config::{Ablation, CamEConfig};
+pub use mmf::{exchange, simple_multiplicative_fusion, MmfModule};
+pub use model::CamE;
+pub use ric::RicModule;
+pub use scorer::{map_dims, ConvBranch};
+pub use tca::TcaModule;

@@ -1,0 +1,301 @@
+//! The MultiModal TCA Fusion module (MMF, §IV-B): pairwise TCA matching
+//! (Eqn. 9), exchanging fusion (Eqns. 10–12), and low-rank bilinear fusion
+//! (Eqn. 13) producing the multimodal joint representation `h_f`.
+
+use came_tensor::{Graph, ParamId, ParamStore, Prng, Shape, Tensor, Var};
+
+use crate::tca::TcaModule;
+
+/// The EX operation (Eqns. 10–11): positions whose layer-normalised
+/// activation falls below `θ` are replaced by the other modality's value.
+/// The exchange mask is computed from forward values (a straight-through
+/// non-differentiable selection, as in channel-exchanging networks);
+/// gradients flow through whichever value was kept.
+pub fn exchange(g: &Graph, x: Var, y: Var, theta: f32) -> (Var, Var) {
+    assert_eq!(g.shape(x), g.shape(y), "EX requires equal shapes");
+    let ln_x = g.value(g.layer_norm(x, 1e-5));
+    let ln_y = g.value(g.layer_norm(y, 1e-5));
+    let mask_x = ln_x.map(|v| if v < theta { 1.0 } else { 0.0 });
+    let mask_y = ln_y.map(|v| if v < theta { 1.0 } else { 0.0 });
+    let keep_x = g.input(mask_x.map(|m| 1.0 - m));
+    let take_y = g.input(mask_x);
+    let keep_y = g.input(mask_y.map(|m| 1.0 - m));
+    let take_x = g.input(mask_y);
+    let x_new = g.add(g.mul(x, keep_x), g.mul(y, take_y));
+    let y_new = g.add(g.mul(y, keep_y), g.mul(x, take_x));
+    (x_new, y_new)
+}
+
+/// One low-rank bilinear pair term of Eqn. 13:
+/// `z_i = Pᵀ(σ(U_iᵀ x̃) ∘ σ(V_iᵀ ỹ)) + b`.
+struct BilinearPair {
+    u: ParamId,
+    v: ParamId,
+}
+
+/// The full MMF module over the set of active modalities.
+pub struct MmfModule {
+    /// One TCA per modality pair (None in the "w/o TCA" ablation).
+    tca: Vec<Option<TcaModule>>,
+    pairs: Vec<(usize, usize)>,
+    bilinear: Vec<BilinearPair>,
+    /// Shared projection P of Eqn. 13.
+    p: ParamId,
+    /// Shared bias b of Eqn. 13.
+    b: ParamId,
+    /// Exchange threshold θ; None disables EX (the "w/o EX" ablation).
+    theta: Option<f32>,
+    d_fusion: usize,
+}
+
+impl MmfModule {
+    /// Build over `n_modalities` (each already projected to `d_fusion`).
+    /// Pairs are all unordered combinations, matching Eqn. 9's three pairs
+    /// for three modalities.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        n_modalities: usize,
+        d_fusion: usize,
+        n_heads: usize,
+        lambda: f32,
+        theta: Option<f32>,
+        use_tca: bool,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(n_modalities >= 2, "MMF needs at least two modalities");
+        let mut pairs = Vec::new();
+        for i in 0..n_modalities {
+            for j in i + 1..n_modalities {
+                pairs.push((i, j));
+            }
+        }
+        let tca = pairs
+            .iter()
+            .enumerate()
+            .map(|(k, _)| {
+                use_tca.then(|| {
+                    TcaModule::new(store, &format!("{name}.tca{k}"), d_fusion, n_heads, lambda, rng)
+                })
+            })
+            .collect();
+        let bilinear = pairs
+            .iter()
+            .enumerate()
+            .map(|(k, _)| BilinearPair {
+                u: store.add_xavier(format!("{name}.bl{k}.u"), Shape::d2(d_fusion, d_fusion), rng),
+                v: store.add_xavier(format!("{name}.bl{k}.v"), Shape::d2(d_fusion, d_fusion), rng),
+            })
+            .collect();
+        let p = store.add_xavier(format!("{name}.p"), Shape::d2(d_fusion, d_fusion), rng);
+        let b = store.add_zeros(format!("{name}.b"), Shape::d1(d_fusion));
+        MmfModule {
+            tca,
+            pairs,
+            bilinear,
+            p,
+            b,
+            theta,
+            d_fusion,
+        }
+    }
+
+    /// Fuse the projected modal vectors (each `[B, d_fusion]`) into the
+    /// joint representation `h_f: [B, d_fusion]`.
+    pub fn fuse(&self, g: &Graph, store: &ParamStore, modalities: &[Var]) -> Var {
+        assert!(
+            modalities.len() >= 2,
+            "MMF fuse needs at least two modalities"
+        );
+        let p = g.param(store, self.p);
+        let bias = g.param(store, self.b);
+        let mut h_f: Option<Var> = None;
+        for (k, &(i, j)) in self.pairs.iter().enumerate() {
+            if i >= modalities.len() || j >= modalities.len() {
+                continue;
+            }
+            let (x0, y0) = (modalities[i], modalities[j]);
+            // pairwise TCA matching (Eqn. 9); identity in the ablation
+            let (xh, yh) = match &self.tca[k] {
+                Some(tca) => tca.apply(g, store, x0, y0),
+                None => (x0, y0),
+            };
+            // exchanging fusion (Eqn. 12)
+            let (xt, yt) = match self.theta {
+                Some(theta) => exchange(g, xh, yh, theta),
+                None => (xh, yh),
+            };
+            // low-rank bilinear term (Eqn. 13)
+            let bl = &self.bilinear[k];
+            let left = g.sigmoid(g.matmul(xt, g.param(store, bl.u)));
+            let right = g.sigmoid(g.matmul(yt, g.param(store, bl.v)));
+            let z = g.add(g.matmul(g.mul(left, right), p), bias);
+            // Ω: Hadamard product over the pair terms
+            h_f = Some(match h_f {
+                Some(acc) => g.mul(acc, z),
+                None => z,
+            });
+        }
+        h_f.expect("at least one modality pair")
+    }
+
+    /// Fusion width.
+    pub fn d_fusion(&self) -> usize {
+        self.d_fusion
+    }
+
+    /// Number of modality pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// The "w/o MMF" ablation: simple elementwise multiplication of the
+/// projected modalities (the paper replaces MMF "by simple multiplication").
+pub fn simple_multiplicative_fusion(g: &Graph, modalities: &[Var]) -> Var {
+    assert!(!modalities.is_empty());
+    let mut acc = modalities[0];
+    for &m in &modalities[1..] {
+        acc = g.mul(acc, m);
+    }
+    acc
+}
+
+/// Tensor row-gather helper for frozen feature tables: builds the `[B, d]`
+/// input of a batch directly on the CPU (no gradient flows into frozen
+/// features, so they never need to live on the tape).
+pub fn frozen_rows(table: &Tensor, ids: &[u32]) -> Tensor {
+    let d = table.shape().at(1);
+    let n = table.shape().at(0);
+    let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+    for (row, &id) in ids.iter().enumerate() {
+        assert!((id as usize) < n, "frozen feature id {id} out of {n}");
+        out.data_mut()[row * d..(row + 1) * d]
+            .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_swaps_low_attention_positions() {
+        let g = Graph::new();
+        // x's first element is far below its lane mean -> exchanged
+        let x = g.input(Tensor::from_vec(
+            Shape::d2(1, 4),
+            vec![-10.0, 1.0, 1.2, 0.8],
+        ));
+        let y = g.input(Tensor::from_vec(Shape::d2(1, 4), vec![5.0, 6.0, 7.0, 8.0]));
+        let (xn, _) = exchange(&g, x, y, -0.5);
+        let xv = g.value(xn);
+        assert_eq!(xv.data()[0], 5.0, "low-attention slot must take y's value");
+        assert_eq!(&xv.data()[1..], &[1.0, 1.2, 0.8], "kept slots unchanged");
+    }
+
+    #[test]
+    fn exchange_with_very_low_theta_is_identity() {
+        let g = Graph::new();
+        let xv = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let yv = Tensor::from_vec(Shape::d2(2, 3), vec![9.0; 6]);
+        let x = g.input(xv.clone());
+        let y = g.input(yv.clone());
+        let (xn, yn) = exchange(&g, x, y, -100.0);
+        assert_eq!(g.value(xn).data(), xv.data());
+        assert_eq!(g.value(yn).data(), yv.data());
+    }
+
+    #[test]
+    fn exchange_preserves_value_multiset_per_position() {
+        // at every position the pair (x', y') is a permutation of (x, y) or
+        // a double-take; values never come from elsewhere
+        let mut rng = Prng::new(0);
+        let g = Graph::new();
+        let xv = Tensor::randn(Shape::d2(3, 6), 1.0, &mut rng);
+        let yv = Tensor::randn(Shape::d2(3, 6), 1.0, &mut rng);
+        let x = g.input(xv.clone());
+        let y = g.input(yv.clone());
+        let (xn, yn) = exchange(&g, x, y, 0.0);
+        let (xn, yn) = (g.value(xn), g.value(yn));
+        for i in 0..xv.numel() {
+            let from_pair = |v: f32| v == xv.data()[i] || v == yv.data()[i];
+            assert!(from_pair(xn.data()[i]));
+            assert!(from_pair(yn.data()[i]));
+        }
+    }
+
+    fn mmf(theta: Option<f32>, use_tca: bool) -> (ParamStore, MmfModule) {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let m = MmfModule::new(&mut store, "mmf", 3, 8, 2, 5.0, theta, use_tca, &mut rng);
+        (store, m)
+    }
+
+    #[test]
+    fn fuse_produces_fusion_width() {
+        let (store, m) = mmf(Some(-0.5), true);
+        assert_eq!(m.n_pairs(), 3);
+        let mut rng = Prng::new(2);
+        let g = Graph::new();
+        let mods: Vec<Var> = (0..3)
+            .map(|_| g.input(Tensor::randn(Shape::d2(4, 8), 1.0, &mut rng)))
+            .collect();
+        let h = m.fuse(&g, &store, &mods);
+        assert_eq!(g.shape(h), Shape::d2(4, 8));
+    }
+
+    #[test]
+    fn ablations_change_the_output() {
+        let mut rng = Prng::new(3);
+        let mods_v: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng))
+            .collect();
+        let run = |theta: Option<f32>, use_tca: bool| {
+            let (store, m) = mmf(theta, use_tca);
+            let g = Graph::new();
+            let mods: Vec<Var> = mods_v.iter().map(|t| g.input(t.clone())).collect();
+            g.value(m.fuse(&g, &store, &mods))
+        };
+        let full = run(Some(-0.5), true);
+        let no_ex = run(None, true);
+        let no_tca = run(Some(-0.5), false);
+        assert_ne!(full.data(), no_ex.data());
+        assert_ne!(full.data(), no_tca.data());
+    }
+
+    #[test]
+    fn gradients_reach_modal_inputs() {
+        let (mut store, m) = mmf(Some(-0.5), true);
+        let mut rng = Prng::new(4);
+        let g = Graph::new();
+        let mods: Vec<Var> = (0..3)
+            .map(|_| g.input(Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng)))
+            .collect();
+        let h = m.fuse(&g, &store, &mods);
+        let loss = g.sum_all(g.square(h));
+        g.backward(loss, &mut store);
+        for (i, &mv) in mods.iter().enumerate() {
+            assert!(g.grad(mv).norm2() > 0.0, "modality {i} got no gradient");
+        }
+    }
+
+    #[test]
+    fn simple_fusion_is_plain_product() {
+        let g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[2.0, 3.0]).reshape(Shape::d2(1, 2)));
+        let b = g.input(Tensor::from_slice(&[4.0, 5.0]).reshape(Shape::d2(1, 2)));
+        let c = g.input(Tensor::from_slice(&[0.5, 2.0]).reshape(Shape::d2(1, 2)));
+        let h = simple_multiplicative_fusion(&g, &[a, b, c]);
+        assert_eq!(g.value(h).data(), &[4.0, 30.0]);
+    }
+
+    #[test]
+    fn frozen_rows_gathers() {
+        let t = Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = frozen_rows(&t, &[2, 0]);
+        assert_eq!(r.data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+}

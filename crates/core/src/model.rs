@@ -1,0 +1,410 @@
+//! The complete CamE model (Fig. 2): frozen modal features → MMF joint
+//! representation + RIC interactive representations → multi-channel
+//! convolutional scoring over all candidate tails → 1-N Bernoulli training
+//! (Eqn. 16).
+
+use std::cell::RefCell;
+
+use came_encoders::ModalFeatures;
+use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
+use came_tensor::{
+    EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var,
+};
+
+use crate::config::CamEConfig;
+use crate::mmf::{frozen_rows, simple_multiplicative_fusion, MmfModule};
+use crate::ric::RicModule;
+use crate::scorer::ConvBranch;
+
+/// Modality indices used throughout the model.
+const MOD_MOLECULE: usize = 0;
+const MOD_TEXT: usize = 1;
+const MOD_STRUCT: usize = 2;
+
+/// The CamE model. Construct with [`CamE::new`], train with
+/// [`came_kg::train_one_to_n`] (or the [`CamE::fit`] convenience), evaluate
+/// through [`came_kg::OneToNScorer`].
+pub struct CamE {
+    /// Configuration (including ablation switches).
+    pub cfg: CamEConfig,
+    n_entities: usize,
+    // frozen modal tables
+    feat_m: Tensor,
+    feat_t: Tensor,
+    feat_s: Tensor,
+    // learnable embeddings
+    ent: EmbeddingTable,
+    rel: EmbeddingTable,
+    // Eqn. 9 projections into the fusion space
+    w_mol: Linear,
+    w_text: Linear,
+    w_struct: Linear,
+    mmf: Option<MmfModule>,
+    // per-modality projections into the relation space for RIC
+    ric_proj: Vec<Linear>,
+    ric: RicModule,
+    // Eqn. 15 projections W_t, W_m of interactive representations
+    w_vt: Linear,
+    w_vm: Linear,
+    branch1: ConvBranch,
+    branch2: ConvBranch,
+    ent_bias: ParamId,
+    dropout_rng: RefCell<Prng>,
+}
+
+impl CamE {
+    /// Build a CamE over a dataset and its frozen modal features.
+    ///
+    /// # Panics
+    /// Panics if the feature tables are misaligned with the dataset.
+    pub fn new(
+        store: &mut ParamStore,
+        dataset: &KgDataset,
+        features: &ModalFeatures,
+        cfg: CamEConfig,
+    ) -> Self {
+        let n = dataset.num_entities();
+        features.validate(n);
+        let mut cfg = cfg;
+        // a dataset without any molecule cannot use the molecular modality
+        if !features.has_molecule.iter().any(|&m| m) {
+            cfg.use_molecule = false;
+        }
+        let mut rng = Prng::new(cfg.seed);
+        let (d_m, d_t, d_s) = features.dims();
+        let (de, df) = (cfg.d_embed, cfg.d_fusion);
+
+        // The paper pretrains structured embeddings with CompGCN (§III) and
+        // only drops that initialisation in the Fig. 8(a) fairness setting;
+        // mirror it: warm-start the entity table from the structural
+        // features (overlapping columns; extra columns keep Xavier init).
+        let ent = EmbeddingTable::new(store, "came.ent", n, de, &mut rng);
+        if cfg.use_pretrained_struct {
+            let src = &features.structural;
+            let cols = d_s.min(de);
+            let table = store.value_mut(ent.table);
+            for row in 0..n {
+                for c in 0..cols {
+                    table.data_mut()[row * de + c] = src.data()[row * d_s + c];
+                }
+            }
+        }
+        let rel = EmbeddingTable::new(store, "came.rel", dataset.num_relations_aug(), de, &mut rng);
+        let w_mol = Linear::no_bias(store, "came.w1", d_m, df, &mut rng);
+        let w_text = Linear::no_bias(store, "came.w2", d_t, df, &mut rng);
+        // the structural modality is either the frozen CompGCN features or
+        // the learnable entity embedding (Fig. 8(a) fairness variant)
+        let d_struct_in = if cfg.use_pretrained_struct { d_s } else { de };
+        let w_struct = Linear::no_bias(store, "came.w3", d_struct_in, df, &mut rng);
+
+        let n_active = Self::active_count(&cfg);
+        let mmf = (cfg.use_mmf && n_active >= 2).then(|| {
+            MmfModule::new(
+                store,
+                "came.mmf",
+                n_active,
+                df,
+                cfg.n_heads,
+                cfg.lambda,
+                cfg.use_exchange.then_some(cfg.theta),
+                cfg.use_tca,
+                &mut rng,
+            )
+        });
+
+        let ric_proj = vec![
+            Linear::no_bias(store, "came.ric_proj_m", d_m, de, &mut rng),
+            Linear::no_bias(store, "came.ric_proj_t", d_t, de, &mut rng),
+            Linear::no_bias(store, "came.ric_proj_s", d_struct_in, de, &mut rng),
+        ];
+        let ric = RicModule::new(
+            store,
+            "came.ric",
+            3,
+            de,
+            cfg.n_heads,
+            cfg.lambda,
+            cfg.use_ric && cfg.use_tca,
+            &mut rng,
+        );
+
+        let w_vt = Linear::no_bias(store, "came.w_vt", 2 * de, df, &mut rng);
+        let w_vm = Linear::no_bias(store, "came.w_vm", 2 * de, df, &mut rng);
+        let b1_channels = 1
+            + usize::from(cfg.use_text)
+            + usize::from(cfg.use_molecule);
+        let branch1 = ConvBranch::new(
+            store, "came.b1", b1_channels, df, cfg.n_filters, cfg.kernel, de, &mut rng,
+        );
+        let branch2 = ConvBranch::new(
+            store, "came.b2", 2, 2 * de, cfg.n_filters, cfg.kernel, de, &mut rng,
+        );
+        let ent_bias = store.add_zeros("came.ent_bias", Shape::d1(n));
+        let dropout_rng = RefCell::new(Prng::new(cfg.seed ^ 0xD409));
+
+        CamE {
+            n_entities: n,
+            feat_m: features.molecular.clone(),
+            feat_t: features.textual.clone(),
+            feat_s: features.structural.clone(),
+            ent,
+            rel,
+            w_mol,
+            w_text,
+            w_struct,
+            mmf,
+            ric_proj,
+            ric,
+            w_vt,
+            w_vm,
+            branch1,
+            branch2,
+            ent_bias,
+            dropout_rng,
+            cfg,
+        }
+    }
+
+    fn active_count(cfg: &CamEConfig) -> usize {
+        1 + usize::from(cfg.use_text) + usize::from(cfg.use_molecule)
+    }
+
+    /// Number of entities scored per query.
+    pub fn num_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Convenience trainer: 1-N BCE via [`came_kg::train_one_to_n`].
+    pub fn fit(
+        &self,
+        store: &mut ParamStore,
+        dataset: &KgDataset,
+        train_cfg: &TrainConfig,
+    ) -> Vec<came_kg::EpochStats> {
+        came_kg::train_one_to_n(self, store, dataset, train_cfg, |_, _, _| {})
+    }
+
+    /// Top-`k` tail predictions for `(h, r)`, optionally excluding known
+    /// facts (used by the Fig. 7 case study).
+    pub fn predict_topk(
+        &self,
+        store: &ParamStore,
+        h: EntityId,
+        r: RelationId,
+        k: usize,
+        exclude: Option<&FilterIndex>,
+    ) -> Vec<(EntityId, f32)> {
+        let g = Graph::inference();
+        let scores = self.forward(&g, store, &[h.0], &[r.0]);
+        let row = g.value(scores);
+        let mut ranked: Vec<(EntityId, f32)> = row
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| {
+                exclude.is_none_or(|f| !f.contains(h, r, EntityId(e as u32)))
+            })
+            .map(|(e, &s)| (EntityId(e as u32), s))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+impl OneToNModel for CamE {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        let cfg = &self.cfg;
+        let mut rng = self.dropout_rng.borrow_mut();
+        let r_emb = self.rel.lookup(g, store, rels); // [B, d_e]
+        let e_h = self.ent.lookup(g, store, heads); // [B, d_e]
+
+        // raw modality vectors for this batch
+        let m_raw = cfg
+            .use_molecule
+            .then(|| g.input(frozen_rows(&self.feat_m, heads)));
+        let t_raw = cfg
+            .use_text
+            .then(|| g.input(frozen_rows(&self.feat_t, heads)));
+        let s_raw = if cfg.use_pretrained_struct {
+            g.input(frozen_rows(&self.feat_s, heads))
+        } else {
+            e_h
+        };
+
+        // ---- MMF: multimodal joint representation h_f ------------------
+        let mut fused_inputs = Vec::with_capacity(3);
+        if let Some(m) = m_raw {
+            fused_inputs.push(self.w_mol.apply(g, store, m));
+        }
+        if let Some(t) = t_raw {
+            fused_inputs.push(self.w_text.apply(g, store, t));
+        }
+        fused_inputs.push(self.w_struct.apply(g, store, s_raw));
+        let h_f = match &self.mmf {
+            Some(mmf) if fused_inputs.len() >= 2 => mmf.fuse(g, store, &fused_inputs),
+            _ => simple_multiplicative_fusion(g, &fused_inputs),
+        };
+        let h_f = g.dropout(h_f, cfg.dropout, &mut rng);
+
+        // ---- RIC: interactive representations v_ω ----------------------
+        let interact = |idx: usize, raw: Var| -> Var {
+            let q = self.ric_proj[idx].apply(g, store, raw);
+            self.ric.interact(g, store, idx, q, r_emb)
+        };
+        let v_m = m_raw.map(|m| interact(MOD_MOLECULE, m));
+        let v_t = t_raw.map(|t| interact(MOD_TEXT, t));
+        let v_s = interact(MOD_STRUCT, s_raw);
+        let v_0 = g.concat(&[e_h, r_emb], 1);
+
+        // ---- Eqn. 15: two convolution branches --------------------------
+        let mut b1_channels = vec![h_f];
+        if let Some(v_t) = v_t {
+            b1_channels.push(self.w_vt.apply(g, store, v_t));
+        }
+        if let Some(v_m) = v_m {
+            b1_channels.push(self.w_vm.apply(g, store, v_m));
+        }
+        let u1 = self.branch1.apply(g, store, &b1_channels);
+        let u2 = self.branch2.apply(g, store, &[v_s, v_0]);
+        let u1 = g.dropout(u1, cfg.dropout, &mut rng);
+        let u2 = g.dropout(u2, cfg.dropout, &mut rng);
+
+        // scores over all candidate tails
+        let hidden = g.add(u1, u2); // [B, d_e]
+        let all_ent = g.transpose(self.ent.full(g, store), 0, 1); // [d_e, N]
+        let scores = g.matmul(hidden, all_ent);
+        g.add(scores, g.param(store, self.ent_bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use came_biodata::presets;
+    use came_encoders::FeatureConfig;
+    use came_kg::{evaluate, EvalConfig, OneToNScorer, Split};
+
+    fn small_features(bkg: &came_biodata::MultimodalBkg) -> ModalFeatures {
+        ModalFeatures::build(
+            bkg,
+            &FeatureConfig {
+                d_molecule: 16,
+                d_text: 24,
+                d_struct: 16,
+                gin_layers: 2,
+                compgcn_epochs: 2,
+                seed: 3,
+            },
+        )
+    }
+
+    fn small_cfg() -> CamEConfig {
+        CamEConfig {
+            d_embed: 32,
+            d_fusion: 32,
+            n_filters: 4,
+            kernel: 3,
+            n_heads: 2,
+            dropout: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let bkg = presets::tiny(0);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, &bkg.dataset, &f, small_cfg());
+        let g = Graph::inference();
+        let scores = model.forward(&g, &store, &[0, 1, 2], &[0, 1, 0]);
+        let v = g.value(scores);
+        assert_eq!(v.shape(), Shape::d2(3, bkg.dataset.num_entities()));
+        assert!(!v.has_non_finite());
+    }
+
+    #[test]
+    fn all_ablations_build_and_run() {
+        let bkg = presets::tiny(1);
+        let f = small_features(&bkg);
+        for ab in Ablation::all() {
+            let mut store = ParamStore::new();
+            let cfg = ab.apply(small_cfg());
+            let model = CamE::new(&mut store, &bkg.dataset, &f, cfg);
+            let g = Graph::inference();
+            let scores = model.forward(&g, &store, &[0, 5], &[0, 2]);
+            assert_eq!(
+                g.shape(scores),
+                Shape::d2(2, bkg.dataset.num_entities()),
+                "{}",
+                ab.label()
+            );
+        }
+    }
+
+    #[test]
+    fn molecule_free_dataset_disables_molecular_modality() {
+        let bkg = presets::omaha_mm_like(0);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, &bkg.dataset, &f, small_cfg());
+        assert!(!model.cfg.use_molecule);
+        let g = Graph::inference();
+        let s = model.forward(&g, &store, &[0], &[0]);
+        assert!(!g.value(s).has_non_finite());
+    }
+
+    #[test]
+    fn short_training_learns_above_chance() {
+        let bkg = presets::tiny(2);
+        let d = &bkg.dataset;
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, d, &f, small_cfg());
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 64,
+            lr: 3e-3,
+            ..Default::default()
+        };
+        let hist = model.fit(&mut store, d, &cfg);
+        assert!(hist.last().unwrap().loss < hist[0].loss);
+        let filter = d.filter_index();
+        let m = evaluate(
+            &OneToNScorer::new(&model, &store),
+            d,
+            Split::Train,
+            &filter,
+            &EvalConfig {
+                max_triples: Some(150),
+                ..Default::default()
+            },
+        );
+        // random MRR on ~110 entities is ~0.05
+        assert!(m.mrr() > 0.2, "train MRR {} barely above chance", m.mrr());
+    }
+
+    #[test]
+    fn predict_topk_excludes_known_and_orders_scores() {
+        let bkg = presets::tiny(3);
+        let d = &bkg.dataset;
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, d, &f, small_cfg());
+        let filter = d.filter_index();
+        let t = d.train[0];
+        let top = model.predict_topk(&store, t.h, t.r, 5, Some(&filter));
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted");
+        }
+        for (e, _) in &top {
+            assert!(!filter.contains(t.h, t.r, *e), "known fact not excluded");
+        }
+        // unfiltered top-k may include the known tail
+        let top_raw = model.predict_topk(&store, t.h, t.r, d.num_entities(), None);
+        assert_eq!(top_raw.len(), d.num_entities());
+    }
+}

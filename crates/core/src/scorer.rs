@@ -1,0 +1,169 @@
+//! The convolutional scoring head (§IV-C, Eqn. 15).
+//!
+//! Modality-joint and interactive representations are reshaped into 2-D maps,
+//! stacked as channels of a multi-view feature map, convolved, and projected
+//! to entity space; scores over all candidate tails come from an inner
+//! product with the entity table plus a per-entity bias (ConvE convention).
+//!
+//! Faithfulness note: Eqn. 15's first term ends in `W₁ h_s`, which is
+//! constant in the candidate tail and therefore cannot influence the ranking
+//! the task is scored on; we read it as a typo for the tail table (both
+//! branches project to entity space and score against candidate tails) and
+//! document the substitution in DESIGN.md.
+
+use came_tensor::{Conv2dLayer, Graph, Linear, ParamStore, Prng, Shape, Var};
+
+/// Factor `d` into the most square `(h, w)` with `h ≤ w` and `h·w = d`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn map_dims(d: usize) -> (usize, usize) {
+    assert!(d > 0, "cannot reshape zero-width vectors");
+    let mut h = (d as f64).sqrt() as usize;
+    while h > 1 && d % h != 0 {
+        h -= 1;
+    }
+    (h, d / h)
+}
+
+/// One convolution branch: stack `channels` vectors as a `[B, C, H, W]` map,
+/// convolve, flatten, project to `d_out`.
+pub struct ConvBranch {
+    conv: Conv2dLayer,
+    fc: Linear,
+    h: usize,
+    w: usize,
+    n_channels: usize,
+    d_in: usize,
+}
+
+impl ConvBranch {
+    /// A branch for `n_channels` channels of `d_in`-wide vectors, `kernel`
+    /// sized filters, projecting to `d_out`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        n_channels: usize,
+        d_in: usize,
+        n_filters: usize,
+        kernel: usize,
+        d_out: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let (h, w) = map_dims(d_in);
+        assert!(
+            kernel <= h && kernel <= w,
+            "kernel {kernel} larger than {h}x{w} map of width {d_in}"
+        );
+        let (oh, ow) = (h - kernel + 1, w - kernel + 1);
+        let conv = Conv2dLayer::new(store, &format!("{name}.conv"), n_channels, n_filters, kernel, kernel, rng);
+        let fc = Linear::new(store, &format!("{name}.fc"), n_filters * oh * ow, d_out, rng);
+        ConvBranch {
+            conv,
+            fc,
+            h,
+            w,
+            n_channels,
+            d_in,
+        }
+    }
+
+    /// Apply to `channels` (each `[B, d_in]`) producing `[B, d_out]`.
+    pub fn apply(&self, g: &Graph, store: &ParamStore, channels: &[Var]) -> Var {
+        assert_eq!(
+            channels.len(),
+            self.n_channels,
+            "branch built for {} channels, got {}",
+            self.n_channels,
+            channels.len()
+        );
+        let b = g.shape(channels[0]).at(0);
+        let maps: Vec<Var> = channels
+            .iter()
+            .map(|&c| {
+                assert_eq!(g.shape(c), Shape::d2(b, self.d_in), "channel width");
+                g.reshape(c, Shape::d4(b, 1, self.h, self.w))
+            })
+            .collect();
+        let stacked = if maps.len() == 1 {
+            maps[0]
+        } else {
+            g.concat(&maps, 1)
+        };
+        let conved = g.relu(self.conv.apply(g, store, stacked));
+        let flat_len = {
+            let s = g.shape(conved);
+            s.at(1) * s.at(2) * s.at(3)
+        };
+        let flat = g.reshape(conved, Shape::d2(b, flat_len));
+        g.relu(self.fc.apply(g, store, flat))
+    }
+
+    /// Channel count this branch expects.
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use came_tensor::Tensor;
+
+    #[test]
+    fn map_dims_factors_squarely() {
+        assert_eq!(map_dims(64), (8, 8));
+        assert_eq!(map_dims(200), (10, 20)); // the paper's d_f = 200 map
+        assert_eq!(map_dims(48), (6, 8));
+        assert_eq!(map_dims(7), (1, 7));
+        assert_eq!(map_dims(128), (8, 16));
+    }
+
+    #[test]
+    fn branch_output_shape() {
+        let mut rng = Prng::new(0);
+        let mut store = ParamStore::new();
+        let br = ConvBranch::new(&mut store, "b", 3, 64, 8, 3, 32, &mut rng);
+        let g = Graph::new();
+        let chans: Vec<Var> = (0..3)
+            .map(|_| g.input(Tensor::randn(Shape::d2(5, 64), 1.0, &mut rng)))
+            .collect();
+        let out = br.apply(&g, &store, &chans);
+        assert_eq!(g.shape(out), Shape::d2(5, 32));
+    }
+
+    #[test]
+    fn single_channel_branch_works() {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let br = ConvBranch::new(&mut store, "b", 1, 16, 4, 2, 8, &mut rng);
+        let g = Graph::new();
+        let c = g.input(Tensor::randn(Shape::d2(2, 16), 1.0, &mut rng));
+        let out = br.apply(&g, &store, &[c]);
+        assert_eq!(g.shape(out), Shape::d2(2, 8));
+    }
+
+    #[test]
+    fn gradients_flow_through_branch() {
+        let mut rng = Prng::new(2);
+        let mut store = ParamStore::new();
+        let br = ConvBranch::new(&mut store, "b", 2, 36, 4, 3, 16, &mut rng);
+        let g = Graph::new();
+        let c0 = g.input(Tensor::randn(Shape::d2(3, 36), 1.0, &mut rng));
+        let c1 = g.input(Tensor::randn(Shape::d2(3, 36), 1.0, &mut rng));
+        let out = br.apply(&g, &store, &[c0, c1]);
+        let loss = g.sum_all(g.square(out));
+        g.backward(loss, &mut store);
+        assert!(g.grad(c0).norm2() > 0.0);
+        assert!(g.grad(c1).norm2() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn oversized_kernel_rejected() {
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let _ = ConvBranch::new(&mut store, "b", 1, 6, 2, 4, 4, &mut rng);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Triple Co-Attention (TCA) operator — the paper's core contribution
+//! (§IV-A, Eqns. 1–8).
+//!
+//! TCA takes two modality vectors `Q, D ∈ R^d` and learns three affinity
+//! matrices per head:
+//!
+//! - a *co-affinity* matrix `M_co = σ(Q W_co^q) ⊗ σ(D W_co^d)` (Eqn. 1)
+//!   whose row/column softmaxes attend each input over the other (Eqns. 2–3),
+//! - two *intra-affinity* matrices that share the `W_co` projections
+//!   ("to restrict the representation to the same subspace", Eqn. 4) and
+//!   produce self-attention terms (Eqn. 5).
+//!
+//! Co- and intra-attention outputs are summed (Eqn. 6); multiple heads are
+//! concatenated and projected back (Eqn. 7), each head scaled by its own
+//! temperature `τ_i = τ∘ · (λ · i)` with a *learnable* `τ∘` (Eqn. 8).
+//!
+//! Note on dimensions: the paper writes `Q ∈ R^{d1}, D ∈ R^{d2}` but sums
+//! `Q_co ∈ R^{d2}` with `Q_in ∈ R^{d1}` (Eqn. 6), which only type-checks when
+//! `d1 = d2`; every use in the paper first projects both inputs to a common
+//! width (Eqn. 9), so this implementation requires equal input widths.
+
+use came_tensor::{Graph, ParamId, ParamStore, Prng, Shape, Var};
+
+/// Parameters of one TCA head.
+struct TcaHead {
+    w_co_q: ParamId,
+    w_co_d: ParamId,
+    w_in_q: ParamId,
+    w_in_d: ParamId,
+}
+
+/// Multi-head TCA operator over `d`-dimensional input pairs.
+pub struct TcaModule {
+    heads: Vec<TcaHead>,
+    w_head_q: ParamId,
+    w_head_d: ParamId,
+    /// Learnable base temperature τ∘ (Eqn. 8).
+    tau0: ParamId,
+    /// Fixed head-interval hyper-parameter λ (Eqn. 8).
+    lambda: f32,
+    dim: usize,
+}
+
+impl TcaModule {
+    /// A TCA module with `n_heads` heads over `dim`-wide inputs.
+    ///
+    /// # Panics
+    /// Panics if `n_heads == 0`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        n_heads: usize,
+        lambda: f32,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(n_heads > 0, "TCA needs at least one head");
+        let heads = (0..n_heads)
+            .map(|h| TcaHead {
+                w_co_q: store.add_xavier(format!("{name}.h{h}.w_co_q"), Shape::d2(dim, dim), rng),
+                w_co_d: store.add_xavier(format!("{name}.h{h}.w_co_d"), Shape::d2(dim, dim), rng),
+                w_in_q: store.add_xavier(format!("{name}.h{h}.w_in_q"), Shape::d2(dim, dim), rng),
+                w_in_d: store.add_xavier(format!("{name}.h{h}.w_in_d"), Shape::d2(dim, dim), rng),
+            })
+            .collect();
+        let w_head_q = store.add_xavier(format!("{name}.w_head_q"), Shape::d2(n_heads * dim, dim), rng);
+        let w_head_d = store.add_xavier(format!("{name}.w_head_d"), Shape::d2(n_heads * dim, dim), rng);
+        let tau0 = store.add(format!("{name}.tau0"), came_tensor::Tensor::scalar(1.0));
+        TcaModule {
+            heads,
+            w_head_q,
+            w_head_d,
+            tau0,
+            lambda,
+            dim,
+        }
+    }
+
+    /// Number of heads.
+    pub fn n_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Input/output width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Apply the operator: `(Q_tca, D_tca) = TCA(Q, D)` with
+    /// `Q, D: [B, d]` → outputs `[B, d]`.
+    pub fn apply(&self, g: &Graph, store: &ParamStore, q: Var, d: Var) -> (Var, Var) {
+        let b = g.shape(q).at(0);
+        let dim = self.dim;
+        assert_eq!(g.shape(q), Shape::d2(b, dim), "TCA Q shape");
+        assert_eq!(g.shape(d), Shape::d2(b, dim), "TCA D shape");
+
+        let tau0 = g.param(store, self.tau0);
+        // keep the learnable temperature away from zero for stability
+        let tau0 = g.add(g.square(tau0), g.constant(1e-2));
+
+        let mut q_heads = Vec::with_capacity(self.heads.len());
+        let mut d_heads = Vec::with_capacity(self.heads.len());
+        for (i, head) in self.heads.iter().enumerate() {
+            // Eqn. 8: τ_i = τ∘ · (λ · i); heads are 1-indexed in the paper
+            let tau_i = g.scale(tau0, self.lambda * (i + 1) as f32);
+
+            // shared projections (Eqn. 1 / Eqn. 4)
+            let q_co = g.sigmoid(g.matmul(q, g.param(store, head.w_co_q))); // [B,d]
+            let d_co = g.sigmoid(g.matmul(d, g.param(store, head.w_co_d))); // [B,d]
+            let q_in = g.sigmoid(g.matmul(q, g.param(store, head.w_in_q)));
+            let d_in = g.sigmoid(g.matmul(d, g.param(store, head.w_in_d)));
+
+            // co-affinity (Eqn. 1): outer product per example -> [B,d,d]
+            let m_co = outer(g, q_co, d_co, b, dim);
+            let m_co = g.div(m_co, tau_i);
+            let m_co_q = g.softmax(m_co, 1); // column-normalised (dim=0 in paper)
+            let m_co_d = g.softmax(m_co, 2); // row-normalised (dim=1 in paper)
+
+            // Eqn. 3: Q_co = Qᵀ·M_co^q -> [B,d]; D_co = M_co^d·D -> [B,d]
+            let q_row = g.reshape(q, Shape::d3(b, 1, dim));
+            let q_co_out = g.reshape(g.matmul(q_row, m_co_q), Shape::d2(b, dim));
+            let d_col = g.reshape(d, Shape::d3(b, dim, 1));
+            let d_co_out = g.reshape(g.matmul(m_co_d, d_col), Shape::d2(b, dim));
+
+            // intra-affinity (Eqns. 4–5), sharing W_co with the co path
+            let m_in_q = g.softmax(g.div(outer(g, q_co, q_in, b, dim), tau_i), 1);
+            let q_in_out = g.reshape(g.matmul(q_row, m_in_q), Shape::d2(b, dim));
+            let m_in_d = g.softmax(g.div(outer(g, d_co, d_in, b, dim), tau_i), 1);
+            let d_row = g.reshape(d, Shape::d3(b, 1, dim));
+            let d_in_out = g.reshape(g.matmul(d_row, m_in_d), Shape::d2(b, dim));
+
+            // Eqn. 6
+            q_heads.push(g.add(q_co_out, q_in_out));
+            d_heads.push(g.add(d_co_out, d_in_out));
+        }
+        // Eqn. 7: concat heads, project back to d
+        let q_cat = g.concat(&q_heads, 1);
+        let d_cat = g.concat(&d_heads, 1);
+        let q_out = g.matmul(q_cat, g.param(store, self.w_head_q));
+        let d_out = g.matmul(d_cat, g.param(store, self.w_head_d));
+        (q_out, d_out)
+    }
+}
+
+/// Batched outer product `[B,d] ⊗ [B,d] -> [B,d,d]`.
+fn outer(g: &Graph, a: Var, b_vec: Var, b: usize, d: usize) -> Var {
+    let col = g.reshape(a, Shape::d3(b, d, 1));
+    let row = g.reshape(b_vec, Shape::d3(b, 1, d));
+    g.mul(col, row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use came_tensor::{Adam, Tensor};
+
+    fn setup(dim: usize, heads: usize) -> (ParamStore, TcaModule) {
+        let mut rng = Prng::new(0);
+        let mut store = ParamStore::new();
+        let tca = TcaModule::new(&mut store, "tca", dim, heads, 5.0, &mut rng);
+        (store, tca)
+    }
+
+    #[test]
+    fn output_shapes_match_inputs() {
+        let (store, tca) = setup(8, 2);
+        let mut rng = Prng::new(1);
+        let g = Graph::new();
+        let q = g.input(Tensor::randn(Shape::d2(3, 8), 1.0, &mut rng));
+        let d = g.input(Tensor::randn(Shape::d2(3, 8), 1.0, &mut rng));
+        let (qo, do_) = tca.apply(&g, &store, q, d);
+        assert_eq!(g.shape(qo), Shape::d2(3, 8));
+        assert_eq!(g.shape(do_), Shape::d2(3, 8));
+    }
+
+    #[test]
+    fn outputs_depend_on_both_inputs() {
+        let (store, tca) = setup(8, 1);
+        let mut rng = Prng::new(2);
+        let qv = Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng);
+        let dv = Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng);
+        let dv2 = Tensor::randn(Shape::d2(2, 8), 1.0, &mut rng);
+        let run = |d_in: &Tensor| {
+            let g = Graph::new();
+            let q = g.input(qv.clone());
+            let d = g.input(d_in.clone());
+            let (qo, _) = tca.apply(&g, &store, q, d);
+            g.value(qo)
+        };
+        // Q's output must change when D changes (that is what co-attention is)
+        assert_ne!(run(&dv).data(), run(&dv2).data());
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (mut store, tca) = setup(6, 2);
+        let mut rng = Prng::new(3);
+        let g = Graph::new();
+        let q = g.input(Tensor::randn(Shape::d2(4, 6), 1.0, &mut rng));
+        let d = g.input(Tensor::randn(Shape::d2(4, 6), 1.0, &mut rng));
+        let (qo, do_) = tca.apply(&g, &store, q, d);
+        let loss = g.add(g.sum_all(g.square(qo)), g.sum_all(g.square(do_)));
+        g.backward(loss, &mut store);
+        let ids: Vec<ParamId> = store.ids().collect();
+        for pid in ids {
+            let gnorm = store.grad(pid).norm2();
+            assert!(
+                gnorm > 0.0,
+                "parameter {} received no gradient",
+                store.name(pid)
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_is_learnable() {
+        let (mut store, tca) = setup(6, 1);
+        let mut rng = Prng::new(4);
+        let tau_before = {
+            let g = Graph::new();
+            let q = g.input(Tensor::randn(Shape::d2(4, 6), 1.0, &mut rng));
+            let d = g.input(Tensor::randn(Shape::d2(4, 6), 1.0, &mut rng));
+            let (qo, _) = tca.apply(&g, &store, q, d);
+            let loss = g.sum_all(g.square(qo));
+            g.backward(loss, &mut store);
+            store.value(tca.tau0).item()
+        };
+        store.adam_step(&Adam::with_lr(0.05));
+        let tau_after = store.value(tca.tau0).item();
+        assert_ne!(tau_before, tau_after, "τ∘ did not update");
+    }
+
+    #[test]
+    fn more_heads_more_parameters() {
+        let (s1, _) = setup(8, 1);
+        let (s3, _) = setup(8, 3);
+        assert!(s3.num_scalars() > s1.num_scalars());
+    }
+
+    #[test]
+    #[should_panic(expected = "TCA Q shape")]
+    fn wrong_width_panics() {
+        let (store, tca) = setup(8, 1);
+        let g = Graph::new();
+        let q = g.input(Tensor::zeros(Shape::d2(2, 4)));
+        let d = g.input(Tensor::zeros(Shape::d2(2, 8)));
+        let _ = tca.apply(&g, &store, q, d);
+    }
+}

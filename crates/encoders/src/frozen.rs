@@ -1,0 +1,203 @@
+//! The frozen modal feature table handed to multimodal models.
+//!
+//! Mirrors the paper's §III pipeline: "the initial vector of textual
+//! description and molecular structure are obtained by pre-trained models
+//! before inputting into our model", plus CompGCN structural embeddings.
+//! Features are computed once per dataset and shared by CamE and every
+//! multimodal baseline.
+
+use came_biodata::MultimodalBkg;
+use came_kg::KgDataset;
+use came_tensor::{Shape, Tensor};
+
+use crate::compgcn::pretrain_structural;
+use crate::molecule_gin::MoleculeEncoder;
+use crate::text_ngram::TextEncoder;
+
+/// Options for building [`ModalFeatures`].
+#[derive(Clone, Debug)]
+pub struct FeatureConfig {
+    /// Molecular feature width `d_m`.
+    pub d_molecule: usize,
+    /// Textual feature width `d_t`.
+    pub d_text: usize,
+    /// Structural feature width `d_s`.
+    pub d_struct: usize,
+    /// GIN message-passing rounds.
+    pub gin_layers: usize,
+    /// CompGCN pretraining epochs (0 = skip; structural features fall back
+    /// to the *untrained* CompGCN propagation, which is what Fig. 8(a) uses
+    /// "for fair comparison").
+    pub compgcn_epochs: usize,
+    /// Seed standing in for the pretrained checkpoints.
+    pub seed: u64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            d_molecule: 32,
+            d_text: 48,
+            d_struct: 32,
+            gin_layers: 3,
+            compgcn_epochs: 20,
+            seed: 0xF2047E,
+        }
+    }
+}
+
+/// Frozen per-entity modal features.
+pub struct ModalFeatures {
+    /// Molecular vectors `[N, d_m]` (zero rows for molecule-less entities).
+    pub molecular: Tensor,
+    /// Textual vectors `[N, d_t]`.
+    pub textual: Tensor,
+    /// Structural vectors `[N, d_s]`.
+    pub structural: Tensor,
+    /// Whether each entity carries a molecule.
+    pub has_molecule: Vec<bool>,
+}
+
+impl ModalFeatures {
+    /// Encode every modality of a generated BKG.
+    pub fn build(bkg: &MultimodalBkg, cfg: &FeatureConfig) -> Self {
+        let text_enc = TextEncoder::new(cfg.d_text, cfg.seed ^ 0x7E57);
+        let mol_enc = MoleculeEncoder::new(cfg.d_molecule, cfg.gin_layers, cfg.seed ^ 0x6147);
+        let textual = text_enc.encode_all(&bkg.texts);
+        let molecular = mol_enc.encode_all(&bkg.molecules);
+        let structural = Self::structural(&bkg.dataset, cfg);
+        let has_molecule = bkg.molecules.iter().map(|m| m.is_some()).collect();
+        let out = ModalFeatures {
+            molecular,
+            textual,
+            structural,
+            has_molecule,
+        };
+        out.validate(bkg.num_entities());
+        out
+    }
+
+    fn structural(dataset: &KgDataset, cfg: &FeatureConfig) -> Tensor {
+        pretrain_structural(dataset, cfg.d_struct, cfg.compgcn_epochs, cfg.seed ^ 0x57C7)
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.textual.shape().at(0)
+    }
+
+    /// `(d_m, d_t, d_s)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (
+            self.molecular.shape().at(1),
+            self.textual.shape().at(1),
+            self.structural.shape().at(1),
+        )
+    }
+
+    /// Consistency checks: all tables row-aligned and finite.
+    ///
+    /// # Panics
+    /// Panics on misaligned or non-finite feature tables.
+    pub fn validate(&self, n: usize) {
+        for (name, t) in [
+            ("molecular", &self.molecular),
+            ("textual", &self.textual),
+            ("structural", &self.structural),
+        ] {
+            assert_eq!(t.shape().at(0), n, "{name} features misaligned");
+            assert!(!t.has_non_finite(), "{name} features contain NaN/inf");
+        }
+        assert_eq!(self.has_molecule.len(), n);
+    }
+
+    /// A copy with the molecule table zeroed (the "w/o MS" ablation).
+    pub fn without_molecules(&self) -> ModalFeatures {
+        ModalFeatures {
+            molecular: Tensor::zeros(self.molecular.shape()),
+            textual: self.textual.clone(),
+            structural: self.structural.clone(),
+            has_molecule: vec![false; self.has_molecule.len()],
+        }
+    }
+
+    /// A copy with the text table zeroed (the "w/o TD" ablation).
+    pub fn without_text(&self) -> ModalFeatures {
+        ModalFeatures {
+            molecular: self.molecular.clone(),
+            textual: Tensor::zeros(self.textual.shape()),
+            structural: self.structural.clone(),
+            has_molecule: self.has_molecule.clone(),
+        }
+    }
+
+    /// Random features of matching shape — a null control used in tests.
+    pub fn random_control(n: usize, cfg: &FeatureConfig, seed: u64) -> ModalFeatures {
+        let mut rng = came_tensor::Prng::new(seed);
+        ModalFeatures {
+            molecular: Tensor::randn(Shape::d2(n, cfg.d_molecule), 0.3, &mut rng),
+            textual: Tensor::randn(Shape::d2(n, cfg.d_text), 0.3, &mut rng),
+            structural: Tensor::randn(Shape::d2(n, cfg.d_struct), 0.3, &mut rng),
+            has_molecule: vec![true; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use came_biodata::presets;
+
+    fn small_cfg() -> FeatureConfig {
+        FeatureConfig {
+            d_molecule: 16,
+            d_text: 24,
+            d_struct: 16,
+            gin_layers: 2,
+            compgcn_epochs: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn build_produces_aligned_tables() {
+        let bkg = presets::tiny(0);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        assert_eq!(f.num_entities(), bkg.num_entities());
+        assert_eq!(f.dims(), (16, 24, 16));
+    }
+
+    #[test]
+    fn molecule_rows_match_has_molecule() {
+        let bkg = presets::tiny(1);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        let d = f.molecular.shape().at(1);
+        for (i, &has) in f.has_molecule.iter().enumerate() {
+            let row = &f.molecular.data()[i * d..(i + 1) * d];
+            let zero = row.iter().all(|&x| x == 0.0);
+            assert_eq!(!zero, has, "entity {i}");
+        }
+    }
+
+    #[test]
+    fn ablation_copies_zero_only_their_modality() {
+        let bkg = presets::tiny(2);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        let no_ms = f.without_molecules();
+        assert!(no_ms.molecular.data().iter().all(|&x| x == 0.0));
+        assert_eq!(no_ms.textual.data(), f.textual.data());
+        let no_td = f.without_text();
+        assert!(no_td.textual.data().iter().all(|&x| x == 0.0));
+        assert_eq!(no_td.molecular.data(), f.molecular.data());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bkg = presets::tiny(3);
+        let a = ModalFeatures::build(&bkg, &small_cfg());
+        let b = ModalFeatures::build(&bkg, &small_cfg());
+        assert_eq!(a.textual.data(), b.textual.data());
+        assert_eq!(a.molecular.data(), b.molecular.data());
+        assert_eq!(a.structural.data(), b.structural.data());
+    }
+}

@@ -1,0 +1,25 @@
+//! # came-encoders
+//!
+//! Frozen modality encoders for the CamE reproduction — stand-ins for the
+//! pretrained models the paper consumes vectors from (§III):
+//!
+//! | paper | here | preserved property |
+//! |-------|------|--------------------|
+//! | CharacterBERT / Chinese BERT | [`text_ngram::TextEncoder`] | shared affixes ⇒ nearby vectors |
+//! | pretrained GIN (Hu et al.)   | [`molecule_gin::MoleculeEncoder`] | shared scaffolds ⇒ nearby vectors |
+//! | CompGCN official code        | [`compgcn::CompGcn`] (fully trained here) | structural embeddings `h_s` |
+//!
+//! [`frozen::ModalFeatures`] bundles all three into the per-entity feature
+//! table that CamE and the multimodal baselines consume.
+
+#![warn(missing_docs)]
+
+pub mod compgcn;
+pub mod frozen;
+pub mod molecule_gin;
+pub mod text_ngram;
+
+pub use compgcn::{pretrain_structural, CompGcn, Composition};
+pub use frozen::{FeatureConfig, ModalFeatures};
+pub use molecule_gin::MoleculeEncoder;
+pub use text_ngram::TextEncoder;

@@ -1,0 +1,149 @@
+//! Character n-gram text encoder — the CharacterBERT stand-in.
+//!
+//! The paper feeds entity descriptions through a frozen CharacterBERT (or a
+//! Chinese BERT for OMAHA-MM) and only ever consumes the resulting fixed
+//! vectors. The property downstream modules exploit is *surface-form
+//! sensitivity*: names sharing a suffix like "-cillin" land close together
+//! (Fig. 7). A signed character-n-gram hashing encoder has exactly that
+//! property, deterministically and dependency-free: texts sharing character
+//! n-grams share hash buckets, so their vectors correlate.
+
+use came_tensor::{Shape, Tensor};
+
+/// Frozen character-n-gram encoder.
+#[derive(Clone, Debug)]
+pub struct TextEncoder {
+    dim: usize,
+    seed: u64,
+}
+
+impl TextEncoder {
+    /// Encoder emitting `dim`-dimensional vectors. The seed plays the role
+    /// of the pretrained checkpoint: equal seeds give identical encoders.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim >= 8, "text dim too small to carry n-gram signal");
+        TextEncoder { dim, seed }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encode one text into an L2-normalised vector.
+    pub fn encode(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let lower = text.to_lowercase();
+        let bytes: Vec<u8> = lower.bytes().collect();
+        // word boundary markers sharpen prefix/suffix n-grams
+        let mut padded = Vec::with_capacity(bytes.len() + 2);
+        padded.push(b'^');
+        for &b in &bytes {
+            padded.push(if b == b' ' { b'^' } else { b });
+        }
+        padded.push(b'^');
+        for n in [3usize, 4, 5] {
+            if padded.len() < n {
+                continue;
+            }
+            for w in padded.windows(n) {
+                let h = self.hash(w);
+                let bucket = (h % self.dim as u64) as usize;
+                let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+                v[bucket] += sign;
+            }
+        }
+        l2_normalise(&mut v);
+        v
+    }
+
+    /// Encode a batch into a `[n, dim]` tensor.
+    pub fn encode_all<S: AsRef<str>>(&self, texts: &[S]) -> Tensor {
+        let mut data = Vec::with_capacity(texts.len() * self.dim);
+        for t in texts {
+            data.extend(self.encode(t.as_ref()));
+        }
+        Tensor::from_vec(Shape::d2(texts.len(), self.dim), data)
+    }
+
+    fn hash(&self, gram: &[u8]) -> u64 {
+        // FNV-1a seeded by the "checkpoint"
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for &b in gram {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+fn l2_normalise(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Cosine similarity helper for frozen feature vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e = TextEncoder::new(64, 7);
+        assert_eq!(e.encode("Temocillin"), e.encode("Temocillin"));
+        let e2 = TextEncoder::new(64, 8);
+        assert_ne!(e.encode("Temocillin"), e2.encode("Temocillin"));
+    }
+
+    #[test]
+    fn vectors_are_normalised() {
+        let e = TextEncoder::new(64, 0);
+        let v = e.encode("a penicillin antibiotic");
+        let norm: f32 = v.iter().map(|x| x * x).sum();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shared_suffix_increases_similarity() {
+        let e = TextEncoder::new(128, 0);
+        let a = e.encode("Temocillin is a penicillin antibiotic");
+        let b = e.encode("Vokecillin is a penicillin antibiotic");
+        let c = e.encode("Rilastatin is an HMG-CoA reductase inhibitor");
+        let sim_ab = cosine(&a, &b);
+        let sim_ac = cosine(&a, &c);
+        assert!(
+            sim_ab > sim_ac + 0.15,
+            "suffix-sharing texts not closer: {sim_ab} vs {sim_ac}"
+        );
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = TextEncoder::new(64, 1);
+        assert_eq!(e.encode("ASPIRIN"), e.encode("aspirin"));
+    }
+
+    #[test]
+    fn batch_encode_matches_single() {
+        let e = TextEncoder::new(32, 2);
+        let t = e.encode_all(&["alpha", "beta"]);
+        assert_eq!(t.shape(), Shape::d2(2, 32));
+        assert_eq!(&t.data()[..32], e.encode("alpha").as_slice());
+        assert_eq!(&t.data()[32..], e.encode("beta").as_slice());
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = TextEncoder::new(32, 3);
+        let v = e.encode("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Filtered ranking evaluation (the Bordes et al. protocol used by the paper).
+//!
+//! For every test triple `(h, r, t)` — and its inverse, so both tail and head
+//! prediction are measured — the model scores all candidate tails, all *other*
+//! known-true tails are masked out, and the rank of `t` among the remainder
+//! is recorded. Ties are resolved to their expected rank under a random
+//! tie-break so constant scorers cannot fake Hits@1.
+
+use came_tensor::Prng;
+
+use crate::dataset::{FilterIndex, KgDataset, Split};
+use crate::metrics::RankMetrics;
+use crate::triple::Triple;
+use crate::vocab::{EntityId, RelationId};
+
+/// Anything that can score every entity as candidate tail of `(h, r)`
+/// queries. Relations are in the inverse-augmented space `[0, 2R)`.
+pub trait TailScorer {
+    /// `out[q][e]` = score of entity `e` as tail of query `q`. Higher is
+    /// better.
+    fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>>;
+}
+
+impl<F> TailScorer for F
+where
+    F: Fn(&[(EntityId, RelationId)]) -> Vec<Vec<f32>>,
+{
+    fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>> {
+        self(queries)
+    }
+}
+
+/// Evaluation options.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Queries per scoring call.
+    pub batch_size: usize,
+    /// Optional cap on evaluated (augmented) triples; a random subset is
+    /// drawn when set — the paper does this for the convergence figure.
+    pub max_triples: Option<usize>,
+    /// Seed for the subsampling draw.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            batch_size: 128,
+            max_triples: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Expected 1-based rank of `target` in `scores` after masking `known` (all
+/// known-true tails except the target are excluded from the ranking).
+pub fn filtered_rank(
+    scores: &[f32],
+    target: EntityId,
+    known: Option<&std::collections::HashSet<EntityId>>,
+    h: EntityId,
+    r: RelationId,
+    filter: &FilterIndex,
+) -> f64 {
+    // `known` lets callers reuse the set lookup; fall back to the index.
+    let lookup;
+    let known = match known {
+        Some(k) => Some(k),
+        None => {
+            lookup = filter.known_tails(h, r);
+            lookup
+        }
+    };
+    let target_score = scores[target.0 as usize];
+    let mut greater = 0usize;
+    let mut ties = 0usize;
+    for (e, &s) in scores.iter().enumerate() {
+        if e == target.0 as usize {
+            continue;
+        }
+        if let Some(k) = known {
+            if k.contains(&EntityId(e as u32)) {
+                continue; // filtered setting: skip other true tails
+            }
+        }
+        if s > target_score {
+            greater += 1;
+        } else if s == target_score {
+            ties += 1;
+        }
+    }
+    1.0 + greater as f64 + ties as f64 / 2.0
+}
+
+/// Evaluate a scorer on a split (inverse-augmented: both directions).
+pub fn evaluate(
+    scorer: &dyn TailScorer,
+    dataset: &KgDataset,
+    split: Split,
+    filter: &FilterIndex,
+    cfg: &EvalConfig,
+) -> RankMetrics {
+    let mut triples = dataset.augmented(split);
+    if let Some(cap) = cfg.max_triples {
+        let mut rng = Prng::new(cfg.seed);
+        rng.shuffle(&mut triples);
+        triples.truncate(cap);
+    }
+    rank_triples(scorer, &triples, filter, cfg.batch_size)
+}
+
+/// Evaluate grouped by an arbitrary key (e.g. relation family for Table IV).
+/// Only forward test triples are keyed; each triple still contributes both
+/// directions to its group's metrics.
+pub fn evaluate_grouped<K: Ord + Clone>(
+    scorer: &dyn TailScorer,
+    dataset: &KgDataset,
+    split: Split,
+    filter: &FilterIndex,
+    cfg: &EvalConfig,
+    key: impl Fn(&Triple) -> K,
+) -> Vec<(K, RankMetrics)> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<K, Vec<Triple>> = BTreeMap::new();
+    let r = dataset.num_relations();
+    for t in dataset.get(split) {
+        let k = key(t);
+        let g = groups.entry(k).or_default();
+        g.push(*t);
+        g.push(t.inverse(r));
+    }
+    groups
+        .into_iter()
+        .map(|(k, ts)| {
+            let mut ts = ts;
+            let mut m = RankMetrics::new();
+            if let Some(cap) = cfg.max_triples {
+                let mut rng = Prng::new(cfg.seed);
+                rng.shuffle(&mut ts);
+                ts.truncate(cap);
+            }
+            m.merge(&rank_triples(scorer, &ts, filter, cfg.batch_size));
+            (k, m)
+        })
+        .collect()
+}
+
+fn rank_triples(
+    scorer: &dyn TailScorer,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    batch_size: usize,
+) -> RankMetrics {
+    let mut metrics = RankMetrics::new();
+    for chunk in triples.chunks(batch_size.max(1)) {
+        let queries: Vec<(EntityId, RelationId)> = chunk.iter().map(|t| (t.h, t.r)).collect();
+        let scores = scorer.score_tails(&queries);
+        assert_eq!(scores.len(), chunk.len(), "scorer returned wrong batch size");
+        for (t, s) in chunk.iter().zip(&scores) {
+            metrics.push(filtered_rank(s, t.t, None, t.h, t.r, filter));
+        }
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{EntityKind, Vocab};
+    use std::collections::HashSet;
+
+    fn tiny() -> KgDataset {
+        let mut vocab = Vocab::new();
+        for i in 0..5 {
+            vocab.add_entity(format!("e{i}"), EntityKind::Other);
+        }
+        vocab.add_relation("r");
+        KgDataset {
+            vocab,
+            train: vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)],
+            valid: vec![],
+            test: vec![Triple::new(0, 0, 3)],
+        }
+    }
+
+    #[test]
+    fn filtered_rank_skips_known_tails() {
+        let d = tiny();
+        let filter = d.filter_index();
+        // entity scores: e1 and e2 (known train tails) outrank e3, but they
+        // are filtered out, so e3's filtered rank counts only e0, e4.
+        let scores = [0.1, 0.9, 0.8, 0.5, 0.2];
+        let rank = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &filter);
+        assert_eq!(rank, 1.0); // e0=0.1 and e4=0.2 both score below 0.5
+        // raw (unfiltered) comparison for contrast
+        let empty = FilterIndex::default();
+        let raw = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &empty);
+        assert_eq!(raw, 3.0);
+    }
+
+    #[test]
+    fn filtered_rank_never_exceeds_raw_rank() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let empty = FilterIndex::default();
+        let scores = [0.3, 0.9, 0.1, 0.4, 0.8];
+        for target in 0..5u32 {
+            let f = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &filter);
+            let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
+            assert!(f <= r, "filtered {f} > raw {r}");
+        }
+    }
+
+    #[test]
+    fn ties_get_expected_rank() {
+        let empty = FilterIndex::default();
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let rank = filtered_rank(&scores, EntityId(0), None, EntityId(0), RelationId(0), &empty);
+        // 3 ties -> expected rank 1 + 3/2 = 2.5
+        assert_eq!(rank, 2.5);
+    }
+
+    #[test]
+    fn perfect_scorer_gets_mrr_one() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let idx = d.filter_index();
+        let scorer = move |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+            qs.iter()
+                .map(|&(h, r)| {
+                    (0..5u32)
+                        .map(|e| {
+                            if idx.contains(h, r, EntityId(e)) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let m = evaluate(&scorer, &d, Split::Test, &filter, &EvalConfig::default());
+        assert_eq!(m.count(), 2); // forward + inverse
+        assert_eq!(m.mrr(), 1.0);
+        assert_eq!(m.hits(1), 1.0);
+    }
+
+    #[test]
+    fn constant_scorer_gets_chance_level() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let scorer =
+            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let m = evaluate(&scorer, &d, Split::Test, &filter, &EvalConfig::default());
+        // all candidates tie: expected rank is the middle of the candidate set,
+        // so MRR is well below 1
+        assert!(m.mrr() < 0.9);
+        assert!(m.mr() > 1.0);
+    }
+
+    #[test]
+    fn max_triples_caps_query_count() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let scorer =
+            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let cfg = EvalConfig {
+            max_triples: Some(1),
+            ..Default::default()
+        };
+        let m = evaluate(&scorer, &d, Split::Test, &filter, &cfg);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn grouped_eval_partitions_queries() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let scorer =
+            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let groups = evaluate_grouped(
+            &scorer,
+            &d,
+            Split::Test,
+            &filter,
+            &EvalConfig::default(),
+            |t| t.t.0 % 2,
+        );
+        let total: usize = groups.iter().map(|(_, m)| m.count()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn known_set_reuse_matches_index_lookup() {
+        let d = tiny();
+        let filter = d.filter_index();
+        let scores = [0.3, 0.9, 0.1, 0.4, 0.8];
+        let known: HashSet<EntityId> = filter
+            .known_tails(EntityId(0), RelationId(0))
+            .cloned()
+            .unwrap();
+        let a = filtered_rank(&scores, EntityId(3), Some(&known), EntityId(0), RelationId(0), &filter);
+        let b = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &filter);
+        assert_eq!(a, b);
+    }
+}

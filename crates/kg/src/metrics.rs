@@ -1,0 +1,153 @@
+//! Ranking metrics: MR, MRR and Hits@n.
+
+/// Accumulator of 1-based ranks producing the metrics the paper reports.
+#[derive(Clone, Debug, Default)]
+pub struct RankMetrics {
+    sum_rank: f64,
+    sum_reciprocal: f64,
+    hits1: usize,
+    hits3: usize,
+    hits10: usize,
+    count: usize,
+}
+
+impl RankMetrics {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (possibly fractional, for tie-expected) 1-based rank.
+    ///
+    /// # Panics
+    /// Panics if `rank < 1`.
+    pub fn push(&mut self, rank: f64) {
+        assert!(rank >= 1.0, "ranks are 1-based, got {rank}");
+        self.sum_rank += rank;
+        self.sum_reciprocal += 1.0 / rank;
+        if rank <= 1.0 {
+            self.hits1 += 1;
+        }
+        if rank <= 3.0 {
+            self.hits3 += 1;
+        }
+        if rank <= 10.0 {
+            self.hits10 += 1;
+        }
+        self.count += 1;
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &RankMetrics) {
+        self.sum_rank += other.sum_rank;
+        self.sum_reciprocal += other.sum_reciprocal;
+        self.hits1 += other.hits1;
+        self.hits3 += other.hits3;
+        self.hits10 += other.hits10;
+        self.count += other.count;
+    }
+
+    /// Number of ranked queries.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean rank (lower is better).
+    pub fn mr(&self) -> f64 {
+        self.sum_rank / self.count.max(1) as f64
+    }
+
+    /// Mean reciprocal rank in `[0, 1]` (higher is better).
+    pub fn mrr(&self) -> f64 {
+        self.sum_reciprocal / self.count.max(1) as f64
+    }
+
+    /// Hits@n for `n ∈ {1, 3, 10}`.
+    ///
+    /// # Panics
+    /// Panics for other `n`.
+    pub fn hits(&self, n: usize) -> f64 {
+        let h = match n {
+            1 => self.hits1,
+            3 => self.hits3,
+            10 => self.hits10,
+            _ => panic!("hits@{n} not tracked"),
+        };
+        h as f64 / self.count.max(1) as f64
+    }
+
+    /// Render as the paper's percent convention:
+    /// `MRR  MR  H@1  H@3  H@10` (MRR/Hits ×100).
+    pub fn row(&self) -> String {
+        format!(
+            "{:5.1} {:6.0} {:5.1} {:5.1} {:5.1}",
+            self.mrr() * 100.0,
+            self.mr(),
+            self.hits(1) * 100.0,
+            self.hits(3) * 100.0,
+            self.hits(10) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_perfect_rank() {
+        let mut m = RankMetrics::new();
+        m.push(1.0);
+        assert_eq!(m.mr(), 1.0);
+        assert_eq!(m.mrr(), 1.0);
+        assert_eq!(m.hits(1), 1.0);
+        assert_eq!(m.hits(10), 1.0);
+    }
+
+    #[test]
+    fn mixed_ranks() {
+        let mut m = RankMetrics::new();
+        for r in [1.0, 2.0, 4.0, 20.0] {
+            m.push(r);
+        }
+        assert!((m.mr() - 6.75).abs() < 1e-9);
+        assert!((m.mrr() - (1.0 + 0.5 + 0.25 + 0.05) / 4.0).abs() < 1e-9);
+        assert_eq!(m.hits(1), 0.25);
+        assert_eq!(m.hits(3), 0.5);
+        assert_eq!(m.hits(10), 0.75);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = RankMetrics::new();
+        let mut b = RankMetrics::new();
+        let mut all = RankMetrics::new();
+        for (i, r) in [1.0, 3.0, 7.0, 11.0, 2.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(*r)
+            } else {
+                b.push(*r)
+            }
+            all.push(*r);
+        }
+        a.merge(&b);
+        assert!((a.mr() - all.mr()).abs() < 1e-12);
+        assert!((a.mrr() - all.mrr()).abs() < 1e-12);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn fractional_rank_counts_toward_hits_threshold() {
+        let mut m = RankMetrics::new();
+        m.push(2.5);
+        assert_eq!(m.hits(1), 0.0);
+        assert_eq!(m.hits(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rank_panics() {
+        RankMetrics::new().push(0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Negative sampling by entity corruption.
+//!
+//! Margin- and self-adversarial-trained baselines (TransE, RotatE, a-RotatE,
+//! PairRE, IKRL, MTAKGR, TransAE) learn from corrupted triples. With the
+//! inverse-augmented relation space it suffices to corrupt tails: corrupting
+//! the head of `(h, r, t)` is corrupting the tail of `(t, r⁻¹, h)`.
+
+use came_tensor::Prng;
+
+use crate::dataset::FilterIndex;
+use crate::triple::Triple;
+use crate::vocab::EntityId;
+
+/// Tail-corruption negative sampler, optionally filtered so sampled
+/// negatives are never known-true facts.
+pub struct NegativeSampler {
+    num_entities: usize,
+    filter: Option<FilterIndex>,
+}
+
+impl NegativeSampler {
+    /// Unfiltered sampler (cheapest; false negatives possible).
+    pub fn uniform(num_entities: usize) -> Self {
+        assert!(num_entities >= 2, "need at least two entities to corrupt");
+        NegativeSampler {
+            num_entities,
+            filter: None,
+        }
+    }
+
+    /// Filtered sampler: rejects corruptions that are known facts (the paper
+    /// follows the filtered protocol of Bordes et al.).
+    pub fn filtered(num_entities: usize, filter: FilterIndex) -> Self {
+        assert!(num_entities >= 2, "need at least two entities to corrupt");
+        NegativeSampler {
+            num_entities,
+            filter: Some(filter),
+        }
+    }
+
+    /// One corrupted version of `pos` (tail replaced).
+    pub fn corrupt(&self, pos: Triple, rng: &mut Prng) -> Triple {
+        // Rejection-sample; known facts are rare among all entities so this
+        // terminates in ~1 draw. Bounded retries guard degenerate graphs.
+        for _ in 0..64 {
+            let cand = EntityId(rng.below(self.num_entities) as u32);
+            if cand == pos.t {
+                continue;
+            }
+            if let Some(f) = &self.filter {
+                if f.contains(pos.h, pos.r, cand) {
+                    continue;
+                }
+            }
+            return Triple {
+                t: cand,
+                ..pos
+            };
+        }
+        // Fallback: accept a possibly-false negative rather than loop forever.
+        let mut cand = EntityId(rng.below(self.num_entities) as u32);
+        if cand == pos.t {
+            cand = EntityId((cand.0 + 1) % self.num_entities as u32);
+        }
+        Triple { t: cand, ..pos }
+    }
+
+    /// `k` corrupted versions of `pos`.
+    pub fn corrupt_many(&self, pos: Triple, k: usize, rng: &mut Prng) -> Vec<Triple> {
+        (0..k).map(|_| self.corrupt(pos, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::KgDataset;
+    use crate::vocab::{EntityKind, Vocab};
+
+    fn dataset() -> KgDataset {
+        let mut vocab = Vocab::new();
+        for i in 0..10 {
+            vocab.add_entity(format!("e{i}"), EntityKind::Other);
+        }
+        vocab.add_relation("r");
+        KgDataset {
+            vocab,
+            train: (1..8).map(|t| Triple::new(0, 0, t)).collect(),
+            valid: vec![],
+            test: vec![],
+        }
+    }
+
+    #[test]
+    fn corruption_changes_tail_only() {
+        let s = NegativeSampler::uniform(10);
+        let mut rng = Prng::new(0);
+        let pos = Triple::new(2, 0, 5);
+        for _ in 0..100 {
+            let neg = s.corrupt(pos, &mut rng);
+            assert_eq!(neg.h, pos.h);
+            assert_eq!(neg.r, pos.r);
+            assert_ne!(neg.t, pos.t);
+        }
+    }
+
+    #[test]
+    fn filtered_sampler_avoids_known_facts() {
+        let d = dataset();
+        let filter = d.filter_index();
+        let s = NegativeSampler::filtered(10, filter.clone());
+        let mut rng = Prng::new(1);
+        let pos = d.train[0];
+        for _ in 0..200 {
+            let neg = s.corrupt(pos, &mut rng);
+            assert!(
+                !filter.contains(neg.h, neg.r, neg.t),
+                "sampled a known fact {neg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_many_yields_k() {
+        let s = NegativeSampler::uniform(10);
+        let mut rng = Prng::new(2);
+        let negs = s.corrupt_many(Triple::new(0, 0, 1), 7, &mut rng);
+        assert_eq!(negs.len(), 7);
+    }
+
+    #[test]
+    fn degenerate_graph_still_terminates() {
+        // only 2 entities and the other one is a known tail: the fallback
+        // must still return something != pos.t
+        let mut vocab = Vocab::new();
+        vocab.add_entity("a", EntityKind::Other);
+        vocab.add_entity("b", EntityKind::Other);
+        vocab.add_relation("r");
+        let d = KgDataset {
+            vocab,
+            train: vec![Triple::new(0, 0, 1), Triple::new(0, 0, 0)],
+            valid: vec![],
+            test: vec![],
+        };
+        let s = NegativeSampler::filtered(2, d.filter_index());
+        let mut rng = Prng::new(3);
+        let neg = s.corrupt(Triple::new(0, 0, 1), &mut rng);
+        assert_ne!(neg.t, EntityId(1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Relation families: the entity-type pairs the paper profiles in Table IV.
+
+use crate::triple::Triple;
+use crate::vocab::{EntityKind, Vocab};
+
+/// The six relation families of Table IV plus a catch-all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelationFamily {
+    /// Disease–Gene associations.
+    DiseaseGene,
+    /// Gene–Gene interactions.
+    GeneGene,
+    /// Compound–Compound (drug–drug) interactions.
+    CompoundCompound,
+    /// Compound–Side-effect links.
+    CompoundSideEffect,
+    /// Compound–Gene (drug target) links.
+    CompoundGene,
+    /// Compound–Disease (indication / repurposing) links.
+    CompoundDisease,
+    /// Any other endpoint-type combination.
+    Other,
+}
+
+impl RelationFamily {
+    /// The family of a triple, from its endpoint entity kinds
+    /// (order-insensitive, matching the paper's table rows).
+    pub fn of(vocab: &Vocab, t: &Triple) -> RelationFamily {
+        use EntityKind::*;
+        let a = vocab.entity_kind(t.h);
+        let b = vocab.entity_kind(t.t);
+        let pair = if (a as u8) <= (b as u8) { (a, b) } else { (b, a) };
+        match pair {
+            (Gene, Disease) | (Disease, Gene) => RelationFamily::DiseaseGene,
+            (Gene, Gene) => RelationFamily::GeneGene,
+            (Compound, Compound) => RelationFamily::CompoundCompound,
+            (Compound, SideEffect) | (SideEffect, Compound) => RelationFamily::CompoundSideEffect,
+            (Gene, Compound) | (Compound, Gene) => RelationFamily::CompoundGene,
+            (Compound, Disease) | (Disease, Compound) => RelationFamily::CompoundDisease,
+            _ => RelationFamily::Other,
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RelationFamily::DiseaseGene => "Disease-Gene",
+            RelationFamily::GeneGene => "Gene-Gene",
+            RelationFamily::CompoundCompound => "Compound-Compound",
+            RelationFamily::CompoundSideEffect => "Compound-Side-Effect",
+            RelationFamily::CompoundGene => "Compound-Gene",
+            RelationFamily::CompoundDisease => "Compound-Disease",
+            RelationFamily::Other => "Other",
+        }
+    }
+
+    /// All profiled families in table order.
+    pub fn all() -> [RelationFamily; 6] {
+        [
+            RelationFamily::DiseaseGene,
+            RelationFamily::GeneGene,
+            RelationFamily::CompoundCompound,
+            RelationFamily::CompoundSideEffect,
+            RelationFamily::CompoundGene,
+            RelationFamily::CompoundDisease,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    #[test]
+    fn family_is_order_insensitive() {
+        let mut v = Vocab::new();
+        let g = v.add_entity("g", EntityKind::Gene);
+        let c = v.add_entity("c", EntityKind::Compound);
+        v.add_relation("r");
+        let t1 = Triple { h: g, r: crate::vocab::RelationId(0), t: c };
+        let t2 = Triple { h: c, r: crate::vocab::RelationId(0), t: g };
+        assert_eq!(RelationFamily::of(&v, &t1), RelationFamily::CompoundGene);
+        assert_eq!(RelationFamily::of(&v, &t2), RelationFamily::CompoundGene);
+    }
+
+    #[test]
+    fn all_pairings_map_to_expected_family() {
+        let mut v = Vocab::new();
+        let g1 = v.add_entity("g1", EntityKind::Gene);
+        let g2 = v.add_entity("g2", EntityKind::Gene);
+        let c1 = v.add_entity("c1", EntityKind::Compound);
+        let c2 = v.add_entity("c2", EntityKind::Compound);
+        let d = v.add_entity("d", EntityKind::Disease);
+        let s = v.add_entity("s", EntityKind::SideEffect);
+        let sym = v.add_entity("sym", EntityKind::Symptom);
+        let r = v.add_relation("r");
+        let mk = |h, t| Triple { h, r, t };
+        assert_eq!(RelationFamily::of(&v, &mk(g1, g2)), RelationFamily::GeneGene);
+        assert_eq!(RelationFamily::of(&v, &mk(c1, c2)), RelationFamily::CompoundCompound);
+        assert_eq!(RelationFamily::of(&v, &mk(d, g1)), RelationFamily::DiseaseGene);
+        assert_eq!(RelationFamily::of(&v, &mk(c1, s)), RelationFamily::CompoundSideEffect);
+        assert_eq!(RelationFamily::of(&v, &mk(c1, d)), RelationFamily::CompoundDisease);
+        assert_eq!(RelationFamily::of(&v, &mk(sym, d)), RelationFamily::Other);
+    }
+
+    #[test]
+    fn labels_are_table_iv_rows() {
+        assert_eq!(RelationFamily::all().len(), 6);
+        assert_eq!(RelationFamily::GeneGene.label(), "Gene-Gene");
+        assert_eq!(
+            RelationFamily::CompoundSideEffect.label(),
+            "Compound-Side-Effect"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Triples and triple collections.
+
+use crate::vocab::{EntityId, RelationId};
+
+/// A single `(head, relation, tail)` fact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Head entity.
+    pub h: EntityId,
+    /// Relation.
+    pub r: RelationId,
+    /// Tail entity.
+    pub t: EntityId,
+}
+
+impl Triple {
+    /// Construct from raw ids.
+    pub fn new(h: u32, r: u32, t: u32) -> Self {
+        Triple {
+            h: EntityId(h),
+            r: RelationId(r),
+            t: EntityId(t),
+        }
+    }
+
+    /// The inverse fact `(t, r⁻¹, h)` where `r⁻¹ = r + num_relations`.
+    pub fn inverse(self, num_relations: usize) -> Triple {
+        Triple {
+            h: self.t,
+            r: RelationId(self.r.0 + num_relations as u32),
+            t: self.h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_swaps_and_offsets() {
+        let t = Triple::new(3, 1, 7);
+        let inv = t.inverse(10);
+        assert_eq!(inv, Triple::new(7, 11, 3));
+        // inverting twice with the doubled vocabulary returns the ids
+        let back = inv.inverse(10);
+        assert_eq!(back.h, t.h);
+        assert_eq!(back.t, t.t);
+    }
+}

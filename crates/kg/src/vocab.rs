@@ -1,0 +1,176 @@
+//! Entity and relation vocabularies.
+
+use std::collections::HashMap;
+
+/// Dense entity identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// Dense relation identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+/// Coarse biological entity category. Kept in the KG substrate (rather than
+/// the data generator) because evaluation buckets (Table IV) and several
+/// baselines need to know entity types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// Genes / proteins.
+    Gene,
+    /// Drugs / chemical compounds.
+    Compound,
+    /// Diseases.
+    Disease,
+    /// Drug side effects.
+    SideEffect,
+    /// Clinical symptoms (OMAHA-style).
+    Symptom,
+    /// Anything else.
+    Other,
+}
+
+impl EntityKind {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::Gene => "Gene",
+            EntityKind::Compound => "Compound",
+            EntityKind::Disease => "Disease",
+            EntityKind::SideEffect => "Side-Effect",
+            EntityKind::Symptom => "Symptom",
+            EntityKind::Other => "Other",
+        }
+    }
+}
+
+/// Entity/relation naming plus entity typing for a knowledge graph.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    entity_names: Vec<String>,
+    entity_kinds: Vec<EntityKind>,
+    relation_names: Vec<String>,
+    entity_index: HashMap<String, EntityId>,
+    relation_index: HashMap<String, RelationId>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an entity; returns its id. Names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate entity names.
+    pub fn add_entity(&mut self, name: impl Into<String>, kind: EntityKind) -> EntityId {
+        let name = name.into();
+        assert!(
+            !self.entity_index.contains_key(&name),
+            "duplicate entity name {name:?}"
+        );
+        let id = EntityId(self.entity_names.len() as u32);
+        self.entity_index.insert(name.clone(), id);
+        self.entity_names.push(name);
+        self.entity_kinds.push(kind);
+        id
+    }
+
+    /// Register a relation; returns its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate relation names.
+    pub fn add_relation(&mut self, name: impl Into<String>) -> RelationId {
+        let name = name.into();
+        assert!(
+            !self.relation_index.contains_key(&name),
+            "duplicate relation name {name:?}"
+        );
+        let id = RelationId(self.relation_names.len() as u32);
+        self.relation_index.insert(name.clone(), id);
+        self.relation_names.push(name);
+        id
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_names.len()
+    }
+
+    /// Number of relations (without inverse augmentation).
+    pub fn num_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Name of an entity.
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        &self.entity_names[id.0 as usize]
+    }
+
+    /// Kind of an entity.
+    pub fn entity_kind(&self, id: EntityId) -> EntityKind {
+        self.entity_kinds[id.0 as usize]
+    }
+
+    /// Name of a relation.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        &self.relation_names[id.0 as usize]
+    }
+
+    /// Look up an entity by name.
+    pub fn entity(&self, name: &str) -> Option<EntityId> {
+        self.entity_index.get(name).copied()
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelationId> {
+        self.relation_index.get(name).copied()
+    }
+
+    /// All entity ids of a kind.
+    pub fn entities_of_kind(&self, kind: EntityKind) -> Vec<EntityId> {
+        (0..self.num_entities() as u32)
+            .map(EntityId)
+            .filter(|&e| self.entity_kind(e) == kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_lookup_roundtrips() {
+        let mut v = Vocab::new();
+        let a = v.add_entity("aspirin", EntityKind::Compound);
+        let b = v.add_entity("BRCA1", EntityKind::Gene);
+        let r = v.add_relation("targets");
+        assert_eq!(a, EntityId(0));
+        assert_eq!(b, EntityId(1));
+        assert_eq!(r, RelationId(0));
+        assert_eq!(v.entity("BRCA1"), Some(b));
+        assert_eq!(v.entity_name(a), "aspirin");
+        assert_eq!(v.relation("targets"), Some(r));
+        assert_eq!(v.entity("nope"), None);
+        assert_eq!(v.entity_kind(b), EntityKind::Gene);
+    }
+
+    #[test]
+    fn entities_of_kind_filters() {
+        let mut v = Vocab::new();
+        v.add_entity("d1", EntityKind::Disease);
+        v.add_entity("c1", EntityKind::Compound);
+        v.add_entity("d2", EntityKind::Disease);
+        let ds = v.entities_of_kind(EntityKind::Disease);
+        assert_eq!(ds, vec![EntityId(0), EntityId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entity")]
+    fn duplicate_entity_panics() {
+        let mut v = Vocab::new();
+        v.add_entity("x", EntityKind::Other);
+        v.add_entity("x", EntityKind::Other);
+    }
+}

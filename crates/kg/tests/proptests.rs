@@ -1,0 +1,103 @@
+//! Property-based tests for knowledge-graph invariants.
+
+use came_kg::{
+    filtered_rank, EntityId, EntityKind, FilterIndex, KgDataset, RankMetrics, RelationId, Triple,
+    Vocab,
+};
+use came_tensor::Prng;
+use proptest::prelude::*;
+
+fn arb_scores(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn rank_is_within_bounds(scores in arb_scores(20), target in 0u32..20) {
+        let empty = FilterIndex::default();
+        let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
+        prop_assert!(r >= 1.0);
+        prop_assert!(r <= scores.len() as f64);
+    }
+
+    #[test]
+    fn best_score_has_rank_one(mut scores in arb_scores(15), target in 0u32..15) {
+        // force the target strictly best
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        scores[target as usize] = max + 1.0;
+        let empty = FilterIndex::default();
+        let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
+        prop_assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn filtering_never_hurts_rank(
+        scores in arb_scores(12),
+        target in 0u32..12,
+        known in prop::collection::vec(0u32..12, 0..6),
+    ) {
+        // build a filter index marking `known` as true tails of (0, r0)
+        let mut vocab = Vocab::new();
+        for i in 0..12 {
+            vocab.add_entity(format!("e{i}"), EntityKind::Other);
+        }
+        vocab.add_relation("r");
+        let train: Vec<Triple> = known.iter().map(|&t| Triple::new(0, 0, t)).collect();
+        let d = KgDataset { vocab, train, valid: vec![], test: vec![] };
+        let filter = d.filter_index();
+        let empty = FilterIndex::default();
+        let filtered = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &filter);
+        let raw = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
+        prop_assert!(filtered <= raw, "filtered {filtered} > raw {raw}");
+    }
+
+    #[test]
+    fn metrics_are_bounded(ranks in prop::collection::vec(1u32..500, 1..50)) {
+        let mut m = RankMetrics::new();
+        for r in &ranks {
+            m.push(*r as f64);
+        }
+        prop_assert!(m.mrr() > 0.0 && m.mrr() <= 1.0);
+        prop_assert!(m.mr() >= 1.0);
+        prop_assert!(m.hits(1) <= m.hits(3));
+        prop_assert!(m.hits(3) <= m.hits(10));
+        prop_assert_eq!(m.count(), ranks.len());
+    }
+
+    #[test]
+    fn split_conserves_and_is_deterministic(
+        n_triples in 10usize..100,
+        seed in 0u64..100,
+    ) {
+        let mut vocab = Vocab::new();
+        for i in 0..20 {
+            vocab.add_entity(format!("e{i}"), EntityKind::Other);
+        }
+        vocab.add_relation("r");
+        let triples: Vec<Triple> = (0..n_triples as u32)
+            .map(|i| Triple::new(i % 20, 0, (i * 7 + 1) % 20))
+            .collect();
+        let d1 = KgDataset::split(vocab.clone(), triples.clone(), (8.0, 1.0, 1.0), &mut Prng::new(seed));
+        let d2 = KgDataset::split(vocab, triples.clone(), (8.0, 1.0, 1.0), &mut Prng::new(seed));
+        prop_assert_eq!(d1.train.len() + d1.valid.len() + d1.test.len(), n_triples);
+        prop_assert_eq!(&d1.train, &d2.train);
+        prop_assert_eq!(&d1.test, &d2.test);
+        // the split is a permutation of the input multiset
+        let mut all: Vec<Triple> = d1.train.iter().chain(&d1.valid).chain(&d1.test).copied().collect();
+        let mut orig = triples;
+        all.sort();
+        orig.sort();
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn inverse_augmentation_is_involution_on_endpoints(
+        h in 0u32..50, r in 0u32..7, t in 0u32..50, nrel in 7usize..20,
+    ) {
+        let tri = Triple::new(h, r, t);
+        let inv = tri.inverse(nrel);
+        prop_assert_eq!(inv.h, tri.t);
+        prop_assert_eq!(inv.t, tri.h);
+        prop_assert_eq!(inv.r.0, r + nrel as u32);
+    }
+}

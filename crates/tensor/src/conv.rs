@@ -1,0 +1,233 @@
+//! Valid stride-1 2-D convolution kernels (forward and backward) via im2col.
+//!
+//! This is the only convolution the reproduction needs: the CamE scorer and
+//! the ConvE baseline both apply a single stride-1 convolution over small
+//! stacked feature maps.
+
+use crate::shape::Shape;
+use crate::tensor::{matmul_kernel, Tensor};
+
+/// Output spatial size of a valid convolution.
+fn out_dims(h: usize, w: usize, kh: usize, kw: usize) -> (usize, usize) {
+    assert!(kh <= h && kw <= w, "kernel {kh}x{kw} larger than input {h}x{w}");
+    (h - kh + 1, w - kw + 1)
+}
+
+/// Lower one image `[C,H,W]` into columns `[C*kh*kw, oh*ow]`.
+fn im2col(x: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, cols: &mut [f32]) {
+    let (oh, ow) = out_dims(h, w, kh, kw);
+    let ncols = oh * ow;
+    debug_assert_eq!(cols.len(), c * kh * kw * ncols);
+    let mut row = 0;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let base = &mut cols[row * ncols..(row + 1) * ncols];
+                let mut idx = 0;
+                for oi in 0..oh {
+                    let src = &x[ci * h * w + (oi + ki) * w + kj..];
+                    base[idx..idx + ow].copy_from_slice(&src[..ow]);
+                    idx += ow;
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter columns `[C*kh*kw, oh*ow]` back into an image gradient `[C,H,W]`.
+fn col2im(cols: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, x: &mut [f32]) {
+    let (oh, ow) = out_dims(h, w, kh, kw);
+    let ncols = oh * ow;
+    let mut row = 0;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let base = &cols[row * ncols..(row + 1) * ncols];
+                let mut idx = 0;
+                for oi in 0..oh {
+                    let dst = &mut x[ci * h * w + (oi + ki) * w + kj..ci * h * w + (oi + ki) * w + kj + ow];
+                    for (d, s) in dst.iter_mut().zip(&base[idx..idx + ow]) {
+                        *d += s;
+                    }
+                    idx += ow;
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Forward valid stride-1 convolution. `x: [B,C,H,W]`, `w: [F,C,kh,kw]`,
+/// optional `bias: [F]`; output `[B,F,oh,ow]`.
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(xs.ndim(), 4, "conv input must be [B,C,H,W], got {xs}");
+    assert_eq!(ws.ndim(), 4, "conv weight must be [F,C,kh,kw], got {ws}");
+    let (b, c, h, wd) = (xs.at(0), xs.at(1), xs.at(2), xs.at(3));
+    let (f, c2, kh, kw) = (ws.at(0), ws.at(1), ws.at(2), ws.at(3));
+    assert_eq!(c, c2, "conv channel mismatch: input {c}, weight {c2}");
+    let (oh, ow) = out_dims(h, wd, kh, kw);
+    let ncols = oh * ow;
+    let krows = c * kh * kw;
+    let mut cols = vec![0.0f32; krows * ncols];
+    let mut out = Tensor::zeros(Shape::d4(b, f, oh, ow));
+    for bi in 0..b {
+        im2col(&x.data()[bi * c * h * wd..(bi + 1) * c * h * wd], c, h, wd, kh, kw, &mut cols);
+        let dst = &mut out.data_mut()[bi * f * ncols..(bi + 1) * f * ncols];
+        matmul_kernel(w.data(), &cols, dst, f, krows, ncols);
+    }
+    if let Some(bias) = bias {
+        assert_eq!(bias.shape(), Shape::d1(f), "conv bias must be [F]");
+        let data = out.data_mut();
+        for bi in 0..b {
+            for fi in 0..f {
+                let bv = bias.data()[fi];
+                for v in &mut data[(bi * f + fi) * ncols..(bi * f + fi + 1) * ncols] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass: gradients w.r.t. input, weight, and bias.
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, gout: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let xs = x.shape();
+    let ws = w.shape();
+    let (b, c, h, wd) = (xs.at(0), xs.at(1), xs.at(2), xs.at(3));
+    let (f, _, kh, kw) = (ws.at(0), ws.at(1), ws.at(2), ws.at(3));
+    let (oh, ow) = out_dims(h, wd, kh, kw);
+    let ncols = oh * ow;
+    let krows = c * kh * kw;
+    assert_eq!(gout.shape(), Shape::d4(b, f, oh, ow), "conv grad shape");
+
+    let mut gx = Tensor::zeros(xs);
+    let mut gw = Tensor::zeros(ws);
+    let mut gb = Tensor::zeros(Shape::d1(f));
+    let mut cols = vec![0.0f32; krows * ncols];
+    let mut gcols = vec![0.0f32; krows * ncols];
+    // w^T once: [krows, f]
+    let wt = w.reshape(Shape::d2(f, krows)).transpose(0, 1);
+    for bi in 0..b {
+        let gslice = &gout.data()[bi * f * ncols..(bi + 1) * f * ncols];
+        // dW += g[f, ncols] x cols^T[ncols, krows]  -> accumulate as
+        // gw[f, krows] += g x cols^T; compute via transpose trick:
+        im2col(&x.data()[bi * c * h * wd..(bi + 1) * c * h * wd], c, h, wd, kh, kw, &mut cols);
+        // gw_fk += sum_n g[f,n] cols[k,n]
+        let colst = Tensor::from_vec(Shape::d2(krows, ncols), cols.clone()).transpose(0, 1);
+        matmul_kernel(gslice, colst.data(), gw.data_mut(), f, ncols, krows);
+        // gcols = w^T x g : [krows, ncols]
+        gcols.iter_mut().for_each(|v| *v = 0.0);
+        matmul_kernel(wt.data(), gslice, &mut gcols, krows, f, ncols);
+        col2im(
+            &gcols,
+            c,
+            h,
+            wd,
+            kh,
+            kw,
+            &mut gx.data_mut()[bi * c * h * wd..(bi + 1) * c * h * wd],
+        );
+        // bias grad
+        for fi in 0..f {
+            gb.data_mut()[fi] += gslice[fi * ncols..(fi + 1) * ncols].iter().sum::<f32>();
+        }
+    }
+    (gx, gw, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    /// Direct (naive) convolution used as an oracle.
+    fn conv_naive(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Tensor {
+        let xs = x.shape();
+        let ws = w.shape();
+        let (b, c, h, wd) = (xs.at(0), xs.at(1), xs.at(2), xs.at(3));
+        let (f, _, kh, kw) = (ws.at(0), ws.at(1), ws.at(2), ws.at(3));
+        let (oh, ow) = (h - kh + 1, wd - kw + 1);
+        let mut out = Tensor::zeros(Shape::d4(b, f, oh, ow));
+        for bi in 0..b {
+            for fi in 0..f {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = bias.map_or(0.0, |bv| bv.data()[fi]);
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    acc += x.at(&[bi, ci, oi + ki, oj + kj])
+                                        * w.at(&[fi, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        out.data_mut()[((bi * f + fi) * oh + oi) * ow + oj] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = Prng::new(0);
+        let x = Tensor::randn(Shape::d4(2, 3, 6, 5), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::d4(4, 3, 3, 2), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d1(4), 1.0, &mut rng);
+        let fast = conv2d_forward(&x, &w, Some(&b));
+        let slow = conv_naive(&x, &w, Some(&b));
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let mut rng = Prng::new(1);
+        let x = Tensor::randn(Shape::d4(1, 2, 4, 4), 0.5, &mut rng);
+        let w = Tensor::randn(Shape::d4(2, 2, 2, 2), 0.5, &mut rng);
+        let gout = Tensor::ones(Shape::d4(1, 2, 3, 3));
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &gout);
+
+        let eps = 1e-2;
+        // numeric dL/dx where L = sum(conv(x, w))
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num =
+                (conv2d_forward(&xp, &w, None).sum() - conv2d_forward(&xm, &w, None).sum())
+                    / (2.0 * eps);
+            assert!((gx.data()[i] - num).abs() < 1e-2, "gx[{i}]");
+        }
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num =
+                (conv2d_forward(&x, &wp, None).sum() - conv2d_forward(&x, &wm, None).sum())
+                    / (2.0 * eps);
+            assert!((gw.data()[i] - num).abs() < 1e-2, "gw[{i}]");
+        }
+        // bias grad: dL/db_f = number of output positions
+        for v in gb.data() {
+            assert!((v - 9.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_kernel_panics() {
+        let x = Tensor::zeros(Shape::d4(1, 1, 2, 2));
+        let w = Tensor::zeros(Shape::d4(1, 1, 3, 3));
+        let _ = conv2d_forward(&x, &w, None);
+    }
+}

@@ -1,0 +1,405 @@
+//! Model parameters and common layers.
+//!
+//! Parameters are owned by a [`ParamStore`] — a flat arena of named tensors
+//! with gradient and Adam-moment buffers. Layers ([`Linear`], [`Conv2dLayer`],
+//! [`EmbeddingTable`]) are thin structs holding [`ParamId`]s plus an `apply`
+//! method that wires them into a [`Graph`].
+
+use crate::graph::{Graph, Var};
+use crate::rng::Prng;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Adam first moment.
+    m: Tensor,
+    /// Adam second moment.
+    v: Tensor,
+}
+
+/// Arena of trainable parameters shared by a whole model.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+    /// Adam timestep (number of optimiser steps taken).
+    pub step: u64,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with initial value `t`.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        let shape = t.shape();
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            grad: Tensor::zeros(shape),
+            m: Tensor::zeros(shape),
+            v: Tensor::zeros(shape),
+            value: t,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Xavier-initialised parameter.
+    pub fn add_xavier(&mut self, name: impl Into<String>, shape: Shape, rng: &mut Prng) -> ParamId {
+        self.add(name, Tensor::xavier(shape, rng))
+    }
+
+    /// Zero-initialised parameter.
+    pub fn add_zeros(&mut self, name: impl Into<String>, shape: Shape) -> ParamId {
+        self.add(name, Tensor::zeros(shape))
+    }
+
+    /// Current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value (e.g. for loading pretrained weights or constraints).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Current gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable gradient (used by [`Graph::backward`]).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Reset all gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Global gradient-norm clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self
+            .entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let s = max_norm / total;
+            for e in &mut self.entries {
+                e.grad.map_inplace(|g| g * s);
+            }
+        }
+        total
+    }
+
+    /// One Adam update over every parameter, then zero the gradients.
+    pub fn adam_step(&mut self, cfg: &Adam) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        for e in &mut self.entries {
+            let g = e.grad.data();
+            let m = e.m.data_mut();
+            let v = e.v.data_mut();
+            let x = e.value.data_mut();
+            for i in 0..g.len() {
+                let gi = g[i] + cfg.weight_decay * x[i];
+                m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * gi;
+                v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                x[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
+            }
+        }
+        self.zero_grad();
+    }
+
+    /// Plain SGD update, then zero gradients.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.step += 1;
+        for e in &mut self.entries {
+            let g = e.grad.data().to_vec();
+            for (x, gi) in e.value.data_mut().iter_mut().zip(g) {
+                *x -= lr * gi;
+            }
+        }
+        self.zero_grad();
+    }
+}
+
+/// Adam hyper-parameters (defaults match the common 1e-3/0.9/0.999 setting).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled L2 weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Adam {
+    /// Adam with the given learning rate and defaults elsewhere.
+    pub fn with_lr(lr: f32) -> Self {
+        Adam {
+            lr,
+            ..Self::default()
+        }
+    }
+}
+
+/// Dense layer `y = x W + b`.
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub w: ParamId,
+    /// Bias `[out]`, absent for pure projections.
+    pub b: Option<ParamId>,
+}
+
+impl Linear {
+    /// Xavier-initialised dense layer with bias.
+    pub fn new(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut Prng) -> Self {
+        Linear {
+            w: store.add_xavier(format!("{name}.w"), Shape::d2(d_in, d_out), rng),
+            b: Some(store.add_zeros(format!("{name}.b"), Shape::d1(d_out))),
+        }
+    }
+
+    /// Xavier-initialised projection without bias.
+    pub fn no_bias(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut Prng) -> Self {
+        Linear {
+            w: store.add_xavier(format!("{name}.w"), Shape::d2(d_in, d_out), rng),
+            b: None,
+        }
+    }
+
+    /// Apply to `[B, in]` (or `[B, *, in]`) input.
+    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(store, b);
+                g.add(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Convolution layer wrapping [`Graph::conv2d`].
+pub struct Conv2dLayer {
+    /// Filters `[F, C, kh, kw]`.
+    pub w: ParamId,
+    /// Bias `[F]`.
+    pub b: ParamId,
+}
+
+impl Conv2dLayer {
+    /// He-style initialised filters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kh: usize,
+        kw: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let fan_in = (in_ch * kh * kw) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2dLayer {
+            w: store.add(
+                format!("{name}.w"),
+                Tensor::randn(Shape::d4(out_ch, in_ch, kh, kw), std, rng),
+            ),
+            b: store.add_zeros(format!("{name}.b"), Shape::d1(out_ch)),
+        }
+    }
+
+    /// Apply to `[B,C,H,W]`.
+    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        g.conv2d(x, w, Some(b))
+    }
+}
+
+/// Embedding table `[n, d]` with row lookup.
+pub struct EmbeddingTable {
+    /// The table parameter.
+    pub table: ParamId,
+    /// Number of rows.
+    pub n: usize,
+    /// Embedding width.
+    pub d: usize,
+}
+
+impl EmbeddingTable {
+    /// Xavier-initialised table.
+    pub fn new(store: &mut ParamStore, name: impl Into<String>, n: usize, d: usize, rng: &mut Prng) -> Self {
+        EmbeddingTable {
+            table: store.add_xavier(name, Shape::d2(n, d), rng),
+            n,
+            d,
+        }
+    }
+
+    /// Table initialised from precomputed vectors (e.g. frozen modal features).
+    pub fn from_tensor(store: &mut ParamStore, name: &str, t: Tensor) -> Self {
+        assert_eq!(t.shape().ndim(), 2);
+        let (n, d) = (t.shape().at(0), t.shape().at(1));
+        EmbeddingTable {
+            table: store.add(name, t),
+            n,
+            d,
+        }
+    }
+
+    /// Gather rows.
+    pub fn lookup(&self, g: &Graph, store: &ParamStore, ids: &[u32]) -> Var {
+        g.embedding(store, self.table, ids)
+    }
+
+    /// The full table as a graph node `[n, d]`.
+    pub fn full(&self, g: &Graph, store: &ParamStore) -> Var {
+        g.param(store, self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimise ||w - c||^2
+        let mut rng = Prng::new(0);
+        let mut store = ParamStore::new();
+        let target = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let w = store.add("w", Tensor::randn(Shape::d1(3), 1.0, &mut rng));
+        let cfg = Adam::with_lr(0.05);
+        for _ in 0..400 {
+            let g = Graph::new();
+            let wv = g.param(&store, w);
+            let t = g.input(target.clone());
+            let diff = g.sub(wv, t);
+            let loss = g.sum_all(g.square(diff));
+            g.backward(loss, &mut store);
+            store.adam_step(&cfg);
+        }
+        for (x, y) in store.value(w).data().iter().zip(target.data()) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_slice(&[4.0]));
+        for _ in 0..100 {
+            let g = Graph::new();
+            let wv = g.param(&store, w);
+            let loss = g.sum_all(g.square(wv));
+            g.backward(loss, &mut store);
+            store.sgd_step(0.1);
+        }
+        assert!(store.value(w).data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_shapes_and_learning() {
+        let mut rng = Prng::new(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "lin", 4, 2, &mut rng);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(Shape::d2(3, 4), 1.0, &mut rng));
+        let y = lin.apply(&g, &store, x);
+        assert_eq!(g.shape(y), Shape::d2(3, 2));
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_slice(&[0.0, 0.0]));
+        store.grad_mut(w).data_mut().copy_from_slice(&[30.0, 40.0]);
+        let pre = store.clip_grad_norm(5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        let g = store.grad(w);
+        let post = (g.data()[0].powi(2) + g.data()[1].powi(2)).sqrt();
+        assert!((post - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embedding_layer_lookup_shape() {
+        let mut rng = Prng::new(2);
+        let mut store = ParamStore::new();
+        let emb = EmbeddingTable::new(&mut store, "e", 10, 6, &mut rng);
+        let g = Graph::new();
+        let rows = emb.lookup(&g, &store, &[1, 5, 9, 1]);
+        assert_eq!(g.shape(rows), Shape::d2(4, 6));
+    }
+
+    #[test]
+    fn num_scalars_counts_everything() {
+        let mut rng = Prng::new(3);
+        let mut store = ParamStore::new();
+        let _ = Linear::new(&mut store, "l", 3, 5, &mut rng);
+        assert_eq!(store.num_scalars(), 3 * 5 + 5);
+    }
+}

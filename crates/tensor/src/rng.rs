@@ -1,0 +1,221 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the reproduction (initialisation, dropout,
+//! negative sampling, data generation) takes an explicit seed so that
+//! experiment tables regenerate bit-stably. The generator is SplitMix64 — a
+//! tiny, well-mixed 64-bit generator that is more than adequate for model
+//! initialisation and sampling (we do not need cryptographic strength).
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: u64,
+    /// Cached second output of the Box-Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Prng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Prng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator; used to give each subsystem its
+    /// own stream without consuming from the parent's sequence order.
+    pub fn fork(&mut self, tag: u64) -> Prng {
+        let s = self.next_u64() ^ tag.wrapping_mul(0xA24B_AED4_963E_E407);
+        Prng::new(s)
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform() as f32
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Prng::below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // n << 2^64 values used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box-Muller (cached pair).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u = self.uniform();
+            if u <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let v = self.uniform();
+            let r = (-2.0 * u.ln()).sqrt();
+            let (s, c) = (std::f64::consts::TAU * v).sin_cos();
+            self.spare_normal = Some(r * s);
+            return r * c;
+        }
+    }
+
+    /// Normal with the given mean and standard deviation, as `f32`.
+    pub fn normal_in(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal() as f32
+    }
+
+    /// Sample an index from unnormalised non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted sampling needs positive total weight"
+        );
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (floyd's algorithm order is
+    /// not needed; we shuffle a prefix). `k` is clamped to `n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // partial Fisher-Yates: first k slots become the sample
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Prng::new(1);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers() {
+        let mut r = Prng::new(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let x = r.below(5);
+            assert!(x < 5);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = Prng::new(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_entries() {
+        let mut r = Prng::new(4);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Prng::new(5);
+        let s = r.sample_indices(10, 6);
+        assert_eq!(s.len(), 6);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(s.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::new(6);
+        let mut v: Vec<usize> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut r = Prng::new(7);
+        let mut a = r.fork(1);
+        let mut b = r.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Compact tensor shapes (up to [`MAX_NDIM`] dimensions) and broadcasting rules.
+//!
+//! Shapes are stored inline in a fixed array so that shape manipulation never
+//! allocates; every tensor op in the training loop goes through this type.
+
+use std::fmt;
+
+/// Maximum supported tensor rank.
+///
+/// Four dimensions cover everything the CamE reproduction needs: batched
+/// affinity matrices are `[B, d1, d2]` and convolution inputs are
+/// `[B, C, H, W]`.
+pub const MAX_NDIM: usize = 4;
+
+/// A tensor shape: an inline list of 1..=4 dimension sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_NDIM],
+    ndim: u8,
+}
+
+impl Shape {
+    /// Build a shape from a dimension slice.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or longer than [`MAX_NDIM`].
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_NDIM,
+            "shape rank must be 1..={MAX_NDIM}, got {}",
+            dims.len()
+        );
+        let mut d = [1usize; MAX_NDIM];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: d,
+            ndim: dims.len() as u8,
+        }
+    }
+
+    /// 1-D shape.
+    pub fn d1(a: usize) -> Self {
+        Self::new(&[a])
+    }
+
+    /// 2-D shape.
+    pub fn d2(a: usize, b: usize) -> Self {
+        Self::new(&[a, b])
+    }
+
+    /// 3-D shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Self::new(&[a, b, c])
+    }
+
+    /// 4-D shape.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Self::new(&[a, b, c, d])
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.ndim as usize
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.ndim as usize]
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.ndim()`.
+    pub fn at(&self, i: usize) -> usize {
+        assert!(i < self.ndim(), "axis {i} out of range for {self}");
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> [usize; MAX_NDIM] {
+        let n = self.ndim();
+        let mut s = [0usize; MAX_NDIM];
+        let mut acc = 1;
+        for i in (0..n).rev() {
+            s[i] = acc;
+            acc *= self.dims[i];
+        }
+        s
+    }
+
+    /// The shape with axis `axis` removed (or set to 1 if `keepdim`).
+    pub fn reduce(&self, axis: usize, keepdim: bool) -> Shape {
+        assert!(axis < self.ndim(), "axis {axis} out of range for {self}");
+        if keepdim {
+            let mut d = *self;
+            d.dims[axis] = 1;
+            d
+        } else if self.ndim() == 1 {
+            Shape::d1(1)
+        } else {
+            let mut out = [1usize; MAX_NDIM];
+            let mut k = 0;
+            for (i, &d) in self.dims().iter().enumerate() {
+                if i != axis {
+                    out[k] = d;
+                    k += 1;
+                }
+            }
+            Shape {
+                dims: out,
+                ndim: (self.ndim() - 1) as u8,
+            }
+        }
+    }
+
+    /// Shape padded on the left with 1s to rank `n` (numpy broadcast alignment).
+    pub fn pad_left(&self, n: usize) -> Shape {
+        assert!(n >= self.ndim() && n <= MAX_NDIM);
+        let mut d = [1usize; MAX_NDIM];
+        let off = n - self.ndim();
+        for (i, &v) in self.dims().iter().enumerate() {
+            d[off + i] = v;
+        }
+        Shape {
+            dims: d,
+            ndim: n as u8,
+        }
+    }
+
+    /// Numpy-style broadcast of two shapes, or `None` if incompatible.
+    ///
+    /// Dimensions are aligned at the trailing edge; each pair must be equal or
+    /// one of them 1.
+    pub fn broadcast(a: Shape, b: Shape) -> Option<Shape> {
+        let n = a.ndim().max(b.ndim());
+        let pa = a.pad_left(n);
+        let pb = b.pad_left(n);
+        let mut d = [1usize; MAX_NDIM];
+        for i in 0..n {
+            let (x, y) = (pa.dims[i], pb.dims[i]);
+            if x == y {
+                d[i] = x;
+            } else if x == 1 {
+                d[i] = y;
+            } else if y == 1 {
+                d[i] = x;
+            } else {
+                return None;
+            }
+        }
+        Some(Shape {
+            dims: d,
+            ndim: n as u8,
+        })
+    }
+
+    /// True if `self` can broadcast to exactly `target` (aligned at trailing edge).
+    pub fn broadcasts_to(&self, target: Shape) -> bool {
+        Shape::broadcast(*self, target) == Some(target)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+        assert_eq!(s.at(1), 3);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(&s.strides()[..3], &[12, 4, 1]);
+        let s1 = Shape::d1(7);
+        assert_eq!(&s1.strides()[..1], &[1]);
+    }
+
+    #[test]
+    fn reduce_drops_or_keeps_axis() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.reduce(1, false), Shape::d2(2, 4));
+        assert_eq!(s.reduce(1, true), Shape::d3(2, 1, 4));
+        assert_eq!(Shape::d1(5).reduce(0, false), Shape::d1(1));
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(
+            Shape::broadcast(Shape::d2(3, 1), Shape::d2(1, 4)),
+            Some(Shape::d2(3, 4))
+        );
+        assert_eq!(
+            Shape::broadcast(Shape::d1(4), Shape::d3(2, 3, 4)),
+            Some(Shape::d3(2, 3, 4))
+        );
+        assert_eq!(Shape::broadcast(Shape::d2(3, 2), Shape::d2(2, 3)), None);
+        assert!(Shape::d1(4).broadcasts_to(Shape::d3(2, 3, 4)));
+        assert!(!Shape::d1(3).broadcasts_to(Shape::d3(2, 3, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn at_out_of_range_panics() {
+        Shape::d2(2, 2).at(5);
+    }
+
+    #[test]
+    fn pad_left_inserts_ones() {
+        assert_eq!(Shape::d1(4).pad_left(3), Shape::d3(1, 1, 4));
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablation tour: train every Fig. 6 variant of CamE on one seeded dataset
+//! and compare validation MRR — a minute-scale version of the ablation
+//! study.
+//!
+//! ```text
+//! cargo run --release --example ablation_tour
+//! ```
+
+use came::{Ablation, CamE, CamEConfig};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{evaluate, EvalConfig, OneToNScorer, Split, TrainConfig};
+use came_tensor::ParamStore;
+
+fn main() {
+    let bkg = presets::tiny(5);
+    let dataset = &bkg.dataset;
+    let features = ModalFeatures::build(&bkg, &FeatureConfig::default());
+    let filter = dataset.filter_index();
+    let base = CamEConfig {
+        d_embed: 32,
+        d_fusion: 32,
+        n_filters: 8,
+        ..CamEConfig::default()
+    };
+    let train = TrainConfig {
+        epochs: 15,
+        batch_size: 64,
+        lr: 3e-3,
+        ..Default::default()
+    };
+
+    println!("{:<12} {:>6} {:>8}", "variant", "MRR", "params");
+    for ab in Ablation::all() {
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, dataset, &features, ab.apply(base.clone()));
+        let params = store.num_scalars();
+        model.fit(&mut store, dataset, &train);
+        let m = evaluate(
+            &OneToNScorer::new(&model, &store),
+            dataset,
+            Split::Valid,
+            &filter,
+            &EvalConfig::default(),
+        );
+        println!("{:<12} {:>6.1} {:>8}", ab.label(), m.mrr() * 100.0, params);
+    }
+    println!("\n(every row trains the same budget; see fig6_ablation for the full-scale run)");
+}

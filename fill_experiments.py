@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Splice measured experiment outputs from results/ into EXPERIMENTS.md."""
+import os, re, sys
+
+exp = open('EXPERIMENTS.md').read()
+mapping = {
+    'Table II': 'table2_dataset_stats',
+    'Table III': 'table3_overall',
+    'Table IV': 'table4_relation_types',
+    'Table V': 'table5_relation_stats',
+    'Fig. 1': 'fig1_diamond',
+    'Fig. 4': 'fig4_longtail',
+    'Fig. 5': 'fig5_params',
+    'Fig. 6': 'fig6_ablation',
+    'Fig. 7': 'fig7_case_study',
+    'Fig. 8': 'fig8_convergence',
+    'Fig. 9': 'fig9_scalability',
+}
+for head, stem in mapping.items():
+    path = f'results/{stem}.txt'
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        continue
+    body = open(path).read().strip()
+    block = f"\nMeasured output (`results/{stem}.txt`):\n\n```\n{body}\n```\n"
+    # insert before the "Status:" line of the matching section
+    pat = re.compile(rf"(## {re.escape(head)}[^\n]*\n(?:(?!\n## ).)*?)(Status: pending run\.)", re.S)
+    exp, n = pat.subn(lambda m: m.group(1) + block + "\nStatus: see analysis below.", exp, count=1)
+    if n == 0:
+        print(f"warn: no slot for {head}", file=sys.stderr)
+open('EXPERIMENTS.md', 'w').write(exp)
+print("spliced")

@@ -1,0 +1,23 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper. Outputs land in results/.
+# CAME_QUICK=1 gives smoke-scale numbers; unset for the full budgets.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+BIN="cargo run --release -q -p came-bench --bin"
+run() {
+  echo "=== $1 ($(date +%H:%M:%S)) ==="
+  $BIN "$1" ${2:-} > "results/$1.txt" 2> "results/$1.log" && echo "--- ok $1" || echo "--- FAILED $1"
+}
+run table2_dataset_stats
+run table5_relation_stats
+run fig4_longtail
+run fig1_diamond
+run table3_overall
+run fig6_ablation
+run fig7_case_study
+run table4_relation_types
+run fig8_convergence
+run fig5_params
+run fig9_scalability
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,14 @@
+//! # came-suite
+//!
+//! Umbrella package for the CamE reproduction: hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`), and
+//! re-exports the member crates for convenience.
+
+#![warn(missing_docs)]
+
+pub use came;
+pub use came_baselines;
+pub use came_biodata;
+pub use came_encoders;
+pub use came_kg;
+pub use came_tensor;

@@ -1,0 +1,159 @@
+//! Cross-crate invariants: evaluation batching invariance, model
+//! determinism, and configuration edge cases.
+
+use came::{CamE, CamEConfig};
+use came_baselines::{train_baseline, Baseline, BaselineHp};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{evaluate, EvalConfig, OneToNScorer, Split, TrainConfig};
+use came_tensor::ParamStore;
+
+fn features(bkg: &came_biodata::MultimodalBkg) -> ModalFeatures {
+    ModalFeatures::build(
+        bkg,
+        &FeatureConfig {
+            d_molecule: 12,
+            d_text: 16,
+            d_struct: 12,
+            gin_layers: 1,
+            compgcn_epochs: 1,
+            seed: 4,
+        },
+    )
+}
+
+#[test]
+fn evaluation_is_batch_size_invariant() {
+    // the filtered metrics must not depend on how queries are batched
+    let bkg = presets::tiny(31);
+    let d = &bkg.dataset;
+    let hp = BaselineHp {
+        d: 16,
+        epochs: 3,
+        ..Default::default()
+    };
+    let trained = train_baseline(Baseline::DistMult, d, None, &hp, None);
+    let filter = d.filter_index();
+    let mut results = Vec::new();
+    for batch_size in [1usize, 7, 64, 10_000] {
+        let cfg = EvalConfig {
+            batch_size,
+            max_triples: None,
+            seed: 1,
+        };
+        let m = evaluate(&trained, d, Split::Test, &filter, &cfg);
+        results.push((m.mrr(), m.mr(), m.hits(10)));
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0], w[1], "metrics changed with batch size");
+    }
+}
+
+#[test]
+fn came_training_is_deterministic() {
+    let bkg = presets::tiny(32);
+    let d = &bkg.dataset;
+    let f = features(&bkg);
+    let run = || {
+        let mut store = ParamStore::new();
+        let cfg = CamEConfig {
+            d_embed: 16,
+            d_fusion: 16,
+            n_filters: 4,
+            ..CamEConfig::default()
+        };
+        let model = CamE::new(&mut store, d, &f, cfg);
+        let hist = model.fit(
+            &mut store,
+            d,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 64,
+                ..Default::default()
+            },
+        );
+        let filter = d.filter_index();
+        let m = evaluate(
+            &OneToNScorer::new(&model, &store),
+            d,
+            Split::Valid,
+            &filter,
+            &EvalConfig::default(),
+        );
+        (hist.iter().map(|s| s.loss).collect::<Vec<_>>(), m.mrr())
+    };
+    let (l1, m1) = run();
+    let (l2, m2) = run();
+    assert_eq!(l1, l2, "training losses diverge across identical runs");
+    assert_eq!(m1, m2, "evaluation diverges across identical runs");
+}
+
+#[test]
+fn predict_topk_clamps_to_entity_count() {
+    let bkg = presets::tiny(33);
+    let d = &bkg.dataset;
+    let f = features(&bkg);
+    let mut store = ParamStore::new();
+    let cfg = CamEConfig {
+        d_embed: 16,
+        d_fusion: 16,
+        n_filters: 4,
+        ..CamEConfig::default()
+    };
+    let model = CamE::new(&mut store, d, &f, cfg);
+    let t = d.train[0];
+    let top = model.predict_topk(&store, t.h, t.r, 10 * d.num_entities(), None);
+    assert_eq!(top.len(), d.num_entities());
+}
+
+#[test]
+fn eval_subsampling_is_seed_stable() {
+    let bkg = presets::tiny(34);
+    let d = &bkg.dataset;
+    let hp = BaselineHp {
+        d: 16,
+        epochs: 1,
+        ..Default::default()
+    };
+    let trained = train_baseline(Baseline::TransE, d, None, &hp, None);
+    let filter = d.filter_index();
+    let cfg = EvalConfig {
+        max_triples: Some(10),
+        seed: 99,
+        ..Default::default()
+    };
+    let a = evaluate(&trained, d, Split::Test, &filter, &cfg);
+    let b = evaluate(&trained, d, Split::Test, &filter, &cfg);
+    assert_eq!(a.mrr(), b.mrr());
+    assert_eq!(a.count(), b.count());
+}
+
+#[test]
+fn modal_ablation_features_change_scores_only_when_used() {
+    // zeroing molecule features must not change a model that has the
+    // molecular modality disabled
+    let bkg = presets::tiny(35);
+    let d = &bkg.dataset;
+    let f = features(&bkg);
+    let f_nomol = f.without_molecules();
+    let mk = |feat: &ModalFeatures| {
+        let mut store = ParamStore::new();
+        let cfg = CamEConfig {
+            d_embed: 16,
+            d_fusion: 16,
+            n_filters: 4,
+            use_molecule: false,
+            ..CamEConfig::default()
+        };
+        let model = CamE::new(&mut store, d, feat, cfg);
+        let g = came_tensor::Graph::inference();
+        use came_kg::OneToNModel;
+        let s = model.forward(&g, &store, &[0, 1], &[0, 1]);
+        g.value(s)
+    };
+    assert_eq!(
+        mk(&f).data(),
+        mk(&f_nomol).data(),
+        "disabled modality still influences scores"
+    );
+}
