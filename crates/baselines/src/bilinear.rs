@@ -171,7 +171,12 @@ impl OneToNModel for DualE {
         let d2 = Self::hamilton(g, &hb, &ra);
         let dual: [Var; 4] = std::array::from_fn(|i| g.add(d1[i], d2[i]));
         // inner product with every candidate tail: concat back to [B, 8u]
-        let q = g.concat(&[real[0], real[1], real[2], real[3], dual[0], dual[1], dual[2], dual[3]], 1);
+        let q = g.concat(
+            &[
+                real[0], real[1], real[2], real[3], dual[0], dual[1], dual[2], dual[3],
+            ],
+            1,
+        );
         let scores = g.matmul(q, g.transpose(self.emb.ent.full(g, store), 0, 1));
         g.add(scores, g.param(store, self.bias))
     }
@@ -221,7 +226,14 @@ mod tests {
         };
         train_one_to_n(m, store, d, &cfg, |_, _, _| {});
         let filter = d.filter_index();
-        evaluate(&OneToNScorer::new(m, store), d, Split::Train, &filter, &EvalConfig::default()).mrr()
+        evaluate(
+            &OneToNScorer::new(m, store),
+            d,
+            Split::Train,
+            &filter,
+            &EvalConfig::default(),
+        )
+        .mrr()
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! closest unimodal relative of CamE's scorer (§IV-C discusses the lineage).
 
 use came_kg::{KgDataset, OneToNModel};
-use came_tensor::{Conv2dLayer, EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var};
+use came_tensor::{
+    Conv2dLayer, EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var,
+};
 
 /// Factor `d` into the most square `(h, w)` (duplicated from the CamE scorer
 /// so the baseline crate stays independent of the core crate).
@@ -39,7 +41,10 @@ impl ConvE {
     ) -> Self {
         let (h, w) = map_dims(d);
         // embeddings are stacked along the height axis: map is [2h, w]
-        assert!(kernel <= 2 * h && kernel <= w, "kernel too large for {h}x{w}");
+        assert!(
+            kernel <= 2 * h && kernel <= w,
+            "kernel too large for {h}x{w}"
+        );
         let (oh, ow) = (2 * h - kernel + 1, w - kernel + 1);
         let conv = Conv2dLayer::new(store, "conve.conv", 1, n_filters, kernel, kernel, rng);
         let fc = Linear::new(store, "conve.fc", n_filters * oh * ow, d, rng);
@@ -128,7 +133,14 @@ mod tests {
         };
         train_one_to_n(&m, &mut store, &d, &cfg, |_, _, _| {});
         let filter = d.filter_index();
-        let mrr = evaluate(&OneToNScorer::new(&m, &store), &d, Split::Train, &filter, &EvalConfig::default()).mrr();
+        let mrr = evaluate(
+            &OneToNScorer::new(&m, &store),
+            &d,
+            Split::Train,
+            &filter,
+            &EvalConfig::default(),
+        )
+        .mrr();
         assert!(mrr > 0.5, "ConvE train MRR {mrr}");
     }
 }

@@ -65,8 +65,12 @@ impl MkgFormer {
 
     /// Fused multimodal representation for a set of entities `[B, d]`.
     fn m_encode(&self, g: &Graph, store: &ParamStore, ids: &[u32]) -> Var {
-        let text = self.text_proj.apply(g, store, frozen_input(g, &self.feat_text, ids));
-        let mol = self.mol_proj.apply(g, store, frozen_input(g, &self.feat_mol, ids));
+        let text = self
+            .text_proj
+            .apply(g, store, frozen_input(g, &self.feat_text, ids));
+        let mol = self
+            .mol_proj
+            .apply(g, store, frozen_input(g, &self.feat_mol, ids));
         // Prefix-guided interaction: query from text, key/value from the
         // visual prefix; per-dimension gate from the q·k correlation.
         let q = self.q_proj.apply(g, store, text);
@@ -151,7 +155,14 @@ mod tests {
             max_triples: Some(150),
             ..Default::default()
         };
-        let mrr = evaluate(&OneToNScorer::new(&m, &store), d, Split::Train, &filter, &ev).mrr();
+        let mrr = evaluate(
+            &OneToNScorer::new(&m, &store),
+            d,
+            Split::Train,
+            &filter,
+            &ev,
+        )
+        .mrr();
         assert!(mrr > 0.15, "MKGformer train MRR {mrr}");
     }
 

@@ -119,6 +119,9 @@ pub struct BaselineHp {
     pub conv_kernel: usize,
     /// Seed.
     pub seed: u64,
+    /// Kernel backend to select before training. `None` keeps the
+    /// process-wide default (`CAME_BACKEND` env, else parallel).
+    pub backend: Option<came_tensor::BackendKind>,
 }
 
 impl Default for BaselineHp {
@@ -135,6 +138,7 @@ impl Default for BaselineHp {
             conv_filters: 16,
             conv_kernel: 3,
             seed: 0xBA5E,
+            backend: None,
         }
     }
 }
@@ -177,11 +181,12 @@ pub fn train_baseline(
     hp: &BaselineHp,
     mut hook: Option<&mut EpochHook<'_>>,
 ) -> TrainedBaseline {
+    if let Some(kind) = hp.backend {
+        came_tensor::set_backend(kind);
+    }
     let mut rng = Prng::new(hp.seed);
     let mut store = ParamStore::new();
-    let feats = || {
-        features.unwrap_or_else(|| panic!("{} needs modal features", kind.label()))
-    };
+    let feats = || features.unwrap_or_else(|| panic!("{} needs modal features", kind.label()));
     let d_even = hp.d.next_multiple_of(2);
     let d_oct = hp.d.next_multiple_of(8);
     match kind {
@@ -198,7 +203,14 @@ pub fn train_baseline(
             run_one_to_n(m, store, dataset, hp, &mut hook)
         }
         Baseline::ConvE => {
-            let m = ConvE::new(&mut store, dataset, hp.d, hp.conv_filters, hp.conv_kernel, &mut rng);
+            let m = ConvE::new(
+                &mut store,
+                dataset,
+                hp.d,
+                hp.conv_filters,
+                hp.conv_kernel,
+                &mut rng,
+            );
             run_one_to_n(m, store, dataset, hp, &mut hook)
         }
         Baseline::CompGcn => {
@@ -211,7 +223,14 @@ pub fn train_baseline(
         }
         Baseline::ARotatE => {
             let m = RotatE::new(&mut store, dataset, d_even, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::SelfAdversarial(1.0), &mut hook)
+            run_triple(
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::SelfAdversarial(1.0),
+                &mut hook,
+            )
         }
         Baseline::DualE => {
             let m = DualE::new(&mut store, dataset, d_oct, &mut rng);
@@ -219,7 +238,14 @@ pub fn train_baseline(
         }
         Baseline::PairRE => {
             let m = PairRE::new(&mut store, dataset, hp.d, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::SelfAdversarial(1.0), &mut hook)
+            run_triple(
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::SelfAdversarial(1.0),
+                &mut hook,
+            )
         }
         Baseline::Ikrl => {
             let m = Ikrl::new(&mut store, dataset, feats(), hp.d, &mut rng);

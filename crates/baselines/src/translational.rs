@@ -52,7 +52,8 @@ impl RotatE {
     /// `d/2` phases).
     pub fn new(store: &mut ParamStore, dataset: &KgDataset, d: usize, rng: &mut Prng) -> Self {
         assert!(d % 2 == 0, "RotatE width must be even");
-        let ent = came_tensor::EmbeddingTable::new(store, "rotate.ent", dataset.num_entities(), d, rng);
+        let ent =
+            came_tensor::EmbeddingTable::new(store, "rotate.ent", dataset.num_entities(), d, rng);
         let rel = came_tensor::EmbeddingTable::new(
             store,
             "rotate.rel",
@@ -100,7 +101,13 @@ impl PairRE {
     /// Build with width `d`.
     pub fn new(store: &mut ParamStore, dataset: &KgDataset, d: usize, rng: &mut Prng) -> Self {
         PairRE {
-            ent: came_tensor::EmbeddingTable::new(store, "pairre.ent", dataset.num_entities(), d, rng),
+            ent: came_tensor::EmbeddingTable::new(
+                store,
+                "pairre.ent",
+                dataset.num_entities(),
+                d,
+                rng,
+            ),
             rel_h: came_tensor::EmbeddingTable::new(
                 store,
                 "pairre.rel_h",
@@ -159,7 +166,12 @@ mod tests {
         }
     }
 
-    fn fit_and_mrr<M: TripleModel>(model: &M, store: &mut ParamStore, d: &KgDataset, weighting: NegWeighting) -> f64 {
+    fn fit_and_mrr<M: TripleModel>(
+        model: &M,
+        store: &mut ParamStore,
+        d: &KgDataset,
+        weighting: NegWeighting,
+    ) -> f64 {
         let cfg = NegSamplingConfig {
             base: TrainConfig {
                 epochs: 120,

@@ -38,7 +38,11 @@ fn main() {
     println!("                         Same    Not-Same");
     println!("paper, random sample:    50.00%  50.00%");
     println!("paper, similarity-cond.: 66.98%  33.02%");
-    println!("ours,  random sample:    {:.2}%  {:.2}%", base * 100.0, (1.0 - base) * 100.0);
+    println!(
+        "ours,  random sample:    {:.2}%  {:.2}%",
+        base * 100.0,
+        (1.0 - base) * 100.0
+    );
     println!(
         "ours,  similarity-cond.: {:.2}%  {:.2}%",
         lifted * 100.0,

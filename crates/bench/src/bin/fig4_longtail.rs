@@ -15,7 +15,10 @@ fn histogram(label: &str, freqs: &[usize]) {
         ("all", 1.00),
     ];
     let total: usize = sorted.iter().sum();
-    println!("  {label} (n = {}, total occurrences = {total}):", sorted.len());
+    println!(
+        "  {label} (n = {}, total occurrences = {total}):",
+        sorted.len()
+    );
     for (name, frac) in buckets {
         let k = ((sorted.len() as f64) * frac).ceil() as usize;
         let mass: usize = sorted[..k.min(sorted.len())].iter().sum();

@@ -10,8 +10,16 @@ fn main() {
     let scale = Scale::from_env();
     println!("# Fig. 6 — ablation study (filtered test MRR x100)\n");
     for (name, bkg, cfg) in [
-        ("DRKG-MM-like", presets::drkg_mm_like(scale.data_seed), came_config_drkg()),
-        ("OMAHA-MM-like", presets::omaha_mm_like(scale.data_seed), came_config_omaha()),
+        (
+            "DRKG-MM-like",
+            presets::drkg_mm_like(scale.data_seed),
+            came_config_drkg(),
+        ),
+        (
+            "OMAHA-MM-like",
+            presets::omaha_mm_like(scale.data_seed),
+            came_config_omaha(),
+        ),
     ] {
         let features = ModalFeatures::build(&bkg, &feature_config());
         // DRKG-like is subsampled: the ablation trains CamE 8 times

@@ -29,7 +29,9 @@ fn main() {
         if shown >= 3 {
             break;
         }
-        let Some(q_family) = bkg.families[q.0 as usize] else { continue };
+        let Some(q_family) = bkg.families[q.0 as usize] else {
+            continue;
+        };
         let top: Vec<_> = model
             .predict_topk(&store, q, ddi_rel, 30, None)
             .into_iter()
@@ -40,7 +42,11 @@ fn main() {
             continue;
         }
         shown += 1;
-        println!("case {shown}: head = {}  (scaffold {:?})", d.vocab.entity_name(q), q_family);
+        println!(
+            "case {shown}: head = {}  (scaffold {:?})",
+            d.vocab.entity_name(q),
+            q_family
+        );
         println!("  text: {}", bkg.texts[q.0 as usize]);
         println!("  relation: Drug-drug Interaction — top-3 reasoned tails:");
         for (rank, (e, score)) in top.iter().enumerate() {
@@ -53,7 +59,11 @@ fn main() {
                 d.vocab.entity_name(*e),
                 score,
                 fam,
-                if fam == q_family { "  <- shared semantics" } else { "" }
+                if fam == q_family {
+                    "  <- shared semantics"
+                } else {
+                    ""
+                }
             );
         }
         println!();

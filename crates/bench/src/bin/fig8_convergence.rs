@@ -21,7 +21,12 @@ fn main() {
     println!("# Fig. 8 — test MRR vs training time (seconds)\n");
     println!("## (a) vs baselines\n");
     println!("series: model, then (elapsed_s, MRRx100) per epoch");
-    for kind in [Baseline::DistMult, Baseline::ConvE, Baseline::DualE, Baseline::PairRE] {
+    for kind in [
+        Baseline::DistMult,
+        Baseline::ConvE,
+        Baseline::DualE,
+        Baseline::PairRE,
+    ] {
         let mut series = Vec::new();
         {
             let mut hook = |e: usize, t: f64, s: &dyn TailScorer| {
@@ -46,7 +51,11 @@ fn main() {
     print_series("CamE (no pretrained h_s)", &series);
 
     println!("\n## (b) vs ablation variants\n");
-    for ab in [Ablation::Full, Ablation::WithoutTca, Ablation::WithoutMmfAndRic] {
+    for ab in [
+        Ablation::Full,
+        Ablation::WithoutTca,
+        Ablation::WithoutMmfAndRic,
+    ] {
         let cfg = ab.apply(came_config_drkg());
         let series = came_series(&d, &features, cfg, scale.came_epochs, cap);
         print_series(ab.label(), &series);
@@ -63,12 +72,18 @@ fn came_series(
     let mut store = ParamStore::new();
     let model = CamE::new(&mut store, d, features, cfg);
     let mut series = Vec::new();
-    came_kg::train_one_to_n(&model, &mut store, d, &came_train_config(epochs), |s, m, st| {
-        if s.epoch % 2 == 0 {
-            let metr = eval_scorer(&OneToNScorer::new(m, st), d, Split::Test, cap);
-            series.push((s.elapsed_s, metr.mrr() * 100.0));
-        }
-    });
+    came_kg::train_one_to_n(
+        &model,
+        &mut store,
+        d,
+        &came_train_config(epochs),
+        |s, m, st| {
+            if s.epoch % 2 == 0 {
+                let metr = eval_scorer(&OneToNScorer::new(m, st), d, Split::Test, cap);
+                series.push((s.elapsed_s, metr.mrr() * 100.0));
+            }
+        },
+    );
     series
 }
 

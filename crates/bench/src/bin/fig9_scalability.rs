@@ -40,7 +40,10 @@ fn main() {
                 scale.eval_cap.map(|c| c / 4),
             );
             let test_s = t0.elapsed().as_secs_f64();
-            eprintln!("[fig9] frac {frac} {}: train {train_s:.1}s test {test_s:.1}s", ab.label());
+            eprintln!(
+                "[fig9] frac {frac} {}: train {train_s:.1}s test {test_s:.1}s",
+                ab.label()
+            );
             rows.push(vec![
                 format!("{:.0}%", frac * 100.0),
                 ab.label().to_string(),

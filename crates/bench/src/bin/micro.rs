@@ -1,0 +1,257 @@
+//! Dependency-free micro-benchmarks of every backend kernel, plus the
+//! end-to-end filtered-ranking evaluation path, under both backends.
+//!
+//! Replaces the old criterion bench (the registry is unreachable offline).
+//! Method: warmup, then median of N timed runs per (kernel, backend) cell —
+//! `std::time::Instant` only. Emits `BENCH_micro.json` with per-kernel ns/op
+//! and the parallel-over-scalar speedup so the perf trajectory across PRs is
+//! machine-readable.
+//!
+//! `CAME_QUICK` shrinks the matmul sizes and sample counts for CI smoke runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use came_baselines::{train_baseline, Baseline, BaselineHp};
+use came_bench::eval_scorer;
+use came_biodata::presets;
+use came_kg::Split;
+use came_tensor::backend::{self, AdamHp, Backend, BackendKind};
+use came_tensor::{conv, Prng, Shape, Tensor};
+
+/// One benchmark cell: median ns per invocation.
+fn median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Row {
+    name: String,
+    scalar_ns: f64,
+    parallel_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ns > 0.0 {
+            self.scalar_ns / self.parallel_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `f(backend)` under both backend implementations.
+fn both(
+    name: impl Into<String>,
+    warmup: usize,
+    samples: usize,
+    mut f: impl FnMut(&'static dyn Backend),
+) -> Row {
+    let scalar_ns = median_ns(warmup, samples, || f(backend::of(BackendKind::Scalar)));
+    let parallel_ns = median_ns(warmup, samples, || f(backend::of(BackendKind::Parallel)));
+    Row {
+        name: name.into(),
+        scalar_ns,
+        parallel_ns,
+    }
+}
+
+/// Time `f()` with the *global* backend switched per side (for paths that
+/// dispatch through `backend::active()` internally: conv, training, eval).
+fn both_global(name: impl Into<String>, warmup: usize, samples: usize, mut f: impl FnMut()) -> Row {
+    came_tensor::set_backend(BackendKind::Scalar);
+    let scalar_ns = median_ns(warmup, samples, &mut f);
+    came_tensor::set_backend(BackendKind::Parallel);
+    let parallel_ns = median_ns(warmup, samples, &mut f);
+    Row {
+        name: name.into(),
+        scalar_ns,
+        parallel_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("CAME_QUICK").is_some();
+    let kind = came_bench::init_backend();
+    eprintln!(
+        "[micro] default backend={} threads={} quick={}",
+        kind.name(),
+        backend::num_threads(),
+        quick
+    );
+    let mut rng = Prng::new(0xBE7C);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- GEMM, the headline kernel -------------------------------------
+    let big = if quick { 128 } else { 512 };
+    {
+        let (m, k, n) = (big, big, big);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal_in(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal_in(0.0, 1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        rows.push(both(
+            format!("matmul_{m}x{k}x{n}"),
+            1,
+            if quick { 3 } else { 5 },
+            |be| {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                be.matmul(black_box(&a), black_box(&b), &mut c, m, k, n);
+                black_box(&c);
+            },
+        ));
+    }
+    {
+        // the 1-vs-all scoring shape: tall-thin times wide
+        let (m, k, n) = (128, 64, 1000);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal_in(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal_in(0.0, 1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        rows.push(both("matmul_128x64x1000", 2, 9, |be| {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            be.matmul(black_box(&a), black_box(&b), &mut c, m, k, n);
+            black_box(&c);
+        }));
+    }
+
+    // --- conv2d (im2col GEMM through the global dispatch) --------------
+    {
+        let x = Tensor::randn(Shape::d4(8, 8, 16, 16), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::d4(16, 8, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::randn(Shape::d1(16), 0.5, &mut rng);
+        rows.push(both_global("conv2d_fwd_8x8x16x16_f16k3", 2, 9, || {
+            black_box(conv::conv2d_forward(
+                black_box(&x),
+                black_box(&w),
+                Some(&bias),
+            ));
+        }));
+    }
+
+    // --- rowwise kernels ------------------------------------------------
+    {
+        let base: Vec<f32> = (0..512 * 512).map(|_| rng.normal_in(0.0, 2.0)).collect();
+        let mut buf = base.clone();
+        rows.push(both("softmax_512x512", 2, 9, |be| {
+            buf.copy_from_slice(&base);
+            be.softmax_lanes(&mut buf, 512);
+            black_box(&buf);
+        }));
+        let mut buf2 = base.clone();
+        rows.push(both("layer_norm_512x512", 2, 9, |be| {
+            buf2.copy_from_slice(&base);
+            be.layer_norm_lanes(&mut buf2, 512, 1e-6);
+            black_box(&buf2);
+        }));
+    }
+
+    // --- elementwise / reduction over ~1M floats ------------------------
+    {
+        let n = 1 << 20;
+        let src: Vec<f32> = (0..n).map(|_| rng.normal_in(0.0, 1.0)).collect();
+        let mut dst = vec![0.0f32; n];
+        rows.push(both("map_tanh_1m", 2, 9, |be| {
+            be.run2(black_box(&src), &mut dst, &|s, d| {
+                for (o, &x) in d.iter_mut().zip(s) {
+                    *o = x.tanh();
+                }
+            });
+            black_box(&dst);
+        }));
+        rows.push(both("sum_1m", 2, 9, |be| {
+            black_box(be.sum(black_box(&src)));
+        }));
+        let grad: Vec<f32> = (0..n).map(|_| rng.normal_in(0.0, 0.1)).collect();
+        let mut x = src.clone();
+        let mut m1 = vec![0.0f32; n];
+        let mut v1 = vec![0.0f32; n];
+        let hp = AdamHp {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            bias1: 0.1,
+            bias2: 0.001,
+        };
+        rows.push(both("adam_1m", 2, 9, |be| {
+            be.adam_update(&mut x, black_box(&grad), &mut m1, &mut v1, &hp);
+            black_box(&x);
+        }));
+    }
+
+    // --- end-to-end: filtered-ranking evaluation ------------------------
+    // Train once (fixed backend so both eval cells rank identical scores),
+    // then time `evaluate` under each backend: batched 1-N forward + the
+    // parallel rank loop.
+    {
+        came_tensor::set_backend(BackendKind::Parallel);
+        let bkg = presets::tiny(7);
+        let hp = BaselineHp {
+            d: 32,
+            epochs: if quick { 1 } else { 3 },
+            ..Default::default()
+        };
+        let trained = train_baseline(Baseline::DistMult, &bkg.dataset, None, &hp, None);
+        let cap = Some(if quick { 64 } else { 256 });
+        rows.push(both_global(
+            "filtered_ranking_eval",
+            1,
+            if quick { 3 } else { 5 },
+            || {
+                black_box(eval_scorer(&trained, &bkg.dataset, Split::Test, cap));
+            },
+        ));
+    }
+    came_tensor::set_backend(kind);
+
+    // --- report ----------------------------------------------------------
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", r.scalar_ns),
+                format!("{:.0}", r.parallel_ns),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        came_bench::markdown_table(
+            &["kernel", "scalar ns/op", "parallel ns/op", "speedup"],
+            &table_rows
+        )
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"quick\": {},\n  \"kernels\": [\n",
+        backend::num_threads(),
+        quick
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns_op\": {:.0}, \"parallel_ns_op\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.scalar_ns,
+            r.parallel_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_micro.json", &json).expect("write BENCH_micro.json");
+    eprintln!("[micro] wrote BENCH_micro.json");
+}

@@ -8,7 +8,14 @@ fn main() {
     let mut rows = Vec::new();
     for (paper, bkg) in [
         (
-            ("DRKG-MM", "97,238", "107", "4,699,408", "587,424", "587,426"),
+            (
+                "DRKG-MM",
+                "97,238",
+                "107",
+                "4,699,408",
+                "587,424",
+                "587,426",
+            ),
             presets::drkg_mm_like(scale.data_seed),
         ),
         (
@@ -37,7 +44,10 @@ fn main() {
     println!("# Table II — dataset statistics\n");
     println!(
         "{}",
-        markdown_table(&["Dataset", "#Ent", "#Rel", "#Train", "#Valid", "#Test"], &rows)
+        markdown_table(
+            &["Dataset", "#Ent", "#Rel", "#Train", "#Valid", "#Test"],
+            &rows
+        )
     );
     println!("(synthetic presets are scaled ~100x down; the density contrast and 8:1:1 split are preserved)");
 }

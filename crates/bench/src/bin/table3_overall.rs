@@ -16,10 +16,22 @@ fn main() {
     let which = std::env::var("CAME_DATASET").unwrap_or_else(|_| "both".into());
     println!("# Table III — overall comparison (filtered test metrics x100; MR absolute)\n");
     for (name, bkg, came_cfg) in [
-        ("DRKG-MM-like", presets::drkg_mm_like(scale.data_seed), came_config_drkg()),
-        ("OMAHA-MM-like", presets::omaha_mm_like(scale.data_seed), came_config_omaha()),
+        (
+            "DRKG-MM-like",
+            presets::drkg_mm_like(scale.data_seed),
+            came_config_drkg(),
+        ),
+        (
+            "OMAHA-MM-like",
+            presets::omaha_mm_like(scale.data_seed),
+            came_config_omaha(),
+        ),
     ] {
-        let key = if name.starts_with("DRKG") { "drkg" } else { "omaha" };
+        let key = if name.starts_with("DRKG") {
+            "drkg"
+        } else {
+            "omaha"
+        };
         if which != "both" && which != key {
             continue;
         }

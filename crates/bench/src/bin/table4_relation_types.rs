@@ -7,7 +7,11 @@ use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::{evaluate_grouped, EvalConfig, RelationFamily, Split, TailScorer};
 
-fn grouped(scorer: &dyn TailScorer, d: &came_kg::KgDataset, cap: Option<usize>) -> Vec<(RelationFamily, came_kg::RankMetrics)> {
+fn grouped(
+    scorer: &dyn TailScorer,
+    d: &came_kg::KgDataset,
+    cap: Option<usize>,
+) -> Vec<(RelationFamily, came_kg::RankMetrics)> {
     let filter = d.filter_index();
     evaluate_grouped(
         scorer,
@@ -34,10 +38,18 @@ fn main() {
     let per_family_cap = scale.eval_cap.map(|c| c / 4);
 
     let mut columns: Vec<(String, Vec<(RelationFamily, came_kg::RankMetrics)>)> = Vec::new();
-    for kind in [Baseline::ConvE, Baseline::ARotatE, Baseline::PairRE, Baseline::DualE] {
+    for kind in [
+        Baseline::ConvE,
+        Baseline::ARotatE,
+        Baseline::PairRE,
+        Baseline::DualE,
+    ] {
         eprintln!("[table4] training {}…", kind.label());
         let trained = train_baseline(kind, d, Some(&features), &hp, None);
-        columns.push((kind.label().to_string(), grouped(&trained, d, per_family_cap)));
+        columns.push((
+            kind.label().to_string(),
+            grouped(&trained, d, per_family_cap),
+        ));
     }
     eprintln!("[table4] training CamE…");
     let (model, store) = train_came(&bkg, &features, came_config_drkg(), scale.came_epochs);
@@ -47,9 +59,7 @@ fn main() {
     let mut headers = vec!["Relation"];
     let labels: Vec<String> = columns
         .iter()
-        .flat_map(|(n, _)| {
-            vec![format!("{n} MRR"), format!("{n} H1"), format!("{n} H10")]
-        })
+        .flat_map(|(n, _)| vec![format!("{n} MRR"), format!("{n} H1"), format!("{n} H10")])
         .collect();
     headers.extend(labels.iter().map(|s| s.as_str()));
 

@@ -16,7 +16,9 @@ fn main() {
         .chain(&bkg.dataset.valid)
         .chain(&bkg.dataset.test)
     {
-        *counts.entry(RelationFamily::of(&bkg.dataset.vocab, t)).or_insert(0) += 1;
+        *counts
+            .entry(RelationFamily::of(&bkg.dataset.vocab, t))
+            .or_insert(0) += 1;
     }
     let paper: &[(RelationFamily, usize)] = &[
         (RelationFamily::DiseaseGene, 12_316),

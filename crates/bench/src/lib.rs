@@ -36,7 +36,17 @@ pub struct Scale {
 
 impl Scale {
     /// Scale from the environment: quick when `CAME_QUICK` is set.
+    ///
+    /// Also (re-)initialises the kernel backend from `CAME_BACKEND` and prints
+    /// a one-line banner, so every experiment binary records which backend
+    /// produced its numbers.
     pub fn from_env() -> Scale {
+        let kind = init_backend();
+        eprintln!(
+            "[came-bench] backend={} threads={}",
+            kind.name(),
+            came_tensor::backend::num_threads()
+        );
         if std::env::var_os("CAME_QUICK").is_some() {
             Scale {
                 came_epochs: 2,
@@ -55,6 +65,12 @@ impl Scale {
             }
         }
     }
+}
+
+/// Select the kernel backend from `CAME_BACKEND` (`scalar` | `parallel`,
+/// default parallel) and return the chosen kind.
+pub fn init_backend() -> came_tensor::BackendKind {
+    came_tensor::backend::init_from_env()
 }
 
 /// Default frozen-feature configuration used by every experiment.
@@ -182,7 +198,9 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         format!("| {} |", padded.join(" | "))
     };
     let mut out = String::new();
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     out.push_str(&fmt_row(&sep));

@@ -5,7 +5,9 @@ use std::collections::HashSet;
 use came_kg::{EntityId, EntityKind, KgDataset, Triple, Vocab};
 use came_tensor::Prng;
 
-use crate::graphgen::{random_compat, sample_relation_triples, RelationSpec, TypedEntities, ZipfSampler};
+use crate::graphgen::{
+    random_compat, sample_relation_triples, RelationSpec, TypedEntities, ZipfSampler,
+};
 use crate::molecule::{generate_molecule, Molecule, Scaffold};
 use crate::text;
 
@@ -90,11 +92,14 @@ impl MultimodalBkg {
 /// drives the Fig. 7 case-study behaviour).
 pub fn indication_group(family: Scaffold) -> usize {
     match family {
-        Scaffold::Penicillin | Scaffold::Sulfonamide | Scaffold::Cephalosporin | Scaffold::Macrolide => 0, // bacterial infection
-        Scaffold::Phenol => 1,     // cardiovascular
-        Scaffold::Statin => 2,     // metabolic
+        Scaffold::Penicillin
+        | Scaffold::Sulfonamide
+        | Scaffold::Cephalosporin
+        | Scaffold::Macrolide => 0, // bacterial infection
+        Scaffold::Phenol => 1,         // cardiovascular
+        Scaffold::Statin => 2,         // metabolic
         Scaffold::Benzodiazepine => 3, // anxiety
-        Scaffold::Piperazine => 4, // inflammatory
+        Scaffold::Piperazine => 4,     // inflammatory
     }
 }
 
@@ -275,7 +280,11 @@ fn describe_entity(
 pub fn prune_min_degree(bkg: MultimodalBkg, min_degree: usize) -> MultimodalBkg {
     let n = bkg.dataset.num_entities();
     let mut degree = vec![0usize; n];
-    for split in [came_kg::Split::Train, came_kg::Split::Valid, came_kg::Split::Test] {
+    for split in [
+        came_kg::Split::Train,
+        came_kg::Split::Valid,
+        came_kg::Split::Test,
+    ] {
         for t in bkg.dataset.get(split) {
             degree[t.h.0 as usize] += 1;
             degree[t.t.0 as usize] += 1;
@@ -308,7 +317,11 @@ pub fn prune_min_degree(bkg: MultimodalBkg, min_degree: usize) -> MultimodalBkg 
         families.push(bkg.families[old]);
     }
     for r in 0..bkg.dataset.num_relations() {
-        vocab.add_relation(bkg.dataset.vocab.relation_name(came_kg::RelationId(r as u32)));
+        vocab.add_relation(
+            bkg.dataset
+                .vocab
+                .relation_name(came_kg::RelationId(r as u32)),
+        );
     }
     let remap_triples = |ts: &[Triple]| -> Vec<Triple> {
         ts.iter()
@@ -385,7 +398,10 @@ mod tests {
         }
         assert!(total > 0);
         // modality_text_noise is small, so most names match their family
-        assert!(hit * 10 >= total * 7, "{hit}/{total} names carry family affix");
+        assert!(
+            hit * 10 >= total * 7,
+            "{hit}/{total} names carry family affix"
+        );
     }
 
     #[test]

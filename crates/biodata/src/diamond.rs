@@ -90,14 +90,25 @@ pub fn sample_diamonds(
                 }
                 let n1 = cc_adj.get(&e1).unwrap_or(&empty);
                 let n2 = cc_adj.get(&e2).unwrap_or(&empty);
-                let (small, large) = if n1.len() <= n2.len() { (n1, n2) } else { (n2, n1) };
+                let (small, large) = if n1.len() <= n2.len() {
+                    (n1, n2)
+                } else {
+                    (n2, n1)
+                };
                 let Some(&e0) = small
                     .iter()
                     .find(|c| large.contains(c) && **c != e1 && **c != e2)
                 else {
                     continue;
                 };
-                let d = Diamond { e0, e1, e2, gene, r1, r2 };
+                let d = Diamond {
+                    e0,
+                    e1,
+                    e2,
+                    gene,
+                    r1,
+                    r2,
+                };
                 if d.same() {
                     same.push(d);
                 } else {

@@ -83,7 +83,12 @@ pub struct TypedEntities {
 
 impl TypedEntities {
     /// Group `ids` (with given cluster assignment) into the lookup structure.
-    pub fn new(kind: EntityKind, ids: Vec<EntityId>, clusters: Vec<usize>, n_clusters: usize) -> Self {
+    pub fn new(
+        kind: EntityKind,
+        ids: Vec<EntityId>,
+        clusters: Vec<usize>,
+        n_clusters: usize,
+    ) -> Self {
         assert_eq!(ids.len(), clusters.len());
         let mut by_cluster = vec![Vec::new(); n_clusters];
         for (i, &c) in clusters.iter().enumerate() {
@@ -111,7 +116,12 @@ impl TypedEntities {
 
 /// Draw a random compatibility map: each of `n_head` clusters is linked to
 /// 1..=`max_fanout` of the `n_tail` clusters.
-pub fn random_compat(n_head: usize, n_tail: usize, max_fanout: usize, rng: &mut Prng) -> Vec<Vec<usize>> {
+pub fn random_compat(
+    n_head: usize,
+    n_tail: usize,
+    max_fanout: usize,
+    rng: &mut Prng,
+) -> Vec<Vec<usize>> {
     (0..n_head)
         .map(|_| {
             let k = 1 + rng.below(max_fanout.min(n_tail));
@@ -200,7 +210,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // head rank should dominate the median rank by a large factor
-        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // all ranks reachable-ish in expectation: the top 10 hold the majority
         let top10: usize = counts[..10].iter().sum();
         assert!(top10 * 2 > 50_000);
@@ -219,7 +234,13 @@ mod tests {
         }
     }
 
-    fn typed(kind: EntityKind, start: u32, n: usize, n_clusters: usize, rng: &mut Prng) -> TypedEntities {
+    fn typed(
+        kind: EntityKind,
+        start: u32,
+        n: usize,
+        n_clusters: usize,
+        rng: &mut Prng,
+    ) -> TypedEntities {
         let ids: Vec<EntityId> = (start..start + n as u32).map(EntityId).collect();
         let clusters: Vec<usize> = (0..n).map(|_| rng.below(n_clusters)).collect();
         TypedEntities::new(kind, ids, clusters, n_clusters)

@@ -32,6 +32,10 @@ pub mod molecule;
 pub mod presets;
 pub mod text;
 
-pub use bkg::{build, indication_group, prune_min_degree, BkgConfig, FamilySpec, KindSpec, MultimodalBkg};
+pub use bkg::{
+    build, indication_group, prune_min_degree, BkgConfig, FamilySpec, KindSpec, MultimodalBkg,
+};
 pub use diamond::{sample_diamonds, similarity_conditioned_same_rate, Diamond};
-pub use molecule::{cosine, generate_molecule, triad_fingerprint, Bond, Element, Molecule, Scaffold};
+pub use molecule::{
+    cosine, generate_molecule, triad_fingerprint, Bond, Element, Molecule, Scaffold,
+};

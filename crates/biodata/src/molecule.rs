@@ -429,7 +429,10 @@ mod tests {
 
     #[test]
     fn cores_are_mutually_distinct() {
-        let fps: Vec<Vec<f32>> = Scaffold::all().iter().map(|s| triad_fingerprint(&s.core())).collect();
+        let fps: Vec<Vec<f32>> = Scaffold::all()
+            .iter()
+            .map(|s| triad_fingerprint(&s.core()))
+            .collect();
         for i in 0..fps.len() {
             for j in i + 1..fps.len() {
                 assert!(

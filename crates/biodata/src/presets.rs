@@ -22,20 +22,66 @@ pub fn drkg_mm_like_config(seed: u64) -> BkgConfig {
     BkgConfig {
         name: "DRKG-MM-like".into(),
         kinds: vec![
-            KindSpec { kind: EntityKind::Gene, count: 400, n_clusters: 10 },
-            KindSpec { kind: EntityKind::Compound, count: 360, n_clusters: 8 },
-            KindSpec { kind: EntityKind::Disease, count: 160, n_clusters: 6 },
-            KindSpec { kind: EntityKind::SideEffect, count: 80, n_clusters: 4 },
+            KindSpec {
+                kind: EntityKind::Gene,
+                count: 400,
+                n_clusters: 10,
+            },
+            KindSpec {
+                kind: EntityKind::Compound,
+                count: 360,
+                n_clusters: 8,
+            },
+            KindSpec {
+                kind: EntityKind::Disease,
+                count: 160,
+                n_clusters: 6,
+            },
+            KindSpec {
+                kind: EntityKind::SideEffect,
+                count: 80,
+                n_clusters: 4,
+            },
         ],
         // triple counts scale Table V's family mix (GG 234k : CC 139k :
         // CG 21k : CSE 14k : DG 12k : CD 8.5k) down by ~21x
         families: vec![
-            FamilySpec { head: EntityKind::Gene, tail: EntityKind::Gene, n_relations: 3, n_triples: 11_000 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Compound, n_relations: 3, n_triples: 6_400 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Gene, n_relations: 4, n_triples: 1_050 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::SideEffect, n_relations: 1, n_triples: 700 },
-            FamilySpec { head: EntityKind::Disease, tail: EntityKind::Gene, n_relations: 2, n_triples: 610 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Disease, n_relations: 2, n_triples: 420 },
+            FamilySpec {
+                head: EntityKind::Gene,
+                tail: EntityKind::Gene,
+                n_relations: 3,
+                n_triples: 11_000,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Compound,
+                n_relations: 3,
+                n_triples: 6_400,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Gene,
+                n_relations: 4,
+                n_triples: 1_050,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::SideEffect,
+                n_relations: 1,
+                n_triples: 700,
+            },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Gene,
+                n_relations: 2,
+                n_triples: 610,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Disease,
+                n_relations: 2,
+                n_triples: 420,
+            },
         ],
         zipf_exponent: 0.85,
         noise_edge_frac: 0.08,
@@ -59,21 +105,72 @@ pub fn omaha_mm_like_config(seed: u64) -> BkgConfig {
     BkgConfig {
         name: "OMAHA-MM-like".into(),
         kinds: vec![
-            KindSpec { kind: EntityKind::Gene, count: 300, n_clusters: 10 },
-            KindSpec { kind: EntityKind::Disease, count: 300, n_clusters: 6 },
-            KindSpec { kind: EntityKind::Symptom, count: 250, n_clusters: 5 },
-            KindSpec { kind: EntityKind::Compound, count: 150, n_clusters: 8 },
+            KindSpec {
+                kind: EntityKind::Gene,
+                count: 300,
+                n_clusters: 10,
+            },
+            KindSpec {
+                kind: EntityKind::Disease,
+                count: 300,
+                n_clusters: 6,
+            },
+            KindSpec {
+                kind: EntityKind::Symptom,
+                count: 250,
+                n_clusters: 5,
+            },
+            KindSpec {
+                kind: EntityKind::Compound,
+                count: 150,
+                n_clusters: 8,
+            },
         ],
         // 17 relation types, sparse graph (paper: OMAHA is far sparser than
         // DRKG; density is what flips several baseline orderings)
         families: vec![
-            FamilySpec { head: EntityKind::Disease, tail: EntityKind::Symptom, n_relations: 4, n_triples: 1_200 },
-            FamilySpec { head: EntityKind::Disease, tail: EntityKind::Gene, n_relations: 3, n_triples: 700 },
-            FamilySpec { head: EntityKind::Gene, tail: EntityKind::Gene, n_relations: 2, n_triples: 500 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Disease, n_relations: 3, n_triples: 450 },
-            FamilySpec { head: EntityKind::Disease, tail: EntityKind::Disease, n_relations: 2, n_triples: 300 },
-            FamilySpec { head: EntityKind::Symptom, tail: EntityKind::Symptom, n_relations: 1, n_triples: 150 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Symptom, n_relations: 2, n_triples: 200 },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Symptom,
+                n_relations: 4,
+                n_triples: 1_200,
+            },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Gene,
+                n_relations: 3,
+                n_triples: 700,
+            },
+            FamilySpec {
+                head: EntityKind::Gene,
+                tail: EntityKind::Gene,
+                n_relations: 2,
+                n_triples: 500,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Disease,
+                n_relations: 3,
+                n_triples: 450,
+            },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Disease,
+                n_relations: 2,
+                n_triples: 300,
+            },
+            FamilySpec {
+                head: EntityKind::Symptom,
+                tail: EntityKind::Symptom,
+                n_relations: 1,
+                n_triples: 150,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Symptom,
+                n_relations: 2,
+                n_triples: 200,
+            },
         ],
         zipf_exponent: 0.8,
         noise_edge_frac: 0.1,
@@ -99,18 +196,64 @@ pub fn tiny_config(seed: u64) -> BkgConfig {
     BkgConfig {
         name: "Tiny-BKG".into(),
         kinds: vec![
-            KindSpec { kind: EntityKind::Gene, count: 40, n_clusters: 4 },
-            KindSpec { kind: EntityKind::Compound, count: 32, n_clusters: 8 },
-            KindSpec { kind: EntityKind::Disease, count: 24, n_clusters: 6 },
-            KindSpec { kind: EntityKind::SideEffect, count: 12, n_clusters: 4 },
+            KindSpec {
+                kind: EntityKind::Gene,
+                count: 40,
+                n_clusters: 4,
+            },
+            KindSpec {
+                kind: EntityKind::Compound,
+                count: 32,
+                n_clusters: 8,
+            },
+            KindSpec {
+                kind: EntityKind::Disease,
+                count: 24,
+                n_clusters: 6,
+            },
+            KindSpec {
+                kind: EntityKind::SideEffect,
+                count: 12,
+                n_clusters: 4,
+            },
         ],
         families: vec![
-            FamilySpec { head: EntityKind::Gene, tail: EntityKind::Gene, n_relations: 1, n_triples: 150 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Compound, n_relations: 1, n_triples: 120 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Gene, n_relations: 2, n_triples: 100 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::SideEffect, n_relations: 1, n_triples: 40 },
-            FamilySpec { head: EntityKind::Disease, tail: EntityKind::Gene, n_relations: 1, n_triples: 40 },
-            FamilySpec { head: EntityKind::Compound, tail: EntityKind::Disease, n_relations: 1, n_triples: 40 },
+            FamilySpec {
+                head: EntityKind::Gene,
+                tail: EntityKind::Gene,
+                n_relations: 1,
+                n_triples: 150,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Compound,
+                n_relations: 1,
+                n_triples: 120,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Gene,
+                n_relations: 2,
+                n_triples: 100,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::SideEffect,
+                n_relations: 1,
+                n_triples: 40,
+            },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Gene,
+                n_relations: 1,
+                n_triples: 40,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Disease,
+                n_relations: 1,
+                n_triples: 40,
+            },
         ],
         zipf_exponent: 0.7,
         noise_edge_frac: 0.05,

@@ -121,7 +121,9 @@ const SYLLABLES: [&str; 16] = [
 /// Random pronounceable stem of 2–3 syllables.
 pub fn stem(rng: &mut Prng) -> String {
     let n = 2 + rng.below(2);
-    (0..n).map(|_| SYLLABLES[rng.below(SYLLABLES.len())]).collect()
+    (0..n)
+        .map(|_| SYLLABLES[rng.below(SYLLABLES.len())])
+        .collect()
 }
 
 fn capitalise(s: &str) -> String {

@@ -1,48 +1,64 @@
-//! Property-based tests for the synthetic BKG generator.
+//! Seeded randomized tests for the synthetic BKG generator.
+//!
+//! Formerly `proptest`-based; now driven by the in-repo [`Prng`] so the
+//! workspace builds hermetically offline. Case counts match the old
+//! configuration (generation is the expensive part, so these stay small).
 
-use came_biodata::{generate_molecule, triad_fingerprint, Scaffold};
 use came_biodata::{bkg, presets};
+use came_biodata::{generate_molecule, triad_fingerprint, Scaffold};
 use came_kg::Split;
 use came_tensor::Prng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn generated_molecules_are_valid_graphs(seed in 0u64..1000, fam_idx in 0usize..8) {
-        let fam = Scaffold::all()[fam_idx];
+#[test]
+fn generated_molecules_are_valid_graphs() {
+    let mut meta = Prng::new(0x3B10);
+    for case in 0..16 {
+        let seed = meta.next_u64() % 1000;
+        let fam = Scaffold::all()[meta.below(8)];
         let mut rng = Prng::new(seed);
         let m = generate_molecule(fam, &mut rng);
-        prop_assert!(m.is_connected());
-        prop_assert!(m.num_atoms() >= 5);
-        prop_assert!(m.num_bonds() + 1 >= m.num_atoms(), "too few bonds for connectivity");
+        assert!(m.is_connected(), "case {case} seed {seed}");
+        assert!(m.num_atoms() >= 5, "case {case} seed {seed}");
+        assert!(
+            m.num_bonds() + 1 >= m.num_atoms(),
+            "case {case} seed {seed}: too few bonds for connectivity"
+        );
         for &(i, j, _) in &m.bonds {
-            prop_assert!(i < j, "bonds must be normalised");
-            prop_assert!((j as usize) < m.num_atoms());
+            assert!(i < j, "case {case} seed {seed}: bonds must be normalised");
+            assert!((j as usize) < m.num_atoms(), "case {case} seed {seed}");
         }
         // fingerprint is unit-normalised
         let fp = triad_fingerprint(&m);
         let norm: f32 = fp.iter().map(|x| x * x).sum();
-        prop_assert!((norm - 1.0).abs() < 1e-4);
+        assert!(
+            (norm - 1.0).abs() < 1e-4,
+            "case {case} seed {seed}: norm {norm}"
+        );
     }
+}
 
-    #[test]
-    fn tiny_preset_invariants(seed in 0u64..200) {
+#[test]
+fn tiny_preset_invariants() {
+    let mut meta = Prng::new(0x3B11);
+    for case in 0..16 {
+        let seed = meta.next_u64() % 200;
         let b = presets::tiny(seed);
         let d = &b.dataset;
         let n = d.num_entities();
         // parallel arrays aligned
-        prop_assert_eq!(b.texts.len(), n);
-        prop_assert_eq!(b.molecules.len(), n);
-        prop_assert_eq!(b.clusters.len(), n);
+        assert_eq!(b.texts.len(), n, "case {case} seed {seed}");
+        assert_eq!(b.molecules.len(), n, "case {case} seed {seed}");
+        assert_eq!(b.clusters.len(), n, "case {case} seed {seed}");
         // all triples reference valid ids and no self-loops
         for s in [Split::Train, Split::Valid, Split::Test] {
             for t in d.get(s) {
-                prop_assert!((t.h.0 as usize) < n);
-                prop_assert!((t.t.0 as usize) < n);
-                prop_assert!((t.r.0 as usize) < d.num_relations());
-                prop_assert!(t.h != t.t, "self-loop generated");
+                assert!((t.h.0 as usize) < n, "case {case} seed {seed}");
+                assert!((t.t.0 as usize) < n, "case {case} seed {seed}");
+                assert!(
+                    (t.r.0 as usize) < d.num_relations(),
+                    "case {case} seed {seed}"
+                );
+                assert!(t.h != t.t, "case {case} seed {seed}: self-loop generated");
             }
         }
         // no duplicate triples across the whole graph
@@ -50,25 +66,54 @@ proptest! {
         let before = all.len();
         all.sort();
         all.dedup();
-        prop_assert_eq!(all.len(), before, "duplicate triples");
+        assert_eq!(
+            all.len(),
+            before,
+            "case {case} seed {seed}: duplicate triples"
+        );
         // texts are non-empty and names unique (vocab enforces, spot check)
-        prop_assert!(b.texts.iter().all(|t| !t.is_empty()));
+        assert!(
+            b.texts.iter().all(|t| !t.is_empty()),
+            "case {case} seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn pruning_is_sound(seed in 0u64..100, min_deg in 1usize..5) {
+#[test]
+fn pruning_is_sound() {
+    let mut meta = Prng::new(0x3B12);
+    for case in 0..16 {
+        let seed = meta.next_u64() % 100;
+        let min_deg = 1 + meta.below(4);
         let b = presets::tiny(seed);
         let before_entities = b.num_entities();
         let pruned = bkg::prune_min_degree(b, min_deg);
         let d = &pruned.dataset;
-        prop_assert!(d.num_entities() <= before_entities);
-        prop_assert_eq!(pruned.texts.len(), d.num_entities());
-        prop_assert_eq!(pruned.molecules.len(), d.num_entities());
+        assert!(
+            d.num_entities() <= before_entities,
+            "case {case} seed {seed}"
+        );
+        assert_eq!(
+            pruned.texts.len(),
+            d.num_entities(),
+            "case {case} seed {seed}"
+        );
+        assert_eq!(
+            pruned.molecules.len(),
+            d.num_entities(),
+            "case {case} seed {seed}"
+        );
         // all triples remapped into the compacted id space
         for s in [Split::Train, Split::Valid, Split::Test] {
             for t in d.get(s) {
-                prop_assert!((t.h.0 as usize) < d.num_entities());
-                prop_assert!((t.t.0 as usize) < d.num_entities());
+                assert!(
+                    (t.h.0 as usize) < d.num_entities(),
+                    "case {case} seed {seed}"
+                );
+                assert!(
+                    (t.t.0 as usize) < d.num_entities(),
+                    "case {case} seed {seed}"
+                );
             }
         }
     }

@@ -39,6 +39,9 @@ pub struct CamEConfig {
     pub use_pretrained_struct: bool,
     /// Parameter-initialisation seed.
     pub seed: u64,
+    /// Kernel backend to select before building/training the model. `None`
+    /// keeps the process-wide default (`CAME_BACKEND` env, else parallel).
+    pub backend: Option<came_tensor::BackendKind>,
 }
 
 impl Default for CamEConfig {
@@ -60,6 +63,7 @@ impl Default for CamEConfig {
             use_molecule: true,
             use_pretrained_struct: true,
             seed: 0xCA4E,
+            backend: None,
         }
     }
 }

@@ -76,7 +76,14 @@ impl MmfModule {
             .enumerate()
             .map(|(k, _)| {
                 use_tca.then(|| {
-                    TcaModule::new(store, &format!("{name}.tca{k}"), d_fusion, n_heads, lambda, rng)
+                    TcaModule::new(
+                        store,
+                        &format!("{name}.tca{k}"),
+                        d_fusion,
+                        n_heads,
+                        lambda,
+                        rng,
+                    )
                 })
             })
             .collect();
@@ -84,8 +91,16 @@ impl MmfModule {
             .iter()
             .enumerate()
             .map(|(k, _)| BilinearPair {
-                u: store.add_xavier(format!("{name}.bl{k}.u"), Shape::d2(d_fusion, d_fusion), rng),
-                v: store.add_xavier(format!("{name}.bl{k}.v"), Shape::d2(d_fusion, d_fusion), rng),
+                u: store.add_xavier(
+                    format!("{name}.bl{k}.u"),
+                    Shape::d2(d_fusion, d_fusion),
+                    rng,
+                ),
+                v: store.add_xavier(
+                    format!("{name}.bl{k}.v"),
+                    Shape::d2(d_fusion, d_fusion),
+                    rng,
+                ),
             })
             .collect();
         let p = store.add_xavier(format!("{name}.p"), Shape::d2(d_fusion, d_fusion), rng);

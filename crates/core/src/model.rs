@@ -7,9 +7,7 @@ use std::cell::RefCell;
 
 use came_encoders::ModalFeatures;
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
-use came_tensor::{
-    EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var,
-};
+use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var};
 
 use crate::config::CamEConfig;
 use crate::mmf::{frozen_rows, simple_multiplicative_fusion, MmfModule};
@@ -66,6 +64,9 @@ impl CamE {
         let n = dataset.num_entities();
         features.validate(n);
         let mut cfg = cfg;
+        if let Some(kind) = cfg.backend {
+            came_tensor::set_backend(kind);
+        }
         // a dataset without any molecule cannot use the molecular modality
         if !features.has_molecule.iter().any(|&m| m) {
             cfg.use_molecule = false;
@@ -130,14 +131,26 @@ impl CamE {
 
         let w_vt = Linear::no_bias(store, "came.w_vt", 2 * de, df, &mut rng);
         let w_vm = Linear::no_bias(store, "came.w_vm", 2 * de, df, &mut rng);
-        let b1_channels = 1
-            + usize::from(cfg.use_text)
-            + usize::from(cfg.use_molecule);
+        let b1_channels = 1 + usize::from(cfg.use_text) + usize::from(cfg.use_molecule);
         let branch1 = ConvBranch::new(
-            store, "came.b1", b1_channels, df, cfg.n_filters, cfg.kernel, de, &mut rng,
+            store,
+            "came.b1",
+            b1_channels,
+            df,
+            cfg.n_filters,
+            cfg.kernel,
+            de,
+            &mut rng,
         );
         let branch2 = ConvBranch::new(
-            store, "came.b2", 2, 2 * de, cfg.n_filters, cfg.kernel, de, &mut rng,
+            store,
+            "came.b2",
+            2,
+            2 * de,
+            cfg.n_filters,
+            cfg.kernel,
+            de,
+            &mut rng,
         );
         let ent_bias = store.add_zeros("came.ent_bias", Shape::d1(n));
         let dropout_rng = RefCell::new(Prng::new(cfg.seed ^ 0xD409));
@@ -201,9 +214,7 @@ impl CamE {
             .data()
             .iter()
             .enumerate()
-            .filter(|&(e, _)| {
-                exclude.is_none_or(|f| !f.contains(h, r, EntityId(e as u32)))
-            })
+            .filter(|&(e, _)| exclude.is_none_or(|f| !f.contains(h, r, EntityId(e as u32))))
             .map(|(e, &s)| (EntityId(e as u32), s))
             .collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -92,10 +92,7 @@ mod tests {
         let h = g.input(hv);
         let r = g.input(rv);
         let v = ric.interact(&g, &store, 0, h, r);
-        assert_eq!(
-            g.value(v).data(),
-            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
-        );
+        assert_eq!(g.value(v).data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
     }
 
     #[test]

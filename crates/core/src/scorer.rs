@@ -57,8 +57,22 @@ impl ConvBranch {
             "kernel {kernel} larger than {h}x{w} map of width {d_in}"
         );
         let (oh, ow) = (h - kernel + 1, w - kernel + 1);
-        let conv = Conv2dLayer::new(store, &format!("{name}.conv"), n_channels, n_filters, kernel, kernel, rng);
-        let fc = Linear::new(store, &format!("{name}.fc"), n_filters * oh * ow, d_out, rng);
+        let conv = Conv2dLayer::new(
+            store,
+            &format!("{name}.conv"),
+            n_channels,
+            n_filters,
+            kernel,
+            kernel,
+            rng,
+        );
+        let fc = Linear::new(
+            store,
+            &format!("{name}.fc"),
+            n_filters * oh * ow,
+            d_out,
+            rng,
+        );
         ConvBranch {
             conv,
             fc,

@@ -63,8 +63,16 @@ impl TcaModule {
                 w_in_d: store.add_xavier(format!("{name}.h{h}.w_in_d"), Shape::d2(dim, dim), rng),
             })
             .collect();
-        let w_head_q = store.add_xavier(format!("{name}.w_head_q"), Shape::d2(n_heads * dim, dim), rng);
-        let w_head_d = store.add_xavier(format!("{name}.w_head_d"), Shape::d2(n_heads * dim, dim), rng);
+        let w_head_q = store.add_xavier(
+            format!("{name}.w_head_q"),
+            Shape::d2(n_heads * dim, dim),
+            rng,
+        );
+        let w_head_d = store.add_xavier(
+            format!("{name}.w_head_d"),
+            Shape::d2(n_heads * dim, dim),
+            rng,
+        );
         let tau0 = store.add(format!("{name}.tau0"), came_tensor::Tensor::scalar(1.0));
         TcaModule {
             heads,

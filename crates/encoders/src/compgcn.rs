@@ -138,12 +138,7 @@ impl OneToNModel for CompGcn {
 
 /// Train a CompGCN on `dataset` and return its frozen structural features
 /// `[N, dim]` — the paper's "structural embedding learned by CompGCN".
-pub fn pretrain_structural(
-    dataset: &KgDataset,
-    dim: usize,
-    epochs: usize,
-    seed: u64,
-) -> Tensor {
+pub fn pretrain_structural(dataset: &KgDataset, dim: usize, epochs: usize, seed: u64) -> Tensor {
     let mut rng = Prng::new(seed);
     let mut store = ParamStore::new();
     let model = CompGcn::new(&mut store, dataset, dim, 1, Composition::Mult, &mut rng);
@@ -185,7 +180,13 @@ mod tests {
         let model = CompGcn::new(&mut store, d, 24, 1, Composition::Mult, &mut rng);
         let filter = d.filter_index();
         let cfg_eval = EvalConfig::default();
-        let before = evaluate(&OneToNScorer::new(&model, &store), d, Split::Valid, &filter, &cfg_eval);
+        let before = evaluate(
+            &OneToNScorer::new(&model, &store),
+            d,
+            Split::Valid,
+            &filter,
+            &cfg_eval,
+        );
         let cfg = TrainConfig {
             epochs: 40,
             batch_size: 128,
@@ -193,7 +194,13 @@ mod tests {
             ..Default::default()
         };
         came_kg::train_one_to_n(&model, &mut store, d, &cfg, |_, _, _| {});
-        let after = evaluate(&OneToNScorer::new(&model, &store), d, Split::Valid, &filter, &cfg_eval);
+        let after = evaluate(
+            &OneToNScorer::new(&model, &store),
+            d,
+            Split::Valid,
+            &filter,
+            &cfg_eval,
+        );
         assert!(
             after.mrr() > before.mrr() + 0.03,
             "no learning: {} -> {}",

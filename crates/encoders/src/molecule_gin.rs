@@ -181,10 +181,18 @@ mod tests {
         // diamond experiment and MMF fusion rely on)
         let enc = MoleculeEncoder::new(32, 3, 1);
         let mut rng = Prng::new(2);
-        let fams = [Scaffold::Penicillin, Scaffold::Sulfonamide, Scaffold::Macrolide];
+        let fams = [
+            Scaffold::Penicillin,
+            Scaffold::Sulfonamide,
+            Scaffold::Macrolide,
+        ];
         let embs: Vec<Vec<Vec<f32>>> = fams
             .iter()
-            .map(|&f| (0..8).map(|_| enc.encode(&generate_molecule(f, &mut rng))).collect())
+            .map(|&f| {
+                (0..8)
+                    .map(|_| enc.encode(&generate_molecule(f, &mut rng)))
+                    .collect()
+            })
             .collect();
         let mut intra = (0.0, 0);
         let mut cross = (0.0, 0);

@@ -32,13 +32,21 @@ impl KgDataset {
     ///
     /// # Panics
     /// Panics if ratios are non-positive or triples reference unknown ids.
-    pub fn split(vocab: Vocab, mut triples: Vec<Triple>, ratios: (f64, f64, f64), rng: &mut Prng) -> Self {
+    pub fn split(
+        vocab: Vocab,
+        mut triples: Vec<Triple>,
+        ratios: (f64, f64, f64),
+        rng: &mut Prng,
+    ) -> Self {
         let (a, b, c) = ratios;
         assert!(a > 0.0 && b >= 0.0 && c >= 0.0, "bad split ratios");
         let ne = vocab.num_entities() as u32;
         let nr = vocab.num_relations() as u32;
         for t in &triples {
-            assert!(t.h.0 < ne && t.t.0 < ne && t.r.0 < nr, "triple {t:?} out of vocab");
+            assert!(
+                t.h.0 < ne && t.t.0 < ne && t.r.0 < nr,
+                "triple {t:?} out of vocab"
+            );
         }
         rng.shuffle(&mut triples);
         let n = triples.len();

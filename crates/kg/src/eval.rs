@@ -155,9 +155,22 @@ fn rank_triples(
     for chunk in triples.chunks(batch_size.max(1)) {
         let queries: Vec<(EntityId, RelationId)> = chunk.iter().map(|t| (t.h, t.r)).collect();
         let scores = scorer.score_tails(&queries);
-        assert_eq!(scores.len(), chunk.len(), "scorer returned wrong batch size");
-        for (t, s) in chunk.iter().zip(&scores) {
-            metrics.push(filtered_rank(s, t.t, None, t.h, t.r, filter));
+        assert_eq!(
+            scores.len(),
+            chunk.len(),
+            "scorer returned wrong batch size"
+        );
+        // Rank each triple of the batch independently (parallel under the
+        // Parallel backend); ranks land in per-triple slots, so the metrics
+        // fold below stays in input order and the result is deterministic.
+        let mut ranks = vec![0.0f64; chunk.len()];
+        let tasks: Vec<((&mut f64, &Triple), &Vec<f32>)> =
+            ranks.iter_mut().zip(chunk).zip(&scores).collect();
+        came_tensor::backend::run_tasks(tasks, |((slot, t), s)| {
+            *slot = filtered_rank(s, t.t, None, t.h, t.r, filter);
+        });
+        for r in ranks {
+            metrics.push(r);
         }
     }
     metrics
@@ -190,11 +203,25 @@ mod tests {
         // entity scores: e1 and e2 (known train tails) outrank e3, but they
         // are filtered out, so e3's filtered rank counts only e0, e4.
         let scores = [0.1, 0.9, 0.8, 0.5, 0.2];
-        let rank = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &filter);
+        let rank = filtered_rank(
+            &scores,
+            EntityId(3),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &filter,
+        );
         assert_eq!(rank, 1.0); // e0=0.1 and e4=0.2 both score below 0.5
-        // raw (unfiltered) comparison for contrast
+                               // raw (unfiltered) comparison for contrast
         let empty = FilterIndex::default();
-        let raw = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &empty);
+        let raw = filtered_rank(
+            &scores,
+            EntityId(3),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &empty,
+        );
         assert_eq!(raw, 3.0);
     }
 
@@ -205,8 +232,22 @@ mod tests {
         let empty = FilterIndex::default();
         let scores = [0.3, 0.9, 0.1, 0.4, 0.8];
         for target in 0..5u32 {
-            let f = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &filter);
-            let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
+            let f = filtered_rank(
+                &scores,
+                EntityId(target),
+                None,
+                EntityId(0),
+                RelationId(0),
+                &filter,
+            );
+            let r = filtered_rank(
+                &scores,
+                EntityId(target),
+                None,
+                EntityId(0),
+                RelationId(0),
+                &empty,
+            );
             assert!(f <= r, "filtered {f} > raw {r}");
         }
     }
@@ -215,7 +256,14 @@ mod tests {
     fn ties_get_expected_rank() {
         let empty = FilterIndex::default();
         let scores = [0.5, 0.5, 0.5, 0.5];
-        let rank = filtered_rank(&scores, EntityId(0), None, EntityId(0), RelationId(0), &empty);
+        let rank = filtered_rank(
+            &scores,
+            EntityId(0),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &empty,
+        );
         // 3 ties -> expected rank 1 + 3/2 = 2.5
         assert_eq!(rank, 2.5);
     }
@@ -250,8 +298,9 @@ mod tests {
     fn constant_scorer_gets_chance_level() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer =
-            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+            qs.iter().map(|_| vec![0.0; 5]).collect()
+        };
         let m = evaluate(&scorer, &d, Split::Test, &filter, &EvalConfig::default());
         // all candidates tie: expected rank is the middle of the candidate set,
         // so MRR is well below 1
@@ -263,8 +312,9 @@ mod tests {
     fn max_triples_caps_query_count() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer =
-            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+            qs.iter().map(|_| vec![0.0; 5]).collect()
+        };
         let cfg = EvalConfig {
             max_triples: Some(1),
             ..Default::default()
@@ -277,8 +327,9 @@ mod tests {
     fn grouped_eval_partitions_queries() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer =
-            |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> { qs.iter().map(|_| vec![0.0; 5]).collect() };
+        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+            qs.iter().map(|_| vec![0.0; 5]).collect()
+        };
         let groups = evaluate_grouped(
             &scorer,
             &d,
@@ -300,8 +351,22 @@ mod tests {
             .known_tails(EntityId(0), RelationId(0))
             .cloned()
             .unwrap();
-        let a = filtered_rank(&scores, EntityId(3), Some(&known), EntityId(0), RelationId(0), &filter);
-        let b = filtered_rank(&scores, EntityId(3), None, EntityId(0), RelationId(0), &filter);
+        let a = filtered_rank(
+            &scores,
+            EntityId(3),
+            Some(&known),
+            EntityId(0),
+            RelationId(0),
+            &filter,
+        );
+        let b = filtered_rank(
+            &scores,
+            EntityId(3),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &filter,
+        );
         assert_eq!(a, b);
     }
 }

@@ -156,7 +156,9 @@ mod tests {
             vocab.add_entity(format!("e{i}"), EntityKind::Other);
         }
         vocab.add_relation("r");
-        let triples: Vec<Triple> = (0..16).map(|i| Triple::new(i % 4, 0, 4 + (i % 4))).collect();
+        let triples: Vec<Triple> = (0..16)
+            .map(|i| Triple::new(i % 4, 0, 4 + (i % 4)))
+            .collect();
         let mut rng = Prng::new(1);
         KgDataset::split(vocab, triples, (1.0, 0.0, 0.0), &mut rng)
     }

@@ -37,8 +37,8 @@ pub use metrics::RankMetrics;
 pub use negative::NegativeSampler;
 pub use relbucket::RelationFamily;
 pub use train::{
-    softplus, train_negative_sampling, train_one_to_n, EpochStats, NegSamplingConfig,
-    NegWeighting, OneToNModel, OneToNScorer, TrainConfig, TripleModel, TripleScorerAdapter,
+    softplus, train_negative_sampling, train_one_to_n, EpochStats, NegSamplingConfig, NegWeighting,
+    OneToNModel, OneToNScorer, TrainConfig, TripleModel, TripleScorerAdapter,
 };
 pub use triple::Triple;
 pub use vocab::{EntityId, EntityKind, RelationId, Vocab};

@@ -52,10 +52,7 @@ impl NegativeSampler {
                     continue;
                 }
             }
-            return Triple {
-                t: cand,
-                ..pos
-            };
+            return Triple { t: cand, ..pos };
         }
         // Fallback: accept a possibly-false negative rather than loop forever.
         let mut cand = EntityId(rng.below(self.num_entities) as u32);

@@ -29,7 +29,11 @@ impl RelationFamily {
         use EntityKind::*;
         let a = vocab.entity_kind(t.h);
         let b = vocab.entity_kind(t.t);
-        let pair = if (a as u8) <= (b as u8) { (a, b) } else { (b, a) };
+        let pair = if (a as u8) <= (b as u8) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         match pair {
             (Gene, Disease) | (Disease, Gene) => RelationFamily::DiseaseGene,
             (Gene, Gene) => RelationFamily::GeneGene,
@@ -78,8 +82,16 @@ mod tests {
         let g = v.add_entity("g", EntityKind::Gene);
         let c = v.add_entity("c", EntityKind::Compound);
         v.add_relation("r");
-        let t1 = Triple { h: g, r: crate::vocab::RelationId(0), t: c };
-        let t2 = Triple { h: c, r: crate::vocab::RelationId(0), t: g };
+        let t1 = Triple {
+            h: g,
+            r: crate::vocab::RelationId(0),
+            t: c,
+        };
+        let t2 = Triple {
+            h: c,
+            r: crate::vocab::RelationId(0),
+            t: g,
+        };
         assert_eq!(RelationFamily::of(&v, &t1), RelationFamily::CompoundGene);
         assert_eq!(RelationFamily::of(&v, &t2), RelationFamily::CompoundGene);
     }
@@ -96,11 +108,26 @@ mod tests {
         let sym = v.add_entity("sym", EntityKind::Symptom);
         let r = v.add_relation("r");
         let mk = |h, t| Triple { h, r, t };
-        assert_eq!(RelationFamily::of(&v, &mk(g1, g2)), RelationFamily::GeneGene);
-        assert_eq!(RelationFamily::of(&v, &mk(c1, c2)), RelationFamily::CompoundCompound);
-        assert_eq!(RelationFamily::of(&v, &mk(d, g1)), RelationFamily::DiseaseGene);
-        assert_eq!(RelationFamily::of(&v, &mk(c1, s)), RelationFamily::CompoundSideEffect);
-        assert_eq!(RelationFamily::of(&v, &mk(c1, d)), RelationFamily::CompoundDisease);
+        assert_eq!(
+            RelationFamily::of(&v, &mk(g1, g2)),
+            RelationFamily::GeneGene
+        );
+        assert_eq!(
+            RelationFamily::of(&v, &mk(c1, c2)),
+            RelationFamily::CompoundCompound
+        );
+        assert_eq!(
+            RelationFamily::of(&v, &mk(d, g1)),
+            RelationFamily::DiseaseGene
+        );
+        assert_eq!(
+            RelationFamily::of(&v, &mk(c1, s)),
+            RelationFamily::CompoundSideEffect
+        );
+        assert_eq!(
+            RelationFamily::of(&v, &mk(c1, d)),
+            RelationFamily::CompoundDisease
+        );
         assert_eq!(RelationFamily::of(&v, &mk(sym, d)), RelationFamily::Other);
     }
 

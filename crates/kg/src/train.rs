@@ -25,14 +25,25 @@ pub trait OneToNModel {
 
 /// A model scored per-triple (for negative-sampling training): higher score
 /// means more plausible.
-pub trait TripleModel {
+///
+/// `Sync` is a supertrait so evaluation can shard the 1-vs-all scoring of a
+/// query across threads (see [`TripleScorerAdapter`]); triple models hold
+/// only plain parameter handles, so this costs implementors nothing.
+pub trait TripleModel: Sync {
     /// Build the forward graph; result shape `[B]` (or `[B,1]`).
     fn score(&self, g: &Graph, store: &ParamStore, h: &[u32], r: &[u32], t: &[u32]) -> Var;
 
     /// Optional auxiliary loss added to each step (e.g. TransAE's
     /// autoencoder reconstruction term). Called once per batch with the
     /// positive triples.
-    fn aux_loss(&self, _g: &Graph, _store: &ParamStore, _h: &[u32], _r: &[u32], _t: &[u32]) -> Option<Var> {
+    fn aux_loss(
+        &self,
+        _g: &Graph,
+        _store: &ParamStore,
+        _h: &[u32],
+        _r: &[u32],
+        _t: &[u32],
+    ) -> Option<Var> {
         None
     }
 }
@@ -200,7 +211,11 @@ pub fn train_negative_sampling<M: TripleModel>(
         let mut n_batches = 0usize;
         for chunk in triples.chunks(cfg.base.batch_size) {
             let b = chunk.len();
-            let (mut h, mut r, mut t) = (Vec::with_capacity(b), Vec::with_capacity(b), Vec::with_capacity(b));
+            let (mut h, mut r, mut t) = (
+                Vec::with_capacity(b),
+                Vec::with_capacity(b),
+                Vec::with_capacity(b),
+            );
             let (mut hn, mut rn, mut tn) = (
                 Vec::with_capacity(b * cfg.k),
                 Vec::with_capacity(b * cfg.k),
@@ -309,18 +324,34 @@ impl<'a, M: TripleModel + ?Sized> TripleScorerAdapter<'a, M> {
 
 impl<M: TripleModel + ?Sized> TailScorer for TripleScorerAdapter<'_, M> {
     fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>> {
+        use came_tensor::backend::{self, BackendKind};
         let n = self.num_entities;
-        queries
-            .iter()
-            .map(|&(h, r)| {
-                let g = Graph::inference();
-                let hs = vec![h.0; n];
-                let rs = vec![r.0; n];
-                let ts: Vec<u32> = (0..n as u32).collect();
-                let s = self.model.score(&g, self.store, &hs, &rs, &ts);
-                g.value(s).into_vec()
-            })
-            .collect()
+        // Each (query, entity-shard) cell is an independent inference pass
+        // writing a disjoint slice of its query's row, so sharding is exact.
+        // Under the Scalar backend (or one thread) there is one shard per
+        // query and this degenerates to the original sequential loop.
+        let shard = match backend::kind() {
+            BackendKind::Scalar => n,
+            BackendKind::Parallel => n.div_ceil(backend::num_threads()).max(512),
+        }
+        .max(1);
+        let mut out: Vec<Vec<f32>> = queries.iter().map(|_| vec![0.0f32; n]).collect();
+        let mut tasks: Vec<(EntityId, RelationId, usize, &mut [f32])> = Vec::new();
+        for (q, row) in queries.iter().zip(out.iter_mut()) {
+            for (si, chunk) in row.chunks_mut(shard).enumerate() {
+                tasks.push((q.0, q.1, si * shard, chunk));
+            }
+        }
+        backend::run_tasks(tasks, |(h, r, start, chunk)| {
+            let g = Graph::inference();
+            let len = chunk.len();
+            let hs = vec![h.0; len];
+            let rs = vec![r.0; len];
+            let ts: Vec<u32> = (start as u32..(start + len) as u32).collect();
+            let s = self.model.score(&g, self.store, &hs, &rs, &ts);
+            chunk.copy_from_slice(g.value(s).data());
+        });
+        out
     }
 }
 
@@ -338,7 +369,13 @@ mod tests {
     }
 
     impl ToyDistMult {
-        fn new(store: &mut ParamStore, n_ent: usize, n_rel: usize, d: usize, rng: &mut Prng) -> Self {
+        fn new(
+            store: &mut ParamStore,
+            n_ent: usize,
+            n_rel: usize,
+            d: usize,
+            rng: &mut Prng,
+        ) -> Self {
             ToyDistMult {
                 ent: EmbeddingTable::new(store, "ent", n_ent, d, rng),
                 rel: EmbeddingTable::new(store, "rel", n_rel, d, rng),
@@ -388,7 +425,13 @@ mod tests {
         let d = toy_dataset();
         let mut rng = Prng::new(0);
         let mut store = ParamStore::new();
-        let model = ToyDistMult::new(&mut store, d.num_entities(), d.num_relations_aug(), 16, &mut rng);
+        let model = ToyDistMult::new(
+            &mut store,
+            d.num_entities(),
+            d.num_relations_aug(),
+            16,
+            &mut rng,
+        );
         let cfg = TrainConfig {
             epochs: 60,
             batch_size: 8,
@@ -401,7 +444,13 @@ mod tests {
 
         let scorer = OneToNScorer::new(&model, &store);
         let filter = d.filter_index();
-        let m = crate::eval::evaluate(&scorer, &d, Split::Train, &filter, &crate::eval::EvalConfig::default());
+        let m = crate::eval::evaluate(
+            &scorer,
+            &d,
+            Split::Train,
+            &filter,
+            &crate::eval::EvalConfig::default(),
+        );
         assert!(m.mrr() > 0.5, "train MRR {} too low", m.mrr());
     }
 
@@ -410,7 +459,13 @@ mod tests {
         let d = toy_dataset();
         let mut rng = Prng::new(1);
         let mut store = ParamStore::new();
-        let model = ToyDistMult::new(&mut store, d.num_entities(), d.num_relations_aug(), 16, &mut rng);
+        let model = ToyDistMult::new(
+            &mut store,
+            d.num_entities(),
+            d.num_relations_aug(),
+            16,
+            &mut rng,
+        );
         let cfg = NegSamplingConfig {
             base: TrainConfig {
                 epochs: 80,
@@ -427,7 +482,13 @@ mod tests {
 
         let scorer = TripleScorerAdapter::new(&model, &store, d.num_entities());
         let filter = d.filter_index();
-        let m = crate::eval::evaluate(&scorer, &d, Split::Train, &filter, &crate::eval::EvalConfig::default());
+        let m = crate::eval::evaluate(
+            &scorer,
+            &d,
+            Split::Train,
+            &filter,
+            &crate::eval::EvalConfig::default(),
+        );
         assert!(m.mrr() > 0.4, "train MRR {} too low", m.mrr());
     }
 
@@ -447,7 +508,13 @@ mod tests {
         let d = toy_dataset();
         let mut rng = Prng::new(2);
         let mut store = ParamStore::new();
-        let model = ToyDistMult::new(&mut store, d.num_entities(), d.num_relations_aug(), 8, &mut rng);
+        let model = ToyDistMult::new(
+            &mut store,
+            d.num_entities(),
+            d.num_relations_aug(),
+            8,
+            &mut rng,
+        );
         let mut calls = 0;
         let cfg = TrainConfig {
             epochs: 3,
@@ -465,7 +532,13 @@ mod tests {
         let d = toy_dataset();
         let mut rng = Prng::new(3);
         let mut store = ParamStore::new();
-        let model = ToyDistMult::new(&mut store, d.num_entities(), d.num_relations_aug(), 16, &mut rng);
+        let model = ToyDistMult::new(
+            &mut store,
+            d.num_entities(),
+            d.num_relations_aug(),
+            16,
+            &mut rng,
+        );
         let cfg = TrainConfig {
             epochs: 40,
             batch_size: 8,

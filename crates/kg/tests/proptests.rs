@@ -1,41 +1,70 @@
-//! Property-based tests for knowledge-graph invariants.
+//! Seeded randomized tests for knowledge-graph invariants.
+//!
+//! Formerly `proptest`-based; now driven by the in-repo [`Prng`] so the
+//! workspace builds hermetically offline. Every case derives from an explicit
+//! seed, so failures reproduce from the assertion message alone.
 
 use came_kg::{
     filtered_rank, EntityId, EntityKind, FilterIndex, KgDataset, RankMetrics, RelationId, Triple,
     Vocab,
 };
 use came_tensor::Prng;
-use proptest::prelude::*;
 
-fn arb_scores(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-10.0f32..10.0, n)
+fn scores(n: usize, rng: &mut Prng) -> Vec<f32> {
+    (0..n).map(|_| rng.uniform_in(-10.0, 10.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn rank_is_within_bounds(scores in arb_scores(20), target in 0u32..20) {
-        let empty = FilterIndex::default();
-        let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
-        prop_assert!(r >= 1.0);
-        prop_assert!(r <= scores.len() as f64);
+#[test]
+fn rank_is_within_bounds() {
+    let empty = FilterIndex::default();
+    for seed in 0..300u64 {
+        let mut rng = Prng::new(seed);
+        let s = scores(20, &mut rng);
+        let target = rng.below(20) as u32;
+        let r = filtered_rank(
+            &s,
+            EntityId(target),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &empty,
+        );
+        assert!(r >= 1.0, "seed {seed}: rank {r} < 1");
+        assert!(r <= s.len() as f64, "seed {seed}: rank {r} > {}", s.len());
     }
+}
 
-    #[test]
-    fn best_score_has_rank_one(mut scores in arb_scores(15), target in 0u32..15) {
+#[test]
+fn best_score_has_rank_one() {
+    let empty = FilterIndex::default();
+    for seed in 0..300u64 {
+        let mut rng = Prng::new(seed ^ 0x11);
+        let mut s = scores(15, &mut rng);
+        let target = rng.below(15);
         // force the target strictly best
-        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        scores[target as usize] = max + 1.0;
-        let empty = FilterIndex::default();
-        let r = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
-        prop_assert_eq!(r, 1.0);
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        s[target] = max + 1.0;
+        let r = filtered_rank(
+            &s,
+            EntityId(target as u32),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &empty,
+        );
+        assert_eq!(r, 1.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn filtering_never_hurts_rank(
-        scores in arb_scores(12),
-        target in 0u32..12,
-        known in prop::collection::vec(0u32..12, 0..6),
-    ) {
+#[test]
+fn filtering_never_hurts_rank() {
+    let empty = FilterIndex::default();
+    for seed in 0..200u64 {
+        let mut rng = Prng::new(seed ^ 0x22);
+        let s = scores(12, &mut rng);
+        let target = rng.below(12) as u32;
+        let n_known = rng.below(6);
+        let known: Vec<u32> = (0..n_known).map(|_| rng.below(12) as u32).collect();
         // build a filter index marking `known` as true tails of (0, r0)
         let mut vocab = Vocab::new();
         for i in 0..12 {
@@ -43,32 +72,63 @@ proptest! {
         }
         vocab.add_relation("r");
         let train: Vec<Triple> = known.iter().map(|&t| Triple::new(0, 0, t)).collect();
-        let d = KgDataset { vocab, train, valid: vec![], test: vec![] };
+        let d = KgDataset {
+            vocab,
+            train,
+            valid: vec![],
+            test: vec![],
+        };
         let filter = d.filter_index();
-        let empty = FilterIndex::default();
-        let filtered = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &filter);
-        let raw = filtered_rank(&scores, EntityId(target), None, EntityId(0), RelationId(0), &empty);
-        prop_assert!(filtered <= raw, "filtered {filtered} > raw {raw}");
+        let filtered = filtered_rank(
+            &s,
+            EntityId(target),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &filter,
+        );
+        let raw = filtered_rank(
+            &s,
+            EntityId(target),
+            None,
+            EntityId(0),
+            RelationId(0),
+            &empty,
+        );
+        assert!(
+            filtered <= raw,
+            "seed {seed}: filtered {filtered} > raw {raw}"
+        );
     }
+}
 
-    #[test]
-    fn metrics_are_bounded(ranks in prop::collection::vec(1u32..500, 1..50)) {
+#[test]
+fn metrics_are_bounded() {
+    for seed in 0..200u64 {
+        let mut rng = Prng::new(seed ^ 0x33);
+        let n = 1 + rng.below(49);
+        let ranks: Vec<u32> = (0..n).map(|_| 1 + rng.below(499) as u32).collect();
         let mut m = RankMetrics::new();
         for r in &ranks {
             m.push(*r as f64);
         }
-        prop_assert!(m.mrr() > 0.0 && m.mrr() <= 1.0);
-        prop_assert!(m.mr() >= 1.0);
-        prop_assert!(m.hits(1) <= m.hits(3));
-        prop_assert!(m.hits(3) <= m.hits(10));
-        prop_assert_eq!(m.count(), ranks.len());
+        assert!(
+            m.mrr() > 0.0 && m.mrr() <= 1.0,
+            "seed {seed}: mrr {}",
+            m.mrr()
+        );
+        assert!(m.mr() >= 1.0, "seed {seed}: mr {}", m.mr());
+        assert!(m.hits(1) <= m.hits(3), "seed {seed}");
+        assert!(m.hits(3) <= m.hits(10), "seed {seed}");
+        assert_eq!(m.count(), ranks.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn split_conserves_and_is_deterministic(
-        n_triples in 10usize..100,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn split_conserves_and_is_deterministic() {
+    for seed in 0..100u64 {
+        let mut rng = Prng::new(seed ^ 0x44);
+        let n_triples = 10 + rng.below(90);
         let mut vocab = Vocab::new();
         for i in 0..20 {
             vocab.add_entity(format!("e{i}"), EntityKind::Other);
@@ -77,27 +137,51 @@ proptest! {
         let triples: Vec<Triple> = (0..n_triples as u32)
             .map(|i| Triple::new(i % 20, 0, (i * 7 + 1) % 20))
             .collect();
-        let d1 = KgDataset::split(vocab.clone(), triples.clone(), (8.0, 1.0, 1.0), &mut Prng::new(seed));
-        let d2 = KgDataset::split(vocab, triples.clone(), (8.0, 1.0, 1.0), &mut Prng::new(seed));
-        prop_assert_eq!(d1.train.len() + d1.valid.len() + d1.test.len(), n_triples);
-        prop_assert_eq!(&d1.train, &d2.train);
-        prop_assert_eq!(&d1.test, &d2.test);
+        let d1 = KgDataset::split(
+            vocab.clone(),
+            triples.clone(),
+            (8.0, 1.0, 1.0),
+            &mut Prng::new(seed),
+        );
+        let d2 = KgDataset::split(
+            vocab,
+            triples.clone(),
+            (8.0, 1.0, 1.0),
+            &mut Prng::new(seed),
+        );
+        assert_eq!(
+            d1.train.len() + d1.valid.len() + d1.test.len(),
+            n_triples,
+            "seed {seed}"
+        );
+        assert_eq!(&d1.train, &d2.train, "seed {seed}");
+        assert_eq!(&d1.test, &d2.test, "seed {seed}");
         // the split is a permutation of the input multiset
-        let mut all: Vec<Triple> = d1.train.iter().chain(&d1.valid).chain(&d1.test).copied().collect();
+        let mut all: Vec<Triple> = d1
+            .train
+            .iter()
+            .chain(&d1.valid)
+            .chain(&d1.test)
+            .copied()
+            .collect();
         let mut orig = triples;
         all.sort();
         orig.sort();
-        prop_assert_eq!(all, orig);
+        assert_eq!(all, orig, "seed {seed}");
     }
+}
 
-    #[test]
-    fn inverse_augmentation_is_involution_on_endpoints(
-        h in 0u32..50, r in 0u32..7, t in 0u32..50, nrel in 7usize..20,
-    ) {
+#[test]
+fn inverse_augmentation_is_involution_on_endpoints() {
+    for seed in 0..300u64 {
+        let mut rng = Prng::new(seed ^ 0x55);
+        let (h, t) = (rng.below(50) as u32, rng.below(50) as u32);
+        let r = rng.below(7) as u32;
+        let nrel = 7 + rng.below(13);
         let tri = Triple::new(h, r, t);
         let inv = tri.inverse(nrel);
-        prop_assert_eq!(inv.h, tri.t);
-        prop_assert_eq!(inv.t, tri.h);
-        prop_assert_eq!(inv.r.0, r + nrel as u32);
+        assert_eq!(inv.h, tri.t, "seed {seed}");
+        assert_eq!(inv.t, tri.h, "seed {seed}");
+        assert_eq!(inv.r.0, r + nrel as u32, "seed {seed}");
     }
 }

@@ -1,0 +1,812 @@
+//! Pluggable kernel backends: the dispatch seam for every hot tensor op.
+//!
+//! All dense kernels the stack spends wall-clock in — GEMM (plain, batched,
+//! and the im2col GEMMs inside conv2d), rowwise softmax / layer-norm, and the
+//! elementwise map / zip / reduce drivers — are routed through the [`Backend`]
+//! trait. Two implementations ship:
+//!
+//! - [`ScalarBackend`]: the original single-threaded reference loops.
+//!   Bitwise-stable semantics; the oracle every parity test compares against.
+//! - [`ParallelBackend`]: cache-blocked, register-tiled GEMM plus
+//!   `std::thread::scope` row-panel work-stealing sized by
+//!   [`std::thread::available_parallelism`]. No external crates. Within each
+//!   output element the accumulation order is identical to the scalar kernel,
+//!   so GEMM results match the reference bit-for-bit; blocked reductions
+//!   (`sum`/`dot`) use a fixed block size so they are deterministic for any
+//!   thread count.
+//!
+//! The active backend is a process-wide setting: [`set_backend`] selects one
+//! programmatically, the `CAME_BACKEND` environment variable (`scalar` |
+//! `parallel`) selects one at launch, and the default is `parallel`. Thread
+//! count follows `available_parallelism`, overridable with `CAME_THREADS`.
+//!
+//! Elementwise ops keep their inner loops monomorphised: callers hand the
+//! backend a *chunk* closure (`&dyn Fn(&[f32], &mut [f32])`), so the dynamic
+//! dispatch cost is paid once per cache-sized chunk, not once per element.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Which backend implementation to dispatch through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Reference single-threaded loops.
+    Scalar,
+    /// Cache-blocked, multithreaded kernels.
+    Parallel,
+}
+
+impl BackendKind {
+    /// Parse `"scalar"` / `"parallel"` (case-insensitive; `"par"` accepted).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" | "ref" | "reference" => Some(BackendKind::Scalar),
+            "parallel" | "par" | "blocked" => Some(BackendKind::Parallel),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::parse(s).ok_or_else(|| format!("unknown backend {s:?}"))
+    }
+}
+
+/// Adam update hyper-parameters plus the step's bias corrections, packed so
+/// the fused optimiser kernel has one argument.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamHp {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+    /// `1 - beta1^t` for the current step `t`.
+    pub bias1: f32,
+    /// `1 - beta2^t` for the current step `t`.
+    pub bias2: f32,
+}
+
+/// The kernel dispatch trait. `out` GEMM buffers are *accumulated into*
+/// (`C += A·B`); pass zeros for a plain product. Lane kernels treat their
+/// buffer as contiguous rows of length `lane`.
+pub trait Backend: Send + Sync {
+    /// Canonical backend name.
+    fn name(&self) -> &'static str;
+
+    /// `out[m,n] += a[m,k] · b[k,n]`, row-major.
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Batched `out[i] += a[i] · b[i]` over `batch` independent `[m,k]x[k,n]`
+    /// products stored contiguously.
+    fn matmul_batched(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..batch {
+            self.matmul(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    /// In-place stabilised softmax over each contiguous lane of length `lane`.
+    fn softmax_lanes(&self, data: &mut [f32], lane: usize);
+
+    /// In-place layer normalisation (no affine) over contiguous lanes.
+    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32);
+
+    /// Backward of [`Backend::layer_norm_lanes`]: writes `d loss/d x` into
+    /// `out` given input `x` and upstream gradient `g`.
+    fn layer_norm_backward_lanes(
+        &self,
+        x: &[f32],
+        g: &[f32],
+        out: &mut [f32],
+        lane: usize,
+        eps: f32,
+    );
+
+    /// Elementwise driver over one mutable buffer. `body` is invoked on
+    /// cache-sized chunks (the whole buffer under the scalar backend).
+    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync));
+
+    /// Elementwise driver `src -> dst` (equal lengths, chunked in lockstep).
+    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync));
+
+    /// Elementwise driver `(a, b) -> dst` (equal lengths, chunked in lockstep).
+    fn run3(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        dst: &mut [f32],
+        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
+    );
+
+    /// Deterministic sum of all elements.
+    fn sum(&self, xs: &[f32]) -> f32;
+
+    /// Deterministic dot product (`xs.len() == ys.len()`).
+    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32;
+
+    /// Fused Adam step over one parameter tensor's buffers.
+    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp);
+}
+
+// --------------------------------------------------------------------------
+// shared lane kernels (per-lane math identical across backends)
+// --------------------------------------------------------------------------
+
+#[inline]
+fn softmax_one_lane(lane: &mut [f32]) {
+    let mut mx = f32::NEG_INFINITY;
+    for &v in lane.iter() {
+        mx = mx.max(v);
+    }
+    let mut z = 0.0;
+    for v in lane.iter_mut() {
+        let e = crate::tensor::fast_exp(*v - mx);
+        *v = e;
+        z += e;
+    }
+    let inv = 1.0 / z;
+    for v in lane.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[inline]
+fn layer_norm_one_lane(lane: &mut [f32], eps: f32) {
+    let d = lane.len() as f32;
+    let mean = lane.iter().sum::<f32>() / d;
+    let var = lane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+    let inv = 1.0 / (var + eps).sqrt();
+    for v in lane.iter_mut() {
+        *v = (*v - mean) * inv;
+    }
+}
+
+#[inline]
+fn layer_norm_backward_one_lane(xs: &[f32], gs: &[f32], os: &mut [f32], eps: f32) {
+    let d = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / d;
+    let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+    let inv = 1.0 / (var + eps).sqrt();
+    let mut g_mean = 0.0f32;
+    let mut gy_mean = 0.0f32;
+    for (&g, &x) in gs.iter().zip(xs) {
+        g_mean += g;
+        gy_mean += g * (x - mean) * inv;
+    }
+    g_mean /= d;
+    gy_mean /= d;
+    for ((o, &g), &x) in os.iter_mut().zip(gs).zip(xs) {
+        let y = (x - mean) * inv;
+        *o = inv * (g - g_mean - y * gy_mean);
+    }
+}
+
+#[inline]
+fn adam_chunk(x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+    for i in 0..x.len() {
+        let gi = g[i] + hp.weight_decay * x[i];
+        m[i] = hp.beta1 * m[i] + (1.0 - hp.beta1) * gi;
+        v[i] = hp.beta2 * v[i] + (1.0 - hp.beta2) * gi * gi;
+        let mhat = m[i] / hp.bias1;
+        let vhat = v[i] / hp.bias2;
+        x[i] -= hp.lr * mhat / (vhat.sqrt() + hp.eps);
+    }
+}
+
+// --------------------------------------------------------------------------
+// ScalarBackend
+// --------------------------------------------------------------------------
+
+/// Reference single-threaded backend: the seed repo's original loops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        crate::tensor::matmul_kernel(a, b, out, m, k, n);
+    }
+
+    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
+        if lane == 0 {
+            return;
+        }
+        for l in data.chunks_mut(lane) {
+            softmax_one_lane(l);
+        }
+    }
+
+    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
+        if lane == 0 {
+            return;
+        }
+        for l in data.chunks_mut(lane) {
+            layer_norm_one_lane(l, eps);
+        }
+    }
+
+    fn layer_norm_backward_lanes(
+        &self,
+        x: &[f32],
+        g: &[f32],
+        out: &mut [f32],
+        lane: usize,
+        eps: f32,
+    ) {
+        if lane == 0 {
+            return;
+        }
+        for ((xs, gs), os) in x.chunks(lane).zip(g.chunks(lane)).zip(out.chunks_mut(lane)) {
+            layer_norm_backward_one_lane(xs, gs, os, eps);
+        }
+    }
+
+    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
+        body(data);
+    }
+
+    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
+        body(src, dst);
+    }
+
+    fn run3(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        dst: &mut [f32],
+        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
+    ) {
+        body(a, b, dst);
+    }
+
+    fn sum(&self, xs: &[f32]) -> f32 {
+        xs.iter().sum()
+    }
+
+    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
+        xs.iter().zip(ys).map(|(a, b)| a * b).sum()
+    }
+
+    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+        adam_chunk(x, g, m, v, hp);
+    }
+}
+
+// --------------------------------------------------------------------------
+// ParallelBackend
+// --------------------------------------------------------------------------
+
+/// Minimum elements before elementwise work is fanned out to threads.
+const PAR_MIN_ELEMS: usize = 16 * 1024;
+/// Minimum multiply-adds before a GEMM is fanned out to threads.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+/// Rows per GEMM work-stealing panel.
+const PANEL_ROWS: usize = 32;
+/// k-dimension cache block: `KC * n` floats of `b` stay hot in L1/L2 while a
+/// panel of `a` rows streams past.
+const KC: usize = 256;
+/// Elementwise chunk grain (floats) handed to each stolen task.
+const GRAIN: usize = 32 * 1024;
+/// Fixed reduction block so blocked sums are deterministic for any thread
+/// count.
+const SUM_BLOCK: usize = 4096;
+
+/// Threads to use: `CAME_THREADS` override, else `available_parallelism`.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(s) = std::env::var("CAME_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Work-stealing task pool: spawns scoped workers that pull tasks off a
+/// shared queue until it drains. Falls back to a plain loop for one thread or
+/// a single task. Task order of *execution* is nondeterministic but each task
+/// owns its output exclusively, so results are deterministic.
+fn steal_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
+    let nt = num_threads().min(tasks.len());
+    if nt <= 1 {
+        for t in tasks {
+            f(t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..nt {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some(t) => f(t),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Run `f` over `tasks` through the *active* backend's execution policy:
+/// sequential under [`ScalarBackend`], work-stealing threads under
+/// [`ParallelBackend`]. This is the hook the upper layers (filtered ranking,
+/// per-query scoring) use to shard coarse-grained work without depending on
+/// `std::thread` details.
+pub fn run_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
+    match kind() {
+        BackendKind::Scalar => {
+            for t in tasks {
+                f(t);
+            }
+        }
+        BackendKind::Parallel => steal_tasks(tasks, f),
+    }
+}
+
+/// Register-tiled accumulating GEMM block: processes 4 output rows at a time
+/// (4 independent accumulator streams, `b` row traffic quartered) with the
+/// k loop blocked at [`KC`]. The per-element accumulation order over `k` is
+/// ascending — identical to the scalar kernel — so results are bitwise equal
+/// on finite inputs.
+fn gemm_tile(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        while i + 4 <= m {
+            let rows = &mut out[i * n..(i + 4) * n];
+            let (r0, rest) = rows.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let (a0, a1, a2) = (&a[i * k..], &a[(i + 1) * k..], &a[(i + 2) * k..]);
+            let a3 = &a[(i + 3) * k..];
+            for p in kb..kend {
+                let bro = &b[p * n..(p + 1) * n];
+                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+                for j in 0..n {
+                    let bv = bro[j];
+                    r0[j] += x0 * bv;
+                    r1[j] += x1 * bv;
+                    r2[j] += x2 * bv;
+                    r3[j] += x3 * bv;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let row = &mut out[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let x = a[i * k + p];
+                let bro = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(bro) {
+                    *o += x * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// Split equal-length buffers into lockstep chunk tuples of at most `grain`
+/// elements, aligned to `lane` boundaries when `lane > 0`.
+fn grain_for(total: usize, lane: usize) -> usize {
+    let lane = lane.max(1);
+    let g = (GRAIN / lane).max(1) * lane;
+    g.min(total.max(1))
+}
+
+/// Cache-blocked multithreaded backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelBackend;
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m * n == 0 || k == 0 {
+            return; // nothing to accumulate
+        }
+        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
+            gemm_tile(a, b, out, m, k, n);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
+        steal_tasks(tasks, |(pi, panel)| {
+            let i0 = pi * PANEL_ROWS;
+            let rows = panel.len() / n;
+            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
+        });
+    }
+
+    fn matmul_batched(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch == 0 || m * n == 0 || k == 0 {
+            return;
+        }
+        if batch * m * n * k < PAR_MIN_FLOPS || num_threads() == 1 {
+            for i in 0..batch {
+                gemm_tile(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, panel)| {
+            gemm_tile(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                panel,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
+        if lane == 0 || data.is_empty() {
+            return;
+        }
+        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            for l in data.chunks_mut(lane) {
+                softmax_one_lane(l);
+            }
+            return;
+        }
+        let g = grain_for(data.len(), lane);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            for l in chunk.chunks_mut(lane) {
+                softmax_one_lane(l);
+            }
+        });
+    }
+
+    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
+        if lane == 0 || data.is_empty() {
+            return;
+        }
+        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            for l in data.chunks_mut(lane) {
+                layer_norm_one_lane(l, eps);
+            }
+            return;
+        }
+        let g = grain_for(data.len(), lane);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            for l in chunk.chunks_mut(lane) {
+                layer_norm_one_lane(l, eps);
+            }
+        });
+    }
+
+    fn layer_norm_backward_lanes(
+        &self,
+        x: &[f32],
+        g: &[f32],
+        out: &mut [f32],
+        lane: usize,
+        eps: f32,
+    ) {
+        if lane == 0 || x.is_empty() {
+            return;
+        }
+        let run = |xs: &[f32], gs: &[f32], os: &mut [f32]| {
+            for ((xl, gl), ol) in xs
+                .chunks(lane)
+                .zip(gs.chunks(lane))
+                .zip(os.chunks_mut(lane))
+            {
+                layer_norm_backward_one_lane(xl, gl, ol, eps);
+            }
+        };
+        if x.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            run(x, g, out);
+            return;
+        }
+        let gr = grain_for(x.len(), lane);
+        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = x
+            .chunks(gr)
+            .zip(g.chunks(gr))
+            .zip(out.chunks_mut(gr))
+            .collect();
+        steal_tasks(tasks, |((xs, gs), os)| run(xs, gs, os));
+    }
+
+    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
+        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(data);
+            return;
+        }
+        let g = grain_for(data.len(), 1);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            body(chunk)
+        });
+    }
+
+    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
+        debug_assert_eq!(src.len(), dst.len());
+        if src.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(src, dst);
+            return;
+        }
+        let g = grain_for(src.len(), 1);
+        let tasks: Vec<(&[f32], &mut [f32])> = src.chunks(g).zip(dst.chunks_mut(g)).collect();
+        steal_tasks(tasks, |(s, d)| body(s, d));
+    }
+
+    fn run3(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        dst: &mut [f32],
+        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
+    ) {
+        debug_assert_eq!(a.len(), dst.len());
+        debug_assert_eq!(b.len(), dst.len());
+        if a.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(a, b, dst);
+            return;
+        }
+        let g = grain_for(a.len(), 1);
+        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = a
+            .chunks(g)
+            .zip(b.chunks(g))
+            .zip(dst.chunks_mut(g))
+            .collect();
+        steal_tasks(tasks, |((x, y), d)| body(x, y, d));
+    }
+
+    fn sum(&self, xs: &[f32]) -> f32 {
+        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            // fixed-block fold even on one thread: result must not depend on
+            // where the size threshold lands
+            return xs.chunks(SUM_BLOCK).map(|c| c.iter().sum::<f32>()).sum();
+        }
+        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
+        let tasks: Vec<(&[f32], &mut f32)> =
+            xs.chunks(SUM_BLOCK).zip(partials.iter_mut()).collect();
+        steal_tasks(tasks, |(c, slot)| *slot = c.iter().sum::<f32>());
+        partials.iter().sum()
+    }
+
+    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
+        debug_assert_eq!(xs.len(), ys.len());
+        let block = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            return xs
+                .chunks(SUM_BLOCK)
+                .zip(ys.chunks(SUM_BLOCK))
+                .map(|(a, b)| block(a, b))
+                .sum();
+        }
+        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
+        let tasks: Vec<((&[f32], &[f32]), &mut f32)> = xs
+            .chunks(SUM_BLOCK)
+            .zip(ys.chunks(SUM_BLOCK))
+            .zip(partials.iter_mut())
+            .collect();
+        steal_tasks(tasks, |((a, b), slot)| *slot = block(a, b));
+        partials.iter().sum()
+    }
+
+    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+        if x.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            adam_chunk(x, g, m, v, hp);
+            return;
+        }
+        let gr = grain_for(x.len(), 1);
+        let tasks: Vec<(((&mut [f32], &[f32]), &mut [f32]), &mut [f32])> = x
+            .chunks_mut(gr)
+            .zip(g.chunks(gr))
+            .zip(m.chunks_mut(gr))
+            .zip(v.chunks_mut(gr))
+            .collect();
+        steal_tasks(tasks, |(((xs, gs), ms), vs)| adam_chunk(xs, gs, ms, vs, hp));
+    }
+}
+
+// --------------------------------------------------------------------------
+// global selection
+// --------------------------------------------------------------------------
+
+static SCALAR: ScalarBackend = ScalarBackend;
+static PARALLEL: ParallelBackend = ParallelBackend;
+
+const KIND_UNSET: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(KIND_UNSET);
+
+fn kind_from_env() -> BackendKind {
+    match std::env::var("CAME_BACKEND") {
+        Ok(s) => BackendKind::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "[came-tensor] unknown CAME_BACKEND={s:?} (expected \"scalar\" or \
+                 \"parallel\"); using parallel"
+            );
+            BackendKind::Parallel
+        }),
+        Err(_) => BackendKind::Parallel,
+    }
+}
+
+/// Select the process-wide backend programmatically (overrides any earlier
+/// choice, including `CAME_BACKEND`).
+pub fn set_backend(kind: BackendKind) {
+    ACTIVE.store(kind as u8, Ordering::SeqCst);
+}
+
+/// Re-read `CAME_BACKEND` and make it the active backend (`parallel` when the
+/// variable is unset or unrecognised). Binaries call this at startup so the
+/// environment wins over any backend a library default left behind.
+pub fn init_from_env() -> BackendKind {
+    let k = kind_from_env();
+    set_backend(k);
+    k
+}
+
+/// The active [`BackendKind`], initialising from `CAME_BACKEND` on first use.
+pub fn kind() -> BackendKind {
+    match ACTIVE.load(Ordering::SeqCst) {
+        0 => BackendKind::Scalar,
+        1 => BackendKind::Parallel,
+        _ => init_from_env(),
+    }
+}
+
+/// The active backend implementation.
+pub fn active() -> &'static dyn Backend {
+    of(kind())
+}
+
+/// A specific backend implementation by kind (used by benches and parity
+/// tests to address both sides without mutating the global selection).
+pub fn of(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Scalar => &SCALAR,
+        BackendKind::Parallel => &PARALLEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn randv(n: usize, rng: &mut Prng) -> Vec<f32> {
+        (0..n).map(|_| rng.normal_in(0.0, 1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{what}[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_tile_matches_reference_on_odd_shapes() {
+        let mut rng = Prng::new(0);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 4, 4), (13, 17, 9), (65, 33, 130)] {
+            let a = randv(m * k, &mut rng);
+            let b = randv(k * n, &mut rng);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            gemm_tile(&a, &b, &mut got, m, k, n);
+            crate::tensor::matmul_kernel(&a, &b, &mut want, m, k, n);
+            assert_close(&got, &want, 1e-6, &format!("gemm {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_scalar_above_thread_threshold() {
+        let mut rng = Prng::new(1);
+        let (m, k, n) = (70, 40, 50); // > PAR_MIN_FLOPS, m > PANEL_ROWS
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let mut got = vec![0.0; m * n];
+        let mut want = vec![0.0; m * n];
+        ParallelBackend.matmul(&a, &b, &mut got, m, k, n);
+        ScalarBackend.matmul(&a, &b, &mut want, m, k, n);
+        assert_close(&got, &want, 1e-5, "par matmul");
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        ParallelBackend.matmul(&[], &[], &mut [], 0, 3, 0);
+        let mut out = vec![1.0, 2.0];
+        // k == 0: accumulate nothing, out untouched
+        ParallelBackend.matmul(&[], &[], &mut out, 1, 0, 2);
+        assert_eq!(out, vec![1.0, 2.0]);
+        ParallelBackend.softmax_lanes(&mut [], 4);
+        ScalarBackend.softmax_lanes(&mut [], 0);
+    }
+
+    #[test]
+    fn blocked_sum_deterministic_and_accurate() {
+        let mut rng = Prng::new(2);
+        let xs = randv(100_000, &mut rng);
+        let a = ParallelBackend.sum(&xs);
+        let b = ParallelBackend.sum(&xs);
+        assert_eq!(a, b, "sum must be deterministic");
+        let want: f64 = xs.iter().map(|&v| v as f64).sum();
+        assert!((a as f64 - want).abs() < 0.05, "{a} vs {want}");
+    }
+
+    #[test]
+    fn steal_tasks_covers_every_task_exactly_once() {
+        let mut flags = vec![0u8; 257];
+        let tasks: Vec<(usize, &mut u8)> = flags.iter_mut().enumerate().collect();
+        steal_tasks(tasks, |(_i, f)| *f += 1);
+        assert!(flags.iter().all(|&f| f == 1));
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(BackendKind::parse("Scalar"), Some(BackendKind::Scalar));
+        assert_eq!(BackendKind::parse("PARALLEL"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!("par".parse::<BackendKind>(), Ok(BackendKind::Parallel));
+        assert_eq!(BackendKind::Parallel.name(), "parallel");
+    }
+}

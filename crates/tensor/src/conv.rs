@@ -4,12 +4,16 @@
 //! the ConvE baseline both apply a single stride-1 convolution over small
 //! stacked feature maps.
 
+use crate::backend::active;
 use crate::shape::Shape;
-use crate::tensor::{matmul_kernel, Tensor};
+use crate::tensor::Tensor;
 
 /// Output spatial size of a valid convolution.
 fn out_dims(h: usize, w: usize, kh: usize, kw: usize) -> (usize, usize) {
-    assert!(kh <= h && kw <= w, "kernel {kh}x{kw} larger than input {h}x{w}");
+    assert!(
+        kh <= h && kw <= w,
+        "kernel {kh}x{kw} larger than input {h}x{w}"
+    );
     (h - kh + 1, w - kw + 1)
 }
 
@@ -46,7 +50,8 @@ fn col2im(cols: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, x: &
                 let base = &cols[row * ncols..(row + 1) * ncols];
                 let mut idx = 0;
                 for oi in 0..oh {
-                    let dst = &mut x[ci * h * w + (oi + ki) * w + kj..ci * h * w + (oi + ki) * w + kj + ow];
+                    let dst = &mut x
+                        [ci * h * w + (oi + ki) * w + kj..ci * h * w + (oi + ki) * w + kj + ow];
                     for (d, s) in dst.iter_mut().zip(&base[idx..idx + ow]) {
                         *d += s;
                     }
@@ -74,9 +79,17 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Tensor {
     let mut cols = vec![0.0f32; krows * ncols];
     let mut out = Tensor::zeros(Shape::d4(b, f, oh, ow));
     for bi in 0..b {
-        im2col(&x.data()[bi * c * h * wd..(bi + 1) * c * h * wd], c, h, wd, kh, kw, &mut cols);
+        im2col(
+            &x.data()[bi * c * h * wd..(bi + 1) * c * h * wd],
+            c,
+            h,
+            wd,
+            kh,
+            kw,
+            &mut cols,
+        );
         let dst = &mut out.data_mut()[bi * f * ncols..(bi + 1) * f * ncols];
-        matmul_kernel(w.data(), &cols, dst, f, krows, ncols);
+        active().matmul(w.data(), &cols, dst, f, krows, ncols);
     }
     if let Some(bias) = bias {
         assert_eq!(bias.shape(), Shape::d1(f), "conv bias must be [F]");
@@ -115,13 +128,21 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gout: &Tensor) -> (Tensor, Tensor
         let gslice = &gout.data()[bi * f * ncols..(bi + 1) * f * ncols];
         // dW += g[f, ncols] x cols^T[ncols, krows]  -> accumulate as
         // gw[f, krows] += g x cols^T; compute via transpose trick:
-        im2col(&x.data()[bi * c * h * wd..(bi + 1) * c * h * wd], c, h, wd, kh, kw, &mut cols);
+        im2col(
+            &x.data()[bi * c * h * wd..(bi + 1) * c * h * wd],
+            c,
+            h,
+            wd,
+            kh,
+            kw,
+            &mut cols,
+        );
         // gw_fk += sum_n g[f,n] cols[k,n]
         let colst = Tensor::from_vec(Shape::d2(krows, ncols), cols.clone()).transpose(0, 1);
-        matmul_kernel(gslice, colst.data(), gw.data_mut(), f, ncols, krows);
+        active().matmul(gslice, colst.data(), gw.data_mut(), f, ncols, krows);
         // gcols = w^T x g : [krows, ncols]
         gcols.iter_mut().for_each(|v| *v = 0.0);
-        matmul_kernel(wt.data(), gslice, &mut gcols, krows, f, ncols);
+        active().matmul(wt.data(), gslice, &mut gcols, krows, f, ncols);
         col2im(
             &gcols,
             c,
@@ -160,8 +181,8 @@ mod tests {
                         for ci in 0..c {
                             for ki in 0..kh {
                                 for kj in 0..kw {
-                                    acc += x.at(&[bi, ci, oi + ki, oj + kj])
-                                        * w.at(&[fi, ci, ki, kj]);
+                                    acc +=
+                                        x.at(&[bi, ci, oi + ki, oj + kj]) * w.at(&[fi, ci, ki, kj]);
                                 }
                             }
                         }
@@ -202,9 +223,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num =
-                (conv2d_forward(&xp, &w, None).sum() - conv2d_forward(&xm, &w, None).sum())
-                    / (2.0 * eps);
+            let num = (conv2d_forward(&xp, &w, None).sum() - conv2d_forward(&xm, &w, None).sum())
+                / (2.0 * eps);
             assert!((gx.data()[i] - num).abs() < 1e-2, "gx[{i}]");
         }
         for i in 0..w.numel() {
@@ -212,9 +232,8 @@ mod tests {
             wp.data_mut()[i] += eps;
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
-            let num =
-                (conv2d_forward(&x, &wp, None).sum() - conv2d_forward(&x, &wm, None).sum())
-                    / (2.0 * eps);
+            let num = (conv2d_forward(&x, &wp, None).sum() - conv2d_forward(&x, &wm, None).sum())
+                / (2.0 * eps);
             assert!((gw.data()[i] - num).abs() < 1e-2, "gw[{i}]");
         }
         // bias grad: dL/db_f = number of output positions

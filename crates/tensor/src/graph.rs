@@ -53,34 +53,83 @@ enum Op {
     /// A parameter leaf: gradient is scattered into the [`ParamStore`].
     Param(ParamId),
     /// Row gather from an embedding table parameter.
-    Embedding { table: ParamId, ids: Vec<u32> },
+    Embedding {
+        table: ParamId,
+        ids: Vec<u32>,
+    },
     /// Scatter-add of rows: `out[ids[i]] += x[i]` over `n` output rows
     /// (message aggregation in graph neural networks).
-    ScatterSum { x: Var, ids: Vec<u32> },
+    ScatterSum {
+        x: Var,
+        ids: Vec<u32>,
+    },
     /// Row gather from a *computed* 2-D node: `out[i] = x[ids[i]]`.
-    Gather { x: Var, ids: Vec<u32> },
+    Gather {
+        x: Var,
+        ids: Vec<u32>,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     Div(Var, Var),
     Matmul(Var, Var),
-    Unary { x: Var, kind: UnaryKind },
+    Unary {
+        x: Var,
+        kind: UnaryKind,
+    },
     /// `scale * x + shift` was applied elementwise; only the scale matters
     /// for the backward pass.
-    Affine { x: Var, scale: f32 },
-    Softmax { x: Var, axis: usize },
-    SumAxis { x: Var, axis: usize, keepdim: bool },
-    SumAll { x: Var },
-    MeanAll { x: Var },
-    Reshape { x: Var },
-    Transpose { x: Var, a: usize, b: usize },
-    Concat { xs: Vec<Var>, axis: usize },
-    Narrow { x: Var, axis: usize, start: usize },
-    Conv2d { x: Var, w: Var, b: Option<Var> },
+    Affine {
+        x: Var,
+        scale: f32,
+    },
+    Softmax {
+        x: Var,
+        axis: usize,
+    },
+    SumAxis {
+        x: Var,
+        axis: usize,
+        keepdim: bool,
+    },
+    SumAll {
+        x: Var,
+    },
+    MeanAll {
+        x: Var,
+    },
+    Reshape {
+        x: Var,
+    },
+    Transpose {
+        x: Var,
+        a: usize,
+        b: usize,
+    },
+    Concat {
+        xs: Vec<Var>,
+        axis: usize,
+    },
+    Narrow {
+        x: Var,
+        axis: usize,
+        start: usize,
+    },
+    Conv2d {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+    },
     /// Layer normalisation over the last axis, no affine parameters.
-    LayerNorm { x: Var, eps: f32 },
+    LayerNorm {
+        x: Var,
+        eps: f32,
+    },
     /// Dropout; the saved mask already includes the `1/keep` scale.
-    Dropout { x: Var, mask: Tensor },
+    Dropout {
+        x: Var,
+        mask: Tensor,
+    },
     /// Mean binary cross-entropy against fixed (multi-hot) targets, applied
     /// to raw logits for numerical stability. Optional per-element weights
     /// (e.g. a 0/1 mask for sampled negatives) rescale each term; the loss is
@@ -279,7 +328,9 @@ impl Graph {
     pub fn add(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip_broadcast(&nodes[b.0].value, |x, y| x + y)
+            nodes[a.0]
+                .value
+                .zip_broadcast(&nodes[b.0].value, |x, y| x + y)
         };
         self.push(v, Op::Add(a, b))
     }
@@ -288,7 +339,9 @@ impl Graph {
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip_broadcast(&nodes[b.0].value, |x, y| x - y)
+            nodes[a.0]
+                .value
+                .zip_broadcast(&nodes[b.0].value, |x, y| x - y)
         };
         self.push(v, Op::Sub(a, b))
     }
@@ -297,7 +350,9 @@ impl Graph {
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip_broadcast(&nodes[b.0].value, |x, y| x * y)
+            nodes[a.0]
+                .value
+                .zip_broadcast(&nodes[b.0].value, |x, y| x * y)
         };
         self.push(v, Op::Mul(a, b))
     }
@@ -306,7 +361,9 @@ impl Graph {
     pub fn div(&self, a: Var, b: Var) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            nodes[a.0].value.zip_broadcast(&nodes[b.0].value, |x, y| x / y)
+            nodes[a.0]
+                .value
+                .zip_broadcast(&nodes[b.0].value, |x, y| x / y)
         };
         self.push(v, Op::Div(a, b))
     }
@@ -541,15 +598,18 @@ impl Graph {
             if let Some(w) = &weights {
                 assert_eq!(z.shape(), w.shape(), "bce weight shape mismatch");
             }
-            let mut total = 0.0f32;
-            let mut denom = 0.0f32;
-            for i in 0..z.numel() {
-                let zi = z.data()[i];
-                let yi = targets.data()[i];
-                let wi = weights.as_ref().map_or(1.0, |w| w.data()[i]);
-                total += wi * (zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p());
-                denom += wi;
-            }
+            let be = crate::backend::active();
+            // elementwise loss, then a weighted (dot) or plain (sum) fold
+            let mut elem = vec![0.0f32; z.numel()];
+            be.run3(z.data(), targets.data(), &mut elem, &|zs, ys, dst| {
+                for ((o, &zi), &yi) in dst.iter_mut().zip(zs).zip(ys) {
+                    *o = zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p();
+                }
+            });
+            let (total, denom) = match &weights {
+                Some(w) => (be.dot(&elem, w.data()), be.sum(w.data())),
+                None => (be.sum(&elem), z.numel() as f32),
+            };
             assert!(denom > 0.0, "bce weights sum to zero");
             Tensor::scalar(total / denom)
         };
@@ -630,7 +690,11 @@ impl Graph {
                 }
                 Op::Sub(a, b) => {
                     accum(&mut grads, *a, g.sum_to(nodes[a.0].value.shape()));
-                    accum(&mut grads, *b, g.map(|v| -v).sum_to(nodes[b.0].value.shape()));
+                    accum(
+                        &mut grads,
+                        *b,
+                        g.map(|v| -v).sum_to(nodes[b.0].value.shape()),
+                    );
                 }
                 Op::Mul(a, b) => {
                     let ga = g.zip_broadcast(&nodes[b.0].value, |x, y| x * y);
@@ -660,7 +724,9 @@ impl Graph {
                     let gx = match kind {
                         UnaryKind::Sigmoid => g.zip_broadcast(yv, |go, y| go * y * (1.0 - y)),
                         UnaryKind::Tanh => g.zip_broadcast(yv, |go, y| go * (1.0 - y * y)),
-                        UnaryKind::Relu => g.zip_broadcast(xv, |go, x| if x > 0.0 { go } else { 0.0 }),
+                        UnaryKind::Relu => {
+                            g.zip_broadcast(xv, |go, x| if x > 0.0 { go } else { 0.0 })
+                        }
                         UnaryKind::Exp => g.zip_broadcast(yv, |go, y| go * y),
                         UnaryKind::Ln => g.zip_broadcast(xv, |go, x| go / x),
                         UnaryKind::Sqrt => g.zip_broadcast(yv, |go, y| go * 0.5 / y),
@@ -808,14 +874,7 @@ fn layer_norm_forward(x: &Tensor, eps: f32) -> Tensor {
     let shape = x.shape();
     let d = shape.at(shape.ndim() - 1);
     let mut out = x.clone();
-    for chunk in out.data_mut().chunks_mut(d) {
-        let mean = chunk.iter().sum::<f32>() / d as f32;
-        let var = chunk.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let inv = 1.0 / (var + eps).sqrt();
-        for v in chunk.iter_mut() {
-            *v = (*v - mean) * inv;
-        }
-    }
+    crate::backend::active().layer_norm_lanes(out.data_mut(), d, eps);
     out
 }
 
@@ -823,21 +882,7 @@ fn layer_norm_backward(x: &Tensor, g: &Tensor, eps: f32) -> Tensor {
     let shape = x.shape();
     let d = shape.at(shape.ndim() - 1);
     let mut out = Tensor::zeros(shape);
-    let (xd, gd, od) = (x.data(), g.data(), out.data_mut());
-    for lane in 0..xd.len() / d {
-        let xs = &xd[lane * d..(lane + 1) * d];
-        let gs = &gd[lane * d..(lane + 1) * d];
-        let os = &mut od[lane * d..(lane + 1) * d];
-        let mean = xs.iter().sum::<f32>() / d as f32;
-        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let inv = 1.0 / (var + eps).sqrt();
-        let y: Vec<f32> = xs.iter().map(|v| (v - mean) * inv).collect();
-        let g_mean = gs.iter().sum::<f32>() / d as f32;
-        let gy_mean = gs.iter().zip(&y).map(|(a, b)| a * b).sum::<f32>() / d as f32;
-        for j in 0..d {
-            os[j] = inv * (gs[j] - g_mean - y[j] * gy_mean);
-        }
-    }
+    crate::backend::active().layer_norm_backward_lanes(x.data(), g.data(), out.data_mut(), d, eps);
     out
 }
 

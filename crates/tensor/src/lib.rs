@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod conv;
 pub mod graph;
 pub mod nn;
@@ -46,6 +47,7 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
+pub use backend::{set_backend, Backend, BackendKind, ParallelBackend, ScalarBackend};
 pub use graph::{sigmoid, Graph, UnaryKind, Var};
 pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStore};
 pub use rng::Prng;

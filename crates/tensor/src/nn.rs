@@ -115,10 +115,11 @@ impl ParamStore {
 
     /// Global gradient-norm clipping; returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let be = crate::backend::active();
         let total: f32 = self
             .entries
             .iter()
-            .map(|e| e.grad.data().iter().map(|g| g * g).sum::<f32>())
+            .map(|e| be.dot(e.grad.data(), e.grad.data()))
             .sum::<f32>()
             .sqrt();
         if total > max_norm && total > 0.0 {
@@ -134,21 +135,24 @@ impl ParamStore {
     pub fn adam_step(&mut self, cfg: &Adam) {
         self.step += 1;
         let t = self.step as f32;
-        let bc1 = 1.0 - cfg.beta1.powf(t);
-        let bc2 = 1.0 - cfg.beta2.powf(t);
+        let hp = crate::backend::AdamHp {
+            lr: cfg.lr,
+            beta1: cfg.beta1,
+            beta2: cfg.beta2,
+            eps: cfg.eps,
+            weight_decay: cfg.weight_decay,
+            bias1: 1.0 - cfg.beta1.powf(t),
+            bias2: 1.0 - cfg.beta2.powf(t),
+        };
+        let be = crate::backend::active();
         for e in &mut self.entries {
-            let g = e.grad.data();
-            let m = e.m.data_mut();
-            let v = e.v.data_mut();
-            let x = e.value.data_mut();
-            for i in 0..g.len() {
-                let gi = g[i] + cfg.weight_decay * x[i];
-                m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * gi;
-                v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * gi * gi;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                x[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
-            }
+            be.adam_update(
+                e.value.data_mut(),
+                e.grad.data(),
+                e.m.data_mut(),
+                e.v.data_mut(),
+                &hp,
+            );
         }
         self.zero_grad();
     }
@@ -213,7 +217,13 @@ pub struct Linear {
 
 impl Linear {
     /// Xavier-initialised dense layer with bias.
-    pub fn new(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut Prng,
+    ) -> Self {
         Linear {
             w: store.add_xavier(format!("{name}.w"), Shape::d2(d_in, d_out), rng),
             b: Some(store.add_zeros(format!("{name}.b"), Shape::d1(d_out))),
@@ -221,7 +231,13 @@ impl Linear {
     }
 
     /// Xavier-initialised projection without bias.
-    pub fn no_bias(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut Prng) -> Self {
+    pub fn no_bias(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut Prng,
+    ) -> Self {
         Linear {
             w: store.add_xavier(format!("{name}.w"), Shape::d2(d_in, d_out), rng),
             b: None,
@@ -292,7 +308,13 @@ pub struct EmbeddingTable {
 
 impl EmbeddingTable {
     /// Xavier-initialised table.
-    pub fn new(store: &mut ParamStore, name: impl Into<String>, n: usize, d: usize, rng: &mut Prng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: impl Into<String>,
+        n: usize,
+        d: usize,
+        rng: &mut Prng,
+    ) -> Self {
         EmbeddingTable {
             table: store.add_xavier(name, Shape::d2(n, d), rng),
             n,

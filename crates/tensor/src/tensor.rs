@@ -80,7 +80,9 @@ impl Tensor {
 
     /// I.i.d. normal entries with the given std.
     pub fn randn(shape: Shape, std: f32, rng: &mut Prng) -> Self {
-        let data = (0..shape.numel()).map(|_| rng.normal_in(0.0, std)).collect();
+        let data = (0..shape.numel())
+            .map(|_| rng.normal_in(0.0, std))
+            .collect();
         Tensor { data, shape }
     }
 
@@ -141,7 +143,11 @@ impl Tensor {
         let strides = self.shape.strides();
         let mut off = 0;
         for (i, &j) in idx.iter().enumerate() {
-            assert!(j < self.shape.at(i), "index {j} out of axis {i} in {}", self.shape);
+            assert!(
+                j < self.shape.at(i),
+                "index {j} out of axis {i} in {}",
+                self.shape
+            );
             off += j * strides[i];
         }
         self.data[off]
@@ -169,34 +175,49 @@ impl Tensor {
     // ----- elementwise ---------------------------------------------------
 
     /// Apply `f` elementwise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// Dispatched through the active [`crate::backend::Backend`]; `f` runs on
+    /// whole cache-sized chunks so the inner loop stays monomorphised.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        crate::backend::active().run2(&self.data, &mut out, &|src, dst| {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = f(s);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: out,
             shape: self.shape,
         }
     }
 
     /// In-place elementwise update.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        crate::backend::active().run1(&mut self.data, &|chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
     }
 
     /// `self[i] += other[i]` (same shape).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::backend::active().run2(&other.data, &mut self.data, &|src, dst| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        });
     }
 
     /// `self[i] += s * other[i]` (same shape).
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        crate::backend::active().run2(&other.data, &mut self.data, &|src, dst| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += s * b;
+            }
+        });
     }
 
     /// Elementwise binary op with numpy broadcasting.
@@ -208,14 +229,14 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the shapes do not broadcast.
-    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let mut data = vec![0.0f32; self.data.len()];
+            crate::backend::active().run3(&self.data, &other.data, &mut data, &|a, b, dst| {
+                for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                    *o = f(x, y);
+                }
+            });
             return Tensor {
                 data,
                 shape: self.shape,
@@ -229,8 +250,9 @@ impl Tensor {
             let a = self.data[0];
             return other.map(|b| f(a, b));
         }
-        let out_shape = Shape::broadcast(self.shape, other.shape)
-            .unwrap_or_else(|| panic!("shapes {} and {} do not broadcast", self.shape, other.shape));
+        let out_shape = Shape::broadcast(self.shape, other.shape).unwrap_or_else(|| {
+            panic!("shapes {} and {} do not broadcast", self.shape, other.shape)
+        });
         let n = out_shape.ndim();
         let a_sh = self.shape.pad_left(n);
         let b_sh = other.shape.pad_left(n);
@@ -355,7 +377,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        crate::backend::active().sum(&self.data)
     }
 
     /// Mean of all elements.
@@ -387,7 +409,7 @@ impl Tensor {
 
     /// L2 norm of all elements.
     pub fn norm2(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        crate::backend::active().dot(&self.data, &self.data).sqrt()
     }
 
     // ----- linear algebra --------------------------------------------------
@@ -405,7 +427,7 @@ impl Tensor {
                 let (k2, n) = (other.shape.at(0), other.shape.at(1));
                 assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
                 let mut out = Tensor::zeros(Shape::d2(m, n));
-                matmul_kernel(&self.data, &other.data, &mut out.data, m, k, n);
+                crate::backend::active().matmul(&self.data, &other.data, &mut out.data, m, k, n);
                 out
             }
             (3, 3) => {
@@ -414,16 +436,15 @@ impl Tensor {
                 assert_eq!(b, b2, "batched matmul batch dims {b} vs {b2}");
                 assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
                 let mut out = Tensor::zeros(Shape::d3(b, m, n));
-                for i in 0..b {
-                    matmul_kernel(
-                        &self.data[i * m * k..(i + 1) * m * k],
-                        &other.data[i * k * n..(i + 1) * k * n],
-                        &mut out.data[i * m * n..(i + 1) * m * n],
-                        m,
-                        k,
-                        n,
-                    );
-                }
+                crate::backend::active().matmul_batched(
+                    &self.data,
+                    &other.data,
+                    &mut out.data,
+                    b,
+                    m,
+                    k,
+                    n,
+                );
                 out
             }
             (3, 2) => {
@@ -432,7 +453,14 @@ impl Tensor {
                 assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
                 let mut out = Tensor::zeros(Shape::d3(b, m, n));
                 // One flat [B*m, k] x [k, n] product.
-                matmul_kernel(&self.data, &other.data, &mut out.data, b * m, k, n);
+                crate::backend::active().matmul(
+                    &self.data,
+                    &other.data,
+                    &mut out.data,
+                    b * m,
+                    k,
+                    n,
+                );
                 out
             }
             (a, b) => panic!("unsupported matmul ranks {a} x {b}"),
@@ -503,6 +531,11 @@ impl Tensor {
         let lanes = LaneIter::new(self.shape, axis);
         let stride = lanes.stride;
         let len = lanes.len;
+        if stride == 1 {
+            // contiguous lanes (axis is innermost): backend-dispatched kernel
+            crate::backend::active().softmax_lanes(&mut out.data, len);
+            return out;
+        }
         for base in lanes {
             let mut mx = f32::NEG_INFINITY;
             for j in 0..len {
@@ -593,7 +626,8 @@ impl Tensor {
         let in_row = self.shape.at(axis) * inner;
         let out_row = len * inner;
         for o in 0..outer {
-            let dst = &mut self.data[o * in_row + start * inner..o * in_row + (start + len) * inner];
+            let dst =
+                &mut self.data[o * in_row + start * inner..o * in_row + (start + len) * inner];
             let src = &other.data[o * out_row..(o + 1) * out_row];
             for (d, s) in dst.iter_mut().zip(src) {
                 *d += s;
@@ -666,8 +700,7 @@ pub fn fast_exp(x: f32) -> f32 {
     let p = 1.0
         + f * (0.693_147_18
             + f * (0.240_226_51
-                + f * (0.055_504_11
-                    + f * (0.009_618_13 + f * (0.001_333_55 + f * 0.000_154_04)))));
+                + f * (0.055_504_11 + f * (0.009_618_13 + f * (0.001_333_55 + f * 0.000_154_04)))));
     let bits = ((i as i32 + 127) as u32) << 23;
     f32::from_bits(bits) * p
 }
@@ -865,7 +898,11 @@ mod tests {
         let w = Tensor::xavier(Shape::d2(100, 300), &mut rng);
         let std_expect = (2.0f32 / 400.0).sqrt();
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / w.numel() as f32;
         assert!((var.sqrt() - std_expect).abs() < 0.005);
     }

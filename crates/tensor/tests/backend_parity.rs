@@ -1,0 +1,291 @@
+//! Backend parity: every kernel of [`ParallelBackend`] must match
+//! [`ScalarBackend`] within 1e-5 on randomized shapes — including sizes that
+//! are not multiples of the GEMM tile, batch = 1, and empty dims — and the
+//! autograd backward pass must agree across backends.
+//!
+//! Kernel tests address the two implementations *directly* (no global
+//! backend mutation), so they are safe under the multithreaded test harness.
+//! The cross-backend gradient check flips the process-global backend and is
+//! serialised behind a mutex.
+
+use came_tensor::backend::{self, AdamHp, Backend};
+use came_tensor::{
+    BackendKind, Graph, ParallelBackend, ParamStore, Prng, ScalarBackend, Shape, Tensor,
+};
+use std::sync::Mutex;
+
+const TOL: f32 = 1e-5;
+
+fn randv(n: usize, rng: &mut Prng) -> Vec<f32> {
+    (0..n).map(|_| rng.normal_in(0.0, 1.0)).collect()
+}
+
+fn assert_close(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= TOL * (1.0 + x.abs().max(y.abs())),
+            "{what}[{i}]: {x} vs {y}"
+        );
+    }
+}
+
+/// Shapes chosen to straddle the 4-row micro-kernel, the 32-row panel, the
+/// 256-wide k block, and the threading thresholds; includes batch=1 and 0-dims.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (4, 4, 4),
+    (5, 3, 2),     // remainder row path
+    (7, 19, 11),   // nothing divides the tiles
+    (33, 40, 31),  // one past the panel size
+    (64, 300, 17), // k crosses the 256 block boundary
+    (97, 43, 129),
+    (0, 5, 3), // m == 0
+    (3, 0, 5), // k == 0: pure accumulate-nothing
+    (3, 5, 0), // n == 0
+];
+
+#[test]
+fn matmul_parity_on_randomized_shapes() {
+    let mut rng = Prng::new(0x9A71);
+    for &(m, k, n) in GEMM_SHAPES {
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        // accumulate into a non-zero C so the += contract is exercised too
+        let init = randv(m * n, &mut rng);
+        let mut scalar = init.clone();
+        let mut par = init.clone();
+        ScalarBackend.matmul(&a, &b, &mut scalar, m, k, n);
+        ParallelBackend.matmul(&a, &b, &mut par, m, k, n);
+        assert_close(&par, &scalar, &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_batched_parity_including_batch_one() {
+    let mut rng = Prng::new(0x9A72);
+    for &(batch, m, k, n) in &[
+        (1usize, 5usize, 7usize, 3usize),
+        (4, 9, 13, 6),
+        (16, 6, 6, 6),
+        (3, 0, 4, 2),
+    ] {
+        let a = randv(batch * m * k, &mut rng);
+        let b = randv(batch * k * n, &mut rng);
+        let mut scalar = vec![0.0; batch * m * n];
+        let mut par = scalar.clone();
+        ScalarBackend.matmul_batched(&a, &b, &mut scalar, batch, m, k, n);
+        ParallelBackend.matmul_batched(&a, &b, &mut par, batch, m, k, n);
+        assert_close(&par, &scalar, &format!("batched {batch}x{m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn softmax_parity() {
+    let mut rng = Prng::new(0x9A73);
+    for &(rows, lane) in &[(1usize, 1usize), (3, 7), (200, 33), (1000, 40), (5, 1)] {
+        let mut scalar = randv(rows * lane, &mut rng);
+        let mut par = scalar.clone();
+        ScalarBackend.softmax_lanes(&mut scalar, lane);
+        ParallelBackend.softmax_lanes(&mut par, lane);
+        assert_close(&par, &scalar, &format!("softmax {rows}x{lane}"));
+    }
+    // empty buffer / zero lane are no-ops on both
+    ScalarBackend.softmax_lanes(&mut [], 4);
+    ParallelBackend.softmax_lanes(&mut [], 0);
+}
+
+#[test]
+fn layer_norm_parity_forward_and_backward() {
+    let mut rng = Prng::new(0x9A74);
+    for &(rows, lane) in &[(1usize, 2usize), (7, 5), (300, 64), (2048, 16)] {
+        let x = randv(rows * lane, &mut rng);
+        let g = randv(rows * lane, &mut rng);
+        let mut fs = x.clone();
+        let mut fp = x.clone();
+        ScalarBackend.layer_norm_lanes(&mut fs, lane, 1e-6);
+        ParallelBackend.layer_norm_lanes(&mut fp, lane, 1e-6);
+        assert_close(&fp, &fs, &format!("ln fwd {rows}x{lane}"));
+        let mut bs = vec![0.0; rows * lane];
+        let mut bp = bs.clone();
+        ScalarBackend.layer_norm_backward_lanes(&x, &g, &mut bs, lane, 1e-6);
+        ParallelBackend.layer_norm_backward_lanes(&x, &g, &mut bp, lane, 1e-6);
+        assert_close(&bp, &bs, &format!("ln bwd {rows}x{lane}"));
+    }
+}
+
+#[test]
+fn elementwise_driver_parity() {
+    let mut rng = Prng::new(0x9A75);
+    for &n in &[0usize, 1, 100, 50_000] {
+        let a = randv(n, &mut rng);
+        let b = randv(n, &mut rng);
+        // run1
+        let mut s1 = a.clone();
+        let mut p1 = a.clone();
+        let relu = |chunk: &mut [f32]| {
+            for x in chunk {
+                *x = x.max(0.0);
+            }
+        };
+        ScalarBackend.run1(&mut s1, &relu);
+        ParallelBackend.run1(&mut p1, &relu);
+        assert_close(&p1, &s1, &format!("run1 n={n}"));
+        // run2
+        let mut s2 = vec![0.0; n];
+        let mut p2 = vec![0.0; n];
+        let tanh = |src: &[f32], dst: &mut [f32]| {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s.tanh();
+            }
+        };
+        ScalarBackend.run2(&a, &mut s2, &tanh);
+        ParallelBackend.run2(&a, &mut p2, &tanh);
+        assert_close(&p2, &s2, &format!("run2 n={n}"));
+        // run3
+        let mut s3 = vec![0.0; n];
+        let mut p3 = vec![0.0; n];
+        let mul = |x: &[f32], y: &[f32], dst: &mut [f32]| {
+            for ((d, &a), &b) in dst.iter_mut().zip(x).zip(y) {
+                *d = a * b;
+            }
+        };
+        ScalarBackend.run3(&a, &b, &mut s3, &mul);
+        ParallelBackend.run3(&a, &b, &mut p3, &mul);
+        assert_close(&p3, &s3, &format!("run3 n={n}"));
+    }
+}
+
+#[test]
+fn reduction_parity() {
+    let mut rng = Prng::new(0x9A76);
+    for &n in &[0usize, 1, 4095, 4096, 4097, 120_000] {
+        let a = randv(n, &mut rng);
+        let b = randv(n, &mut rng);
+        let (ss, ps) = (ScalarBackend.sum(&a), ParallelBackend.sum(&a));
+        assert!(
+            (ss - ps).abs() <= TOL * (1.0 + ss.abs()),
+            "sum n={n}: {ss} vs {ps}"
+        );
+        let (sd, pd) = (ScalarBackend.dot(&a, &b), ParallelBackend.dot(&a, &b));
+        assert!(
+            (sd - pd).abs() <= TOL * (1.0 + sd.abs()) * 10.0,
+            "dot n={n}: {sd} vs {pd}"
+        );
+    }
+}
+
+#[test]
+fn adam_update_parity() {
+    let mut rng = Prng::new(0x9A77);
+    let hp = AdamHp {
+        lr: 1e-2,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        weight_decay: 0.01,
+        bias1: 0.1,
+        bias2: 0.001,
+    };
+    for &n in &[1usize, 37, 70_000] {
+        let g = randv(n, &mut rng);
+        let x0 = randv(n, &mut rng);
+        let m0 = randv(n, &mut rng);
+        let v0: Vec<f32> = randv(n, &mut rng).iter().map(|v| v.abs()).collect();
+        let (mut xs, mut ms, mut vs) = (x0.clone(), m0.clone(), v0.clone());
+        let (mut xp, mut mp, mut vp) = (x0, m0, v0);
+        ScalarBackend.adam_update(&mut xs, &g, &mut ms, &mut vs, &hp);
+        ParallelBackend.adam_update(&mut xp, &g, &mut mp, &mut vp, &hp);
+        assert_close(&xp, &xs, &format!("adam x n={n}"));
+        assert_close(&mp, &ms, &format!("adam m n={n}"));
+        assert_close(&vp, &vs, &format!("adam v n={n}"));
+    }
+}
+
+/// Guards the process-global backend selection for the cross-backend
+/// gradient checks below.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` under the given global backend, restoring the previous selection.
+fn with_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> T {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    let prev = backend::kind();
+    came_tensor::set_backend(kind);
+    let out = f();
+    came_tensor::set_backend(prev);
+    out
+}
+
+/// A small end-to-end model (matmul → layer-norm → conv-free softmax head →
+/// BCE) whose forward value and parameter gradients are computed under one
+/// backend.
+fn grads_under(kind: BackendKind, seed: u64) -> (f32, Vec<Vec<f32>>) {
+    with_backend(kind, || {
+        let mut rng = Prng::new(seed);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Tensor::randn(Shape::d2(6, 9), 0.5, &mut rng));
+        let w2 = store.add("w2", Tensor::randn(Shape::d2(9, 5), 0.5, &mut rng));
+        let x = Tensor::randn(Shape::d2(11, 6), 1.0, &mut rng);
+        let targets = Tensor::rand_uniform(Shape::d2(11, 5), 0.0, 1.0, &mut rng).map(|v| {
+            if v > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+
+        let g = Graph::new();
+        let xv = g.input(x);
+        let h = g.matmul(xv, g.param(&store, w1));
+        let h = g.layer_norm(h, 1e-6);
+        let h = g.tanh(h);
+        let logits = g.matmul(h, g.param(&store, w2));
+        let sm = g.softmax(logits, 1);
+        let logits2 = g.add(logits, sm);
+        let loss = g.bce_with_logits(logits2, &targets);
+        let lv = g.value(loss).item();
+        g.backward(loss, &mut store);
+        let grads = vec![
+            store.grad(w1).data().to_vec(),
+            store.grad(w2).data().to_vec(),
+        ];
+        (lv, grads)
+    })
+}
+
+#[test]
+fn backward_pass_agrees_across_backends() {
+    for seed in [3u64, 17, 99] {
+        let (loss_s, grads_s) = grads_under(BackendKind::Scalar, seed);
+        let (loss_p, grads_p) = grads_under(BackendKind::Parallel, seed);
+        assert!(
+            (loss_s - loss_p).abs() <= TOL * (1.0 + loss_s.abs()),
+            "seed {seed}: loss {loss_s} vs {loss_p}"
+        );
+        for (i, (gs, gp)) in grads_s.iter().zip(&grads_p).enumerate() {
+            assert_close(gp, gs, &format!("seed {seed}: grad[{i}]"));
+        }
+    }
+}
+
+#[test]
+fn conv_forward_and_backward_agree_across_backends() {
+    let run = |kind: BackendKind| {
+        with_backend(kind, || {
+            let mut rng = Prng::new(0xC0);
+            let x = Tensor::randn(Shape::d4(2, 3, 8, 7), 1.0, &mut rng);
+            let w = Tensor::randn(Shape::d4(5, 3, 3, 3), 0.5, &mut rng);
+            let b = Tensor::randn(Shape::d1(5), 0.5, &mut rng);
+            let y = came_tensor::conv::conv2d_forward(&x, &w, Some(&b));
+            let gout = Tensor::randn(y.shape(), 1.0, &mut rng);
+            let (gx, gw, gb) = came_tensor::conv::conv2d_backward(&x, &w, &gout);
+            (y, gx, gw, gb)
+        })
+    };
+    let (ys, gxs, gws, gbs) = run(BackendKind::Scalar);
+    let (yp, gxp, gwp, gbp) = run(BackendKind::Parallel);
+    assert_close(yp.data(), ys.data(), "conv fwd");
+    assert_close(gxp.data(), gxs.data(), "conv gx");
+    assert_close(gwp.data(), gws.data(), "conv gw");
+    assert_close(gbp.data(), gbs.data(), "conv gb");
+}

@@ -46,7 +46,12 @@ fn main() {
     // find a Compound→Disease relation
     let cd_rel = (0..dataset.num_relations() as u32)
         .map(came_kg::RelationId)
-        .find(|&r| dataset.vocab.relation_name(r).starts_with("compound_disease"))
+        .find(|&r| {
+            dataset
+                .vocab
+                .relation_name(r)
+                .starts_with("compound_disease")
+        })
         .expect("preset has a compound_disease relation");
 
     let filter = dataset.filter_index();

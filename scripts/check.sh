@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, runnable fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --check

@@ -55,7 +55,13 @@ fn came_generalises_well_above_chance_on_tiny_bkg() {
             ..Default::default()
         },
     );
-    let came_m = evaluate(&OneToNScorer::new(&came, &store), d, Split::Test, &filter, &ev);
+    let came_m = evaluate(
+        &OneToNScorer::new(&came, &store),
+        d,
+        Split::Test,
+        &filter,
+        &ev,
+    );
 
     let random_mrr = 2.0 / d.num_entities() as f64; // loose chance bound
     assert!(
@@ -104,7 +110,14 @@ fn full_model_beats_no_modality_ablation_in_training_fit() {
         let mut store = ParamStore::new();
         let m = CamE::new(&mut store, d, &features, ab.apply(small_came_cfg()));
         m.fit(&mut store, d, &train);
-        evaluate(&OneToNScorer::new(&m, &store), d, Split::Valid, &filter, &ev).mrr()
+        evaluate(
+            &OneToNScorer::new(&m, &store),
+            d,
+            Split::Valid,
+            &filter,
+            &ev,
+        )
+        .mrr()
     };
     let full = run(Ablation::Full);
     let gutted = run(Ablation::WithoutMmfAndRic);
@@ -134,7 +147,8 @@ fn every_baseline_is_deterministic_given_seed() {
         let a = train_baseline(kind, d, Some(&features), &hp, None);
         let b = train_baseline(kind, d, Some(&features), &hp, None);
         assert_eq!(
-            a.losses, b.losses,
+            a.losses,
+            b.losses,
             "{} training is not deterministic",
             kind.label()
         );
