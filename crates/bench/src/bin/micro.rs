@@ -12,12 +12,14 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use came::{CamE, TcaModule};
 use came_baselines::{train_baseline, Baseline, BaselineHp};
 use came_bench::eval_scorer;
 use came_biodata::presets;
-use came_kg::Split;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{OneToNModel, Split};
 use came_tensor::backend::{self, AdamHp, Backend, BackendKind};
-use came_tensor::{conv, Prng, Shape, Tensor};
+use came_tensor::{conv, pool, Activation, Adam, Graph, Linear, ParamStore, Prng, Shape, Tensor};
 
 /// One benchmark cell: median ns per invocation.
 fn median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
@@ -64,6 +66,89 @@ fn both(
         name: name.into(),
         scalar_ns,
         parallel_ns,
+    }
+}
+
+/// One before/after cell: the same step timed with the pre-PR allocation
+/// behaviour (buffer pool off, fused kernels off) and with the optimised
+/// path (pool + fusion on). The optimised side also reports steady-state
+/// pool counters — `pool_misses == 0` means the step ran entirely out of
+/// recycled buffers.
+struct AbRow {
+    name: String,
+    baseline_ns: f64,
+    optimized_ns: f64,
+    pool_misses: u64,
+    pool_hit_rate: f64,
+    /// Included in the `CAME_CHECK_FUSION` CI gate (fused-kernel cells only).
+    gated: bool,
+}
+
+impl AbRow {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ns > 0.0 {
+            self.baseline_ns / self.optimized_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run `f` under both configurations. Timing samples alternate
+/// baseline/optimized each round so machine-speed drift over the run
+/// penalises both sides equally; the reported time is the per-side median.
+/// Pool counters are then read over back-to-back optimized runs — the real
+/// steady state, where `Graph::reset` parks a tape of exactly the classes
+/// the next step allocates — so `pool_misses == 0` proves a zero-allocation
+/// step.
+fn ab(
+    name: impl Into<String>,
+    warmup: usize,
+    samples: usize,
+    gated: bool,
+    mut f: impl FnMut(),
+) -> AbRow {
+    let set_side = |optimized: bool| {
+        pool::set_enabled(optimized);
+        came_tensor::set_fusion(optimized);
+    };
+    for optimized in [false, true] {
+        set_side(optimized);
+        for _ in 0..warmup.max(1) {
+            f(); // warm code paths; the optimized pass parks every buffer class
+        }
+    }
+    let mut base_ts = Vec::with_capacity(samples);
+    let mut opt_ts = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        set_side(false);
+        let t0 = Instant::now();
+        f();
+        base_ts.push(t0.elapsed().as_nanos() as f64);
+        set_side(true);
+        let t0 = Instant::now();
+        f();
+        opt_ts.push(t0.elapsed().as_nanos() as f64);
+    }
+    // The alternating rounds above fill the pool's byte budget with the
+    // (larger) baseline tape's class mix; start from an empty pool so the
+    // counters below reflect a pure optimized steady state.
+    pool::clear();
+    f(); // rebuild the pool with exactly the classes one step needs
+    pool::reset_stats();
+    f();
+    let stats = pool::stats();
+    let median = |ts: &mut Vec<f64>| {
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts[ts.len() / 2]
+    };
+    AbRow {
+        name: name.into(),
+        baseline_ns: median(&mut base_ts),
+        optimized_ns: median(&mut opt_ts),
+        pool_misses: stats.misses,
+        pool_hit_rate: stats.hit_rate(),
+        gated,
     }
 }
 
@@ -213,6 +298,106 @@ fn main() {
             },
         ));
     }
+
+    // --- before/after: pooled + fused training steps ---------------------
+    // All A/B cells run under the Parallel backend (the default in every
+    // experiment binary); `ab` flips only the pool and fusion switches.
+    let mut ab_rows: Vec<AbRow> = Vec::new();
+    came_tensor::set_backend(BackendKind::Parallel);
+    {
+        // Full CamE training step at batch 256: forward, BCE loss, backward,
+        // Adam — the end-to-end number the zero-realloc work targets.
+        let bkg = presets::tiny(11);
+        let fcfg = FeatureConfig {
+            compgcn_epochs: 0, // untrained structural features time identically
+            ..came_bench::feature_config()
+        };
+        let features = ModalFeatures::build(&bkg, &fcfg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(
+            &mut store,
+            &bkg.dataset,
+            &features,
+            came_bench::came_config_drkg(),
+        );
+        let n_ent = bkg.dataset.num_entities();
+        let n_rel = bkg.dataset.num_relations_aug();
+        let batch = 256usize;
+        let heads: Vec<u32> = (0..batch).map(|i| (i * 7919 % n_ent) as u32).collect();
+        let rels: Vec<u32> = (0..batch).map(|i| (i * 31 % n_rel) as u32).collect();
+        let targets =
+            Tensor::randn(Shape::d2(batch, n_ent), 1.0, &mut rng).map(|v| f32::from(v > 1.5));
+        let adam = Adam {
+            lr: 1e-3,
+            ..Adam::default()
+        };
+        let mut g = Graph::new();
+        ab_rows.push(ab(
+            "step_came_batch256",
+            if quick { 1 } else { 2 },
+            if quick { 3 } else { 7 },
+            false,
+            || {
+                g.reset();
+                let logits = model.forward(&g, &store, &heads, &rels);
+                let loss = g.bce_with_logits(logits, &targets);
+                black_box(g.with_value(loss, |t| t.item()));
+                g.backward(loss, &mut store);
+                store.adam_step(&adam);
+            },
+        ));
+    }
+    {
+        // TCA forward+backward: exercises the softmax·V fusion on all four
+        // co/inner-attention terms.
+        let dim = if quick { 32 } else { 64 };
+        let batch = if quick { 64 } else { 128 };
+        let mut store = ParamStore::new();
+        let tca = TcaModule::new(&mut store, "tca", dim, 2, 5.0, &mut rng);
+        let q_t = Tensor::randn(Shape::d2(batch, dim), 1.0, &mut rng);
+        let d_t = Tensor::randn(Shape::d2(batch, dim), 1.0, &mut rng);
+        let mut g = Graph::new();
+        ab_rows.push(ab(
+            "tca_fused_attention",
+            2,
+            if quick { 5 } else { 9 },
+            true,
+            || {
+                g.reset();
+                store.zero_grad();
+                let q = g.input(q_t.clone());
+                let d = g.input(d_t.clone());
+                let (qo, do_) = tca.apply(&g, &store, q, d);
+                let loss = g.sum_all(g.square(g.add(qo, do_)));
+                black_box(g.with_value(loss, |t| t.item()));
+                g.backward(loss, &mut store);
+            },
+        ));
+    }
+    {
+        // Single fused GEMM+bias+sigmoid vs its composed matmul/add/sigmoid
+        // chain, forward + backward.
+        let (m, k, n) = if quick { (64, 64, 64) } else { (256, 256, 256) };
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", k, n, &mut rng);
+        let x_t = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let mut g = Graph::new();
+        ab_rows.push(ab(
+            format!("gemm_bias_act_sigmoid_{m}x{k}x{n}"),
+            2,
+            if quick { 5 } else { 9 },
+            true,
+            || {
+                g.reset();
+                store.zero_grad();
+                let x = g.input(x_t.clone());
+                let y = lin.apply_act(&g, &store, x, Activation::Sigmoid);
+                let loss = g.sum_all(g.square(y));
+                black_box(g.with_value(loss, |t| t.item()));
+                g.backward(loss, &mut store);
+            },
+        ));
+    }
     came_tensor::set_backend(kind);
 
     // --- report ----------------------------------------------------------
@@ -235,6 +420,34 @@ fn main() {
         )
     );
 
+    let ab_table: Vec<Vec<String>> = ab_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", r.baseline_ns),
+                format!("{:.0}", r.optimized_ns),
+                format!("{:.2}x", r.speedup()),
+                format!("{}", r.pool_misses),
+                format!("{:.3}", r.pool_hit_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        came_bench::markdown_table(
+            &[
+                "step (pool+fusion off vs on)",
+                "baseline ns/op",
+                "optimized ns/op",
+                "speedup",
+                "steady-state allocs",
+                "pool hit rate"
+            ],
+            &ab_table
+        )
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"host_threads\": {},\n  \"quick\": {},\n  \"kernels\": [\n",
@@ -251,7 +464,39 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"ab\": [\n");
+    for (i, r) in ab_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns_op\": {:.0}, \"optimized_ns_op\": {:.0}, \"speedup\": {:.3}, \"steady_state_allocs\": {}, \"pool_hit_rate\": {:.4}}}{}\n",
+            r.name,
+            r.baseline_ns,
+            r.optimized_ns,
+            r.speedup(),
+            r.pool_misses,
+            r.pool_hit_rate,
+            if i + 1 < ab_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_micro.json", &json).expect("write BENCH_micro.json");
     eprintln!("[micro] wrote BENCH_micro.json");
+
+    // CI gate: with CAME_CHECK_FUSION set, any fused kernel cell that runs
+    // >10% slower than its unfused composition fails the run.
+    if std::env::var_os("CAME_CHECK_FUSION").is_some() {
+        let mut failed = false;
+        for r in ab_rows.iter().filter(|r| r.gated) {
+            if r.optimized_ns > r.baseline_ns * 1.10 {
+                eprintln!(
+                    "[micro] FUSION GATE FAILED: {} fused {:.0} ns/op vs unfused {:.0} ns/op (>10% slower)",
+                    r.name, r.optimized_ns, r.baseline_ns
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("[micro] fusion gate passed");
+    }
 }

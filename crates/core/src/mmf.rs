@@ -2,7 +2,7 @@
 //! (Eqn. 9), exchanging fusion (Eqns. 10–12), and low-rank bilinear fusion
 //! (Eqn. 13) producing the multimodal joint representation `h_f`.
 
-use came_tensor::{Graph, ParamId, ParamStore, Prng, Shape, Tensor, Var};
+use came_tensor::{Activation, Graph, ParamId, ParamStore, Prng, Shape, Tensor, Var};
 
 use crate::tca::TcaModule;
 
@@ -13,14 +13,23 @@ use crate::tca::TcaModule;
 /// gradients flow through whichever value was kept.
 pub fn exchange(g: &Graph, x: Var, y: Var, theta: f32) -> (Var, Var) {
     assert_eq!(g.shape(x), g.shape(y), "EX requires equal shapes");
-    let ln_x = g.value(g.layer_norm(x, 1e-5));
-    let ln_y = g.value(g.layer_norm(y, 1e-5));
-    let mask_x = ln_x.map(|v| if v < theta { 1.0 } else { 0.0 });
-    let mask_y = ln_y.map(|v| if v < theta { 1.0 } else { 0.0 });
-    let keep_x = g.input(mask_x.map(|m| 1.0 - m));
-    let take_y = g.input(mask_x);
-    let keep_y = g.input(mask_y.map(|m| 1.0 - m));
-    let take_x = g.input(mask_y);
+    let ln_x = g.layer_norm(x, 1e-5);
+    let ln_y = g.layer_norm(y, 1e-5);
+    // read the normalised activations in place (no tensor clone); the mask
+    // tensors are built inside the borrow and become inputs afterwards
+    let masks = |ln: Var| {
+        g.with_value(ln, |t| {
+            let take = t.map(|v| if v < theta { 1.0 } else { 0.0 });
+            let keep = take.map(|m| 1.0 - m);
+            (keep, take)
+        })
+    };
+    let (keep_x_t, take_y_t) = masks(ln_x);
+    let (keep_y_t, take_x_t) = masks(ln_y);
+    let keep_x = g.input(keep_x_t);
+    let take_y = g.input(take_y_t);
+    let keep_y = g.input(keep_y_t);
+    let take_x = g.input(take_x_t);
     let x_new = g.add(g.mul(x, keep_x), g.mul(y, take_y));
     let y_new = g.add(g.mul(y, keep_y), g.mul(x, take_x));
     (x_new, y_new)
@@ -141,11 +150,12 @@ impl MmfModule {
                 Some(theta) => exchange(g, xh, yh, theta),
                 None => (xh, yh),
             };
-            // low-rank bilinear term (Eqn. 13)
+            // low-rank bilinear term (Eqn. 13) on the fused GEMM+bias+act
+            // kernel: σ gates in one pass each, then projection + bias
             let bl = &self.bilinear[k];
-            let left = g.sigmoid(g.matmul(xt, g.param(store, bl.u)));
-            let right = g.sigmoid(g.matmul(yt, g.param(store, bl.v)));
-            let z = g.add(g.matmul(g.mul(left, right), p), bias);
+            let left = g.gemm_bias_act(xt, g.param(store, bl.u), None, Activation::Sigmoid);
+            let right = g.gemm_bias_act(yt, g.param(store, bl.v), None, Activation::Sigmoid);
+            let z = g.gemm_bias_act(g.mul(left, right), p, Some(bias), Activation::Identity);
             // Ω: Hadamard product over the pair terms
             h_f = Some(match h_f {
                 Some(acc) => g.mul(acc, z),

@@ -5,12 +5,12 @@
 
 use std::cell::RefCell;
 
-use came_encoders::ModalFeatures;
+use came_encoders::{FrozenCache, ModalFeatures};
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
-use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var};
+use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var};
 
 use crate::config::CamEConfig;
-use crate::mmf::{frozen_rows, simple_multiplicative_fusion, MmfModule};
+use crate::mmf::{simple_multiplicative_fusion, MmfModule};
 use crate::ric::RicModule;
 use crate::scorer::ConvBranch;
 
@@ -26,10 +26,11 @@ pub struct CamE {
     /// Configuration (including ablation switches).
     pub cfg: CamEConfig,
     n_entities: usize,
-    // frozen modal tables
-    feat_m: Tensor,
-    feat_t: Tensor,
-    feat_s: Tensor,
+    // frozen-encoder output caches: computed once at construction, served
+    // by row gathers per batch (invalidated if an encoder turns trainable)
+    feat_m: FrozenCache,
+    feat_t: FrozenCache,
+    feat_s: FrozenCache,
     // learnable embeddings
     ent: EmbeddingTable,
     rel: EmbeddingTable,
@@ -155,11 +156,12 @@ impl CamE {
         let ent_bias = store.add_zeros("came.ent_bias", Shape::d1(n));
         let dropout_rng = RefCell::new(Prng::new(cfg.seed ^ 0xD409));
 
+        let (feat_m, feat_t, feat_s) = features.caches();
         CamE {
             n_entities: n,
-            feat_m: features.molecular.clone(),
-            feat_t: features.textual.clone(),
-            feat_s: features.structural.clone(),
+            feat_m,
+            feat_t,
+            feat_s,
             ent,
             rel,
             w_mol,
@@ -209,14 +211,15 @@ impl CamE {
     ) -> Vec<(EntityId, f32)> {
         let g = Graph::inference();
         let scores = self.forward(&g, store, &[h.0], &[r.0]);
-        let row = g.value(scores);
-        let mut ranked: Vec<(EntityId, f32)> = row
-            .data()
-            .iter()
-            .enumerate()
-            .filter(|&(e, _)| exclude.is_none_or(|f| !f.contains(h, r, EntityId(e as u32))))
-            .map(|(e, &s)| (EntityId(e as u32), s))
-            .collect();
+        // rank from a borrow of the logits — no tensor clone
+        let mut ranked: Vec<(EntityId, f32)> = g.with_value(scores, |row| {
+            row.data()
+                .iter()
+                .enumerate()
+                .filter(|&(e, _)| exclude.is_none_or(|f| !f.contains(h, r, EntityId(e as u32))))
+                .map(|(e, &s)| (EntityId(e as u32), s))
+                .collect()
+        });
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(k);
         ranked
@@ -230,15 +233,11 @@ impl OneToNModel for CamE {
         let r_emb = self.rel.lookup(g, store, rels); // [B, d_e]
         let e_h = self.ent.lookup(g, store, heads); // [B, d_e]
 
-        // raw modality vectors for this batch
-        let m_raw = cfg
-            .use_molecule
-            .then(|| g.input(frozen_rows(&self.feat_m, heads)));
-        let t_raw = cfg
-            .use_text
-            .then(|| g.input(frozen_rows(&self.feat_t, heads)));
+        // raw modality vectors for this batch: cached-encoder row gathers
+        let m_raw = cfg.use_molecule.then(|| g.input(self.feat_m.rows(heads)));
+        let t_raw = cfg.use_text.then(|| g.input(self.feat_t.rows(heads)));
         let s_raw = if cfg.use_pretrained_struct {
-            g.input(frozen_rows(&self.feat_s, heads))
+            g.input(self.feat_s.rows(heads))
         } else {
             e_h
         };

@@ -11,7 +11,7 @@
 //! branches project to entity space and score against candidate tails) and
 //! document the substitution in DESIGN.md.
 
-use came_tensor::{Conv2dLayer, Graph, Linear, ParamStore, Prng, Shape, Var};
+use came_tensor::{Activation, Conv2dLayer, Graph, Linear, ParamStore, Prng, Shape, Var};
 
 /// Factor `d` into the most square `(h, w)` with `h ≤ w` and `h·w = d`.
 ///
@@ -111,7 +111,8 @@ impl ConvBranch {
             s.at(1) * s.at(2) * s.at(3)
         };
         let flat = g.reshape(conved, Shape::d2(b, flat_len));
-        g.relu(self.fc.apply(g, store, flat))
+        // fused GEMM + bias + ReLU head
+        self.fc.apply_act(g, store, flat, Activation::Relu)
     }
 
     /// Channel count this branch expects.

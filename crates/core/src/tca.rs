@@ -19,7 +19,7 @@
 //! `d1 = d2`; every use in the paper first projects both inputs to a common
 //! width (Eqn. 9), so this implementation requires equal input widths.
 
-use came_tensor::{Graph, ParamId, ParamStore, Prng, Shape, Var};
+use came_tensor::{Activation, Graph, ParamId, ParamStore, Prng, Shape, Var};
 
 /// Parameters of one TCA head.
 struct TcaHead {
@@ -106,36 +106,51 @@ impl TcaModule {
         // keep the learnable temperature away from zero for stability
         let tau0 = g.add(g.square(tau0), g.constant(1e-2));
 
+        // Column views consumed by the fused attention below.
+        let q_col = g.reshape(q, Shape::d3(b, dim, 1));
+        let d_col = g.reshape(d, Shape::d3(b, dim, 1));
+
         let mut q_heads = Vec::with_capacity(self.heads.len());
         let mut d_heads = Vec::with_capacity(self.heads.len());
         for (i, head) in self.heads.iter().enumerate() {
             // Eqn. 8: τ_i = τ∘ · (λ · i); heads are 1-indexed in the paper
             let tau_i = g.scale(tau0, self.lambda * (i + 1) as f32);
 
-            // shared projections (Eqn. 1 / Eqn. 4)
-            let q_co = g.sigmoid(g.matmul(q, g.param(store, head.w_co_q))); // [B,d]
-            let d_co = g.sigmoid(g.matmul(d, g.param(store, head.w_co_d))); // [B,d]
-            let q_in = g.sigmoid(g.matmul(q, g.param(store, head.w_in_q)));
-            let d_in = g.sigmoid(g.matmul(d, g.param(store, head.w_in_d)));
+            // shared projections (Eqn. 1 / Eqn. 4) on the fused GEMM+σ kernel
+            let q_co = g.gemm_bias_act(q, g.param(store, head.w_co_q), None, Activation::Sigmoid);
+            let d_co = g.gemm_bias_act(d, g.param(store, head.w_co_d), None, Activation::Sigmoid);
+            let q_in = g.gemm_bias_act(q, g.param(store, head.w_in_q), None, Activation::Sigmoid);
+            let d_in = g.gemm_bias_act(d, g.param(store, head.w_in_d), None, Activation::Sigmoid);
 
-            // co-affinity (Eqn. 1): outer product per example -> [B,d,d]
-            let m_co = outer(g, q_co, d_co, b, dim);
-            let m_co = g.div(m_co, tau_i);
-            let m_co_q = g.softmax(m_co, 1); // column-normalised (dim=0 in paper)
-            let m_co_d = g.softmax(m_co, 2); // row-normalised (dim=1 in paper)
+            // Every attention application below is `softmax(M, axis) · vec`
+            // with the normalised axis placed *last* by ordering the outer
+            // product accordingly, so the fully fused outer-attention kernel
+            // covers all four terms: the affinity matrix and its softmax are
+            // built inside the kernel and never become tape nodes.
+            //
+            // Eqn. 2–3: Q_co = Qᵀ·softmax_col(M_co) with
+            // M_co[i,j] = q_co[i]·d_co[j]/τ; swapping the outer product gives
+            // M_co ᵀ whose row softmax equals the column softmax of M_co.
+            let q_co_out = g.reshape(
+                g.outer_attention(d_co, q_co, q_col, tau_i),
+                Shape::d2(b, dim),
+            );
+            // D_co = softmax_row(M_co)·D is already row-normalised
+            let d_co_out = g.reshape(
+                g.outer_attention(q_co, d_co, d_col, tau_i),
+                Shape::d2(b, dim),
+            );
 
-            // Eqn. 3: Q_co = Qᵀ·M_co^q -> [B,d]; D_co = M_co^d·D -> [B,d]
-            let q_row = g.reshape(q, Shape::d3(b, 1, dim));
-            let q_co_out = g.reshape(g.matmul(q_row, m_co_q), Shape::d2(b, dim));
-            let d_col = g.reshape(d, Shape::d3(b, dim, 1));
-            let d_co_out = g.reshape(g.matmul(m_co_d, d_col), Shape::d2(b, dim));
-
-            // intra-affinity (Eqns. 4–5), sharing W_co with the co path
-            let m_in_q = g.softmax(g.div(outer(g, q_co, q_in, b, dim), tau_i), 1);
-            let q_in_out = g.reshape(g.matmul(q_row, m_in_q), Shape::d2(b, dim));
-            let m_in_d = g.softmax(g.div(outer(g, d_co, d_in, b, dim), tau_i), 1);
-            let d_row = g.reshape(d, Shape::d3(b, 1, dim));
-            let d_in_out = g.reshape(g.matmul(d_row, m_in_d), Shape::d2(b, dim));
+            // intra-affinity (Eqns. 4–5), sharing W_co with the co path;
+            // both are column-normalised, hence the swapped outer products
+            let q_in_out = g.reshape(
+                g.outer_attention(q_in, q_co, q_col, tau_i),
+                Shape::d2(b, dim),
+            );
+            let d_in_out = g.reshape(
+                g.outer_attention(d_in, d_co, d_col, tau_i),
+                Shape::d2(b, dim),
+            );
 
             // Eqn. 6
             q_heads.push(g.add(q_co_out, q_in_out));
@@ -148,13 +163,6 @@ impl TcaModule {
         let d_out = g.matmul(d_cat, g.param(store, self.w_head_d));
         (q_out, d_out)
     }
-}
-
-/// Batched outer product `[B,d] ⊗ [B,d] -> [B,d,d]`.
-fn outer(g: &Graph, a: Var, b_vec: Var, b: usize, d: usize) -> Var {
-    let col = g.reshape(a, Shape::d3(b, d, 1));
-    let row = g.reshape(b_vec, Shape::d3(b, 1, d));
-    g.mul(col, row)
 }
 
 #[cfg(test)]

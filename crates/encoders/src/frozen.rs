@@ -6,6 +6,8 @@
 //! Features are computed once per dataset and shared by CamE and every
 //! multimodal baseline.
 
+use std::cell::Cell;
+
 use came_biodata::MultimodalBkg;
 use came_kg::KgDataset;
 use came_tensor::{Shape, Tensor};
@@ -131,6 +133,16 @@ impl ModalFeatures {
         }
     }
 
+    /// Wrap each modality table in a [`FrozenCache`] for gather-based
+    /// serving with version tracking.
+    pub fn caches(&self) -> (FrozenCache, FrozenCache, FrozenCache) {
+        (
+            FrozenCache::new(self.molecular.clone()),
+            FrozenCache::new(self.textual.clone()),
+            FrozenCache::new(self.structural.clone()),
+        )
+    }
+
     /// Random features of matching shape — a null control used in tests.
     pub fn random_control(n: usize, cfg: &FeatureConfig, seed: u64) -> ModalFeatures {
         let mut rng = came_tensor::Prng::new(seed);
@@ -140,6 +152,131 @@ impl ModalFeatures {
             structural: Tensor::randn(Shape::d2(n, cfg.d_struct), 0.3, &mut rng),
             has_molecule: vec![true; n],
         }
+    }
+}
+
+/// Memoised output table of a frozen encoder: a dense `[N, d]` table
+/// computed once per (entity, encoder-version), served thereafter by row
+/// gathers instead of re-running the encoder forward per batch.
+///
+/// The cache is valid as long as the encoder that produced it stays frozen.
+/// Marking the encoder trainable (or calling [`FrozenCache::invalidate`])
+/// poisons the cache; serving rows from a poisoned cache panics until
+/// [`FrozenCache::refresh`] installs a recomputed table and bumps the
+/// version. Gather counters expose how much encoder work was skipped.
+pub struct FrozenCache {
+    table: Tensor,
+    version: u64,
+    trainable: bool,
+    dirty: bool,
+    gathers: Cell<u64>,
+    rows_served: Cell<u64>,
+}
+
+impl FrozenCache {
+    /// Wrap a precomputed `[N, d]` encoder output table (version 1).
+    ///
+    /// # Panics
+    /// Panics if the table is not 2-D.
+    pub fn new(table: Tensor) -> Self {
+        assert_eq!(table.shape().ndim(), 2, "frozen cache table must be 2-D");
+        FrozenCache {
+            table,
+            version: 1,
+            trainable: false,
+            dirty: false,
+            gathers: Cell::new(0),
+            rows_served: Cell::new(0),
+        }
+    }
+
+    /// Encoder version this table was computed under.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of cached entities.
+    pub fn len(&self) -> usize {
+        self.table.shape().at(0)
+    }
+
+    /// True when no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature width `d`.
+    pub fn dim(&self) -> usize {
+        self.table.shape().at(1)
+    }
+
+    /// Whether the backing encoder was marked trainable.
+    pub fn is_trainable(&self) -> bool {
+        self.trainable
+    }
+
+    /// Number of `rows` calls and total rows served, for the bench report.
+    pub fn gather_stats(&self) -> (u64, u64) {
+        (self.gathers.get(), self.rows_served.get())
+    }
+
+    /// The full cached table.
+    ///
+    /// # Panics
+    /// Panics if the cache was invalidated and not refreshed.
+    pub fn table(&self) -> &Tensor {
+        assert!(
+            !self.dirty,
+            "stale frozen-encoder cache: refresh() it before serving"
+        );
+        &self.table
+    }
+
+    /// Gather rows `ids` into a fresh (pool-backed) `[ids.len(), d]` tensor —
+    /// the per-batch replacement for an encoder forward.
+    ///
+    /// # Panics
+    /// Panics if the cache is stale or an id is out of range.
+    pub fn rows(&self, ids: &[u32]) -> Tensor {
+        let table = self.table();
+        let (n, d) = (table.shape().at(0), table.shape().at(1));
+        let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+        for (row, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < n, "frozen cache id {id} out of {n}");
+            out.data_mut()[row * d..(row + 1) * d]
+                .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
+        }
+        self.gathers.set(self.gathers.get() + 1);
+        self.rows_served
+            .set(self.rows_served.get() + ids.len() as u64);
+        out
+    }
+
+    /// Mark the backing encoder trainable: its outputs may now drift from
+    /// the cached table, so the cache is poisoned until refreshed.
+    pub fn mark_trainable(&mut self) {
+        self.trainable = true;
+        self.invalidate();
+    }
+
+    /// Explicitly poison the cache (encoder weights changed).
+    pub fn invalidate(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Install a freshly recomputed table and bump the encoder version.
+    ///
+    /// # Panics
+    /// Panics if the new table's shape differs from the cached one.
+    pub fn refresh(&mut self, table: Tensor) {
+        assert_eq!(
+            table.shape(),
+            self.table.shape(),
+            "refreshed frozen cache must keep its shape"
+        );
+        self.table = table;
+        self.version += 1;
+        self.dirty = false;
     }
 }
 
@@ -189,6 +326,34 @@ mod tests {
         let no_td = f.without_text();
         assert!(no_td.textual.data().iter().all(|&x| x == 0.0));
         assert_eq!(no_td.molecular.data(), f.molecular.data());
+    }
+
+    #[test]
+    fn frozen_cache_serves_rows_and_counts() {
+        let t = Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = FrozenCache::new(t);
+        assert_eq!((c.len(), c.dim(), c.version()), (3, 2, 1));
+        let r = c.rows(&[2, 0]);
+        assert_eq!(r.data(), &[5.0, 6.0, 1.0, 2.0]);
+        assert_eq!(c.gather_stats(), (1, 2));
+    }
+
+    #[test]
+    fn frozen_cache_refresh_bumps_version() {
+        let mut c = FrozenCache::new(Tensor::zeros(Shape::d2(2, 2)));
+        c.invalidate();
+        c.refresh(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]));
+        assert_eq!(c.version(), 2);
+        assert_eq!(c.rows(&[0]).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale frozen-encoder cache")]
+    fn trainable_encoder_poisons_cache() {
+        let mut c = FrozenCache::new(Tensor::zeros(Shape::d2(2, 2)));
+        c.mark_trainable();
+        assert!(c.is_trainable());
+        let _ = c.rows(&[0]);
     }
 
     #[test]

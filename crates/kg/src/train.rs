@@ -114,17 +114,20 @@ pub fn train_one_to_n<M: OneToNModel>(
     };
     let start = Instant::now();
     let mut history = Vec::with_capacity(cfg.epochs);
+    // One tape reused across every batch: `reset()` returns node buffers to
+    // the thread-local pool, so steady-state steps allocate nothing.
+    let mut g = Graph::new();
     for epoch in 0..cfg.epochs {
         let mut loss_sum = 0.0f64;
         let mut n_batches = 0usize;
         for batch in batcher.epoch(&mut rng) {
-            let g = Graph::new();
+            g.reset();
             let logits = model.forward(&g, store, &batch.heads, &batch.rels);
             let loss = match &batch.weights {
                 Some(w) => g.bce_with_logits_weighted(logits, &batch.targets, w),
                 None => g.bce_with_logits(logits, &batch.targets),
             };
-            loss_sum += g.value(loss).item() as f64;
+            loss_sum += g.with_value(loss, |t| t.item()) as f64;
             n_batches += 1;
             g.backward(loss, store);
             if let Some(clip) = cfg.grad_clip {
@@ -205,6 +208,7 @@ pub fn train_negative_sampling<M: TripleModel>(
     };
     let start = Instant::now();
     let mut history = Vec::with_capacity(cfg.base.epochs);
+    let mut g = Graph::new();
     for epoch in 0..cfg.base.epochs {
         rng.shuffle(&mut triples);
         let mut loss_sum = 0.0f64;
@@ -231,7 +235,7 @@ pub fn train_negative_sampling<M: TripleModel>(
                     tn.push(neg.t.0);
                 }
             }
-            let g = Graph::new();
+            g.reset();
             let s_pos = model.score(&g, store, &h, &r, &t); // [B]
             let s_neg = model.score(&g, store, &hn, &rn, &tn); // [B*k]
             let s_pos = g.reshape(s_pos, Shape::d1(b));
@@ -248,7 +252,7 @@ pub fn train_negative_sampling<M: TripleModel>(
                 NegWeighting::Uniform => Tensor::full(Shape::d2(b, cfg.k), 1.0 / cfg.k as f32),
                 NegWeighting::SelfAdversarial(alpha) => {
                     // softmax(α·s⁻) computed on detached values
-                    g.value(s_neg).map(|v| v * alpha).softmax_axis(1)
+                    g.with_value(s_neg, |t| t.map(|v| v * alpha).softmax_axis(1))
                 }
             };
             let wv = g.input(weights);
@@ -258,7 +262,7 @@ pub fn train_negative_sampling<M: TripleModel>(
             if let Some(aux) = model.aux_loss(&g, store, &h, &r, &t) {
                 loss = g.add(loss, aux);
             }
-            loss_sum += g.value(loss).item() as f64;
+            loss_sum += g.with_value(loss, |t| t.item()) as f64;
             n_batches += 1;
             g.backward(loss, store);
             if let Some(clip) = cfg.base.grad_clip {
@@ -297,9 +301,11 @@ impl<M: OneToNModel + ?Sized> TailScorer for OneToNScorer<'_, M> {
         let heads: Vec<u32> = queries.iter().map(|q| q.0 .0).collect();
         let rels: Vec<u32> = queries.iter().map(|q| q.1 .0).collect();
         let scores = self.model.forward(&g, self.store, &heads, &rels);
-        let t = g.value(scores);
-        let n = t.shape().at(1);
-        t.data().chunks(n).map(|row| row.to_vec()).collect()
+        // borrow the logits in place instead of cloning the [B, N] tensor
+        g.with_value(scores, |t| {
+            let n = t.shape().at(1);
+            t.data().chunks(n).map(|row| row.to_vec()).collect()
+        })
     }
 }
 
@@ -349,7 +355,7 @@ impl<M: TripleModel + ?Sized> TailScorer for TripleScorerAdapter<'_, M> {
             let rs = vec![r.0; len];
             let ts: Vec<u32> = (start as u32..(start + len) as u32).collect();
             let s = self.model.score(&g, self.store, &hs, &rs, &ts);
-            chunk.copy_from_slice(g.value(s).data());
+            g.with_value(s, |t| chunk.copy_from_slice(t.data()));
         });
         out
     }

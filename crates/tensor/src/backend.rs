@@ -82,6 +82,33 @@ pub struct AdamHp {
     pub bias2: f32,
 }
 
+/// Elementwise activation applied by the fused GEMM epilogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (plain GEMM + optional bias).
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Apply the activation to one value. Uses the same scalar functions as
+    /// the unfused graph ops, so fused and composed results are identical.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => crate::graph::sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+}
+
 /// The kernel dispatch trait. `out` GEMM buffers are *accumulated into*
 /// (`C += A·B`); pass zeros for a plain product. Lane kernels treat their
 /// buffer as contiguous rows of length `lane`.
@@ -157,6 +184,149 @@ pub trait Backend: Send + Sync {
 
     /// Fused Adam step over one parameter tensor's buffers.
     fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp);
+
+    /// Fused `out = act(out + a·b + bias)`: GEMM accumulation followed by a
+    /// row-broadcast bias add and elementwise activation in one pass while
+    /// the output panel is cache-hot. `bias` has length `n` when present.
+    /// With zeroed `out` this equals the composed
+    /// `act(matmul(a, b) + bias)` bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_bias_act(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        act: Activation,
+    ) {
+        self.matmul(a, b, out, m, k, n);
+        bias_act_rows(out, bias, n, act);
+    }
+
+    /// Fused attention-weight application: for each of `batch` independent
+    /// problems, row-softmax `scores[m,k]` into `soft` and immediately
+    /// accumulate `out[m,n] += softmax(scores)·v[k,n]`. The softmax result
+    /// lands in the caller-provided `soft` scratch (needed for backward)
+    /// instead of becoming a separate tape node. Equals the composed
+    /// softmax-then-batched-matmul bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn softmax_matmul(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m * k == 0 {
+            return;
+        }
+        for i in 0..batch {
+            softmax_matmul_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &mut soft[i * m * k..(i + 1) * m * k],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    /// Fully fused scaled-outer-product attention, the TCA hot path: for each
+    /// batch entry, score row `i` is built on the fly as `a[i]·c[j]/τ`
+    /// directly inside `soft`, row-softmaxed in place, and accumulated into
+    /// `out[m,n] += soft·v[k,n]`. The `[m,k]` score matrix never exists as a
+    /// tensor — only the softmax survives (the backward pass needs it). With
+    /// zeroed `out` this agrees with the composed outer-product → divide-by-τ
+    /// → softmax → matmul chain to float rounding (the `/τ` is hoisted per
+    /// row), within the 1e-5 parity budget.
+    #[allow(clippy::too_many_arguments)]
+    fn outer_attention(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m * k == 0 {
+            return;
+        }
+        for i in 0..batch {
+            outer_attention_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                &mut soft[i * m * k..(i + 1) * m * k],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    /// Backward of [`Backend::outer_attention`]: reads the saved row softmax
+    /// and the upstream gradient `gout [batch,m,n]`, accumulates into
+    /// `ga [batch,m]`, `gc [batch,k]`, `gv [batch,k,n]`, and returns the
+    /// scalar gradient wrt `τ`. Needs no `[m,k]`-sized scratch — every row is
+    /// reduced in a `k`-float buffer while it is cache-hot.
+    #[allow(clippy::too_many_arguments)]
+    fn outer_attention_backward(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        soft: &[f32],
+        gout: &[f32],
+        tau: f32,
+        ga: &mut [f32],
+        gc: &mut [f32],
+        gv: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> f32 {
+        if m * k == 0 {
+            return 0.0;
+        }
+        let mut scratch = crate::pool::alloc_uninit(k);
+        let mut gtau = 0.0f32;
+        for i in 0..batch {
+            gtau += outer_attention_backward_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &soft[i * m * k..(i + 1) * m * k],
+                &gout[i * m * n..(i + 1) * m * n],
+                tau,
+                &mut ga[i * m..(i + 1) * m],
+                &mut gc[i * k..(i + 1) * k],
+                &mut gv[i * k * n..(i + 1) * k * n],
+                &mut scratch,
+                m,
+                k,
+                n,
+            );
+        }
+        crate::pool::recycle(scratch);
+        gtau
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -222,6 +392,162 @@ fn adam_chunk(x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamH
         let vhat = v[i] / hp.bias2;
         x[i] -= hp.lr * mhat / (vhat.sqrt() + hp.eps);
     }
+}
+
+/// Fused-GEMM epilogue: add the row-broadcast bias and apply the activation
+/// over rows of length `n`.
+#[inline]
+fn bias_act_rows(out: &mut [f32], bias: Option<&[f32]>, n: usize, act: Activation) {
+    match bias {
+        Some(b) => {
+            debug_assert_eq!(b.len(), n);
+            for row in out.chunks_mut(n.max(1)) {
+                for (o, &bv) in row.iter_mut().zip(b) {
+                    *o = act.apply(*o + bv);
+                }
+            }
+        }
+        None => {
+            if act != Activation::Identity {
+                for o in out.iter_mut() {
+                    *o = act.apply(*o);
+                }
+            }
+        }
+    }
+}
+
+/// One batch entry of the fused softmax×matmul: row-softmax `scores[m,k]`
+/// into `soft`, then `out[m,n] += soft·v[k,n]`. The accumulation over `k` is
+/// ascending, matching both GEMM kernels, so results are bitwise equal to
+/// the composed ops.
+#[inline]
+fn softmax_matmul_block(
+    scores: &[f32],
+    v: &[f32],
+    soft: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..m {
+        let srow = &mut soft[r * k..(r + 1) * k];
+        srow.copy_from_slice(&scores[r * k..(r + 1) * k]);
+        softmax_one_lane(srow);
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (p, &w) in srow.iter().enumerate() {
+            let vrow = &v[p * n..(p + 1) * n];
+            for (o, &x) in orow.iter_mut().zip(vrow) {
+                *o += w * x;
+            }
+        }
+    }
+}
+
+/// One batch entry of the fused outer-product attention: score row `i` is
+/// `(a[i]/τ)·c[j]` built straight in its `soft` row, softmaxed, then
+/// `out[i,:] += soft_row·v` with ascending-`k` accumulation. Three passes per
+/// row instead of the composed path's five: the row max rides along with the
+/// score generation and the normalisation rides along with the contraction.
+/// Hoisting the `/τ` out of the inner loop trades millions of per-element
+/// divisions for one per row (agrees with the composed mul-then-div ordering
+/// to float rounding, within the 1e-5 parity budget).
+#[inline]
+fn outer_attention_block(
+    a: &[f32],
+    c: &[f32],
+    v: &[f32],
+    tau: f32,
+    soft: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..m {
+        let srow = &mut soft[r * k..(r + 1) * k];
+        let ars = a[r] / tau;
+        let mut mx = f32::NEG_INFINITY;
+        for (s, &cj) in srow.iter_mut().zip(c) {
+            let sc = ars * cj;
+            *s = sc;
+            mx = mx.max(sc);
+        }
+        let mut z = 0.0;
+        for s in srow.iter_mut() {
+            let e = crate::tensor::fast_exp(*s - mx);
+            *s = e;
+            z += e;
+        }
+        let inv_z = 1.0 / z;
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (p, s) in srow.iter_mut().enumerate() {
+            *s *= inv_z;
+            let w = *s;
+            let vrow = &v[p * n..(p + 1) * n];
+            for (o, &x) in orow.iter_mut().zip(vrow) {
+                *o += w * x;
+            }
+        }
+    }
+}
+
+/// One batch entry of the outer-attention backward; returns this entry's
+/// contribution to the τ gradient. `scratch` is a caller-provided `k`-float
+/// buffer: per row it first holds `∂L/∂soft`, then is transformed in place
+/// into the softmax-backward `∂L/∂u` (u = scaled scores) for the final
+/// reductions onto `ga`, `gc`, and τ.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn outer_attention_backward_block(
+    a: &[f32],
+    c: &[f32],
+    v: &[f32],
+    soft: &[f32],
+    gout: &[f32],
+    tau: f32,
+    ga: &mut [f32],
+    gc: &mut [f32],
+    gv: &mut [f32],
+    scratch: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> f32 {
+    let inv = 1.0 / tau;
+    let mut gtau = 0.0f32;
+    for r in 0..m {
+        let srow = &soft[r * k..(r + 1) * k];
+        let grow = &gout[r * n..(r + 1) * n];
+        // gsoft_row[j] = gout_row · v[j,:]; gv[j,:] += soft_row[j] * gout_row
+        let mut dot = 0.0f32;
+        for j in 0..k {
+            let vrow = &v[j * n..(j + 1) * n];
+            let gvrow = &mut gv[j * n..(j + 1) * n];
+            let w = srow[j];
+            let mut acc = 0.0f32;
+            for ((gv_o, &go), &vx) in gvrow.iter_mut().zip(grow).zip(vrow) {
+                acc += go * vx;
+                *gv_o += w * go;
+            }
+            scratch[j] = acc;
+            dot += acc * w;
+        }
+        // softmax backward: ∂L/∂u = (gsoft − Σ gsoft⊙soft) ⊙ soft
+        let ar = a[r];
+        let ar_inv = ar * inv;
+        let mut row_c_dot = 0.0f32;
+        for j in 0..k {
+            let gs = (scratch[j] - dot) * srow[j];
+            row_c_dot += gs * c[j];
+            gc[j] += gs * ar_inv;
+        }
+        ga[r] += row_c_dot * inv;
+        // u = a·c/τ ⇒ ∂u/∂τ = −a·c/τ²
+        gtau -= ar * row_c_dot * inv * inv;
+    }
+    gtau
 }
 
 // --------------------------------------------------------------------------
@@ -321,6 +647,12 @@ const PANEL_ROWS: usize = 32;
 const KC: usize = 256;
 /// Elementwise chunk grain (floats) handed to each stolen task.
 const GRAIN: usize = 32 * 1024;
+/// Minimum elements before the *lane* kernels (softmax / layer-norm) fan
+/// out. These are memory-bound few-pass kernels, so the scoped-thread spawn
+/// cost is only recovered on much larger buffers than the generic
+/// elementwise threshold — 512×512 buffers regressed to 0.935x under the old
+/// [`PAR_MIN_ELEMS`] guard.
+const PAR_MIN_LANE_ELEMS: usize = 512 * 1024;
 /// Fixed reduction block so blocked sums are deterministic for any thread
 /// count.
 const SUM_BLOCK: usize = 4096;
@@ -427,6 +759,13 @@ fn gemm_tile(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
+/// Min-work guard for the rowwise lane kernels: require both a large buffer
+/// and enough rows to give every thread at least two, otherwise fall through
+/// to the scalar loop.
+fn lane_work_parallel(len: usize, lane: usize) -> bool {
+    len >= PAR_MIN_LANE_ELEMS && num_threads() > 1 && len / lane.max(1) >= 2 * num_threads()
+}
+
 /// Split equal-length buffers into lockstep chunk tuples of at most `grain`
 /// elements, aligned to `lane` boundaries when `lane > 0`.
 fn grain_for(total: usize, lane: usize) -> usize {
@@ -506,7 +845,7 @@ impl Backend for ParallelBackend {
         if lane == 0 || data.is_empty() {
             return;
         }
-        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+        if !lane_work_parallel(data.len(), lane) {
             for l in data.chunks_mut(lane) {
                 softmax_one_lane(l);
             }
@@ -524,7 +863,7 @@ impl Backend for ParallelBackend {
         if lane == 0 || data.is_empty() {
             return;
         }
-        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+        if !lane_work_parallel(data.len(), lane) {
             for l in data.chunks_mut(lane) {
                 layer_norm_one_lane(l, eps);
             }
@@ -558,7 +897,7 @@ impl Backend for ParallelBackend {
                 layer_norm_backward_one_lane(xl, gl, ol, eps);
             }
         };
-        if x.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+        if !lane_work_parallel(x.len(), lane) {
             run(x, g, out);
             return;
         }
@@ -662,6 +1001,211 @@ impl Backend for ParallelBackend {
             .collect();
         steal_tasks(tasks, |(((xs, gs), ms), vs)| adam_chunk(xs, gs, ms, vs, hp));
     }
+
+    fn gemm_bias_act(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        act: Activation,
+    ) {
+        if m * n == 0 {
+            return;
+        }
+        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
+            gemm_tile(a, b, out, m, k, n);
+            bias_act_rows(out, bias, n, act);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
+        steal_tasks(tasks, |(pi, panel)| {
+            let i0 = pi * PANEL_ROWS;
+            let rows = panel.len() / n;
+            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
+            // epilogue while the panel is still cache-hot
+            bias_act_rows(panel, bias, n, act);
+        });
+    }
+
+    fn softmax_matmul(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        let seq = |soft: &mut [f32], out: &mut [f32]| {
+            for i in 0..batch {
+                softmax_matmul_block(
+                    &scores[i * m * k..(i + 1) * m * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &mut soft[i * m * k..(i + 1) * m * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        };
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            seq(soft, out);
+            return;
+        }
+        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
+            .chunks_mut(m * k)
+            .enumerate()
+            .zip(out.chunks_mut(m * n))
+            .collect();
+        steal_tasks(tasks, |((i, s), o)| {
+            softmax_matmul_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                s,
+                o,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn outer_attention(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            for i in 0..batch {
+                outer_attention_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    tau,
+                    &mut soft[i * m * k..(i + 1) * m * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return;
+        }
+        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
+            .chunks_mut(m * k)
+            .enumerate()
+            .zip(out.chunks_mut(m * n))
+            .collect();
+        steal_tasks(tasks, |((i, s), o)| {
+            outer_attention_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                s,
+                o,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn outer_attention_backward(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        soft: &[f32],
+        gout: &[f32],
+        tau: f32,
+        ga: &mut [f32],
+        gc: &mut [f32],
+        gv: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> f32 {
+        if batch * m * k == 0 {
+            return 0.0;
+        }
+        let seq = batch == 1 || batch * m * k * (n + 2) < PAR_MIN_FLOPS || num_threads() == 1;
+        if seq {
+            let mut scratch = crate::pool::alloc_uninit(k);
+            let mut gtau = 0.0f32;
+            for i in 0..batch {
+                gtau += outer_attention_backward_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &soft[i * m * k..(i + 1) * m * k],
+                    &gout[i * m * n..(i + 1) * m * n],
+                    tau,
+                    &mut ga[i * m..(i + 1) * m],
+                    &mut gc[i * k..(i + 1) * k],
+                    &mut gv[i * k * n..(i + 1) * k * n],
+                    &mut scratch,
+                    m,
+                    k,
+                    n,
+                );
+            }
+            crate::pool::recycle(scratch);
+            return gtau;
+        }
+        // per-batch gradient slices are disjoint; τ partials land in
+        // per-entry slots so the final fold is deterministic
+        let mut gtau_parts = vec![0.0f32; batch];
+        let tasks: Vec<((((usize, &mut [f32]), &mut [f32]), &mut [f32]), &mut f32)> = ga
+            .chunks_mut(m)
+            .enumerate()
+            .zip(gc.chunks_mut(k))
+            .zip(gv.chunks_mut(k * n))
+            .zip(gtau_parts.iter_mut())
+            .collect();
+        steal_tasks(tasks, |((((i, ga_i), gc_i), gv_i), slot)| {
+            let mut scratch = crate::pool::alloc_uninit(k);
+            *slot = outer_attention_backward_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &soft[i * m * k..(i + 1) * m * k],
+                &gout[i * m * n..(i + 1) * m * n],
+                tau,
+                ga_i,
+                gc_i,
+                gv_i,
+                &mut scratch,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(scratch);
+        });
+        gtau_parts.iter().sum()
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -723,6 +1267,33 @@ pub fn of(kind: BackendKind) -> &'static dyn Backend {
         BackendKind::Scalar => &SCALAR,
         BackendKind::Parallel => &PARALLEL,
     }
+}
+
+// Fusion switch: u8::MAX = uninitialised (read CAME_FUSION once).
+static FUSION: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Whether [`crate::graph::Graph`] routes `gemm_bias_act` / `softmax_matmul`
+/// through the fused kernels (default) or falls back to the composed unfused
+/// ops. `CAME_FUSION=0` disables at launch; the micro-bench flips this to
+/// measure fused vs unfused step times.
+pub fn fusion_enabled() -> bool {
+    match FUSION.load(Ordering::SeqCst) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("CAME_FUSION").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            set_fusion(on);
+            on
+        }
+    }
+}
+
+/// Enable or disable kernel fusion process-wide (see [`fusion_enabled`]).
+pub fn set_fusion(on: bool) {
+    FUSION.store(on as u8, Ordering::SeqCst);
 }
 
 #[cfg(test)]

@@ -76,7 +76,9 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Tensor {
     let (oh, ow) = out_dims(h, wd, kh, kw);
     let ncols = oh * ow;
     let krows = c * kh * kw;
-    let mut cols = vec![0.0f32; krows * ncols];
+    // im2col scratch comes from the buffer pool (overwritten in full per
+    // batch entry) so steady-state training steps stay allocation-free
+    let mut cols = crate::pool::alloc_uninit(krows * ncols);
     let mut out = Tensor::zeros(Shape::d4(b, f, oh, ow));
     for bi in 0..b {
         im2col(
@@ -91,6 +93,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Tensor {
         let dst = &mut out.data_mut()[bi * f * ncols..(bi + 1) * f * ncols];
         active().matmul(w.data(), &cols, dst, f, krows, ncols);
     }
+    crate::pool::recycle(cols);
     if let Some(bias) = bias {
         assert_eq!(bias.shape(), Shape::d1(f), "conv bias must be [F]");
         let data = out.data_mut();
@@ -120,8 +123,11 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gout: &Tensor) -> (Tensor, Tensor
     let mut gx = Tensor::zeros(xs);
     let mut gw = Tensor::zeros(ws);
     let mut gb = Tensor::zeros(Shape::d1(f));
-    let mut cols = vec![0.0f32; krows * ncols];
-    let mut gcols = vec![0.0f32; krows * ncols];
+    // pooled scratch shared across batch entries — the old per-entry
+    // `cols.clone()` + `Tensor::transpose` pair allocated twice per image
+    let mut cols = crate::pool::alloc_uninit(krows * ncols);
+    let mut colst = crate::pool::alloc_uninit(krows * ncols);
+    let mut gcols = crate::pool::alloc_uninit(krows * ncols);
     // w^T once: [krows, f]
     let wt = w.reshape(Shape::d2(f, krows)).transpose(0, 1);
     for bi in 0..b {
@@ -138,8 +144,12 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gout: &Tensor) -> (Tensor, Tensor
             &mut cols,
         );
         // gw_fk += sum_n g[f,n] cols[k,n]
-        let colst = Tensor::from_vec(Shape::d2(krows, ncols), cols.clone()).transpose(0, 1);
-        active().matmul(gslice, colst.data(), gw.data_mut(), f, ncols, krows);
+        for r in 0..krows {
+            for ci in 0..ncols {
+                colst[ci * krows + r] = cols[r * ncols + ci];
+            }
+        }
+        active().matmul(gslice, &colst, gw.data_mut(), f, ncols, krows);
         // gcols = w^T x g : [krows, ncols]
         gcols.iter_mut().for_each(|v| *v = 0.0);
         active().matmul(wt.data(), gslice, &mut gcols, krows, f, ncols);
@@ -157,6 +167,9 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gout: &Tensor) -> (Tensor, Tensor
             gb.data_mut()[fi] += gslice[fi * ncols..(fi + 1) * ncols].iter().sum::<f32>();
         }
     }
+    crate::pool::recycle(cols);
+    crate::pool::recycle(colst);
+    crate::pool::recycle(gcols);
     (gx, gw, gb)
 }
 

@@ -8,8 +8,10 @@
 
 use std::cell::RefCell;
 
+use crate::backend::Activation;
 use crate::conv;
 use crate::nn::{ParamId, ParamStore};
+use crate::pool::IdBuf;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -55,24 +57,49 @@ enum Op {
     /// Row gather from an embedding table parameter.
     Embedding {
         table: ParamId,
-        ids: Vec<u32>,
+        ids: IdBuf,
     },
     /// Scatter-add of rows: `out[ids[i]] += x[i]` over `n` output rows
     /// (message aggregation in graph neural networks).
     ScatterSum {
         x: Var,
-        ids: Vec<u32>,
+        ids: IdBuf,
     },
     /// Row gather from a *computed* 2-D node: `out[i] = x[ids[i]]`.
     Gather {
         x: Var,
-        ids: Vec<u32>,
+        ids: IdBuf,
     },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     Div(Var, Var),
     Matmul(Var, Var),
+    /// Fused `act(x·w + b)` computed by the backend in one pass.
+    GemmBiasAct {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        act: Activation,
+    },
+    /// Fused row-softmax × value product. `soft` keeps the softmax output
+    /// for the backward pass without materialising it as a tape node.
+    SoftmaxMatmul {
+        scores: Var,
+        v: Var,
+        soft: Tensor,
+    },
+    /// Fully fused scaled-outer-product attention
+    /// `softmax_rows(a ⊗ c / τ) · v`: neither the score matrix nor the
+    /// softmax become tape nodes — only the softmax survives in `soft` for
+    /// the backward pass.
+    OuterAttention {
+        a: Var,
+        c: Var,
+        v: Var,
+        tau: Var,
+        soft: Tensor,
+    },
     Unary {
         x: Var,
         kind: UnaryKind,
@@ -182,6 +209,15 @@ impl Graph {
         self.training
     }
 
+    /// Clear the tape so the graph can be reused for the next step. Dropped
+    /// node values and gradients park their buffers in the thread-local
+    /// [`crate::pool`], so the next step's allocations become pool hits.
+    /// All [`Var`] handles from before the reset are invalidated.
+    pub fn reset(&mut self) {
+        self.nodes.borrow_mut().clear();
+        self.grads.borrow_mut().clear();
+    }
+
     fn push(&self, value: Tensor, op: Op) -> Var {
         debug_assert!(
             !value.has_non_finite(),
@@ -207,9 +243,17 @@ impl Graph {
         self.nodes.borrow()[v.0].value.shape()
     }
 
-    /// Clone of a node's forward value.
+    /// Clone of a node's forward value. Prefer [`Graph::with_value`] on hot
+    /// paths that only need to read the tensor.
     pub fn value(&self, v: Var) -> Tensor {
         self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Borrow a node's forward value without cloning it. The closure must
+    /// not create nodes on this graph (the tape is borrowed for its
+    /// duration); build any derived nodes outside the closure.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[v.0].value)
     }
 
     /// Gradient of the last [`Graph::backward`] loss w.r.t. node `v`
@@ -245,7 +289,8 @@ impl Graph {
         let t = store.value(table);
         assert_eq!(t.shape().ndim(), 2, "embedding table must be 2-D");
         let (n, d) = (t.shape().at(0), t.shape().at(1));
-        let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+        // every output row is copied below, so the buffer may start stale
+        let mut out = Tensor::uninit(Shape::d2(ids.len(), d));
         for (i, &id) in ids.iter().enumerate() {
             let id = id as usize;
             assert!(id < n, "embedding id {id} out of table size {n}");
@@ -255,7 +300,7 @@ impl Graph {
             out,
             Op::Embedding {
                 table,
-                ids: ids.to_vec(),
+                ids: IdBuf::from_slice(ids),
             },
         )
     }
@@ -288,7 +333,7 @@ impl Graph {
             v,
             Op::ScatterSum {
                 x,
-                ids: ids.to_vec(),
+                ids: IdBuf::from_slice(ids),
             },
         )
     }
@@ -305,7 +350,8 @@ impl Graph {
             let t = &nodes[x.0].value;
             assert_eq!(t.shape().ndim(), 2, "gather input must be 2-D");
             let (n, d) = (t.shape().at(0), t.shape().at(1));
-            let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+            // every output row is copied below, so the buffer may start stale
+            let mut out = Tensor::uninit(Shape::d2(ids.len(), d));
             for (row, &id) in ids.iter().enumerate() {
                 assert!((id as usize) < n, "gather id {id} out of {n}");
                 out.data_mut()[row * d..(row + 1) * d]
@@ -317,7 +363,7 @@ impl Graph {
             v,
             Op::Gather {
                 x,
-                ids: ids.to_vec(),
+                ids: IdBuf::from_slice(ids),
             },
         )
     }
@@ -510,6 +556,159 @@ impl Graph {
         self.push(v, Op::Softmax { x, axis })
     }
 
+    /// Fused `act(x·w + b)`: GEMM, bias add, and activation in one backend
+    /// pass (one tape node instead of three). `x` is `[m, k]` or `[B, m, k]`,
+    /// `w` is `[k, n]`, and `b` — when present — has `n` elements. Falls back
+    /// to the composed unfused ops when [`crate::backend::fusion_enabled`]
+    /// is off; both paths produce bit-identical values and gradients.
+    pub fn gemm_bias_act(&self, x: Var, w: Var, b: Option<Var>, act: Activation) -> Var {
+        if !crate::backend::fusion_enabled() {
+            let y = self.matmul(x, w);
+            let y = match b {
+                Some(bv) => self.add(y, bv),
+                None => y,
+            };
+            return match act {
+                Activation::Identity => y,
+                Activation::Sigmoid => self.sigmoid(y),
+                Activation::Tanh => self.tanh(y),
+                Activation::Relu => self.relu(y),
+            };
+        }
+        let v = {
+            let nodes = self.nodes.borrow();
+            let xv = &nodes[x.0].value;
+            let wv = &nodes[w.0].value;
+            assert_eq!(wv.shape().ndim(), 2, "gemm_bias_act weight must be 2-D");
+            let (k, n) = (wv.shape().at(0), wv.shape().at(1));
+            let out_shape = match xv.shape().ndim() {
+                2 => {
+                    assert_eq!(xv.shape().at(1), k, "gemm_bias_act inner dim mismatch");
+                    Shape::d2(xv.shape().at(0), n)
+                }
+                3 => {
+                    assert_eq!(xv.shape().at(2), k, "gemm_bias_act inner dim mismatch");
+                    Shape::d3(xv.shape().at(0), xv.shape().at(1), n)
+                }
+                _ => panic!("gemm_bias_act input must be 2-D or 3-D"),
+            };
+            let m = if k == 0 { 0 } else { xv.numel() / k };
+            let bias = b.map(|bv| &nodes[bv.0].value);
+            if let Some(bt) = bias {
+                assert_eq!(bt.numel(), n, "gemm_bias_act bias must have n elements");
+            }
+            let mut out = Tensor::zeros(out_shape);
+            crate::backend::active().gemm_bias_act(
+                xv.data(),
+                wv.data(),
+                bias.map(|t| t.data()),
+                out.data_mut(),
+                m,
+                k,
+                n,
+                act,
+            );
+            out
+        };
+        self.push(v, Op::GemmBiasAct { x, w, b, act })
+    }
+
+    /// Fused attention application `softmax(scores, axis=2) · v` for 3-D
+    /// `scores: [B, m, k]` and `v: [B, k, n]`. The softmax output never
+    /// materialises as a tape node — the backend writes it into pooled
+    /// scratch saved for the backward pass. Falls back to composed
+    /// softmax + matmul when [`crate::backend::fusion_enabled`] is off;
+    /// both paths produce bit-identical values and gradients.
+    pub fn softmax_matmul(&self, scores: Var, v: Var) -> Var {
+        if !crate::backend::fusion_enabled() {
+            let soft = self.softmax(scores, 2);
+            return self.matmul(soft, v);
+        }
+        let (out, soft) = {
+            let nodes = self.nodes.borrow();
+            let sv = &nodes[scores.0].value;
+            let vv = &nodes[v.0].value;
+            assert_eq!(sv.shape().ndim(), 3, "softmax_matmul scores must be 3-D");
+            assert_eq!(vv.shape().ndim(), 3, "softmax_matmul values must be 3-D");
+            let (batch, m, k) = (sv.shape().at(0), sv.shape().at(1), sv.shape().at(2));
+            assert_eq!(vv.shape().at(0), batch, "softmax_matmul batch mismatch");
+            assert_eq!(vv.shape().at(1), k, "softmax_matmul inner dim mismatch");
+            let n = vv.shape().at(2);
+            // every soft row is written by the kernel before use
+            let mut soft = Tensor::uninit(sv.shape());
+            let mut out = Tensor::zeros(Shape::d3(batch, m, n));
+            crate::backend::active().softmax_matmul(
+                sv.data(),
+                vv.data(),
+                soft.data_mut(),
+                out.data_mut(),
+                batch,
+                m,
+                k,
+                n,
+            );
+            (out, soft)
+        };
+        self.push(out, Op::SoftmaxMatmul { scores, v, soft })
+    }
+
+    /// Fully fused TCA attention term `softmax_rows(a ⊗ c / τ) · v` for
+    /// `a: [B, m]`, `c: [B, k]`, `v: [B, k, n]` and a scalar temperature
+    /// node `tau`. The `[B, m, k]` outer-product score matrix is built row
+    /// by row inside the kernel and never materialises; gradients flow to
+    /// all four inputs, including the learnable `τ`. Falls back to the
+    /// composed outer-product → divide → softmax → matmul chain when
+    /// [`crate::backend::fusion_enabled`] is off; the two paths agree to
+    /// float rounding (the kernel hoists the `/τ` out of the inner loop),
+    /// within the 1e-5 budget `tests/fused_ops.rs` pins.
+    pub fn outer_attention(&self, a: Var, c: Var, v: Var, tau: Var) -> Var {
+        if !crate::backend::fusion_enabled() {
+            let (b, m) = {
+                let s = self.shape(a);
+                (s.at(0), s.at(1))
+            };
+            let k = self.shape(c).at(1);
+            let col = self.reshape(a, Shape::d3(b, m, 1));
+            let row = self.reshape(c, Shape::d3(b, 1, k));
+            let scores = self.div(self.mul(col, row), tau);
+            return self.softmax_matmul(scores, v);
+        }
+        let (out, soft) = {
+            let nodes = self.nodes.borrow();
+            let av = &nodes[a.0].value;
+            let cv = &nodes[c.0].value;
+            let vv = &nodes[v.0].value;
+            let tv = &nodes[tau.0].value;
+            assert_eq!(av.shape().ndim(), 2, "outer_attention a must be 2-D");
+            assert_eq!(cv.shape().ndim(), 2, "outer_attention c must be 2-D");
+            assert_eq!(vv.shape().ndim(), 3, "outer_attention v must be 3-D");
+            assert_eq!(tv.numel(), 1, "outer_attention tau must be scalar");
+            let (batch, m) = (av.shape().at(0), av.shape().at(1));
+            let k = cv.shape().at(1);
+            assert_eq!(cv.shape().at(0), batch, "outer_attention batch mismatch");
+            assert_eq!(vv.shape().at(0), batch, "outer_attention batch mismatch");
+            assert_eq!(vv.shape().at(1), k, "outer_attention inner dim mismatch");
+            let n = vv.shape().at(2);
+            // every soft row is written by the kernel before use
+            let mut soft = Tensor::uninit(Shape::d3(batch, m, k));
+            let mut out = Tensor::zeros(Shape::d3(batch, m, n));
+            crate::backend::active().outer_attention(
+                av.data(),
+                cv.data(),
+                vv.data(),
+                tv.data()[0],
+                soft.data_mut(),
+                out.data_mut(),
+                batch,
+                m,
+                k,
+                n,
+            );
+            (out, soft)
+        };
+        self.push(out, Op::OuterAttention { a, c, v, tau, soft })
+    }
+
     // ----- reductions -------------------------------------------------------
 
     /// Sum along an axis.
@@ -562,7 +761,8 @@ impl Graph {
         let shape = self.shape(x);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mut mask = Tensor::zeros(shape);
+        // every element is assigned below
+        let mut mask = Tensor::uninit(shape);
         for m in mask.data_mut() {
             *m = if rng.chance(keep as f64) { scale } else { 0.0 };
         }
@@ -599,8 +799,9 @@ impl Graph {
                 assert_eq!(z.shape(), w.shape(), "bce weight shape mismatch");
             }
             let be = crate::backend::active();
-            // elementwise loss, then a weighted (dot) or plain (sum) fold
-            let mut elem = vec![0.0f32; z.numel()];
+            // elementwise loss, then a weighted (dot) or plain (sum) fold;
+            // the scratch is fully overwritten, so a stale pooled buffer is fine
+            let mut elem = crate::pool::alloc_uninit(z.numel());
             be.run3(z.data(), targets.data(), &mut elem, &|zs, ys, dst| {
                 for ((o, &zi), &yi) in dst.iter_mut().zip(zs).zip(ys) {
                     *o = zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p();
@@ -610,6 +811,7 @@ impl Graph {
                 Some(w) => (be.dot(&elem, w.data()), be.sum(w.data())),
                 None => (be.sum(&elem), z.numel() as f32),
             };
+            crate::pool::recycle(elem);
             assert!(denom > 0.0, "bce weights sum to zero");
             Tensor::scalar(total / denom)
         };
@@ -637,7 +839,11 @@ impl Graph {
             1,
             "backward must start from a scalar loss"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        // Reuse the grads storage across backward calls; Tensors dropped by
+        // clear() park their buffers in the pool for this pass to reclaim.
+        let mut grads = self.grads.borrow_mut();
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..=loss.0).rev() {
@@ -717,6 +923,74 @@ impl Graph {
                     let (ga, gb) = matmul_backward(av, bv, &g);
                     accum(&mut grads, *a, ga);
                     accum(&mut grads, *b, gb);
+                }
+                Op::GemmBiasAct { x, w, b, act } => {
+                    // activation backward via the saved post-activation value,
+                    // then the plain matmul/bias backward on the pre-act grad
+                    let y = &node.value;
+                    let gz = match act {
+                        Activation::Identity => g.clone(),
+                        Activation::Sigmoid => g.zip_broadcast(y, |go, y| go * y * (1.0 - y)),
+                        Activation::Tanh => g.zip_broadcast(y, |go, y| go * (1.0 - y * y)),
+                        Activation::Relu => {
+                            // y > 0 iff pre-activation > 0
+                            g.zip_broadcast(y, |go, y| if y > 0.0 { go } else { 0.0 })
+                        }
+                    };
+                    if let Some(bv) = b {
+                        accum(&mut grads, *bv, gz.sum_to(nodes[bv.0].value.shape()));
+                    }
+                    let (gx, gw) = matmul_backward(&nodes[x.0].value, &nodes[w.0].value, &gz);
+                    accum(&mut grads, *x, gx);
+                    accum(&mut grads, *w, gw);
+                }
+                Op::SoftmaxMatmul { scores, v, soft } => {
+                    // identical to composed softmax(axis=2) + matmul backward,
+                    // reading the softmax output from the saved scratch
+                    let vv = &nodes[v.0].value;
+                    let gv = soft.transpose(1, 2).matmul(&g);
+                    let gsoft = g.matmul(&vv.transpose(1, 2));
+                    let gy = gsoft.zip_broadcast(soft, |a, b| a * b);
+                    let s = gy.sum_axis(2, true);
+                    let gs = gsoft
+                        .zip_broadcast(&s, |a, b| a - b)
+                        .zip_broadcast(soft, |a, b| a * b);
+                    accum(&mut grads, *scores, gs);
+                    accum(&mut grads, *v, gv);
+                }
+                Op::OuterAttention { a, c, v, tau, soft } => {
+                    let av = &nodes[a.0].value;
+                    let cv = &nodes[c.0].value;
+                    let vv = &nodes[v.0].value;
+                    let (batch, m) = (av.shape().at(0), av.shape().at(1));
+                    let k = cv.shape().at(1);
+                    let n = vv.shape().at(2);
+                    let mut ga = Tensor::zeros(av.shape());
+                    let mut gc = Tensor::zeros(cv.shape());
+                    let mut gv = Tensor::zeros(vv.shape());
+                    let gtau = crate::backend::active().outer_attention_backward(
+                        av.data(),
+                        cv.data(),
+                        vv.data(),
+                        soft.data(),
+                        g.data(),
+                        nodes[tau.0].value.data()[0],
+                        ga.data_mut(),
+                        gc.data_mut(),
+                        gv.data_mut(),
+                        batch,
+                        m,
+                        k,
+                        n,
+                    );
+                    accum(&mut grads, *a, ga);
+                    accum(&mut grads, *c, gc);
+                    accum(&mut grads, *v, gv);
+                    accum(
+                        &mut grads,
+                        *tau,
+                        Tensor::full(nodes[tau.0].value.shape(), gtau),
+                    );
                 }
                 Op::Unary { x, kind } => {
                     let xv = &nodes[x.0].value;
@@ -823,7 +1097,6 @@ impl Graph {
                 }
             }
         }
-        *self.grads.borrow_mut() = grads;
     }
 }
 

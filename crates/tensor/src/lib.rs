@@ -43,11 +43,15 @@ pub mod backend;
 pub mod conv;
 pub mod graph;
 pub mod nn;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
 
-pub use backend::{set_backend, Backend, BackendKind, ParallelBackend, ScalarBackend};
+pub use backend::{
+    fusion_enabled, set_backend, set_fusion, Activation, Backend, BackendKind, ParallelBackend,
+    ScalarBackend,
+};
 pub use graph::{sigmoid, Graph, UnaryKind, Var};
 pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStore};
 pub use rng::Prng;

@@ -246,15 +246,21 @@ impl Linear {
 
     /// Apply to `[B, in]` (or `[B, *, in]`) input.
     pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        self.apply_act(g, store, x, crate::backend::Activation::Identity)
+    }
+
+    /// Apply followed by an activation, routed through the fused
+    /// [`Graph::gemm_bias_act`] kernel (one tape node for GEMM + bias + act).
+    pub fn apply_act(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: Var,
+        act: crate::backend::Activation,
+    ) -> Var {
         let w = g.param(store, self.w);
-        let y = g.matmul(x, w);
-        match self.b {
-            Some(b) => {
-                let bv = g.param(store, b);
-                g.add(y, bv)
-            }
-            None => y,
-        }
+        let b = self.b.map(|b| g.param(store, b));
+        g.gemm_bias_act(x, w, b, act)
     }
 }
 

@@ -1,0 +1,361 @@
+//! Thread-local buffer recycling for the autodiff tape.
+//!
+//! Every training step builds a [`crate::graph::Graph`] whose node values,
+//! gradients, and temporaries are `Vec<f32>`s of the *same* lengths as the
+//! previous step. Instead of round-tripping each buffer through the global
+//! allocator, dropped tensors park their storage in a thread-local free list
+//! keyed by exact length; the next allocation of that length pops it back.
+//! After one warm-up step, steady-state training performs (near) zero heap
+//! allocation — the [`stats`] counters prove it.
+//!
+//! Design notes:
+//!
+//! - **Thread-local, not global.** Worker threads spawned by the parallel
+//!   backend operate on borrowed slices and never allocate tensors; the few
+//!   call sites that build graphs on scoped threads (per-shard eval scoring)
+//!   get a private pool that dies with the thread. No locks anywhere.
+//! - **Exact-length classes.** Training steps repeat identical shapes, so an
+//!   exact-match free list has a 100% hit rate after warm-up and never wastes
+//!   memory on over-sized buffers.
+//! - **Bounded.** Each class keeps at most [`MAX_PER_CLASS`] buffers and the
+//!   whole pool at most [`MAX_POOL_FLOATS`] floats; excess buffers fall back
+//!   to the allocator (plain drop).
+//! - **Bit-identical results.** [`alloc_zeroed`] returns all-zero buffers
+//!   exactly like `vec![0.0; n]`, and recycled buffers that skip the zeroing
+//!   fast path ([`alloc_uninit`]) are only handed to callers that overwrite
+//!   every element.
+//!
+//! The pool can be disabled process-wide with [`set_enabled`] (or
+//! `CAME_POOL=0` at launch) to recover the fresh-allocation baseline; the
+//! micro-bench uses this to report pooled vs unpooled step times.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Per-length-class cap on parked buffers. A define-by-run tape keeps every
+/// node's value buffer alive until `Graph::reset`, so one training step can
+/// hold hundreds of same-length activations at once; the cap must exceed
+/// that high-water mark for steady-state steps to allocate nothing. Total
+/// memory stays bounded by [`MAX_POOL_FLOATS`].
+const MAX_PER_CLASS: usize = 1024;
+/// Total floats the pool may hold per thread (64 Mi floats = 256 MiB).
+const MAX_POOL_FLOATS: usize = 64 * 1024 * 1024;
+
+/// Allocation counters for the calling thread's pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from the free list.
+    pub hits: u64,
+    /// Allocations that fell through to the heap (counted even when the pool
+    /// is disabled, so the counter always reflects real allocator traffic).
+    pub misses: u64,
+    /// Buffers parked back into the free list on drop.
+    pub returned: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocations served from the pool (`1.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    free_ids: Vec<Vec<u32>>,
+    total_floats: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    fn new() -> Self {
+        BufferPool {
+            free: HashMap::new(),
+            free_ids: Vec::new(),
+            total_floats: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pop a buffer of exactly `len` elements, or `None` on a miss. Popped
+    /// buffers keep their previous (stale) contents.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        if !enabled() {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.free.get_mut(&len).and_then(|list| list.pop()) {
+            Some(v) => {
+                debug_assert_eq!(v.len(), len);
+                self.total_floats -= len;
+                self.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn give(&mut self, v: Vec<f32>) {
+        let len = v.len();
+        if len == 0 || !enabled() || self.total_floats + len > MAX_POOL_FLOATS {
+            return;
+        }
+        let list = self.free.entry(len).or_default();
+        if list.len() >= MAX_PER_CLASS {
+            return;
+        }
+        self.total_floats += len;
+        self.stats.returned += 1;
+        list.push(v);
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+}
+
+thread_local! {
+    // Per-thread enable switch (None = uninitialised, read CAME_POOL once).
+    // Thread-local rather than global so parallel test threads and the
+    // bench's pooled/unpooled A-B runs cannot race each other.
+    static POOL_ENABLED: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Whether recycling is active on this thread (reads `CAME_POOL` on first
+/// use; default on).
+pub fn enabled() -> bool {
+    POOL_ENABLED.with(|e| match e.get() {
+        Some(on) => on,
+        None => {
+            let on = !matches!(
+                std::env::var("CAME_POOL").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            e.set(Some(on));
+            on
+        }
+    })
+}
+
+/// Enable or disable buffer recycling for the calling thread. Disabling does
+/// not drop already-parked buffers (call [`clear`] for that) but stops both
+/// reuse and parking, so subsequent allocations hit the heap — the
+/// "unpooled" baseline.
+pub fn set_enabled(on: bool) {
+    POOL_ENABLED.with(|e| e.set(Some(on)));
+}
+
+/// An all-zero buffer of `len` floats, recycled when possible.
+pub fn alloc_zeroed(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    match POOL.try_with(|p| p.borrow_mut().take(len)) {
+        Ok(Some(mut v)) => {
+            v.fill(0.0);
+            v
+        }
+        _ => vec![0.0; len],
+    }
+}
+
+/// A buffer of `len` floats with **unspecified contents** (stale values from
+/// its previous life). Callers must overwrite every element before the buffer
+/// escapes; use [`alloc_zeroed`] when in doubt.
+pub fn alloc_uninit(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    match POOL.try_with(|p| p.borrow_mut().take(len)) {
+        Ok(Some(v)) => v,
+        _ => vec![0.0; len],
+    }
+}
+
+/// A buffer filled with `v`.
+pub fn alloc_filled(len: usize, v: f32) -> Vec<f32> {
+    let mut out = alloc_uninit(len);
+    out.fill(v);
+    out
+}
+
+/// A recycled copy of `src`.
+pub fn alloc_copy(src: &[f32]) -> Vec<f32> {
+    let mut out = alloc_uninit(src.len());
+    out.copy_from_slice(src);
+    out
+}
+
+/// Park a buffer for reuse (called by `Tensor::drop`). Safe during thread
+/// teardown: if the thread-local pool is already gone the buffer just drops.
+pub fn recycle(v: Vec<f32>) {
+    if v.is_empty() {
+        return;
+    }
+    let _ = POOL.try_with(|p| p.borrow_mut().give(v));
+}
+
+/// Counters for the calling thread's pool.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Zero the calling thread's counters (parked buffers are kept).
+pub fn reset_stats() {
+    POOL.with(|p| p.borrow_mut().stats = PoolStats::default());
+}
+
+/// Drop every parked buffer on the calling thread and zero the counters.
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.free.clear();
+        p.free_ids.clear();
+        p.total_floats = 0;
+        p.stats = PoolStats::default();
+    });
+}
+
+// --------------------------------------------------------------------------
+// id buffers
+// --------------------------------------------------------------------------
+
+/// A recycled `Vec<u32>` for embedding / gather / scatter index lists. The
+/// tape used to `to_vec()` the caller's ids into every op; `IdBuf` reuses a
+/// thread-local free list instead (capacity-keyed is unnecessary — id lists
+/// are small and `Vec::extend` regrows at most once per class change).
+pub struct IdBuf(Vec<u32>);
+
+impl IdBuf {
+    /// Copy `ids` into a recycled buffer.
+    pub fn from_slice(ids: &[u32]) -> Self {
+        let mut v = POOL
+            .try_with(|p| p.borrow_mut().free_ids.pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(ids);
+        IdBuf(v)
+    }
+}
+
+impl Drop for IdBuf {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.0);
+        if v.capacity() == 0 {
+            return;
+        }
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.free_ids.len() < MAX_PER_CLASS {
+                p.free_ids.push(v);
+            }
+        });
+    }
+}
+
+impl Clone for IdBuf {
+    fn clone(&self) -> Self {
+        IdBuf::from_slice(&self.0)
+    }
+}
+
+impl std::ops::Deref for IdBuf {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for IdBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each #[test] runs on its own thread, so the thread-local pool is
+    // naturally isolated per test.
+
+    #[test]
+    fn round_trip_reuses_storage() {
+        set_enabled(true);
+        clear();
+        let v = alloc_zeroed(1000);
+        let ptr = v.as_ptr();
+        recycle(v);
+        let w = alloc_zeroed(1000);
+        assert_eq!(w.as_ptr(), ptr, "same buffer must come back");
+        assert!(w.iter().all(|&x| x == 0.0));
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.returned), (1, 1, 1));
+    }
+
+    #[test]
+    fn exact_length_classes_do_not_cross() {
+        set_enabled(true);
+        clear();
+        recycle(vec![1.0; 8]);
+        let v = alloc_zeroed(9);
+        assert_eq!(v.len(), 9);
+        assert_eq!(stats().hits, 0, "length 8 must not serve a length-9 ask");
+    }
+
+    #[test]
+    fn disabled_pool_always_misses() {
+        set_enabled(false);
+        clear();
+        recycle(vec![1.0; 64]);
+        let _ = alloc_zeroed(64);
+        let s = stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.returned, 0);
+        assert_eq!(s.misses, 1);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn uninit_keeps_stale_contents_and_filled_overwrites() {
+        set_enabled(true);
+        clear();
+        recycle(vec![7.0; 16]);
+        let v = alloc_uninit(16);
+        assert!(v.iter().all(|&x| x == 7.0), "uninit must skip zeroing");
+        recycle(v);
+        let w = alloc_filled(16, 2.5);
+        assert!(w.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn per_class_cap_bounds_growth() {
+        set_enabled(true);
+        clear();
+        for _ in 0..(MAX_PER_CLASS + 10) {
+            recycle(vec![0.0; 4]);
+        }
+        assert_eq!(stats().returned as usize, MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn id_buf_round_trips() {
+        let ids = IdBuf::from_slice(&[3, 1, 4, 1, 5]);
+        assert_eq!(&ids[..], &[3, 1, 4, 1, 5]);
+        let c = ids.clone();
+        assert_eq!(&c[..], &ids[..]);
+        drop(ids);
+        let again = IdBuf::from_slice(&[9]);
+        assert_eq!(&again[..], &[9]);
+    }
+}

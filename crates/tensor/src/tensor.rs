@@ -8,10 +8,29 @@ use crate::rng::Prng;
 use crate::shape::Shape;
 
 /// A dense row-major `f32` tensor.
-#[derive(Clone, PartialEq)]
+///
+/// Storage is recycled through the thread-local [`crate::pool`]: `Drop`
+/// parks the backing buffer and the constructors / `Clone` pop matching
+/// buffers back, so steady-state training steps allocate (near) nothing.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            data: crate::pool::alloc_copy(&self.data),
+            shape: self.shape,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -33,7 +52,16 @@ impl Tensor {
     /// Tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
         Tensor {
-            data: vec![0.0; shape.numel()],
+            data: crate::pool::alloc_zeroed(shape.numel()),
+            shape,
+        }
+    }
+
+    /// Tensor with unspecified (stale recycled) contents; the caller must
+    /// overwrite every element before the value escapes.
+    pub(crate) fn uninit(shape: Shape) -> Self {
+        Tensor {
+            data: crate::pool::alloc_uninit(shape.numel()),
             shape,
         }
     }
@@ -41,7 +69,7 @@ impl Tensor {
     /// Tensor filled with `v`.
     pub fn full(shape: Shape, v: f32) -> Self {
         Tensor {
-            data: vec![v; shape.numel()],
+            data: crate::pool::alloc_filled(shape.numel(), v),
             shape,
         }
     }
@@ -53,10 +81,7 @@ impl Tensor {
 
     /// Scalar tensor (shape `[1]`).
     pub fn scalar(v: f32) -> Self {
-        Tensor {
-            data: vec![v],
-            shape: Shape::d1(1),
-        }
+        Self::full(Shape::d1(1), v)
     }
 
     /// Build from existing data.
@@ -75,7 +100,7 @@ impl Tensor {
 
     /// 1-D tensor from a slice.
     pub fn from_slice(xs: &[f32]) -> Self {
-        Tensor::from_vec(Shape::d1(xs.len()), xs.to_vec())
+        Tensor::from_vec(Shape::d1(xs.len()), crate::pool::alloc_copy(xs))
     }
 
     /// I.i.d. normal entries with the given std.
@@ -124,8 +149,8 @@ impl Tensor {
     }
 
     /// Consume into the backing vector.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Value of a scalar tensor.
@@ -162,7 +187,7 @@ impl Tensor {
             self.shape
         );
         Tensor {
-            data: self.data.clone(),
+            data: crate::pool::alloc_copy(&self.data),
             shape,
         }
     }
@@ -179,16 +204,13 @@ impl Tensor {
     /// Dispatched through the active [`crate::backend::Backend`]; `f` runs on
     /// whole cache-sized chunks so the inner loop stays monomorphised.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let mut out = vec![0.0f32; self.data.len()];
-        crate::backend::active().run2(&self.data, &mut out, &|src, dst| {
+        let mut out = Tensor::uninit(self.shape);
+        crate::backend::active().run2(&self.data, &mut out.data, &|src, dst| {
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d = f(s);
             }
         });
-        Tensor {
-            data: out,
-            shape: self.shape,
-        }
+        out
     }
 
     /// In-place elementwise update.
@@ -231,16 +253,13 @@ impl Tensor {
     /// Panics if the shapes do not broadcast.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
-            let mut data = vec![0.0f32; self.data.len()];
-            crate::backend::active().run3(&self.data, &other.data, &mut data, &|a, b, dst| {
+            let mut out = Tensor::uninit(self.shape);
+            crate::backend::active().run3(&self.data, &other.data, &mut out.data, &|a, b, dst| {
                 for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
                     *o = f(x, y);
                 }
             });
-            return Tensor {
-                data,
-                shape: self.shape,
-            };
+            return out;
         }
         if other.numel() == 1 {
             let b = other.data[0];
@@ -266,7 +285,8 @@ impl Tensor {
             eff_b[i] = if b_sh.at(i) == 1 { 0 } else { b_str[i] };
             dims[i] = out_shape.at(i);
         }
-        let mut out = Tensor::zeros(out_shape);
+        // every output lane is written below, so a stale buffer is safe
+        let mut out = Tensor::uninit(out_shape);
         let inner = dims[n - 1];
         let (sa, sb) = (eff_a[n - 1], eff_b[n - 1]);
         let lanes = out_shape.numel() / inner;
@@ -393,7 +413,8 @@ impl Tensor {
     /// Sum along `axis`.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         let out_shape = self.shape.reduce(axis, keepdim);
-        let mut out = Tensor::zeros(self.shape.reduce(axis, true));
+        // each output slot is assigned exactly once below
+        let mut out = Tensor::uninit(self.shape.reduce(axis, true));
         let lanes = LaneIter::new(self.shape, axis);
         let stride = lanes.stride;
         let len = lanes.len;
@@ -487,7 +508,7 @@ impl Tensor {
         for (i, &d) in dims.iter().enumerate() {
             out_dims[i] = d;
         }
-        let mut out = Tensor::zeros(out_shape);
+        let mut out = Tensor::uninit(out_shape);
         // incremental multi-index walk: output is linear, source offset is
         // maintained by carries (no per-element division)
         let mut idx = [0usize; crate::shape::MAX_NDIM];
@@ -573,7 +594,8 @@ impl Tensor {
         }
         dims[axis] = total;
         let out_shape = Shape::new(&dims);
-        let mut out = Tensor::zeros(out_shape);
+        // every slice of the output is copied into below
+        let mut out = Tensor::uninit(out_shape);
         // outer = product of dims before axis; inner = product after.
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
@@ -608,7 +630,7 @@ impl Tensor {
         let inner: usize = self.shape.dims()[axis + 1..].iter().product();
         let in_row = self.shape.at(axis) * inner;
         let out_row = len * inner;
-        let mut out = Tensor::zeros(out_shape);
+        let mut out = Tensor::uninit(out_shape);
         for o in 0..outer {
             let src = &self.data[o * in_row + start * inner..o * in_row + (start + len) * inner];
             out.data[o * out_row..(o + 1) * out_row].copy_from_slice(src);
@@ -694,14 +716,18 @@ pub fn fast_exp(x: f32) -> f32 {
     if y > 127.0 {
         return f32::MAX;
     }
-    let i = y.floor();
-    let f = y - i;
+    // floor via truncation: `y as i32` rounds toward zero (one cvttss2si on
+    // x86), minus one when that rounded up — `f32::floor` lowers to a branchy
+    // libm routine on baseline targets and dominates softmax-heavy kernels
+    let t = y as i32;
+    let i = t - i32::from(t as f32 > y);
+    let f = y - i as f32;
     // Taylor coefficients of 2^f = e^{f·ln2}, degree 6 (rel err < 1e-5 on [0,1))
     let p = 1.0
         + f * (0.693_147_18
             + f * (0.240_226_51
                 + f * (0.055_504_11 + f * (0.009_618_13 + f * (0.001_333_55 + f * 0.000_154_04)))));
-    let bits = ((i as i32 + 127) as u32) << 23;
+    let bits = ((i + 127) as u32) << 23;
     f32::from_bits(bits) * p
 }
 
