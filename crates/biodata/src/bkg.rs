@@ -6,7 +6,7 @@ use came_kg::{EntityId, EntityKind, KgDataset, Triple, Vocab};
 use came_tensor::Prng;
 
 use crate::graphgen::{
-    random_compat, sample_relation_triples, RelationSpec, TypedEntities, ZipfSampler,
+    random_compat, sample_relation_triples, GraphGenError, RelationSpec, TypedEntities, ZipfSampler,
 };
 use crate::molecule::{generate_molecule, Molecule, Scaffold};
 use crate::text;
@@ -104,7 +104,23 @@ pub fn indication_group(family: Scaffold) -> usize {
 }
 
 /// Generate a complete multimodal BKG from a configuration.
+///
+/// Assertion front-end over [`try_build`] for callers with known-good
+/// configs (the presets).
+///
+/// # Panics
+/// Panics with the underlying [`GraphGenError`] on a degenerate config.
 pub fn build(config: &BkgConfig) -> MultimodalBkg {
+    match try_build(config) {
+        Ok(bkg) => bkg,
+        Err(e) => panic!("cannot generate '{}': {e}", config.name),
+    }
+}
+
+/// Generate a complete multimodal BKG from a configuration, reporting
+/// degenerate configs (empty kind specs, families over absent kinds, empty
+/// entity groups) as typed [`GraphGenError`]s instead of panicking.
+pub fn try_build(config: &BkgConfig) -> Result<MultimodalBkg, GraphGenError> {
     let mut rng = Prng::new(config.seed);
     let mut vocab = Vocab::new();
     let mut molecules: Vec<Option<Molecule>> = Vec::new();
@@ -120,7 +136,9 @@ pub fn build(config: &BkgConfig) -> MultimodalBkg {
         } else {
             spec.n_clusters
         };
-        assert!(n_clusters > 0 && spec.count > 0, "empty kind spec");
+        if n_clusters == 0 || spec.count == 0 {
+            return Err(GraphGenError::EmptyKindSpec { kind: spec.kind });
+        }
         let cluster_z = ZipfSampler::new(n_clusters, 0.5); // mildly skewed cluster sizes
         let mut ids = Vec::with_capacity(spec.count);
         let mut cls = Vec::with_capacity(spec.count);
@@ -145,8 +163,8 @@ pub fn build(config: &BkgConfig) -> MultimodalBkg {
     let mut triples: Vec<Triple> = Vec::new();
     let mut seen: HashSet<Triple> = HashSet::new();
     for fam in &config.families {
-        let head_group = group_of(&groups, fam.head);
-        let tail_group = group_of(&groups, fam.tail);
+        let head_group = group_of(&groups, fam.head)?;
+        let tail_group = group_of(&groups, fam.tail)?;
         let per_rel = fam.n_triples.div_ceil(fam.n_relations.max(1));
         for k in 0..fam.n_relations {
             let name = format!(
@@ -173,7 +191,7 @@ pub fn build(config: &BkgConfig) -> MultimodalBkg {
                 config.noise_edge_frac,
                 &mut seen,
                 &mut rng,
-            ));
+            )?);
         }
     }
 
@@ -189,14 +207,17 @@ pub fn build(config: &BkgConfig) -> MultimodalBkg {
     if let Some(min_deg) = config.min_degree {
         bkg = prune_min_degree(bkg, min_deg);
     }
-    bkg
+    Ok(bkg)
 }
 
-fn group_of<'a>(groups: &'a [TypedEntities], kind: EntityKind) -> &'a TypedEntities {
+fn group_of<'a>(
+    groups: &'a [TypedEntities],
+    kind: EntityKind,
+) -> Result<&'a TypedEntities, GraphGenError> {
     groups
         .iter()
         .find(|g| g.kind == kind)
-        .unwrap_or_else(|| panic!("relation family references absent entity kind {kind:?}"))
+        .ok_or(GraphGenError::MissingKind { kind })
 }
 
 /// Cluster compatibility for a relation family. Compound→Disease relations
@@ -426,6 +447,28 @@ mod tests {
         }
         // all triples reference surviving entities and relation count intact
         assert!(d.num_relations() > 0);
+    }
+
+    #[test]
+    fn try_build_reports_degenerate_configs() {
+        let mut cfg = presets::tiny_config(1);
+        cfg.kinds[0].count = 0;
+        let degenerate_kind = cfg.kinds[0].kind;
+        match try_build(&cfg) {
+            Err(GraphGenError::EmptyKindSpec { kind }) => assert_eq!(kind, degenerate_kind),
+            other => panic!("expected EmptyKindSpec, got {other:?}", other = other.err()),
+        }
+
+        let mut cfg = presets::tiny_config(1);
+        cfg.kinds.retain(|k| k.kind != EntityKind::Gene);
+        assert!(cfg
+            .families
+            .iter()
+            .any(|f| f.head == EntityKind::Gene || f.tail == EntityKind::Gene));
+        match try_build(&cfg) {
+            Err(GraphGenError::MissingKind { kind }) => assert_eq!(kind, EntityKind::Gene),
+            other => panic!("expected MissingKind, got {other:?}", other = other.err()),
+        }
     }
 
     #[test]

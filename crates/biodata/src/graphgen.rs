@@ -13,6 +13,62 @@
 use came_kg::{EntityId, EntityKind, Triple};
 use came_tensor::Prng;
 use std::collections::HashSet;
+use std::fmt;
+
+/// Recoverable graph-generation failures. These describe degenerate *inputs*
+/// (a config asking for triples over an empty entity group, a schema naming
+/// an absent kind) — conditions a caller can report or repair, as opposed to
+/// programmer errors which still panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphGenError {
+    /// A relation's head or tail entity group has no members.
+    EmptyEntityGroup {
+        /// Relation whose sampling failed.
+        relation: String,
+        /// The empty side's entity kind.
+        kind: EntityKind,
+    },
+    /// A relation's cluster-compatibility map is empty or all-empty, so no
+    /// tail can ever be drawn.
+    DegenerateCompat {
+        /// Relation whose compatibility map is unusable.
+        relation: String,
+    },
+    /// A kind spec asks for zero entities or zero clusters.
+    EmptyKindSpec {
+        /// The degenerate kind.
+        kind: EntityKind,
+    },
+    /// A relation family references an entity kind absent from the config.
+    MissingKind {
+        /// The kind no [`crate::KindSpec`] provides.
+        kind: EntityKind,
+    },
+}
+
+impl fmt::Display for GraphGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphGenError::EmptyEntityGroup { relation, kind } => {
+                write!(f, "relation '{relation}': entity group {kind:?} is empty")
+            }
+            GraphGenError::DegenerateCompat { relation } => write!(
+                f,
+                "relation '{relation}': cluster-compatibility map admits no tails"
+            ),
+            GraphGenError::EmptyKindSpec { kind } => write!(
+                f,
+                "kind spec {kind:?} requests zero entities or zero clusters"
+            ),
+            GraphGenError::MissingKind { kind } => write!(
+                f,
+                "relation family references entity kind {kind:?} but no kind spec provides it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphGenError {}
 
 /// Zipf-like sampler over `n` ranked items: weight of rank `i` is
 /// `1/(i+1)^s`. Sampling is O(log n) via a cumulative table.
@@ -135,6 +191,11 @@ pub fn random_compat(
 /// `noise_frac` of tails are drawn uniformly, ignoring compatibility — the
 /// irreducible noise that keeps structure-only baselines honest. Duplicate
 /// triples are rejected; sampling stops early if the space saturates.
+///
+/// Degenerate inputs (an empty head/tail group, an unusable compatibility
+/// map) are reported as [`GraphGenError`] rather than panicking, so dataset
+/// builders can surface which relation of a config is broken.
+#[allow(clippy::too_many_arguments)]
 pub fn sample_relation_triples(
     rel_id: u32,
     spec: &RelationSpec,
@@ -144,8 +205,20 @@ pub fn sample_relation_triples(
     noise_frac: f64,
     seen: &mut HashSet<Triple>,
     rng: &mut Prng,
-) -> Vec<Triple> {
-    assert!(!heads.is_empty() && !tails.is_empty(), "empty entity group");
+) -> Result<Vec<Triple>, GraphGenError> {
+    for (group, kind) in [(heads, spec.head), (tails, spec.tail)] {
+        if group.is_empty() {
+            return Err(GraphGenError::EmptyEntityGroup {
+                relation: spec.name.clone(),
+                kind,
+            });
+        }
+    }
+    if spec.compat.is_empty() || spec.compat.iter().all(|row| row.is_empty()) {
+        return Err(GraphGenError::DegenerateCompat {
+            relation: spec.name.clone(),
+        });
+    }
     let head_z = ZipfSampler::new(heads.len(), zipf_exponent);
     let tail_uniform = ZipfSampler::new(tails.len(), 0.0);
     // per-cluster tail samplers (lazily sized by cluster population)
@@ -168,11 +241,12 @@ pub fn sample_relation_triples(
         attempts += 1;
         let hi = head_z.sample(rng);
         let h = heads.ids[hi];
-        let t = if rng.chance(noise_frac) {
+        let hc = heads.clusters[hi];
+        let compatible = &spec.compat[hc % spec.compat.len()];
+        // an individually empty compat row degrades to a uniform tail draw
+        let t = if rng.chance(noise_frac) || compatible.is_empty() {
             tails.ids[tail_uniform.sample(rng)]
         } else {
-            let hc = heads.clusters[hi];
-            let compatible = &spec.compat[hc % spec.compat.len()];
             let tc = compatible[rng.below(compatible.len())];
             match &cluster_z[tc % cluster_z.len()] {
                 Some(z) => {
@@ -194,7 +268,7 @@ pub fn sample_relation_triples(
             out.push(triple);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -261,7 +335,8 @@ mod tests {
         };
         let mut seen = HashSet::new();
         let triples =
-            sample_relation_triples(0, &spec, &heads, &tails, 0.8, 0.0, &mut seen, &mut rng);
+            sample_relation_triples(0, &spec, &heads, &tails, 0.8, 0.0, &mut seen, &mut rng)
+                .unwrap();
         assert!(!triples.is_empty());
         let mut violations = 0;
         for t in &triples {
@@ -291,7 +366,8 @@ mod tests {
         };
         let mut seen = HashSet::new();
         let triples =
-            sample_relation_triples(0, &spec, &heads, &tails, 0.5, 1.0, &mut seen, &mut rng);
+            sample_relation_triples(0, &spec, &heads, &tails, 0.5, 1.0, &mut seen, &mut rng)
+                .unwrap();
         let outside = triples
             .iter()
             .filter(|t| {
@@ -315,7 +391,8 @@ mod tests {
         };
         let mut seen = HashSet::new();
         let triples =
-            sample_relation_triples(0, &spec, &heads, &heads, 0.8, 0.1, &mut seen, &mut rng);
+            sample_relation_triples(0, &spec, &heads, &heads, 0.8, 0.1, &mut seen, &mut rng)
+                .unwrap();
         let set: HashSet<_> = triples.iter().collect();
         assert_eq!(set.len(), triples.len(), "duplicates emitted");
         assert!(triples.iter().all(|t| t.h != t.t), "self-loop emitted");
@@ -335,7 +412,8 @@ mod tests {
         };
         let mut seen = HashSet::new();
         let triples =
-            sample_relation_triples(0, &spec, &heads, &heads, 0.0, 0.0, &mut seen, &mut rng);
+            sample_relation_triples(0, &spec, &heads, &heads, 0.0, 0.0, &mut seen, &mut rng)
+                .unwrap();
         assert!(triples.len() <= 6); // 3*2 ordered pairs max
     }
 }

@@ -33,9 +33,11 @@ pub mod presets;
 pub mod text;
 
 pub use bkg::{
-    build, indication_group, prune_min_degree, BkgConfig, FamilySpec, KindSpec, MultimodalBkg,
+    build, indication_group, prune_min_degree, try_build, BkgConfig, FamilySpec, KindSpec,
+    MultimodalBkg,
 };
 pub use diamond::{sample_diamonds, similarity_conditioned_same_rate, Diamond};
+pub use graphgen::GraphGenError;
 pub use molecule::{
     cosine, generate_molecule, triad_fingerprint, Bond, Element, Molecule, Scaffold,
 };

@@ -5,7 +5,7 @@
 
 use std::cell::RefCell;
 
-use came_encoders::{FrozenCache, ModalFeatures};
+use came_encoders::{FrozenCache, FrozenError, ModalFeatures};
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
 use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var};
 
@@ -55,15 +55,31 @@ impl CamE {
     /// Build a CamE over a dataset and its frozen modal features.
     ///
     /// # Panics
-    /// Panics if the feature tables are misaligned with the dataset.
+    /// Panics if the feature tables are misaligned with the dataset or
+    /// contain NaN/inf — use [`CamE::try_new`] to handle those as values.
     pub fn new(
         store: &mut ParamStore,
         dataset: &KgDataset,
         features: &ModalFeatures,
         cfg: CamEConfig,
     ) -> Self {
+        match CamE::try_new(store, dataset, features, cfg) {
+            Ok(model) => model,
+            Err(e) => panic!("cannot build CamE: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects misaligned or non-finite feature tables
+    /// with a typed [`FrozenError`] naming the offending modality, instead
+    /// of asserting.
+    pub fn try_new(
+        store: &mut ParamStore,
+        dataset: &KgDataset,
+        features: &ModalFeatures,
+        cfg: CamEConfig,
+    ) -> Result<Self, FrozenError> {
         let n = dataset.num_entities();
-        features.validate(n);
+        features.try_validate(n)?;
         let mut cfg = cfg;
         if let Some(kind) = cfg.backend {
             came_tensor::set_backend(kind);
@@ -157,7 +173,7 @@ impl CamE {
         let dropout_rng = RefCell::new(Prng::new(cfg.seed ^ 0xD409));
 
         let (feat_m, feat_t, feat_s) = features.caches();
-        CamE {
+        Ok(CamE {
             n_entities: n,
             feat_m,
             feat_t,
@@ -177,7 +193,7 @@ impl CamE {
             ent_bias,
             dropout_rng,
             cfg,
-        }
+        })
     }
 
     fn active_count(cfg: &CamEConfig) -> usize {
@@ -285,6 +301,39 @@ impl OneToNModel for CamE {
         let all_ent = g.transpose(self.ent.full(g, store), 0, 1); // [d_e, N]
         let scores = g.matmul(hidden, all_ent);
         g.add(scores, g.param(store, self.ent_bias))
+    }
+
+    // Checkpointing: the only model-side mutable state outside the
+    // ParamStore is the dropout RNG; a bit-identical resume must restore its
+    // exact stream position.
+    fn state_bytes(&self) -> Vec<u8> {
+        let words = self.dropout_rng.borrow().save_state();
+        let mut out = Vec::with_capacity(24);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.len() != 24 {
+            return Err(format!(
+                "CamE checkpoint state must be 24 bytes (dropout RNG), got {}",
+                bytes.len()
+            ));
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        *self.dropout_rng.borrow_mut() = Prng::from_saved([word(0), word(1), word(2)]);
+        Ok(())
+    }
+
+    fn diagnose_non_finite(&self) -> Option<String> {
+        for cache in [&self.feat_m, &self.feat_t, &self.feat_s] {
+            if let Err(e) = cache.check_finite() {
+                return Some(e.to_string());
+            }
+        }
+        None
     }
 }
 

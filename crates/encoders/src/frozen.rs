@@ -7,6 +7,7 @@
 //! multimodal baseline.
 
 use std::cell::Cell;
+use std::fmt;
 
 use came_biodata::MultimodalBkg;
 use came_kg::KgDataset;
@@ -15,6 +16,68 @@ use came_tensor::{Shape, Tensor};
 use crate::compgcn::pretrain_structural;
 use crate::molecule_gin::MoleculeEncoder;
 use crate::text_ngram::TextEncoder;
+
+/// Typed failures of frozen feature tables, naming the offending modality so
+/// the training runtime's divergence sentinel can report *which* encoder
+/// produced bad features instead of a bare assertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrozenError {
+    /// An encoder emitted NaN/inf features.
+    NonFinite {
+        /// Modality whose table is poisoned (`molecular`/`textual`/…).
+        modality: String,
+        /// Number of entity rows containing at least one non-finite value.
+        bad_rows: usize,
+    },
+    /// A feature table has the wrong number of entity rows.
+    Misaligned {
+        /// Modality whose table is misaligned.
+        modality: String,
+        /// Rows the table actually has.
+        rows: usize,
+        /// Rows the entity vocabulary requires.
+        expected: usize,
+    },
+    /// A cache was served after invalidation without a refresh.
+    Stale {
+        /// Modality of the stale cache.
+        modality: String,
+    },
+}
+
+impl fmt::Display for FrozenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrozenError::NonFinite { modality, bad_rows } => write!(
+                f,
+                "{modality} features contain NaN/inf in {bad_rows} entity row(s)"
+            ),
+            FrozenError::Misaligned {
+                modality,
+                rows,
+                expected,
+            } => write!(
+                f,
+                "{modality} features misaligned: {rows} rows for {expected} entities"
+            ),
+            FrozenError::Stale { modality } => write!(
+                f,
+                "stale frozen {modality} cache: refresh() it before serving"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrozenError {}
+
+/// Count rows of a `[N, d]` table containing any non-finite value.
+fn non_finite_rows(t: &Tensor) -> usize {
+    let d = t.shape().at(1).max(1);
+    t.data()
+        .chunks(d)
+        .filter(|row| row.iter().any(|x| !x.is_finite()))
+        .count()
+}
 
 /// Options for building [`ModalFeatures`].
 #[derive(Clone, Debug)]
@@ -97,20 +160,47 @@ impl ModalFeatures {
         )
     }
 
-    /// Consistency checks: all tables row-aligned and finite.
-    ///
-    /// # Panics
-    /// Panics on misaligned or non-finite feature tables.
-    pub fn validate(&self, n: usize) {
+    /// Consistency checks: all tables row-aligned and finite. Returns a
+    /// typed error naming the failing modality, so callers (e.g. the
+    /// divergence sentinel) can report which encoder went bad and recover.
+    pub fn try_validate(&self, n: usize) -> Result<(), FrozenError> {
         for (name, t) in [
             ("molecular", &self.molecular),
             ("textual", &self.textual),
             ("structural", &self.structural),
         ] {
-            assert_eq!(t.shape().at(0), n, "{name} features misaligned");
-            assert!(!t.has_non_finite(), "{name} features contain NaN/inf");
+            if t.shape().at(0) != n {
+                return Err(FrozenError::Misaligned {
+                    modality: name.into(),
+                    rows: t.shape().at(0),
+                    expected: n,
+                });
+            }
+            if t.has_non_finite() {
+                return Err(FrozenError::NonFinite {
+                    modality: name.into(),
+                    bad_rows: non_finite_rows(t),
+                });
+            }
         }
-        assert_eq!(self.has_molecule.len(), n);
+        if self.has_molecule.len() != n {
+            return Err(FrozenError::Misaligned {
+                modality: "has_molecule".into(),
+                rows: self.has_molecule.len(),
+                expected: n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Assertion front-end over [`ModalFeatures::try_validate`].
+    ///
+    /// # Panics
+    /// Panics on misaligned or non-finite feature tables.
+    pub fn validate(&self, n: usize) {
+        if let Err(e) = self.try_validate(n) {
+            panic!("{e}");
+        }
     }
 
     /// A copy with the molecule table zeroed (the "w/o MS" ablation).
@@ -137,9 +227,9 @@ impl ModalFeatures {
     /// serving with version tracking.
     pub fn caches(&self) -> (FrozenCache, FrozenCache, FrozenCache) {
         (
-            FrozenCache::new(self.molecular.clone()),
-            FrozenCache::new(self.textual.clone()),
-            FrozenCache::new(self.structural.clone()),
+            FrozenCache::named("molecular", self.molecular.clone()),
+            FrozenCache::named("textual", self.textual.clone()),
+            FrozenCache::named("structural", self.structural.clone()),
         )
     }
 
@@ -165,6 +255,7 @@ impl ModalFeatures {
 /// [`FrozenCache::refresh`] installs a recomputed table and bumps the
 /// version. Gather counters expose how much encoder work was skipped.
 pub struct FrozenCache {
+    modality: String,
     table: Tensor,
     version: u64,
     trainable: bool,
@@ -174,13 +265,15 @@ pub struct FrozenCache {
 }
 
 impl FrozenCache {
-    /// Wrap a precomputed `[N, d]` encoder output table (version 1).
+    /// Wrap a precomputed `[N, d]` encoder output table (version 1), tagged
+    /// with the modality it serves so failures name their source.
     ///
     /// # Panics
     /// Panics if the table is not 2-D.
-    pub fn new(table: Tensor) -> Self {
+    pub fn named(modality: impl Into<String>, table: Tensor) -> Self {
         assert_eq!(table.shape().ndim(), 2, "frozen cache table must be 2-D");
         FrozenCache {
+            modality: modality.into(),
             table,
             version: 1,
             trainable: false,
@@ -188,6 +281,37 @@ impl FrozenCache {
             gathers: Cell::new(0),
             rows_served: Cell::new(0),
         }
+    }
+
+    /// [`FrozenCache::named`] with an anonymous modality tag.
+    ///
+    /// # Panics
+    /// Panics if the table is not 2-D.
+    pub fn new(table: Tensor) -> Self {
+        FrozenCache::named("encoder", table)
+    }
+
+    /// The modality tag this cache serves.
+    pub fn modality(&self) -> &str {
+        &self.modality
+    }
+
+    /// Check the cache is servable and its table finite, naming the modality
+    /// on failure. The divergence sentinel calls this after a NaN trip to
+    /// report which frozen input (if any) is to blame.
+    pub fn check_finite(&self) -> Result<(), FrozenError> {
+        if self.dirty {
+            return Err(FrozenError::Stale {
+                modality: self.modality.clone(),
+            });
+        }
+        if self.table.has_non_finite() {
+            return Err(FrozenError::NonFinite {
+                modality: self.modality.clone(),
+                bad_rows: non_finite_rows(&self.table),
+            });
+        }
+        Ok(())
     }
 
     /// Encoder version this table was computed under.
@@ -225,10 +349,14 @@ impl FrozenCache {
     /// # Panics
     /// Panics if the cache was invalidated and not refreshed.
     pub fn table(&self) -> &Tensor {
-        assert!(
-            !self.dirty,
-            "stale frozen-encoder cache: refresh() it before serving"
-        );
+        if self.dirty {
+            panic!(
+                "{}",
+                FrozenError::Stale {
+                    modality: self.modality.clone(),
+                }
+            );
+        }
         &self.table
     }
 
@@ -264,19 +392,37 @@ impl FrozenCache {
         self.dirty = true;
     }
 
-    /// Install a freshly recomputed table and bump the encoder version.
-    ///
-    /// # Panics
-    /// Panics if the new table's shape differs from the cached one.
-    pub fn refresh(&mut self, table: Tensor) {
-        assert_eq!(
-            table.shape(),
-            self.table.shape(),
-            "refreshed frozen cache must keep its shape"
-        );
+    /// Install a freshly recomputed table and bump the encoder version,
+    /// rejecting misaligned or NaN/inf encoder output with a typed error
+    /// (the cache keeps its previous table on failure).
+    pub fn try_refresh(&mut self, table: Tensor) -> Result<(), FrozenError> {
+        if table.shape() != self.table.shape() {
+            return Err(FrozenError::Misaligned {
+                modality: self.modality.clone(),
+                rows: table.shape().at(0),
+                expected: self.table.shape().at(0),
+            });
+        }
+        if table.has_non_finite() {
+            return Err(FrozenError::NonFinite {
+                modality: self.modality.clone(),
+                bad_rows: non_finite_rows(&table),
+            });
+        }
         self.table = table;
         self.version += 1;
         self.dirty = false;
+        Ok(())
+    }
+
+    /// Install a freshly recomputed table and bump the encoder version.
+    ///
+    /// # Panics
+    /// Panics if the new table is misaligned or contains NaN/inf.
+    pub fn refresh(&mut self, table: Tensor) {
+        if let Err(e) = self.try_refresh(table) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -348,12 +494,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale frozen-encoder cache")]
+    #[should_panic(expected = "stale frozen encoder cache")]
     fn trainable_encoder_poisons_cache() {
         let mut c = FrozenCache::new(Tensor::zeros(Shape::d2(2, 2)));
         c.mark_trainable();
         assert!(c.is_trainable());
         let _ = c.rows(&[0]);
+    }
+
+    #[test]
+    fn try_validate_names_the_poisoned_modality() {
+        let bkg = presets::tiny(4);
+        let mut f = ModalFeatures::build(&bkg, &small_cfg());
+        assert_eq!(f.try_validate(bkg.num_entities()), Ok(()));
+        let d = f.textual.shape().at(1);
+        f.textual.data_mut()[d + 1] = f32::NAN; // poison entity row 1
+        match f.try_validate(bkg.num_entities()) {
+            Err(FrozenError::NonFinite { modality, bad_rows }) => {
+                assert_eq!(modality, "textual");
+                assert_eq!(bad_rows, 1);
+            }
+            other => panic!("expected NonFinite(textual), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_refresh_rejects_nan_and_keeps_old_table() {
+        let mut c = FrozenCache::named(
+            "molecular",
+            Tensor::from_vec(Shape::d2(1, 2), vec![1.0, 2.0]),
+        );
+        let mut bad = Tensor::zeros(Shape::d2(1, 2));
+        bad.data_mut()[0] = f32::INFINITY;
+        match c.try_refresh(bad) {
+            Err(FrozenError::NonFinite { modality, bad_rows }) => {
+                assert_eq!(modality, "molecular");
+                assert_eq!(bad_rows, 1);
+            }
+            other => panic!("expected NonFinite(molecular), got {other:?}"),
+        }
+        assert_eq!(c.version(), 1);
+        assert_eq!(c.rows(&[0]).data(), &[1.0, 2.0]);
+        assert!(c.check_finite().is_ok());
     }
 
     #[test]

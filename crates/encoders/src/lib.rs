@@ -20,6 +20,6 @@ pub mod molecule_gin;
 pub mod text_ngram;
 
 pub use compgcn::{pretrain_structural, CompGcn, Composition};
-pub use frozen::{FeatureConfig, FrozenCache, ModalFeatures};
+pub use frozen::{FeatureConfig, FrozenCache, FrozenError, ModalFeatures};
 pub use molecule_gin::MoleculeEncoder;
 pub use text_ngram::TextEncoder;

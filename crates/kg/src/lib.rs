@@ -26,6 +26,8 @@ pub mod labels;
 pub mod metrics;
 pub mod negative;
 pub mod relbucket;
+pub mod runtime;
+pub mod snapshot;
 pub mod train;
 pub mod triple;
 pub mod vocab;
@@ -36,9 +38,17 @@ pub use labels::{NegativePolicy, OneToNBatch, OneToNBatcher};
 pub use metrics::RankMetrics;
 pub use negative::NegativeSampler;
 pub use relbucket::RelationFamily;
+pub use runtime::{
+    fingerprint, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig, TrainError,
+    TrainEvent, TrainRun,
+};
+pub use snapshot::{
+    resume_or_init, write_atomic, ParamRecord, ResumeReport, Snapshot, SnapshotError,
+};
 pub use train::{
-    softplus, train_negative_sampling, train_one_to_n, EpochStats, NegSamplingConfig, NegWeighting,
-    OneToNModel, OneToNScorer, TrainConfig, TripleModel, TripleScorerAdapter,
+    softplus, train_negative_sampling, train_negative_sampling_rt, train_one_to_n,
+    train_one_to_n_rt, EpochStats, NegSamplingConfig, NegWeighting, OneToNModel, OneToNScorer,
+    TrainConfig, TripleModel, TripleScorerAdapter,
 };
 pub use triple::Triple;
 pub use vocab::{EntityId, EntityKind, RelationId, Vocab};

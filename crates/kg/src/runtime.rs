@@ -1,0 +1,594 @@
+//! Fault-tolerant training runtime: checkpoint/resume orchestration, a
+//! divergence sentinel with rollback, and deterministic fault injection.
+//!
+//! Both trainers ([`crate::train_one_to_n_rt`],
+//! [`crate::train_negative_sampling_rt`]) execute inside the guarded epoch
+//! loop defined here:
+//!
+//! - **Checkpoint/resume.** When a [`CheckpointConfig`] is present, every
+//!   `every_epochs`-th epoch boundary is persisted atomically (see
+//!   [`crate::snapshot`]) under a per-run fingerprint subdirectory, and a new
+//!   run first probes that directory and continues from the newest intact
+//!   snapshot — bit-identically, because each epoch derives its RNG from
+//!   `(seed, epoch)` rather than a continuously-threaded stream.
+//! - **Divergence sentinel.** Each optimiser step guards the loss value and
+//!   the (post-clip) global gradient norm for NaN/inf. A trip rolls the
+//!   parameters, optimiser moments, and model-side state back to the last
+//!   good epoch boundary, scales the learning rate down, and retries, with a
+//!   bounded retry budget. Trips surface as structured
+//!   [`TrainEvent::Diverged`] / [`TrainEvent::Recovered`] pairs through the
+//!   progress callback instead of panics.
+//! - **Fault injection.** A [`FaultPlan`] (env knob `CAME_FAULTS`) can poison
+//!   a gradient at a chosen step, kill the run at a chosen epoch, or corrupt
+//!   the checkpoint it just wrote — all deterministically, so the recovery
+//!   paths above are testable.
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use came_tensor::ParamStore;
+
+use crate::snapshot::{self, Snapshot, SnapshotError};
+use crate::train::EpochStats;
+
+/// Where and how often to persist training snapshots.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Root checkpoint directory. Each run writes into a
+    /// `<fingerprint:016x>/` subdirectory so concurrent models (e.g. the 14
+    /// models of the Table III binary) never collide.
+    pub dir: PathBuf,
+    /// Persist every N epoch boundaries (clamped to ≥ 1).
+    pub every_epochs: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` at every epoch boundary.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            every_epochs: 1,
+        }
+    }
+
+    /// The run-specific subdirectory for a fingerprint.
+    pub fn run_dir(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}"))
+    }
+}
+
+/// Divergence-sentinel policy.
+#[derive(Clone, Debug)]
+pub struct SentinelConfig {
+    /// Guard loss/gradients each step and roll back on NaN/inf.
+    pub enabled: bool,
+    /// Consecutive rollbacks tolerated before giving up with
+    /// [`TrainError::Diverged`].
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on each rollback (e.g. `0.5`).
+    pub lr_decay: f32,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            enabled: true,
+            max_retries: 3,
+            lr_decay: 0.5,
+        }
+    }
+}
+
+/// A deterministic set of faults to inject into a training run.
+///
+/// Grammar (comma-separated, via `CAME_FAULTS`):
+///
+/// ```text
+/// nan_grad@step=N      poison one gradient scalar with NaN at global step N
+/// kill@epoch=N         abort the process-equivalent at the start of epoch N
+/// corrupt_checkpoint   truncate the next checkpoint right after writing it
+/// ```
+///
+/// Each fault fires at most once per run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Poison a gradient at this 0-based global optimiser step.
+    pub nan_grad_at_step: Option<u64>,
+    /// Simulate a kill at the start of this 0-based epoch.
+    pub kill_at_epoch: Option<usize>,
+    /// Truncate the next written checkpoint (simulates a torn write).
+    pub corrupt_checkpoint: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parse the `CAME_FAULTS` grammar. Returns a message naming the bad
+    /// token (and the grammar) on error.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token.split_once('@') {
+                None if token == "corrupt_checkpoint" => plan.corrupt_checkpoint = true,
+                Some(("nan_grad", arg)) => {
+                    plan.nan_grad_at_step = Some(Self::keyed_number(token, arg, "step")?)
+                }
+                Some(("kill", arg)) => {
+                    plan.kill_at_epoch = Some(Self::keyed_number(token, arg, "epoch")? as usize)
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown fault '{token}'; grammar: nan_grad@step=N, kill@epoch=N, \
+                         corrupt_checkpoint (comma-separated)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    fn keyed_number(token: &str, arg: &str, key: &str) -> Result<u64, String> {
+        let value = arg
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| format!("fault '{token}' must use the form '{key}=N'"))?;
+        value
+            .parse::<u64>()
+            .map_err(|_| format!("fault '{token}': '{value}' is not a non-negative integer"))
+    }
+}
+
+/// Mutable fire-once tracking of a [`FaultPlan`] during a run.
+pub(crate) struct FaultState {
+    nan_grad: Option<u64>,
+    kill: Option<usize>,
+    corrupt: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan) -> FaultState {
+        FaultState {
+            nan_grad: plan.nan_grad_at_step,
+            kill: plan.kill_at_epoch,
+            corrupt: plan.corrupt_checkpoint,
+        }
+    }
+
+    /// True exactly once, on the optimiser step the plan targets.
+    pub(crate) fn take_nan_grad(&mut self, step: u64) -> bool {
+        if self.nan_grad == Some(step) {
+            self.nan_grad = None;
+            return true;
+        }
+        false
+    }
+
+    fn take_kill(&mut self, epoch: usize) -> bool {
+        if self.kill == Some(epoch) {
+            self.kill = None;
+            return true;
+        }
+        false
+    }
+
+    fn take_corrupt(&mut self) -> bool {
+        std::mem::take(&mut self.corrupt)
+    }
+}
+
+/// Runtime policy both trainers execute under.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeConfig {
+    /// Checkpointing; `None` disables persistence (the sentinel still keeps
+    /// an in-memory rollback point).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Divergence sentinel policy.
+    pub sentinel: SentinelConfig,
+    /// Faults to inject (normally empty outside tests/CI).
+    pub faults: FaultPlan,
+}
+
+impl RuntimeConfig {
+    /// Build from environment knobs:
+    ///
+    /// - `CAME_CKPT_DIR` — enable checkpointing into this directory
+    /// - `CAME_CKPT_EVERY` — checkpoint interval in epochs (default 1)
+    /// - `CAME_FAULTS` — fault plan (see [`FaultPlan::parse`])
+    ///
+    /// # Panics
+    /// Panics with the grammar message when `CAME_FAULTS` is malformed —
+    /// a misconfigured run should fail before training, not during.
+    pub fn from_env() -> RuntimeConfig {
+        let checkpoint = std::env::var("CAME_CKPT_DIR").ok().map(|dir| {
+            let every_epochs = std::env::var("CAME_CKPT_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1)
+                .max(1);
+            CheckpointConfig {
+                dir: dir.into(),
+                every_epochs,
+            }
+        });
+        let faults = match std::env::var("CAME_FAULTS") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(p) => p,
+                Err(e) => panic!("CAME_FAULTS: {e}"),
+            },
+            Err(_) => FaultPlan::none(),
+        };
+        RuntimeConfig {
+            checkpoint,
+            sentinel: SentinelConfig::default(),
+            faults,
+        }
+    }
+}
+
+/// Structured progress/fault stream surfaced through the training callback.
+#[derive(Clone, Debug)]
+pub enum TrainEvent {
+    /// Training continued from an on-disk snapshot.
+    Resumed {
+        /// First epoch about to run.
+        epoch_next: usize,
+        /// Snapshot file that was loaded.
+        path: PathBuf,
+    },
+    /// A snapshot file existed but was unusable (corrupt, truncated, or from
+    /// a different run); a fallback was attempted.
+    CheckpointRejected {
+        /// The rejected file.
+        path: PathBuf,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An epoch finished normally (replaces the old bare per-epoch callback).
+    EpochEnd(EpochStats),
+    /// A snapshot was persisted.
+    CheckpointSaved {
+        /// File written (`latest.ckpt` in the run directory).
+        path: PathBuf,
+        /// First epoch a resume from this snapshot would run.
+        epoch_next: usize,
+    },
+    /// The sentinel observed a non-finite loss or gradient norm.
+    Diverged {
+        /// Epoch in which the trip occurred.
+        epoch: usize,
+        /// Global optimiser step at the trip.
+        step: u64,
+        /// LR multiplier in effect when the trip occurred.
+        lr_scale: f32,
+        /// Human-readable cause, including the failing modality when a
+        /// frozen feature cache is to blame.
+        cause: String,
+    },
+    /// Rollback to the last good state completed; training is retrying.
+    Recovered {
+        /// Epoch training resumes from (the rolled-back boundary).
+        epoch: usize,
+        /// Global optimiser step after rollback.
+        step: u64,
+        /// Reduced LR multiplier now in effect.
+        lr_scale: f32,
+        /// Consecutive retries of this epoch so far.
+        retries: u32,
+    },
+}
+
+/// Recoverable training failures.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The train split has no triples; nothing to optimise.
+    EmptyTrainSplit,
+    /// The sentinel exhausted its retry budget.
+    Diverged {
+        /// Epoch that kept diverging.
+        epoch: usize,
+        /// Consecutive retries attempted.
+        retries: u32,
+    },
+    /// An injected `kill@epoch=N` fault fired (simulated crash).
+    Killed {
+        /// Epoch at which the kill fired.
+        epoch: usize,
+    },
+    /// Checkpoint I/O or decoding failed.
+    Checkpoint(SnapshotError),
+    /// A resumed snapshot does not fit the model (names/shapes mismatch).
+    Incompatible(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainSplit => write!(f, "train split is empty"),
+            TrainError::Diverged { epoch, retries } => write!(
+                f,
+                "training diverged at epoch {epoch} and stayed non-finite after {retries} rollbacks"
+            ),
+            TrainError::Killed { epoch } => {
+                write!(f, "injected kill fault fired at epoch {epoch}")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Summary of a guarded training run.
+#[derive(Clone, Debug)]
+pub struct TrainRun {
+    /// Per-epoch stats, including epochs restored from a resumed snapshot.
+    pub history: Vec<EpochStats>,
+    /// Total sentinel trips over the whole run (survives resume).
+    pub divergences: u32,
+    /// Final learning-rate multiplier.
+    pub lr_scale: f32,
+    /// Snapshot file this run resumed from, if any.
+    pub resumed_from: Option<PathBuf>,
+    /// Snapshots persisted by this run.
+    pub checkpoints_written: usize,
+}
+
+/// FNV-1a fingerprint of a run: trainer tag, config words, and the store's
+/// parameter names and sizes. Two runs share a checkpoint directory slot iff
+/// their fingerprints match, which is what makes resuming safe.
+pub fn fingerprint(tag: &str, config_words: &[u64], store: &ParamStore) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |h: u64, bytes: &[u8]| {
+        let mut h = h;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    };
+    h = eat(h, tag.as_bytes());
+    for w in config_words {
+        h = eat(h, &w.to_le_bytes());
+    }
+    for s in store.state_views() {
+        h = eat(h, s.name.as_bytes());
+        h = eat(h, &(s.value.numel() as u64).to_le_bytes());
+    }
+    h
+}
+
+/// The guarded epoch loop shared by both trainers.
+///
+/// `epoch_body` runs one full epoch (batching, forward/backward, optimiser
+/// steps) with the given LR multiplier and returns the mean loss, or the
+/// sentinel-trip cause. `model_state`/`model_restore` bridge opaque
+/// model-side state (e.g. dropout RNG words) into snapshots.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_guarded(
+    rt: &RuntimeConfig,
+    fp: u64,
+    epochs: usize,
+    store: &mut ParamStore,
+    model_state: impl Fn() -> Vec<u8>,
+    model_restore: impl Fn(&[u8]) -> Result<(), String>,
+    mut epoch_body: impl FnMut(usize, f32, &mut ParamStore, &mut FaultState) -> Result<f32, String>,
+    mut emit: impl FnMut(&TrainEvent, &ParamStore),
+) -> Result<TrainRun, TrainError> {
+    let mut faults = FaultState::new(&rt.faults);
+    let run_dir = rt.checkpoint.as_ref().map(|ck| ck.run_dir(fp));
+
+    let mut history: Vec<EpochStats> = Vec::new();
+    let mut lr_scale = 1.0f32;
+    let mut divergences = 0u32;
+    let mut epoch = 0usize;
+    let mut resumed_from = None;
+    let mut checkpoints_written = 0usize;
+
+    if let Some(dir) = &run_dir {
+        let report = snapshot::resume_or_init(dir, fp);
+        for (path, err) in report.rejected {
+            let reason = err.to_string();
+            emit(&TrainEvent::CheckpointRejected { path, reason }, store);
+        }
+        if let Some((snap, path)) = report.snapshot {
+            snap.restore_into(store).map_err(TrainError::Checkpoint)?;
+            model_restore(&snap.model_state).map_err(TrainError::Incompatible)?;
+            epoch = snap.epoch_next;
+            lr_scale = snap.lr_scale;
+            divergences = snap.divergences;
+            history = snap.history.clone();
+            emit(
+                &TrainEvent::Resumed {
+                    epoch_next: epoch,
+                    path: path.clone(),
+                },
+                store,
+            );
+            resumed_from = Some(path);
+        }
+    }
+
+    // In-memory rollback point for the sentinel: the state at the most
+    // recent successful epoch boundary (or the starting state).
+    let mut good = rt.sentinel.enabled.then(|| {
+        Snapshot::capture(
+            store,
+            fp,
+            epoch,
+            lr_scale,
+            divergences,
+            model_state(),
+            &history,
+        )
+    });
+
+    let base_elapsed = history.last().map_or(0.0, |h| h.elapsed_s);
+    let start = Instant::now();
+    let mut retries = 0u32;
+
+    while epoch < epochs {
+        if faults.take_kill(epoch) {
+            return Err(TrainError::Killed { epoch });
+        }
+        match epoch_body(epoch, lr_scale, store, &mut faults) {
+            Ok(mean_loss) => {
+                retries = 0;
+                let stats = EpochStats {
+                    epoch,
+                    loss: mean_loss,
+                    elapsed_s: base_elapsed + start.elapsed().as_secs_f64(),
+                };
+                history.push(stats);
+                emit(&TrainEvent::EpochEnd(stats), store);
+                epoch += 1;
+
+                let due = rt
+                    .checkpoint
+                    .as_ref()
+                    .is_some_and(|ck| epoch % ck.every_epochs == 0 || epoch == epochs);
+                if due || rt.sentinel.enabled {
+                    let snap = Snapshot::capture(
+                        store,
+                        fp,
+                        epoch,
+                        lr_scale,
+                        divergences,
+                        model_state(),
+                        &history,
+                    );
+                    if due {
+                        let dir = run_dir.as_ref().expect("due implies checkpoint config");
+                        let path =
+                            snapshot::write_atomic(dir, &snap).map_err(TrainError::Checkpoint)?;
+                        checkpoints_written += 1;
+                        if faults.take_corrupt() {
+                            // simulate a torn write: chop the file mid-payload
+                            if let Ok(bytes) = fs::read(&path) {
+                                let _ = fs::write(&path, &bytes[..bytes.len() / 2]);
+                            }
+                        }
+                        emit(
+                            &TrainEvent::CheckpointSaved {
+                                path,
+                                epoch_next: epoch,
+                            },
+                            store,
+                        );
+                    }
+                    if rt.sentinel.enabled {
+                        good = Some(snap);
+                    }
+                }
+            }
+            Err(cause) => {
+                divergences += 1;
+                retries += 1;
+                emit(
+                    &TrainEvent::Diverged {
+                        epoch,
+                        step: store.step,
+                        lr_scale,
+                        cause,
+                    },
+                    store,
+                );
+                let rollback = match &good {
+                    Some(g) if retries <= rt.sentinel.max_retries => g,
+                    _ => return Err(TrainError::Diverged { epoch, retries }),
+                };
+                rollback
+                    .restore_into(store)
+                    .map_err(TrainError::Checkpoint)?;
+                model_restore(&rollback.model_state).map_err(TrainError::Incompatible)?;
+                epoch = rollback.epoch_next;
+                lr_scale *= rt.sentinel.lr_decay;
+                emit(
+                    &TrainEvent::Recovered {
+                        epoch,
+                        step: store.step,
+                        lr_scale,
+                        retries,
+                    },
+                    store,
+                );
+            }
+        }
+    }
+
+    Ok(TrainRun {
+        history,
+        divergences,
+        lr_scale,
+        resumed_from,
+        checkpoints_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_parses_full_grammar() {
+        let p = FaultPlan::parse("nan_grad@step=40, kill@epoch=2,corrupt_checkpoint").unwrap();
+        assert_eq!(p.nan_grad_at_step, Some(40));
+        assert_eq!(p.kill_at_epoch, Some(2));
+        assert!(p.corrupt_checkpoint);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_rejects_bad_tokens() {
+        for bad in [
+            "explode",
+            "nan_grad@epoch=1",
+            "nan_grad@step=x",
+            "kill@step=2",
+            "corrupt_checkpoint@now",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn fault_state_fires_once() {
+        let plan = FaultPlan::parse("nan_grad@step=3,kill@epoch=1,corrupt_checkpoint").unwrap();
+        let mut st = FaultState::new(&plan);
+        assert!(!st.take_nan_grad(2));
+        assert!(st.take_nan_grad(3));
+        assert!(!st.take_nan_grad(3));
+        assert!(!st.take_kill(0));
+        assert!(st.take_kill(1));
+        assert!(!st.take_kill(1));
+        assert!(st.take_corrupt());
+        assert!(!st.take_corrupt());
+    }
+
+    #[test]
+    fn fingerprint_separates_runs() {
+        let store = ParamStore::new();
+        let a = fingerprint("one_to_n", &[1, 2, 3], &store);
+        let b = fingerprint("one_to_n", &[1, 2, 4], &store);
+        let c = fingerprint("neg_sampling", &[1, 2, 3], &store);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -6,14 +6,13 @@
 //! through one of these two loops, so wall-clock and quality comparisons
 //! (Table III, Fig. 8) are measured on identical machinery.
 
-use std::time::Instant;
-
 use came_tensor::{Adam, Graph, ParamStore, Prng, Shape, Tensor, Var};
 
 use crate::dataset::{KgDataset, Split};
 use crate::eval::TailScorer;
 use crate::labels::{NegativePolicy, OneToNBatcher};
 use crate::negative::NegativeSampler;
+use crate::runtime::{self, FaultState, RuntimeConfig, TrainError, TrainEvent, TrainRun};
 use crate::vocab::{EntityId, RelationId};
 
 /// A model scored with 1-N forward passes: given `B` `(head, relation)`
@@ -21,6 +20,30 @@ use crate::vocab::{EntityId, RelationId};
 pub trait OneToNModel {
     /// Build the forward graph; result shape `[B, N]`.
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var;
+
+    /// Opaque model-side mutable state to include in training checkpoints
+    /// (e.g. a dropout RNG behind a `RefCell`). Parameters live in the
+    /// [`ParamStore`] and are captured separately; this covers everything
+    /// else a bit-identical resume needs. Default: stateless.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`OneToNModel::state_bytes`] (interior
+    /// mutability keeps the receiver shared). Errs on incompatible bytes.
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("model is stateless but checkpoint carries model state".into())
+        }
+    }
+
+    /// When the divergence sentinel trips, name the failing input source if
+    /// the model can tell (e.g. which frozen modality cache holds NaN/inf).
+    fn diagnose_non_finite(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A model scored per-triple (for negative-sampling training): higher score
@@ -44,6 +67,26 @@ pub trait TripleModel: Sync {
         _r: &[u32],
         _t: &[u32],
     ) -> Option<Var> {
+        None
+    }
+
+    /// Opaque model-side mutable state to include in training checkpoints.
+    /// See [`OneToNModel::state_bytes`]. Default: stateless.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`TripleModel::state_bytes`].
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("model is stateless but checkpoint carries model state".into())
+        }
+    }
+
+    /// Name the failing input source on a sentinel trip, if known.
+    fn diagnose_non_finite(&self) -> Option<String> {
         None
     }
 }
@@ -85,7 +128,7 @@ impl Default for TrainConfig {
 }
 
 /// Progress record handed to the per-epoch callback.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EpochStats {
     /// 0-based epoch index.
     pub epoch: usize,
@@ -95,9 +138,145 @@ pub struct EpochStats {
     pub elapsed_s: f64,
 }
 
+/// Per-epoch RNG stream derived from `(seed, epoch)`. Deriving each epoch's
+/// stream independently — instead of threading one generator across epochs —
+/// is what makes a checkpoint resume bit-identical: epoch `e` shuffles and
+/// samples the same way whether or not epochs `0..e` ran in this process.
+fn epoch_rng(seed: u64, epoch: usize) -> Prng {
+    Prng::new(seed ^ (epoch as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Post-backward step guard shared by both trainers: always applies the
+/// configured gradient clip, and — when the sentinel is enabled — trips on a
+/// non-finite loss or a non-finite (post-clip) gradient norm, returning the
+/// cause enriched with the model's diagnosis.
+fn guard_step(
+    store: &mut ParamStore,
+    grad_clip: Option<f32>,
+    sentinel: bool,
+    loss_val: f32,
+    diagnose: impl FnOnce() -> Option<String>,
+) -> Result<(), String> {
+    let norm = match grad_clip {
+        Some(clip) => Some(store.clip_grad_norm(clip)),
+        None if sentinel => Some(store.grad_norm()),
+        None => None,
+    };
+    if !sentinel {
+        return Ok(());
+    }
+    let trip = if !loss_val.is_finite() {
+        Some(format!("non-finite loss {loss_val} at step {}", store.step))
+    } else {
+        norm.filter(|n| !n.is_finite())
+            .map(|n| format!("non-finite gradient norm {n} at step {}", store.step))
+    };
+    match trip {
+        None => Ok(()),
+        Some(mut cause) => {
+            if let Some(extra) = diagnose() {
+                cause = format!("{cause}; {extra}");
+            }
+            Err(cause)
+        }
+    }
+}
+
+fn one_to_n_fingerprint(cfg: &TrainConfig, dataset: &KgDataset, store: &ParamStore) -> u64 {
+    let (policy_kind, policy_k) = match cfg.policy {
+        NegativePolicy::Full => (0u64, 0u64),
+        NegativePolicy::Sampled(k) => (1, k as u64),
+    };
+    runtime::fingerprint(
+        "one_to_n",
+        &[
+            cfg.epochs as u64,
+            cfg.batch_size as u64,
+            u64::from(cfg.lr.to_bits()),
+            u64::from(cfg.label_smoothing.to_bits()),
+            policy_kind,
+            policy_k,
+            u64::from(cfg.grad_clip.map_or(0, |c| c.to_bits())),
+            u64::from(cfg.weight_decay.to_bits()),
+            cfg.seed,
+            dataset.num_entities() as u64,
+            dataset.num_relations_aug() as u64,
+            dataset.augmented(Split::Train).len() as u64,
+        ],
+        store,
+    )
+}
+
+/// Train a [`OneToNModel`] with multi-label BCE over 1-N targets, inside the
+/// fault-tolerant runtime: checkpoint/resume, divergence sentinel, and fault
+/// injection per `rt`. `on_event` receives the full [`TrainEvent`] stream.
+pub fn train_one_to_n_rt<M: OneToNModel>(
+    model: &M,
+    store: &mut ParamStore,
+    dataset: &KgDataset,
+    cfg: &TrainConfig,
+    rt: &RuntimeConfig,
+    mut on_event: impl FnMut(&TrainEvent, &M, &ParamStore),
+) -> Result<TrainRun, TrainError> {
+    let mut batcher = OneToNBatcher::new(dataset, cfg.batch_size, cfg.label_smoothing, cfg.policy);
+    if batcher.num_pairs() == 0 {
+        return Err(TrainError::EmptyTrainSplit);
+    }
+    let fp = one_to_n_fingerprint(cfg, dataset, store);
+    let sentinel = rt.sentinel.enabled;
+    // One tape reused across every batch: `reset()` returns node buffers to
+    // the thread-local pool, so steady-state steps allocate nothing.
+    let mut g = Graph::new();
+    runtime::run_guarded(
+        rt,
+        fp,
+        cfg.epochs,
+        store,
+        || model.state_bytes(),
+        |bytes| model.restore_state(bytes),
+        |epoch, lr_scale, store, faults: &mut FaultState| {
+            let mut rng = epoch_rng(cfg.seed, epoch);
+            let adam = Adam {
+                lr: cfg.lr * lr_scale,
+                weight_decay: cfg.weight_decay,
+                ..Adam::default()
+            };
+            let mut loss_sum = 0.0f64;
+            let mut n_batches = 0usize;
+            for batch in batcher.epoch(&mut rng) {
+                g.reset();
+                let logits = model.forward(&g, store, &batch.heads, &batch.rels);
+                let loss = match &batch.weights {
+                    Some(w) => g.bce_with_logits_weighted(logits, &batch.targets, w),
+                    None => g.bce_with_logits(logits, &batch.targets),
+                };
+                let loss_val = g.with_value(loss, |t| t.item());
+                loss_sum += loss_val as f64;
+                n_batches += 1;
+                g.backward(loss, store);
+                if faults.take_nan_grad(store.step) {
+                    store.poison_first_grad();
+                }
+                guard_step(store, cfg.grad_clip, sentinel, loss_val, || {
+                    model.diagnose_non_finite()
+                })?;
+                store.adam_step(&adam);
+            }
+            Ok((loss_sum / n_batches.max(1) as f64) as f32)
+        },
+        |ev, store| on_event(ev, model, store),
+    )
+}
+
 /// Train a [`OneToNModel`] with multi-label BCE over 1-N targets.
 /// Returns per-epoch stats; `on_epoch` fires after each epoch (used by the
 /// convergence experiment to interleave evaluation).
+///
+/// Compatibility front-end over [`train_one_to_n_rt`] with the runtime taken
+/// from the environment ([`RuntimeConfig::from_env`]): set `CAME_CKPT_DIR`
+/// to make any caller resumable. An injected kill fault exits with status 75
+/// (the conventional "temporary failure, retry" code); other runtime errors
+/// panic with context, preserving the historical signature.
 pub fn train_one_to_n<M: OneToNModel>(
     model: &M,
     store: &mut ParamStore,
@@ -105,45 +284,54 @@ pub fn train_one_to_n<M: OneToNModel>(
     cfg: &TrainConfig,
     mut on_epoch: impl FnMut(&EpochStats, &M, &ParamStore),
 ) -> Vec<EpochStats> {
-    let mut rng = Prng::new(cfg.seed);
-    let mut batcher = OneToNBatcher::new(dataset, cfg.batch_size, cfg.label_smoothing, cfg.policy);
-    let adam = Adam {
-        lr: cfg.lr,
-        weight_decay: cfg.weight_decay,
-        ..Adam::default()
-    };
-    let start = Instant::now();
-    let mut history = Vec::with_capacity(cfg.epochs);
-    // One tape reused across every batch: `reset()` returns node buffers to
-    // the thread-local pool, so steady-state steps allocate nothing.
-    let mut g = Graph::new();
-    for epoch in 0..cfg.epochs {
-        let mut loss_sum = 0.0f64;
-        let mut n_batches = 0usize;
-        for batch in batcher.epoch(&mut rng) {
-            g.reset();
-            let logits = model.forward(&g, store, &batch.heads, &batch.rels);
-            let loss = match &batch.weights {
-                Some(w) => g.bce_with_logits_weighted(logits, &batch.targets, w),
-                None => g.bce_with_logits(logits, &batch.targets),
-            };
-            loss_sum += g.with_value(loss, |t| t.item()) as f64;
-            n_batches += 1;
-            g.backward(loss, store);
-            if let Some(clip) = cfg.grad_clip {
-                store.clip_grad_norm(clip);
-            }
-            store.adam_step(&adam);
-        }
-        let stats = EpochStats {
-            epoch,
-            loss: (loss_sum / n_batches.max(1) as f64) as f32,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        };
-        on_epoch(&stats, model, store);
-        history.push(stats);
+    let rt = RuntimeConfig::from_env();
+    let run = train_one_to_n_rt(model, store, dataset, cfg, &rt, |ev, m, s| match ev {
+        TrainEvent::EpochEnd(stats) => on_epoch(stats, m, s),
+        other => log_runtime_event(other),
+    });
+    match run {
+        Ok(run) => run.history,
+        Err(TrainError::Killed { epoch }) => exit_killed(epoch),
+        Err(e) => panic!("1-N training failed: {e}"),
     }
-    history
+}
+
+/// Stderr narration of non-epoch runtime events for callers still on the
+/// legacy per-epoch callback (the bench binaries): divergence trips and
+/// recoveries must be visible even when nobody consumes [`TrainEvent`]s.
+fn log_runtime_event(ev: &TrainEvent) {
+    match ev {
+        TrainEvent::Resumed { epoch_next, path } => {
+            eprintln!(
+                "came-kg: resumed from {} at epoch {epoch_next}",
+                path.display()
+            );
+        }
+        TrainEvent::CheckpointRejected { path, reason } => {
+            eprintln!("came-kg: rejected checkpoint {}: {reason}", path.display());
+        }
+        TrainEvent::Diverged {
+            epoch, step, cause, ..
+        } => {
+            eprintln!("came-kg: diverged at epoch {epoch} step {step}: {cause}");
+        }
+        TrainEvent::Recovered {
+            epoch,
+            lr_scale,
+            retries,
+            ..
+        } => {
+            eprintln!("came-kg: recovered to epoch {epoch} (lr_scale {lr_scale}, retry {retries})");
+        }
+        TrainEvent::EpochEnd(_) | TrainEvent::CheckpointSaved { .. } => {}
+    }
+}
+
+/// A simulated kill: report and exit like a crashed trainer would, so CI can
+/// assert the process died and then resume it.
+fn exit_killed(epoch: usize) -> ! {
+    eprintln!("came-kg: injected kill fault fired at epoch {epoch}; exiting (resume to continue)");
+    std::process::exit(75);
 }
 
 /// Negative-sampling loss weighting.
@@ -188,9 +376,151 @@ pub fn softplus(g: &Graph, x: Var) -> Var {
     g.add(pos, g.ln(one_plus))
 }
 
+fn neg_sampling_fingerprint(
+    cfg: &NegSamplingConfig,
+    dataset: &KgDataset,
+    store: &ParamStore,
+) -> u64 {
+    let (weight_kind, weight_alpha) = match cfg.weighting {
+        NegWeighting::Uniform => (0u64, 0u64),
+        NegWeighting::SelfAdversarial(a) => (1, u64::from(a.to_bits())),
+    };
+    runtime::fingerprint(
+        "neg_sampling",
+        &[
+            cfg.base.epochs as u64,
+            cfg.base.batch_size as u64,
+            u64::from(cfg.base.lr.to_bits()),
+            u64::from(cfg.base.grad_clip.map_or(0, |c| c.to_bits())),
+            u64::from(cfg.base.weight_decay.to_bits()),
+            cfg.base.seed,
+            cfg.k as u64,
+            u64::from(cfg.margin.to_bits()),
+            weight_kind,
+            weight_alpha,
+            dataset.num_entities() as u64,
+            dataset.num_relations_aug() as u64,
+            dataset.augmented(Split::Train).len() as u64,
+        ],
+        store,
+    )
+}
+
+/// Train a [`TripleModel`] with the RotatE-style logistic loss inside the
+/// fault-tolerant runtime. See [`train_one_to_n_rt`] for the runtime
+/// semantics; the loss is `softplus(-(γ + s⁺)) + Σᵢ wᵢ softplus(γ + sᵢ⁻)`
+/// over filtered tail corruptions.
+pub fn train_negative_sampling_rt<M: TripleModel>(
+    model: &M,
+    store: &mut ParamStore,
+    dataset: &KgDataset,
+    cfg: &NegSamplingConfig,
+    rt: &RuntimeConfig,
+    mut on_event: impl FnMut(&TrainEvent, &M, &ParamStore),
+) -> Result<TrainRun, TrainError> {
+    let sampler = NegativeSampler::filtered(dataset.num_entities(), dataset.filter_index());
+    let base_triples = dataset.augmented(Split::Train);
+    if base_triples.is_empty() {
+        return Err(TrainError::EmptyTrainSplit);
+    }
+    let fp = neg_sampling_fingerprint(cfg, dataset, store);
+    let sentinel = rt.sentinel.enabled;
+    let mut g = Graph::new();
+    runtime::run_guarded(
+        rt,
+        fp,
+        cfg.base.epochs,
+        store,
+        || model.state_bytes(),
+        |bytes| model.restore_state(bytes),
+        |epoch, lr_scale, store, faults: &mut FaultState| {
+            let mut rng = epoch_rng(cfg.base.seed, epoch);
+            let adam = Adam {
+                lr: cfg.base.lr * lr_scale,
+                weight_decay: cfg.base.weight_decay,
+                ..Adam::default()
+            };
+            // Shuffle a fresh copy of the canonical order each epoch so the
+            // permutation depends only on `(seed, epoch)`, not on how many
+            // epochs this process has already run — required for resume.
+            let mut triples = base_triples.clone();
+            rng.shuffle(&mut triples);
+            let mut loss_sum = 0.0f64;
+            let mut n_batches = 0usize;
+            for chunk in triples.chunks(cfg.base.batch_size) {
+                let b = chunk.len();
+                let (mut h, mut r, mut t) = (
+                    Vec::with_capacity(b),
+                    Vec::with_capacity(b),
+                    Vec::with_capacity(b),
+                );
+                let (mut hn, mut rn, mut tn) = (
+                    Vec::with_capacity(b * cfg.k),
+                    Vec::with_capacity(b * cfg.k),
+                    Vec::with_capacity(b * cfg.k),
+                );
+                for &pos in chunk {
+                    h.push(pos.h.0);
+                    r.push(pos.r.0);
+                    t.push(pos.t.0);
+                    for neg in sampler.corrupt_many(pos, cfg.k, &mut rng) {
+                        hn.push(neg.h.0);
+                        rn.push(neg.r.0);
+                        tn.push(neg.t.0);
+                    }
+                }
+                g.reset();
+                let s_pos = model.score(&g, store, &h, &r, &t); // [B]
+                let s_neg = model.score(&g, store, &hn, &rn, &tn); // [B*k]
+                let s_pos = g.reshape(s_pos, Shape::d1(b));
+                let s_neg = g.reshape(s_neg, Shape::d2(b, cfg.k));
+
+                // positive term: softplus(-(γ + s⁺))
+                let pos_arg = g.neg(g.affine(s_pos, 1.0, cfg.margin));
+                let pos_loss = g.mean_all(softplus(&g, pos_arg));
+
+                // negative term: Σ wᵢ softplus(γ + sᵢ⁻), w from detached scores
+                let neg_arg = g.affine(s_neg, 1.0, cfg.margin);
+                let per_neg = softplus(&g, neg_arg); // [B,k]
+                let weights = match cfg.weighting {
+                    NegWeighting::Uniform => Tensor::full(Shape::d2(b, cfg.k), 1.0 / cfg.k as f32),
+                    NegWeighting::SelfAdversarial(alpha) => {
+                        // softmax(α·s⁻) computed on detached values
+                        g.with_value(s_neg, |t| t.map(|v| v * alpha).softmax_axis(1))
+                    }
+                };
+                let wv = g.input(weights);
+                let neg_loss = g.scale(g.mean_all(g.mul(per_neg, wv)), cfg.k as f32);
+
+                let mut loss = g.add(pos_loss, neg_loss);
+                if let Some(aux) = model.aux_loss(&g, store, &h, &r, &t) {
+                    loss = g.add(loss, aux);
+                }
+                let loss_val = g.with_value(loss, |t| t.item());
+                loss_sum += loss_val as f64;
+                n_batches += 1;
+                g.backward(loss, store);
+                if faults.take_nan_grad(store.step) {
+                    store.poison_first_grad();
+                }
+                guard_step(store, cfg.base.grad_clip, sentinel, loss_val, || {
+                    model.diagnose_non_finite()
+                })?;
+                store.adam_step(&adam);
+            }
+            Ok((loss_sum / n_batches.max(1) as f64) as f32)
+        },
+        |ev, store| on_event(ev, model, store),
+    )
+}
+
 /// Train a [`TripleModel`] with the RotatE-style logistic loss
 /// `softplus(-(γ + s⁺)) + Σᵢ wᵢ softplus(γ + sᵢ⁻)` over filtered tail
 /// corruptions.
+///
+/// Compatibility front-end over [`train_negative_sampling_rt`] with the
+/// runtime taken from the environment; see [`train_one_to_n`] for the
+/// error/exit conventions.
 pub fn train_negative_sampling<M: TripleModel>(
     model: &M,
     store: &mut ParamStore,
@@ -198,87 +528,16 @@ pub fn train_negative_sampling<M: TripleModel>(
     cfg: &NegSamplingConfig,
     mut on_epoch: impl FnMut(&EpochStats, &M, &ParamStore),
 ) -> Vec<EpochStats> {
-    let mut rng = Prng::new(cfg.base.seed);
-    let sampler = NegativeSampler::filtered(dataset.num_entities(), dataset.filter_index());
-    let mut triples = dataset.augmented(Split::Train);
-    let adam = Adam {
-        lr: cfg.base.lr,
-        weight_decay: cfg.base.weight_decay,
-        ..Adam::default()
-    };
-    let start = Instant::now();
-    let mut history = Vec::with_capacity(cfg.base.epochs);
-    let mut g = Graph::new();
-    for epoch in 0..cfg.base.epochs {
-        rng.shuffle(&mut triples);
-        let mut loss_sum = 0.0f64;
-        let mut n_batches = 0usize;
-        for chunk in triples.chunks(cfg.base.batch_size) {
-            let b = chunk.len();
-            let (mut h, mut r, mut t) = (
-                Vec::with_capacity(b),
-                Vec::with_capacity(b),
-                Vec::with_capacity(b),
-            );
-            let (mut hn, mut rn, mut tn) = (
-                Vec::with_capacity(b * cfg.k),
-                Vec::with_capacity(b * cfg.k),
-                Vec::with_capacity(b * cfg.k),
-            );
-            for &pos in chunk {
-                h.push(pos.h.0);
-                r.push(pos.r.0);
-                t.push(pos.t.0);
-                for neg in sampler.corrupt_many(pos, cfg.k, &mut rng) {
-                    hn.push(neg.h.0);
-                    rn.push(neg.r.0);
-                    tn.push(neg.t.0);
-                }
-            }
-            g.reset();
-            let s_pos = model.score(&g, store, &h, &r, &t); // [B]
-            let s_neg = model.score(&g, store, &hn, &rn, &tn); // [B*k]
-            let s_pos = g.reshape(s_pos, Shape::d1(b));
-            let s_neg = g.reshape(s_neg, Shape::d2(b, cfg.k));
-
-            // positive term: softplus(-(γ + s⁺))
-            let pos_arg = g.neg(g.affine(s_pos, 1.0, cfg.margin));
-            let pos_loss = g.mean_all(softplus(&g, pos_arg));
-
-            // negative term: Σ wᵢ softplus(γ + sᵢ⁻), w from detached scores
-            let neg_arg = g.affine(s_neg, 1.0, cfg.margin);
-            let per_neg = softplus(&g, neg_arg); // [B,k]
-            let weights = match cfg.weighting {
-                NegWeighting::Uniform => Tensor::full(Shape::d2(b, cfg.k), 1.0 / cfg.k as f32),
-                NegWeighting::SelfAdversarial(alpha) => {
-                    // softmax(α·s⁻) computed on detached values
-                    g.with_value(s_neg, |t| t.map(|v| v * alpha).softmax_axis(1))
-                }
-            };
-            let wv = g.input(weights);
-            let neg_loss = g.scale(g.mean_all(g.mul(per_neg, wv)), cfg.k as f32);
-
-            let mut loss = g.add(pos_loss, neg_loss);
-            if let Some(aux) = model.aux_loss(&g, store, &h, &r, &t) {
-                loss = g.add(loss, aux);
-            }
-            loss_sum += g.with_value(loss, |t| t.item()) as f64;
-            n_batches += 1;
-            g.backward(loss, store);
-            if let Some(clip) = cfg.base.grad_clip {
-                store.clip_grad_norm(clip);
-            }
-            store.adam_step(&adam);
-        }
-        let stats = EpochStats {
-            epoch,
-            loss: (loss_sum / n_batches.max(1) as f64) as f32,
-            elapsed_s: start.elapsed().as_secs_f64(),
-        };
-        on_epoch(&stats, model, store);
-        history.push(stats);
+    let rt = RuntimeConfig::from_env();
+    let run = train_negative_sampling_rt(model, store, dataset, cfg, &rt, |ev, m, s| match ev {
+        TrainEvent::EpochEnd(stats) => on_epoch(stats, m, s),
+        other => log_runtime_event(other),
+    });
+    match run {
+        Ok(run) => run.history,
+        Err(TrainError::Killed { epoch }) => exit_killed(epoch),
+        Err(e) => panic!("negative-sampling training failed: {e}"),
     }
-    history
 }
 
 /// Evaluation adapter: scores tail candidates with inference-mode forward

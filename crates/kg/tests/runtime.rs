@@ -1,0 +1,417 @@
+//! Integration tests for the fault-tolerant training runtime: kill/resume
+//! bit-identity, divergence rollback, gradient clipping, and corrupted
+//! checkpoint fallback — all on a tiny deterministic DistMult.
+
+use std::path::PathBuf;
+
+use came_kg::triple::Triple;
+use came_kg::{
+    train_negative_sampling_rt, train_one_to_n_rt, CheckpointConfig, FaultPlan, KgDataset,
+    NegSamplingConfig, NegWeighting, OneToNModel, RuntimeConfig, TrainConfig, TrainError,
+    TrainEvent, TripleModel, Vocab,
+};
+use came_kg::{EntityKind, Snapshot};
+use came_tensor::{EmbeddingTable, Graph, ParamStore, Prng, Var};
+
+struct ToyDistMult {
+    ent: EmbeddingTable,
+    rel: EmbeddingTable,
+}
+
+impl ToyDistMult {
+    fn build(dataset: &KgDataset, seed: u64) -> (ToyDistMult, ParamStore) {
+        let mut rng = Prng::new(seed);
+        let mut store = ParamStore::new();
+        let model = ToyDistMult {
+            ent: EmbeddingTable::new(&mut store, "ent", dataset.num_entities(), 16, &mut rng),
+            rel: EmbeddingTable::new(&mut store, "rel", dataset.num_relations_aug(), 16, &mut rng),
+        };
+        (model, store)
+    }
+}
+
+impl OneToNModel for ToyDistMult {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        let h = self.ent.lookup(g, store, heads);
+        let r = self.rel.lookup(g, store, rels);
+        let hr = g.mul(h, r);
+        let e_t = g.transpose(self.ent.full(g, store), 0, 1);
+        g.matmul(hr, e_t)
+    }
+}
+
+impl TripleModel for ToyDistMult {
+    fn score(&self, g: &Graph, store: &ParamStore, h: &[u32], r: &[u32], t: &[u32]) -> Var {
+        let hv = self.ent.lookup(g, store, h);
+        let rv = self.rel.lookup(g, store, r);
+        let tv = self.ent.lookup(g, store, t);
+        let prod = g.mul(g.mul(hv, rv), tv);
+        g.sum_axis(prod, 1, false)
+    }
+}
+
+fn toy_dataset() -> KgDataset {
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.add_entity(format!("e{i}"), EntityKind::Other);
+    }
+    vocab.add_relation("r0");
+    vocab.add_relation("r1");
+    let mut triples = Vec::new();
+    for i in 0..10u32 {
+        triples.push(Triple::new(i, 0, (i + 1) % 12));
+        triples.push(Triple::new(i, 1, (i + 2) % 12));
+    }
+    let mut rng = Prng::new(9);
+    KgDataset::split(vocab, triples, (8.0, 1.0, 1.0), &mut rng)
+}
+
+/// Bitwise image of every parameter, Adam moment included.
+fn store_bits(store: &ParamStore) -> Vec<(String, Vec<u32>)> {
+    store
+        .state_views()
+        .map(|p| {
+            let bits = p
+                .value
+                .data()
+                .iter()
+                .chain(p.m.data())
+                .chain(p.v.data())
+                .map(|f| f.to_bits())
+                .collect();
+            (p.name.to_string(), bits)
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("came-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ckpt_runtime(dir: &PathBuf, faults: FaultPlan) -> RuntimeConfig {
+    RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(dir.clone())),
+        faults,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn one_to_n_kill_and_resume_is_bit_identical() {
+    let d = toy_dataset();
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 8,
+        lr: 5e-3,
+        ..Default::default()
+    };
+
+    // Reference: 4 epochs straight through.
+    let dir_a = scratch_dir("straight");
+    let (model, mut store) = ToyDistMult::build(&d, 0);
+    let rt = ckpt_runtime(&dir_a, FaultPlan::none());
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    assert_eq!(run.history.len(), 4);
+    assert_eq!(run.checkpoints_written, 4);
+    let want = store_bits(&store);
+    let want_losses: Vec<f32> = run.history.iter().map(|s| s.loss).collect();
+
+    // Killed at the start of epoch 2, then resumed in a fresh process-worth
+    // of state: same initial seed, new store, new model.
+    let dir_b = scratch_dir("killed");
+    let (model, mut store) = ToyDistMult::build(&d, 0);
+    let rt = ckpt_runtime(
+        &dir_b,
+        FaultPlan {
+            kill_at_epoch: Some(2),
+            ..FaultPlan::none()
+        },
+    );
+    match train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}) {
+        Err(TrainError::Killed { epoch: 2 }) => {}
+        other => panic!("expected kill at epoch 2, got {other:?}"),
+    }
+
+    let (model, mut store) = ToyDistMult::build(&d, 0);
+    let rt = ckpt_runtime(&dir_b, FaultPlan::none());
+    let mut resumed_at = None;
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |ev, _, _| {
+        if let TrainEvent::Resumed { epoch_next, .. } = ev {
+            resumed_at = Some(*epoch_next);
+        }
+    })
+    .unwrap();
+    assert_eq!(resumed_at, Some(2), "resume should continue at epoch 2");
+    assert!(run.resumed_from.is_some());
+    let got_losses: Vec<f32> = run.history.iter().map(|s| s.loss).collect();
+    assert_eq!(got_losses, want_losses, "loss history must match");
+    assert_eq!(store_bits(&store), want, "parameters must be bit-identical");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn neg_sampling_kill_and_resume_is_bit_identical() {
+    let d = toy_dataset();
+    let cfg = NegSamplingConfig {
+        base: TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        k: 4,
+        margin: 3.0,
+        weighting: NegWeighting::Uniform,
+    };
+
+    let dir_a = scratch_dir("neg-straight");
+    let (model, mut store) = ToyDistMult::build(&d, 1);
+    let rt = ckpt_runtime(&dir_a, FaultPlan::none());
+    train_negative_sampling_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    let want = store_bits(&store);
+
+    let dir_b = scratch_dir("neg-killed");
+    let (model, mut store) = ToyDistMult::build(&d, 1);
+    let rt = ckpt_runtime(
+        &dir_b,
+        FaultPlan {
+            kill_at_epoch: Some(1),
+            ..FaultPlan::none()
+        },
+    );
+    assert!(matches!(
+        train_negative_sampling_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}),
+        Err(TrainError::Killed { epoch: 1 })
+    ));
+
+    let (model, mut store) = ToyDistMult::build(&d, 1);
+    let rt = ckpt_runtime(&dir_b, FaultPlan::none());
+    let run = train_negative_sampling_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    assert!(run.resumed_from.is_some());
+    assert_eq!(store_bits(&store), want);
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn nan_grad_fault_trips_sentinel_and_recovers() {
+    let d = toy_dataset();
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        lr: 5e-3,
+        ..Default::default()
+    };
+    let (model, mut store) = ToyDistMult::build(&d, 2);
+    let rt = RuntimeConfig {
+        faults: FaultPlan::parse("nan_grad@step=5").unwrap(),
+        ..Default::default()
+    };
+    let mut diverged = Vec::new();
+    let mut recovered = Vec::new();
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |ev, _, _| match ev {
+        TrainEvent::Diverged {
+            step,
+            lr_scale,
+            cause,
+            ..
+        } => diverged.push((*step, *lr_scale, cause.clone())),
+        TrainEvent::Recovered {
+            step,
+            lr_scale,
+            retries,
+            ..
+        } => recovered.push((*step, *lr_scale, *retries)),
+        _ => {}
+    })
+    .unwrap();
+
+    assert_eq!(diverged.len(), 1, "exactly one sentinel trip: {diverged:?}");
+    assert_eq!(recovered.len(), 1, "exactly one recovery: {recovered:?}");
+    assert_eq!(diverged[0].0, 5, "trip at the injected step");
+    assert!(diverged[0].2.contains("non-finite"), "{}", diverged[0].2);
+    assert!((recovered[0].1 - 0.5).abs() < 1e-6, "LR halved on rollback");
+    assert_eq!(run.divergences, 1);
+    assert_eq!(run.history.len(), 3, "training still completes all epochs");
+    assert!(run.history.iter().all(|s| s.loss.is_finite()));
+    assert!(
+        store.state_views().all(|p| !p.value.has_non_finite()),
+        "recovered parameters must be finite"
+    );
+}
+
+#[test]
+fn grad_clip_caps_exploding_gradient_norm() {
+    let d = toy_dataset();
+    let (model, mut store) = ToyDistMult::build(&d, 3);
+
+    // One deliberately exploding step: scale the logits by 1e6 so the
+    // backward pass produces a huge global gradient norm.
+    let g = Graph::new();
+    let logits = model.forward(&g, &store, &[0, 1, 2], &[0, 0, 1]);
+    let loss = g.sum_all(g.scale(logits, 1e6));
+    g.backward(loss, &mut store);
+
+    let pre = store.clip_grad_norm(1.5);
+    assert!(pre > 1e3, "gradient should have exploded, got norm {pre}");
+    let post = store.grad_norm();
+    assert!(
+        (post - 1.5).abs() / 1.5 < 1e-4,
+        "post-clip norm {post} must equal the configured cap 1.5"
+    );
+
+    // A clip below the cap is a no-op.
+    store.zero_grad();
+    let g = Graph::new();
+    let logits = model.forward(&g, &store, &[0], &[0]);
+    let loss = g.sum_all(g.scale(logits, 1e-3));
+    g.backward(loss, &mut store);
+    let small = store.grad_norm();
+    assert!(small < 1.5);
+    store.clip_grad_norm(1.5);
+    assert_eq!(
+        store.grad_norm(),
+        small,
+        "norms under the cap are untouched"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_fault_falls_back_cleanly() {
+    let d = toy_dataset();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 5e-3,
+        ..Default::default()
+    };
+
+    // Checkpoint only at the end (interval > epochs), and let the injected
+    // fault truncate that sole checkpoint right after writing.
+    let dir = scratch_dir("corrupt");
+    let (model, mut store) = ToyDistMult::build(&d, 4);
+    let mut rt = ckpt_runtime(&dir, FaultPlan::parse("corrupt_checkpoint").unwrap());
+    rt.checkpoint.as_mut().unwrap().every_epochs = 5;
+    train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+
+    // Resume sees the torn file, rejects it with a CRC/truncation error, and
+    // starts from scratch — ending bit-identical to an uninterrupted run.
+    let cfg2 = cfg.clone();
+    let (model, mut store) = ToyDistMult::build(&d, 4);
+    let rt = ckpt_runtime(&dir, FaultPlan::none());
+    let mut rejections = Vec::new();
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg2, &rt, |ev, _, _| {
+        if let TrainEvent::CheckpointRejected { reason, .. } = ev {
+            rejections.push(reason.clone());
+        }
+    })
+    .unwrap();
+    assert_eq!(rejections.len(), 1, "torn checkpoint must be rejected");
+    assert!(
+        rejections[0].contains("truncated") || rejections[0].contains("CRC"),
+        "unexpected rejection reason: {}",
+        rejections[0]
+    );
+    assert!(run.resumed_from.is_none(), "nothing intact to resume from");
+
+    let dir_clean = scratch_dir("corrupt-ref");
+    let (model, mut fresh) = ToyDistMult::build(&d, 4);
+    let rt = ckpt_runtime(&dir_clean, FaultPlan::none());
+    train_one_to_n_rt(&model, &mut fresh, &d, &cfg2, &rt, |_, _, _| {}).unwrap();
+    assert_eq!(store_bits(&store), store_bits(&fresh));
+
+    // Torn `latest` with an intact `prev`: resume falls back to `prev`
+    // (epoch 1 of 2) and still converges to the same bits.
+    let run_dir = std::fs::read_dir(&dir_clean)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let latest = run_dir.join("latest.ckpt");
+    let bytes = std::fs::read(&latest).unwrap();
+    std::fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+    let (model, mut store) = ToyDistMult::build(&d, 4);
+    let rt = ckpt_runtime(&dir_clean, FaultPlan::none());
+    let mut resumed_at = None;
+    train_one_to_n_rt(&model, &mut store, &d, &cfg2, &rt, |ev, _, _| {
+        if let TrainEvent::Resumed { epoch_next, .. } = ev {
+            resumed_at = Some(*epoch_next);
+        }
+    })
+    .unwrap();
+    assert_eq!(resumed_at, Some(1), "must fall back to the prev snapshot");
+    assert_eq!(store_bits(&store), store_bits(&fresh));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_clean);
+}
+
+#[test]
+fn empty_train_split_is_a_typed_error() {
+    let mut vocab = Vocab::new();
+    for i in 0..4 {
+        vocab.add_entity(format!("e{i}"), EntityKind::Other);
+    }
+    vocab.add_relation("r0");
+    let mut rng = Prng::new(0);
+    let d = KgDataset::split(vocab, Vec::new(), (8.0, 1.0, 1.0), &mut rng);
+    let (model, mut store) = ToyDistMult::build(&d, 5);
+    let cfg = TrainConfig::default();
+    let rt = RuntimeConfig::default();
+    assert!(matches!(
+        train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}),
+        Err(TrainError::EmptyTrainSplit)
+    ));
+}
+
+#[test]
+fn checkpoint_is_skipped_when_run_already_complete() {
+    let d = toy_dataset();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let dir = scratch_dir("complete");
+    let (model, mut store) = ToyDistMult::build(&d, 6);
+    let rt = ckpt_runtime(&dir, FaultPlan::none());
+    train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    let want = store_bits(&store);
+
+    // Re-running the identical config resumes past the end: no epochs run,
+    // no new checkpoints, same parameters.
+    let (model, mut store) = ToyDistMult::build(&d, 6);
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    assert_eq!(run.checkpoints_written, 0);
+    assert_eq!(run.history.len(), 2, "history restored from the snapshot");
+    assert_eq!(store_bits(&store), want);
+
+    // A different seed fingerprints to a different slot and trains fresh.
+    let cfg2 = TrainConfig { seed: 99, ..cfg };
+    let (model, mut store) = ToyDistMult::build(&d, 6);
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg2, &rt, |_, _, _| {}).unwrap();
+    assert!(run.resumed_from.is_none());
+    assert_eq!(run.checkpoints_written, 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_capture_matches_store_exactly() {
+    let d = toy_dataset();
+    let (_, store) = ToyDistMult::build(&d, 7);
+    let snap = Snapshot::capture(&store, 0xABCD, 3, 0.25, 2, vec![1, 2, 3], &[]);
+    assert_eq!(snap.params.len(), store.len());
+    for (p, live) in snap.params.iter().zip(store.state_views()) {
+        assert_eq!(p.name, live.name);
+        assert_eq!(p.value.as_slice(), live.value.data());
+    }
+    let decoded = Snapshot::decode(&snap.encode()).unwrap();
+    assert_eq!(decoded, snap);
+}

@@ -53,7 +53,7 @@ pub use backend::{
     ScalarBackend,
 };
 pub use graph::{sigmoid, Graph, UnaryKind, Var};
-pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStore};
+pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStateView, ParamStore};
 pub use rng::Prng;
 pub use shape::{Shape, MAX_NDIM};
 pub use tensor::Tensor;

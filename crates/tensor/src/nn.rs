@@ -113,15 +113,35 @@ impl ParamStore {
         }
     }
 
-    /// Global gradient-norm clipping; returns the pre-clip norm.
-    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+    /// Global L2 norm of all gradients (the quantity [`clip_grad_norm`]
+    /// bounds). Used by divergence sentinels to detect NaN/inf blowups even
+    /// when clipping is disabled.
+    ///
+    /// [`clip_grad_norm`]: ParamStore::clip_grad_norm
+    pub fn grad_norm(&self) -> f32 {
         let be = crate::backend::active();
-        let total: f32 = self
-            .entries
+        self.entries
             .iter()
             .map(|e| be.dot(e.grad.data(), e.grad.data()))
             .sum::<f32>()
-            .sqrt();
+            .sqrt()
+    }
+
+    /// Fault-injection hook: overwrite the first gradient scalar with NaN.
+    /// Used by the training runtime's deterministic fault harness
+    /// (`nan_grad@step=N`) to exercise divergence-recovery paths; a no-op on
+    /// an empty store.
+    pub fn poison_first_grad(&mut self) {
+        if let Some(e) = self.entries.first_mut() {
+            if let Some(g) = e.grad.data_mut().first_mut() {
+                *g = f32::NAN;
+            }
+        }
+    }
+
+    /// Global gradient-norm clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total = self.grad_norm();
         if total > max_norm && total > 0.0 {
             let s = max_norm / total;
             for e in &mut self.entries {
@@ -157,6 +177,52 @@ impl ParamStore {
         self.zero_grad();
     }
 
+    /// Visit every parameter's optimiser state (value + Adam moments) in
+    /// registration order — the raw material of a training checkpoint.
+    pub fn state_views(&self) -> impl Iterator<Item = ParamStateView<'_>> {
+        self.entries.iter().map(|e| ParamStateView {
+            name: &e.name,
+            value: &e.value,
+            m: &e.m,
+            v: &e.v,
+        })
+    }
+
+    /// Overwrite entry `idx` (registration order) with checkpointed state.
+    /// The caller re-registers parameters through normal model construction
+    /// first; this validates that the entry matches the snapshot (same name,
+    /// same element count) before copying value and Adam moments back in.
+    pub fn restore_entry(
+        &mut self,
+        idx: usize,
+        name: &str,
+        value: &[f32],
+        m: &[f32],
+        v: &[f32],
+    ) -> Result<(), String> {
+        let e = self
+            .entries
+            .get_mut(idx)
+            .ok_or_else(|| format!("checkpoint has {} extra param '{name}'", idx))?;
+        if e.name != name {
+            return Err(format!(
+                "param {idx} name mismatch: store has '{}', checkpoint has '{name}'",
+                e.name
+            ));
+        }
+        let n = e.value.numel();
+        if value.len() != n || m.len() != n || v.len() != n {
+            return Err(format!(
+                "param '{name}' size mismatch: store has {n} scalars, checkpoint has {}",
+                value.len()
+            ));
+        }
+        e.value.data_mut().copy_from_slice(value);
+        e.m.data_mut().copy_from_slice(m);
+        e.v.data_mut().copy_from_slice(v);
+        Ok(())
+    }
+
     /// Plain SGD update, then zero gradients.
     pub fn sgd_step(&mut self, lr: f32) {
         self.step += 1;
@@ -168,6 +234,19 @@ impl ParamStore {
         }
         self.zero_grad();
     }
+}
+
+/// Borrowed view of one parameter's full optimiser state (see
+/// [`ParamStore::state_views`]).
+pub struct ParamStateView<'a> {
+    /// Registration name.
+    pub name: &'a str,
+    /// Current value.
+    pub value: &'a Tensor,
+    /// Adam first moment.
+    pub m: &'a Tensor,
+    /// Adam second moment.
+    pub v: &'a Tensor,
 }
 
 /// Adam hyper-parameters (defaults match the common 1e-3/0.9/0.999 setting).
@@ -421,6 +500,55 @@ mod tests {
         let g = Graph::new();
         let rows = emb.lookup(&g, &store, &[1, 5, 9, 1]);
         assert_eq!(g.shape(rows), Shape::d2(4, 6));
+    }
+
+    #[test]
+    fn state_views_round_trip_bit_exactly() {
+        let mut rng = Prng::new(4);
+        let mut store = ParamStore::new();
+        let _ = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        // take a few Adam steps so the moments are non-trivial
+        for _ in 0..3 {
+            let g = crate::graph::Graph::new();
+            let w = store.ids().next().unwrap();
+            let wv = g.param(&store, w);
+            let loss = g.sum_all(g.square(wv));
+            g.backward(loss, &mut store);
+            store.adam_step(&Adam::with_lr(0.1));
+        }
+        let saved: Vec<(String, Vec<f32>, Vec<f32>, Vec<f32>)> = store
+            .state_views()
+            .map(|s| {
+                (
+                    s.name.to_string(),
+                    s.value.data().to_vec(),
+                    s.m.data().to_vec(),
+                    s.v.data().to_vec(),
+                )
+            })
+            .collect();
+        let step = store.step;
+
+        // fresh store with the same registration order, different init
+        let mut rng2 = Prng::new(99);
+        let mut other = ParamStore::new();
+        let _ = Linear::new(&mut other, "l", 3, 2, &mut rng2);
+        for (i, (name, value, m, v)) in saved.iter().enumerate() {
+            other.restore_entry(i, name, value, m, v).unwrap();
+        }
+        other.step = step;
+        for (a, b) in store.state_views().zip(other.state_views()) {
+            assert_eq!(a.value.data(), b.value.data());
+            assert_eq!(a.m.data(), b.m.data());
+            assert_eq!(a.v.data(), b.v.data());
+        }
+        // mismatched name / size are rejected with context
+        assert!(other
+            .restore_entry(0, "wrong", &[0.0; 6], &[0.0; 6], &[0.0; 6])
+            .is_err());
+        assert!(other
+            .restore_entry(0, "l.w", &[0.0; 2], &[0.0; 2], &[0.0; 2])
+            .is_err());
     }
 
     #[test]

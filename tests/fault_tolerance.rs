@@ -1,0 +1,186 @@
+//! Fault-tolerance integration at full-model scale: CamE (dropout active,
+//! frozen modal caches attached) must survive kills and injected gradient
+//! faults with bit-identical resume and structured recovery.
+
+use std::path::PathBuf;
+
+use came::{CamE, CamEConfig};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{
+    evaluate, train_one_to_n_rt, CheckpointConfig, EvalConfig, FaultPlan, OneToNScorer,
+    RuntimeConfig, Split, TrainConfig, TrainError, TrainEvent,
+};
+use came_tensor::ParamStore;
+
+fn features_for(bkg: &came_biodata::MultimodalBkg) -> ModalFeatures {
+    ModalFeatures::build(
+        bkg,
+        &FeatureConfig {
+            d_molecule: 8,
+            d_text: 12,
+            d_struct: 8,
+            gin_layers: 1,
+            compgcn_epochs: 1,
+            seed: 5,
+        },
+    )
+}
+
+fn small_cfg() -> CamEConfig {
+    CamEConfig {
+        d_embed: 16,
+        d_fusion: 16,
+        n_filters: 4,
+        ..CamEConfig::default()
+    }
+}
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 64,
+        lr: 3e-3,
+        ..Default::default()
+    }
+}
+
+fn store_bits(store: &ParamStore) -> Vec<(String, Vec<u32>)> {
+    store
+        .state_views()
+        .map(|p| {
+            let bits = p
+                .value
+                .data()
+                .iter()
+                .chain(p.m.data())
+                .chain(p.v.data())
+                .map(|f| f.to_bits())
+                .collect();
+            (p.name.to_string(), bits)
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("came-ft-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn came_kill_and_resume_reproduces_straight_run_exactly() {
+    let bkg = presets::tiny(31);
+    let d = &bkg.dataset;
+    let features = features_for(&bkg);
+    let cfg = train_cfg(3);
+    let filter = d.filter_index();
+    let ev = EvalConfig::default();
+
+    // Reference: three epochs uninterrupted. Dropout is active (p = 0.2), so
+    // this trajectory depends on the model-side RNG stream — exactly what
+    // the checkpoint must capture for resume to be bit-identical.
+    let dir_a = scratch_dir("straight");
+    let mut store = ParamStore::new();
+    let came = CamE::new(&mut store, d, &features, small_cfg());
+    let rt = RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(dir_a.clone())),
+        ..Default::default()
+    };
+    let run = train_one_to_n_rt(&came, &mut store, d, &cfg, &rt, |_, _, _| {}).unwrap();
+    assert_eq!(run.history.len(), 3);
+    let want_bits = store_bits(&store);
+    let want_mrr = evaluate(
+        &OneToNScorer::new(&came, &store),
+        d,
+        Split::Test,
+        &filter,
+        &ev,
+    )
+    .mrr();
+
+    // Killed at the start of epoch 1, then resumed with a freshly rebuilt
+    // model and store (a new process would see exactly this).
+    let dir_b = scratch_dir("killed");
+    let mut store = ParamStore::new();
+    let came = CamE::new(&mut store, d, &features, small_cfg());
+    let rt = RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(dir_b.clone())),
+        faults: FaultPlan::parse("kill@epoch=1").unwrap(),
+        ..Default::default()
+    };
+    match train_one_to_n_rt(&came, &mut store, d, &cfg, &rt, |_, _, _| {}) {
+        Err(TrainError::Killed { epoch: 1 }) => {}
+        other => panic!("expected injected kill at epoch 1, got {other:?}"),
+    }
+
+    let mut store = ParamStore::new();
+    let came = CamE::new(&mut store, d, &features, small_cfg());
+    let rt = RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(dir_b.clone())),
+        ..Default::default()
+    };
+    let mut resumed_at = None;
+    let run = train_one_to_n_rt(&came, &mut store, d, &cfg, &rt, |ev, _, _| {
+        if let TrainEvent::Resumed { epoch_next, .. } = ev {
+            resumed_at = Some(*epoch_next);
+        }
+    })
+    .unwrap();
+    assert_eq!(resumed_at, Some(1));
+    assert_eq!(run.history.len(), 3);
+
+    let got_bits = store_bits(&store);
+    assert_eq!(
+        got_bits.len(),
+        want_bits.len(),
+        "same parameter registration"
+    );
+    for ((name_a, a), (name_b, b)) in want_bits.iter().zip(&got_bits) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(a, b, "parameter '{name_a}' differs after kill/resume");
+    }
+    let got_mrr = evaluate(
+        &OneToNScorer::new(&came, &store),
+        d,
+        Split::Test,
+        &filter,
+        &ev,
+    )
+    .mrr();
+    assert_eq!(got_mrr, want_mrr, "final MRR must match exactly");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn came_recovers_from_injected_nan_gradient() {
+    let bkg = presets::tiny(32);
+    let d = &bkg.dataset;
+    let features = features_for(&bkg);
+    let cfg = train_cfg(2);
+
+    let mut store = ParamStore::new();
+    let came = CamE::new(&mut store, d, &features, small_cfg());
+    let rt = RuntimeConfig {
+        faults: FaultPlan::parse("nan_grad@step=5").unwrap(),
+        ..Default::default()
+    };
+    let mut trips = 0u32;
+    let mut recoveries = 0u32;
+    let run = train_one_to_n_rt(&came, &mut store, d, &cfg, &rt, |ev, _, _| match ev {
+        TrainEvent::Diverged { cause, .. } => {
+            trips += 1;
+            assert!(cause.contains("non-finite"), "cause: {cause}");
+        }
+        TrainEvent::Recovered { .. } => recoveries += 1,
+        _ => {}
+    })
+    .unwrap();
+
+    assert_eq!((trips, recoveries), (1, 1), "one Diverged→Recovered pair");
+    assert_eq!(run.divergences, 1);
+    assert!(run.history.iter().all(|s| s.loss.is_finite()));
+    assert!(store.state_views().all(|p| !p.value.has_non_finite()));
+}
