@@ -4,8 +4,9 @@
 
 use came_encoders::{CompGcn, Composition, ModalFeatures};
 use came_kg::{
-    train_negative_sampling, train_one_to_n, KgDataset, NegSamplingConfig, NegWeighting,
-    OneToNModel, OneToNScorer, TailScorer, TrainConfig, TripleModel, TripleScorerAdapter,
+    train_negative_sampling, train_one_to_n, KgDataset, KgeModel, KgeScorer, NegSamplingConfig,
+    NegWeighting, OneToNKge, OneToNModel, OneToNScorer, TailScorer, TrainConfig, TripleKge,
+    TripleModel, TripleScorerAdapter,
 };
 use came_tensor::{ParamStore, Prng};
 
@@ -143,26 +144,54 @@ impl Default for BaselineHp {
     }
 }
 
-enum Inner {
-    OneToN(Box<dyn OneToNModel>, ParamStore),
-    Triple(Box<dyn TripleModel>, ParamStore, usize),
-}
-
-/// A trained baseline, usable directly as a [`TailScorer`].
+/// A trained baseline: any of the thirteen models behind the one
+/// [`KgeModel`] interface, paired with its parameter store. Usable directly
+/// as a [`TailScorer`] and servable through
+/// [`came_kg::serve::ScoringEngine`].
 pub struct TrainedBaseline {
-    inner: Inner,
+    model: Box<dyn KgeModel>,
+    store: ParamStore,
     /// Per-epoch mean losses recorded during training.
     pub losses: Vec<f32>,
 }
 
+impl TrainedBaseline {
+    /// The trained model as the unified trait object.
+    pub fn model(&self) -> &dyn KgeModel {
+        self.model.as_ref()
+    }
+
+    /// The trained parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable store access (checkpoint restore).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Capture a checkpoint of this baseline through the [`KgeModel`]
+    /// interface: parameters from the store, model state from the trait.
+    pub fn capture(&self, fingerprint: u64, epoch_next: usize) -> came_kg::Snapshot {
+        came_kg::capture_kge(
+            self.model.as_ref(),
+            &self.store,
+            fingerprint,
+            epoch_next,
+            &[],
+        )
+    }
+
+    /// Restore a checkpoint captured from this baseline, bit-identically.
+    pub fn restore(&mut self, snap: &came_kg::Snapshot) -> Result<(), String> {
+        came_kg::restore_kge(self.model.as_ref(), &mut self.store, snap)
+    }
+}
+
 impl TailScorer for TrainedBaseline {
     fn score_tails(&self, queries: &[(came_kg::EntityId, came_kg::RelationId)]) -> Vec<Vec<f32>> {
-        match &self.inner {
-            Inner::OneToN(m, store) => OneToNScorer::new(m.as_ref(), store).score_tails(queries),
-            Inner::Triple(m, store, n) => {
-                TripleScorerAdapter::new(m.as_ref(), store, *n).score_tails(queries)
-            }
-        }
+        KgeScorer::new(self.model.as_ref(), &self.store).score_tails(queries)
     }
 }
 
@@ -192,15 +221,23 @@ pub fn train_baseline(
     match kind {
         Baseline::TransE => {
             let m = TransE::new(&mut store, dataset, hp.d, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::Uniform, &mut hook)
+            run_triple(
+                kind.label(),
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::Uniform,
+                &mut hook,
+            )
         }
         Baseline::DistMult => {
             let m = DistMult::new(&mut store, dataset, hp.d, &mut rng);
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
         Baseline::ComplEx => {
             let m = ComplEx::new(&mut store, dataset, d_even, &mut rng);
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
         Baseline::ConvE => {
             let m = ConvE::new(
@@ -211,19 +248,28 @@ pub fn train_baseline(
                 hp.conv_kernel,
                 &mut rng,
             );
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
         Baseline::CompGcn => {
             let m = CompGcn::new(&mut store, dataset, hp.d, 1, Composition::Mult, &mut rng);
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
         Baseline::RotatE => {
             let m = RotatE::new(&mut store, dataset, d_even, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::Uniform, &mut hook)
+            run_triple(
+                kind.label(),
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::Uniform,
+                &mut hook,
+            )
         }
         Baseline::ARotatE => {
             let m = RotatE::new(&mut store, dataset, d_even, &mut rng);
             run_triple(
+                kind.label(),
                 m,
                 store,
                 dataset,
@@ -234,11 +280,12 @@ pub fn train_baseline(
         }
         Baseline::DualE => {
             let m = DualE::new(&mut store, dataset, d_oct, &mut rng);
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
         Baseline::PairRE => {
             let m = PairRE::new(&mut store, dataset, hp.d, &mut rng);
             run_triple(
+                kind.label(),
                 m,
                 store,
                 dataset,
@@ -249,24 +296,49 @@ pub fn train_baseline(
         }
         Baseline::Ikrl => {
             let m = Ikrl::new(&mut store, dataset, feats(), hp.d, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::Uniform, &mut hook)
+            run_triple(
+                kind.label(),
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::Uniform,
+                &mut hook,
+            )
         }
         Baseline::Mtakgr => {
             let m = Mtakgr::new(&mut store, dataset, feats(), hp.d, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::Uniform, &mut hook)
+            run_triple(
+                kind.label(),
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::Uniform,
+                &mut hook,
+            )
         }
         Baseline::TransAe => {
             let m = TransAe::new(&mut store, dataset, feats(), hp.d, &mut rng);
-            run_triple(m, store, dataset, hp, NegWeighting::Uniform, &mut hook)
+            run_triple(
+                kind.label(),
+                m,
+                store,
+                dataset,
+                hp,
+                NegWeighting::Uniform,
+                &mut hook,
+            )
         }
         Baseline::MkgFormer => {
             let m = MkgFormer::new(&mut store, dataset, feats(), hp.d, &mut rng);
-            run_one_to_n(m, store, dataset, hp, &mut hook)
+            run_one_to_n(kind.label(), m, store, dataset, hp, &mut hook)
         }
     }
 }
 
 fn run_one_to_n<M: OneToNModel + 'static>(
+    label: &str,
     model: M,
     mut store: ParamStore,
     dataset: &KgDataset,
@@ -287,12 +359,14 @@ fn run_one_to_n<M: OneToNModel + 'static>(
         }
     });
     TrainedBaseline {
-        inner: Inner::OneToN(Box::new(model), store),
+        model: Box::new(OneToNKge::new(label, model, dataset.num_entities())),
+        store,
         losses: stats.iter().map(|s| s.loss).collect(),
     }
 }
 
 fn run_triple<M: TripleModel + 'static>(
+    label: &str,
     model: M,
     mut store: ParamStore,
     dataset: &KgDataset,
@@ -319,7 +393,8 @@ fn run_triple<M: TripleModel + 'static>(
         }
     });
     TrainedBaseline {
-        inner: Inner::Triple(Box::new(model), store, n),
+        model: Box::new(TripleKge::new(label, model, n)),
+        store,
         losses: stats.iter().map(|s| s.loss).collect(),
     }
 }

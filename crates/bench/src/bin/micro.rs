@@ -17,9 +17,41 @@ use came_baselines::{train_baseline, Baseline, BaselineHp};
 use came_bench::eval_scorer;
 use came_biodata::presets;
 use came_encoders::{FeatureConfig, ModalFeatures};
-use came_kg::{OneToNModel, Split};
+use came_kg::{EntityId, OneToNModel, RelationId, Split};
 use came_tensor::backend::{self, AdamHp, Backend, BackendKind};
 use came_tensor::{conv, pool, Activation, Adam, Graph, Linear, ParamStore, Prng, Shape, Tensor};
+
+/// The pre-PR ranking inner loop, reconstructed for the inference A/B cell:
+/// one hash probe per candidate entity instead of the lockstep sorted-mask
+/// sweep. Semantically identical, so both evaluation stacks must emit
+/// bit-equal metrics.
+fn legacy_hash_rank(
+    scores: &[f32],
+    target: EntityId,
+    h: EntityId,
+    r: RelationId,
+    sets: &std::collections::HashMap<(EntityId, RelationId), std::collections::HashSet<EntityId>>,
+) -> f64 {
+    let known = sets.get(&(h, r));
+    let target_score = scores[target.0 as usize];
+    let mut greater = 0usize;
+    let mut ties = 0usize;
+    for (e, &s) in scores.iter().enumerate() {
+        let e = EntityId(e as u32);
+        if e == target {
+            continue;
+        }
+        if known.is_some_and(|k| k.contains(&e)) {
+            continue;
+        }
+        if s > target_score {
+            greater += 1;
+        } else if s == target_score {
+            ties += 1;
+        }
+    }
+    1.0 + greater as f64 + ties as f64 / 2.0
+}
 
 /// One benchmark cell: median ns per invocation.
 fn median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
@@ -473,6 +505,128 @@ fn main() {
     } else {
         0.0
     };
+
+    // --- inference mode: taped legacy eval vs tape-free serving ----------
+    // A/B of the two evaluation stacks over the same trained CamE:
+    //   taped     — the pre-PR path: recording inference graphs, per-row
+    //               Vec<Vec<f32>> score copies, hash-probe filtered ranking;
+    //   tape-free — the serving engine: CAME_INFER graphs (no op payloads,
+    //               forward-only fused kernels), one reused flat score
+    //               buffer, lockstep sorted-mask ranking.
+    // Both sides must produce bit-equal MRR/MR/Hits@k; the gate below
+    // additionally demands the tape-free side be >= 2x faster.
+    let (infer_taped_ns, infer_free_ns, infer_queries, infer_equal, topk_ns, topk_queries) = {
+        use came_kg::{
+            EvalConfig, OneToNScorer, RankMetrics, ScoringEngine, ServeConfig, TailScorer,
+            TopKRequest, Triple,
+        };
+        use std::collections::{HashMap, HashSet};
+        let bkg = presets::tiny(17);
+        let fcfg = FeatureConfig {
+            compgcn_epochs: 0,
+            ..came_bench::feature_config()
+        };
+        let features = ModalFeatures::build(&bkg, &fcfg);
+        let (model, store) = came_bench::train_came(
+            &bkg,
+            &features,
+            came_bench::came_config_drkg(),
+            if quick { 1 } else { 2 },
+        );
+        let kge = came_bench::came_kge(&model, &bkg.dataset);
+        let filter = bkg.dataset.filter_index();
+        let cap = if quick { 64 } else { 256 };
+        let ecfg = EvalConfig {
+            max_triples: Some(cap),
+            ..Default::default()
+        };
+
+        // The legacy stack's filter sets: one HashSet per (h, r).
+        let mut sets: HashMap<(EntityId, RelationId), HashSet<EntityId>> = HashMap::new();
+        let nr = bkg.dataset.num_relations();
+        for split in [Split::Train, Split::Valid, Split::Test] {
+            for t in bkg.dataset.get(split) {
+                sets.entry((t.h, t.r)).or_default().insert(t.t);
+                let inv = t.inverse(nr);
+                sets.entry((inv.h, inv.r)).or_default().insert(inv.t);
+            }
+        }
+        // Same triple draw as `EvalConfig { max_triples, seed }`.
+        let mut triples = bkg.dataset.augmented(Split::Test);
+        let mut trng = Prng::new(ecfg.seed);
+        trng.shuffle(&mut triples);
+        triples.truncate(cap);
+
+        let legacy_eval = || {
+            let scorer = OneToNScorer::new(&model, &store);
+            let mut metrics = RankMetrics::new();
+            for chunk in triples.chunks(ecfg.batch_size) {
+                let queries: Vec<(EntityId, RelationId)> =
+                    chunk.iter().map(|t| (t.h, t.r)).collect();
+                let scores = scorer.score_tails(&queries);
+                let mut ranks = vec![0.0f64; chunk.len()];
+                let rows: Vec<(&Triple, &[f32], &mut f64)> = chunk
+                    .iter()
+                    .zip(scores.iter().map(Vec::as_slice))
+                    .zip(ranks.iter_mut())
+                    .map(|((t, s), slot)| (t, s, slot))
+                    .collect();
+                backend::run_tasks(rows, |(t, s, slot)| {
+                    *slot = legacy_hash_rank(s, t.t, t.h, t.r, &sets);
+                });
+                for rk in ranks {
+                    metrics.push(rk);
+                }
+            }
+            metrics
+        };
+        model
+            .serve_preflight()
+            .expect("frozen caches must pass the serving preflight");
+        let engine = ScoringEngine::with_config(&kge, &store, ServeConfig::default());
+        let serve_eval = || engine.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
+
+        let samples = if quick { 3 } else { 5 };
+        came_tensor::set_infer_tape_free(false);
+        let m_taped = legacy_eval();
+        let taped_ns = median_ns(1, samples, || {
+            black_box(legacy_eval());
+        });
+        came_tensor::set_infer_tape_free(true);
+        let m_free = serve_eval();
+        let free_ns = median_ns(1, samples, || {
+            black_box(serve_eval());
+        });
+        let equal = m_taped.count() == m_free.count()
+            && m_taped.mrr() == m_free.mrr()
+            && m_taped.mr() == m_free.mr()
+            && [1usize, 3, 10]
+                .iter()
+                .all(|&k| m_taped.hits(k) == m_free.hits(k));
+
+        // Serving latency: top-10 retrieval for every evaluated query, known
+        // tails excluded, batched through the engine.
+        let reqs: Vec<TopKRequest> = triples
+            .iter()
+            .map(|t| TopKRequest::with_k(t.h, t.r, 10))
+            .collect();
+        let tk_ns = median_ns(1, samples, || {
+            black_box(engine.top_k_batch(&reqs, Some(&filter)));
+        });
+        (taped_ns, free_ns, triples.len(), equal, tk_ns, reqs.len())
+    };
+    let infer_speedup = if infer_free_ns > 0.0 {
+        infer_taped_ns / infer_free_ns
+    } else {
+        0.0
+    };
+    let qps = |ns: f64| {
+        if ns > 0.0 {
+            infer_queries as f64 / (ns / 1e9)
+        } else {
+            0.0
+        }
+    };
     came_tensor::set_backend(kind);
 
     // --- report ----------------------------------------------------------
@@ -554,13 +708,50 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"inference\": {{\"name\": \"eval_full_ranking\", \"taped_ns\": {infer_taped_ns:.0}, \
+         \"tape_free_ns\": {infer_free_ns:.0}, \"speedup\": {infer_speedup:.3}, \
+         \"queries\": {infer_queries}, \"taped_queries_per_sec\": {:.0}, \
+         \"tape_free_queries_per_sec\": {:.0}, \"metrics_bit_equal\": {infer_equal}, \
+         \"serve_topk\": {{\"k\": 10, \"batch_ns\": {topk_ns:.0}, \"queries\": {topk_queries}, \
+         \"per_query_ns\": {:.0}}}}},\n",
+        qps(infer_taped_ns),
+        qps(infer_free_ns),
+        if topk_queries > 0 {
+            topk_ns / topk_queries as f64
+        } else {
+            0.0
+        }
+    ));
+    json.push_str(&format!(
         "  \"checkpoint\": {{\"epoch_ns\": {ckpt_epoch_ns:.0}, \"save_ns\": {ckpt_save_ns:.0}, \
          \"restore_ns\": {ckpt_restore_ns:.0}, \"snapshot_bytes\": {ckpt_bytes}, \
          \"overhead_frac\": {ckpt_overhead:.5}}}\n"
     ));
     json.push_str("}\n");
-    std::fs::write("BENCH_micro.json", &json).expect("write BENCH_micro.json");
-    eprintln!("[micro] wrote BENCH_micro.json");
+    // CAME_MICRO_OUT redirects the report so gate-only runs (scripts/check.sh)
+    // don't clobber the committed full-scale BENCH_micro.json
+    let out_path =
+        std::env::var("CAME_MICRO_OUT").unwrap_or_else(|_| "BENCH_micro.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("[micro] wrote {out_path}");
+    println!(
+        "eval_full_ranking: taped {:.2} ms ({:.0} q/s) vs tape-free {:.2} ms ({:.0} q/s), \
+         {infer_speedup:.2}x, metrics bit-equal: {infer_equal}",
+        infer_taped_ns / 1e6,
+        qps(infer_taped_ns),
+        infer_free_ns / 1e6,
+        qps(infer_free_ns),
+    );
+    println!(
+        "serve_topk: {} top-10 requests in {:.2} ms ({:.1} us/query)",
+        topk_queries,
+        topk_ns / 1e6,
+        if topk_queries > 0 {
+            topk_ns / 1e3 / topk_queries as f64
+        } else {
+            0.0
+        }
+    );
     println!(
         "checkpoint: save {:.2} ms, restore {:.2} ms, {} KiB snapshot, {:.2}% of a {:.0} ms epoch",
         ckpt_save_ns / 1e6,
@@ -605,5 +796,22 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[micro] fusion gate passed");
+    }
+
+    // CI gate: with CAME_CHECK_INFER set, the tape-free serving stack must
+    // rank bit-identically to the taped legacy stack and be >= 2x faster.
+    if std::env::var_os("CAME_CHECK_INFER").is_some() {
+        if !infer_equal {
+            eprintln!("[micro] INFER GATE FAILED: tape-free metrics diverge from taped metrics");
+            std::process::exit(1);
+        }
+        if infer_speedup < 2.0 {
+            eprintln!(
+                "[micro] INFER GATE FAILED: tape-free eval {infer_free_ns:.0} ns vs taped \
+                 {infer_taped_ns:.0} ns is only {infer_speedup:.2}x (< 2x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[micro] infer gate passed ({infer_speedup:.2}x, metrics bit-equal)");
     }
 }

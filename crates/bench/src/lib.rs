@@ -14,7 +14,8 @@ use came::{CamE, CamEConfig};
 use came_biodata::MultimodalBkg;
 use came_encoders::{FeatureConfig, ModalFeatures};
 use came_kg::{
-    evaluate, EvalConfig, KgDataset, OneToNScorer, RankMetrics, Split, TailScorer, TrainConfig,
+    evaluate, EvalConfig, KgDataset, OneToNKge, RankMetrics, ScoringEngine, Split, TailScorer,
+    TrainConfig,
 };
 use came_tensor::ParamStore;
 
@@ -138,7 +139,14 @@ pub fn train_came_on(
     (model, store)
 }
 
-/// Evaluate a trained CamE on a split.
+/// Wrap a trained CamE (borrowed) as the unified [`came_kg::KgeModel`],
+/// ready for the serving layer.
+pub fn came_kge<'m>(model: &'m CamE, dataset: &KgDataset) -> OneToNKge<&'m CamE> {
+    OneToNKge::new("CamE", model, dataset.num_entities())
+}
+
+/// Evaluate a trained CamE on a split through the batched serving engine
+/// (tape-free inference path).
 pub fn eval_came(
     model: &CamE,
     store: &ParamStore,
@@ -147,8 +155,8 @@ pub fn eval_came(
     cap: Option<usize>,
 ) -> RankMetrics {
     let filter = dataset.filter_index();
-    evaluate(
-        &OneToNScorer::new(model, store),
+    let kge = came_kge(model, dataset);
+    ScoringEngine::new(&kge, store).evaluate(
         dataset,
         split,
         &filter,

@@ -240,6 +240,27 @@ impl CamE {
         ranked.truncate(k);
         ranked
     }
+
+    /// Serving preflight over the frozen encoder caches this model gathers
+    /// from: each active modality's cache must be fresh, finite, and aligned
+    /// with the served entity space. Run once when the model goes behind a
+    /// scoring endpoint; per-request gathers then skip validation entirely.
+    pub fn serve_preflight(&self) -> Result<(), FrozenError> {
+        let mut caches = vec![];
+        if self.cfg.use_molecule {
+            caches.push(&self.feat_m);
+        }
+        if self.cfg.use_text {
+            caches.push(&self.feat_t);
+        }
+        if self.cfg.use_pretrained_struct {
+            caches.push(&self.feat_s);
+        }
+        for cache in caches {
+            cache.preflight(self.n_entities)?;
+        }
+        Ok(())
+    }
 }
 
 impl OneToNModel for CamE {
@@ -382,6 +403,15 @@ mod tests {
         let v = g.value(scores);
         assert_eq!(v.shape(), Shape::d2(3, bkg.dataset.num_entities()));
         assert!(!v.has_non_finite());
+    }
+
+    #[test]
+    fn serve_preflight_passes_on_a_freshly_built_model() {
+        let bkg = presets::tiny(6);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, &bkg.dataset, &f, small_cfg());
+        assert_eq!(model.serve_preflight(), Ok(()));
     }
 
     #[test]

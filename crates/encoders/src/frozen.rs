@@ -360,24 +360,42 @@ impl FrozenCache {
         &self.table
     }
 
-    /// Gather rows `ids` into a fresh (pool-backed) `[ids.len(), d]` tensor —
-    /// the per-batch replacement for an encoder forward.
+    /// Gather rows `ids` into a fresh `[ids.len(), d]` tensor — the per-batch
+    /// replacement for an encoder forward. The buffer comes from the tensor
+    /// pool uninitialised and every row is overwritten by its gather, so the
+    /// serving hot loop never pays a zero-fill pass.
     ///
     /// # Panics
     /// Panics if the cache is stale or an id is out of range.
     pub fn rows(&self, ids: &[u32]) -> Tensor {
         let table = self.table();
         let (n, d) = (table.shape().at(0), table.shape().at(1));
-        let mut out = Tensor::zeros(Shape::d2(ids.len(), d));
+        let mut data = came_tensor::pool::alloc_uninit(ids.len() * d);
         for (row, &id) in ids.iter().enumerate() {
             assert!((id as usize) < n, "frozen cache id {id} out of {n}");
-            out.data_mut()[row * d..(row + 1) * d]
+            data[row * d..(row + 1) * d]
                 .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
         }
         self.gathers.set(self.gathers.get() + 1);
         self.rows_served
             .set(self.rows_served.get() + ids.len() as u64);
-        out
+        Tensor::from_vec(Shape::d2(ids.len(), d), data)
+    }
+
+    /// Serving preflight: the cache must be fresh, finite, and row-aligned
+    /// with the entity space the scoring engine serves. Run it once when a
+    /// model is put behind a serving endpoint; thereafter every gather is a
+    /// plain memcpy with no per-request validation.
+    pub fn preflight(&self, expected_rows: usize) -> Result<(), FrozenError> {
+        self.check_finite()?;
+        if self.len() != expected_rows {
+            return Err(FrozenError::Misaligned {
+                modality: self.modality.clone(),
+                rows: self.len(),
+                expected: expected_rows,
+            });
+        }
+        Ok(())
     }
 
     /// Mark the backing encoder trainable: its outputs may now drift from
@@ -536,6 +554,32 @@ mod tests {
         assert_eq!(c.version(), 1);
         assert_eq!(c.rows(&[0]).data(), &[1.0, 2.0]);
         assert!(c.check_finite().is_ok());
+    }
+
+    #[test]
+    fn preflight_checks_freshness_finiteness_and_alignment() {
+        let mut c = FrozenCache::named(
+            "textual",
+            Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        assert_eq!(c.preflight(2), Ok(()));
+        assert_eq!(
+            c.preflight(5),
+            Err(FrozenError::Misaligned {
+                modality: "textual".into(),
+                rows: 2,
+                expected: 5,
+            })
+        );
+        c.invalidate();
+        assert_eq!(
+            c.preflight(2),
+            Err(FrozenError::Stale {
+                modality: "textual".into(),
+            })
+        );
+        c.refresh(Tensor::from_vec(Shape::d2(2, 2), vec![5.0; 4]));
+        assert_eq!(c.preflight(2), Ok(()));
     }
 
     #[test]

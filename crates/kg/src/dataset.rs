@@ -1,7 +1,7 @@
 //! Datasets: train/valid/test splits, inverse-relation augmentation, and the
 //! filter index used for filtered ranking.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use came_tensor::Prng;
 
@@ -104,14 +104,18 @@ impl KgDataset {
     /// `(h, r)` the set of known tails. Used for filtered ranking (Bordes et
     /// al. protocol) and filtered negative sampling.
     pub fn filter_index(&self) -> FilterIndex {
-        let mut map: HashMap<(EntityId, RelationId), HashSet<EntityId>> = HashMap::new();
+        let mut map: HashMap<(EntityId, RelationId), Vec<EntityId>> = HashMap::new();
         let r = self.num_relations();
         for split in [Split::Train, Split::Valid, Split::Test] {
             for t in self.get(split) {
-                map.entry((t.h, t.r)).or_default().insert(t.t);
+                map.entry((t.h, t.r)).or_default().push(t.t);
                 let inv = t.inverse(r);
-                map.entry((inv.h, inv.r)).or_default().insert(inv.t);
+                map.entry((inv.h, inv.r)).or_default().push(inv.t);
             }
+        }
+        for tails in map.values_mut() {
+            tails.sort_unstable();
+            tails.dedup();
         }
         FilterIndex { map }
     }
@@ -169,21 +173,27 @@ pub enum Split {
     Test,
 }
 
-/// Known-tails index for filtered evaluation.
+/// Known-tails index for filtered evaluation. Tails are kept as sorted,
+/// deduplicated id slices: the ranking inner loop walks them in lockstep
+/// with the ascending candidate sweep (no per-candidate hash probe), and
+/// membership tests fall back to binary search.
 #[derive(Clone, Debug, Default)]
 pub struct FilterIndex {
-    map: HashMap<(EntityId, RelationId), HashSet<EntityId>>,
+    map: HashMap<(EntityId, RelationId), Vec<EntityId>>,
 }
 
 impl FilterIndex {
-    /// All known tails of `(h, r)` across every split (inverse-augmented).
-    pub fn known_tails(&self, h: EntityId, r: RelationId) -> Option<&HashSet<EntityId>> {
-        self.map.get(&(h, r))
+    /// All known tails of `(h, r)` across every split (inverse-augmented),
+    /// sorted ascending with no duplicates.
+    pub fn known_tails(&self, h: EntityId, r: RelationId) -> Option<&[EntityId]> {
+        self.map.get(&(h, r)).map(Vec::as_slice)
     }
 
     /// True if `(h, r, t)` is a known fact.
     pub fn contains(&self, h: EntityId, r: RelationId, t: EntityId) -> bool {
-        self.map.get(&(h, r)).is_some_and(|s| s.contains(&t))
+        self.map
+            .get(&(h, r))
+            .is_some_and(|s| s.binary_search(&t).is_ok())
     }
 
     /// Number of `(h, r)` keys.
@@ -201,6 +211,7 @@ impl FilterIndex {
 mod tests {
     use super::*;
     use crate::vocab::EntityKind;
+    use std::collections::HashSet;
 
     fn toy() -> KgDataset {
         let mut vocab = Vocab::new();

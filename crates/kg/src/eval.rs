@@ -21,15 +21,6 @@ pub trait TailScorer {
     fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>>;
 }
 
-impl<F> TailScorer for F
-where
-    F: Fn(&[(EntityId, RelationId)]) -> Vec<Vec<f32>>,
-{
-    fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>> {
-        self(queries)
-    }
-}
-
 /// Evaluation options.
 #[derive(Clone, Debug)]
 pub struct EvalConfig {
@@ -54,34 +45,41 @@ impl Default for EvalConfig {
 
 /// Expected 1-based rank of `target` in `scores` after masking `known` (all
 /// known-true tails except the target are excluded from the ranking).
+///
+/// `known` is a *sorted* ascending mask (what [`FilterIndex::known_tails`]
+/// returns); the candidate sweep advances a cursor through it in lockstep,
+/// so masking costs O(E + |known|) per query instead of an O(E) round of
+/// hash probes — this is the inner loop of every evaluation.
 pub fn filtered_rank(
     scores: &[f32],
     target: EntityId,
-    known: Option<&std::collections::HashSet<EntityId>>,
+    known: Option<&[EntityId]>,
     h: EntityId,
     r: RelationId,
     filter: &FilterIndex,
 ) -> f64 {
-    // `known` lets callers reuse the set lookup; fall back to the index.
-    let lookup;
-    let known = match known {
-        Some(k) => Some(k),
-        None => {
-            lookup = filter.known_tails(h, r);
-            lookup
-        }
-    };
+    // `known` lets callers reuse the mask lookup; fall back to the index.
+    let known = known
+        .or_else(|| filter.known_tails(h, r))
+        .unwrap_or_default();
+    debug_assert!(known.windows(2).all(|w| w[0] < w[1]), "mask must be sorted");
     let target_score = scores[target.0 as usize];
     let mut greater = 0usize;
     let mut ties = 0usize;
+    let mut cursor = 0usize;
     for (e, &s) in scores.iter().enumerate() {
-        if e == target.0 as usize {
-            continue;
+        let e = e as u32;
+        while cursor < known.len() && known[cursor].0 < e {
+            cursor += 1;
         }
-        if let Some(k) = known {
-            if k.contains(&EntityId(e as u32)) {
+        if cursor < known.len() && known[cursor].0 == e {
+            cursor += 1;
+            if e != target.0 {
                 continue; // filtered setting: skip other true tails
             }
+        }
+        if e == target.0 {
+            continue;
         }
         if s > target_score {
             greater += 1;
@@ -160,15 +158,14 @@ fn rank_triples(
             chunk.len(),
             "scorer returned wrong batch size"
         );
-        // Rank each triple of the batch independently (parallel under the
-        // Parallel backend); ranks land in per-triple slots, so the metrics
-        // fold below stays in input order and the result is deterministic.
         let mut ranks = vec![0.0f64; chunk.len()];
-        let tasks: Vec<((&mut f64, &Triple), &Vec<f32>)> =
-            ranks.iter_mut().zip(chunk).zip(&scores).collect();
-        came_tensor::backend::run_tasks(tasks, |((slot, t), s)| {
-            *slot = filtered_rank(s, t.t, None, t.h, t.r, filter);
-        });
+        let rows: Vec<(&Triple, &[f32], &mut f64)> = chunk
+            .iter()
+            .zip(scores.iter().map(Vec::as_slice))
+            .zip(ranks.iter_mut())
+            .map(|((t, s), slot)| (t, s, slot))
+            .collect();
+        rank_block(rows, filter);
         for r in ranks {
             metrics.push(r);
         }
@@ -176,11 +173,30 @@ fn rank_triples(
     metrics
 }
 
+/// Rank a batch of already-scored rows into per-triple slots — the shared
+/// core of [`evaluate`] and [`crate::serve::ScoringEngine`]. Each row is
+/// independent, so the work shards across the backend thread pool; ranks
+/// land in caller-provided slots, keeping the metrics fold deterministic.
+pub(crate) fn rank_block(rows: Vec<(&Triple, &[f32], &mut f64)>, filter: &FilterIndex) {
+    came_tensor::backend::run_tasks(rows, |(t, s, slot)| {
+        *slot = filtered_rank(s, t.t, None, t.h, t.r, filter);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::vocab::{EntityKind, Vocab};
-    use std::collections::HashSet;
+
+    /// Closures are no longer scorers (the blanket impl is gone — everything
+    /// real routes through [`crate::model::KgeModel`]); tests wrap theirs.
+    struct FnScorer<F: Fn(&[(EntityId, RelationId)]) -> Vec<Vec<f32>>>(F);
+
+    impl<F: Fn(&[(EntityId, RelationId)]) -> Vec<Vec<f32>>> TailScorer for FnScorer<F> {
+        fn score_tails(&self, queries: &[(EntityId, RelationId)]) -> Vec<Vec<f32>> {
+            (self.0)(queries)
+        }
+    }
 
     fn tiny() -> KgDataset {
         let mut vocab = Vocab::new();
@@ -273,7 +289,7 @@ mod tests {
         let d = tiny();
         let filter = d.filter_index();
         let idx = d.filter_index();
-        let scorer = move |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+        let scorer = FnScorer(move |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
             qs.iter()
                 .map(|&(h, r)| {
                     (0..5u32)
@@ -287,7 +303,7 @@ mod tests {
                         .collect()
                 })
                 .collect()
-        };
+        });
         let m = evaluate(&scorer, &d, Split::Test, &filter, &EvalConfig::default());
         assert_eq!(m.count(), 2); // forward + inverse
         assert_eq!(m.mrr(), 1.0);
@@ -298,9 +314,9 @@ mod tests {
     fn constant_scorer_gets_chance_level() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+        let scorer = FnScorer(|qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
             qs.iter().map(|_| vec![0.0; 5]).collect()
-        };
+        });
         let m = evaluate(&scorer, &d, Split::Test, &filter, &EvalConfig::default());
         // all candidates tie: expected rank is the middle of the candidate set,
         // so MRR is well below 1
@@ -312,9 +328,9 @@ mod tests {
     fn max_triples_caps_query_count() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+        let scorer = FnScorer(|qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
             qs.iter().map(|_| vec![0.0; 5]).collect()
-        };
+        });
         let cfg = EvalConfig {
             max_triples: Some(1),
             ..Default::default()
@@ -327,9 +343,9 @@ mod tests {
     fn grouped_eval_partitions_queries() {
         let d = tiny();
         let filter = d.filter_index();
-        let scorer = |qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
+        let scorer = FnScorer(|qs: &[(EntityId, RelationId)]| -> Vec<Vec<f32>> {
             qs.iter().map(|_| vec![0.0; 5]).collect()
-        };
+        });
         let groups = evaluate_grouped(
             &scorer,
             &d,
@@ -347,14 +363,11 @@ mod tests {
         let d = tiny();
         let filter = d.filter_index();
         let scores = [0.3, 0.9, 0.1, 0.4, 0.8];
-        let known: HashSet<EntityId> = filter
-            .known_tails(EntityId(0), RelationId(0))
-            .cloned()
-            .unwrap();
+        let known = filter.known_tails(EntityId(0), RelationId(0)).unwrap();
         let a = filtered_rank(
             &scores,
             EntityId(3),
-            Some(&known),
+            Some(known),
             EntityId(0),
             RelationId(0),
             &filter,

@@ -24,9 +24,11 @@ pub mod dataset;
 pub mod eval;
 pub mod labels;
 pub mod metrics;
+pub mod model;
 pub mod negative;
 pub mod relbucket;
 pub mod runtime;
+pub mod serve;
 pub mod snapshot;
 pub mod train;
 pub mod triple;
@@ -36,12 +38,14 @@ pub use dataset::{FilterIndex, KgDataset, Split};
 pub use eval::{evaluate, evaluate_grouped, filtered_rank, EvalConfig, TailScorer};
 pub use labels::{NegativePolicy, OneToNBatch, OneToNBatcher};
 pub use metrics::RankMetrics;
+pub use model::{capture_kge, restore_kge, KgeModel, KgeScorer, OneToNKge, TripleKge};
 pub use negative::NegativeSampler;
 pub use relbucket::RelationFamily;
 pub use runtime::{
     fingerprint, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig, TrainError,
     TrainEvent, TrainRun,
 };
+pub use serve::{ScoredEntity, ScoringEngine, ServeConfig, TopKRequest, TopKResponse};
 pub use snapshot::{
     resume_or_init, write_atomic, ParamRecord, ResumeReport, Snapshot, SnapshotError,
 };

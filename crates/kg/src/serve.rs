@@ -1,0 +1,411 @@
+//! Batched scoring/serving layer over the unified [`KgeModel`] interface.
+//!
+//! A [`ScoringEngine`] pairs a trained model with its parameter store and
+//! answers two kinds of requests through one batched, tape-free scoring
+//! path:
+//!
+//! * **full ranking** ([`ScoringEngine::evaluate`]) — the filtered-ranking
+//!   protocol of [`crate::eval`], rebuilt on flat score buffers: one
+//!   `[B, N]` buffer is reused across query batches and ranked in place by
+//!   the shared rank core, so evaluation allocates nothing per query.
+//! * **top-k retrieval** ([`ScoringEngine::top_k`]) — "which tails complete
+//!   `(h, r)`?", the serving question. Selection is a partial sort
+//!   (`select_nth_unstable` + sort of the short prefix) with a total,
+//!   deterministic order: score descending, entity id ascending on ties —
+//!   exactly the first `k` rows of a full sort.
+//!
+//! Scores come from [`KgeModel::score_into`], which runs on tape-free
+//! inference graphs ([`came_tensor::Graph::inference`]) and shards the
+//! candidate axis across the backend thread pool, so both request kinds get
+//! the same execution path the benchmarks measure.
+
+use came_tensor::{ParamStore, Prng};
+
+use crate::dataset::{FilterIndex, KgDataset, Split};
+use crate::eval::{self, EvalConfig};
+use crate::metrics::RankMetrics;
+use crate::model::KgeModel;
+use crate::triple::Triple;
+use crate::vocab::{EntityId, RelationId};
+
+/// Serving options.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Queries scored per batched forward (`CAME_SERVE_BATCH`).
+    pub batch_size: usize,
+    /// `k` used when a request does not name one (`CAME_TOPK`).
+    pub default_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_size: 128,
+            default_k: 10,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `CAME_SERVE_BATCH` / `CAME_TOPK` when set to
+    /// positive integers.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        let read = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        };
+        if let Some(b) = read("CAME_SERVE_BATCH") {
+            cfg.batch_size = b;
+        }
+        if let Some(k) = read("CAME_TOPK") {
+            cfg.default_k = k;
+        }
+        cfg
+    }
+}
+
+/// One retrieval request: rank tail candidates of `(head, relation)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TopKRequest {
+    /// Query head entity.
+    pub head: EntityId,
+    /// Query relation (inverse-augmented space `[0, 2R)`).
+    pub relation: RelationId,
+    /// Number of candidates to return; `None` uses the engine default.
+    pub k: Option<usize>,
+}
+
+impl TopKRequest {
+    /// Request the engine-default number of candidates for `(h, r)`.
+    pub fn new(head: EntityId, relation: RelationId) -> Self {
+        TopKRequest {
+            head,
+            relation,
+            k: None,
+        }
+    }
+
+    /// Request exactly `k` candidates for `(h, r)`.
+    pub fn with_k(head: EntityId, relation: RelationId, k: usize) -> Self {
+        TopKRequest {
+            head,
+            relation,
+            k: Some(k),
+        }
+    }
+}
+
+/// One ranked candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredEntity {
+    /// Candidate tail entity.
+    pub entity: EntityId,
+    /// Model score (higher is more plausible).
+    pub score: f32,
+}
+
+/// Response to a [`TopKRequest`]: candidates in serving order — score
+/// descending, entity id ascending among exact ties.
+#[derive(Clone, Debug)]
+pub struct TopKResponse {
+    /// Echo of the query head.
+    pub head: EntityId,
+    /// Echo of the query relation.
+    pub relation: RelationId,
+    /// The top candidates, best first.
+    pub hits: Vec<ScoredEntity>,
+}
+
+/// Batched scoring engine: a [`KgeModel`] plus its [`ParamStore`], serving
+/// full-ranking evaluation and top-k retrieval from one flat-buffer path.
+pub struct ScoringEngine<'a> {
+    model: &'a dyn KgeModel,
+    store: &'a ParamStore,
+    cfg: ServeConfig,
+}
+
+impl<'a> ScoringEngine<'a> {
+    /// Engine with environment-derived [`ServeConfig`].
+    pub fn new(model: &'a dyn KgeModel, store: &'a ParamStore) -> Self {
+        ScoringEngine::with_config(model, store, ServeConfig::from_env())
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(model: &'a dyn KgeModel, store: &'a ParamStore, cfg: ServeConfig) -> Self {
+        assert!(cfg.batch_size > 0, "serve batch size must be positive");
+        ScoringEngine { model, store, cfg }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &dyn KgeModel {
+        self.model
+    }
+
+    /// Candidate entities per query.
+    pub fn num_entities(&self) -> usize {
+        self.model.num_entities()
+    }
+
+    /// Score `queries` into the row-major `[queries.len(), N]` buffer `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len() * num_entities()`.
+    pub fn score_into(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        self.model.score_into(self.store, queries, out);
+    }
+
+    /// Full filtered-ranking evaluation of a split (inverse-augmented, both
+    /// directions), bit-equal to [`eval::evaluate`] over the same model:
+    /// identical triple order, scores, and rank arithmetic — only the buffer
+    /// discipline differs (one reused flat block instead of per-query rows).
+    pub fn evaluate(
+        &self,
+        dataset: &KgDataset,
+        split: Split,
+        filter: &FilterIndex,
+        cfg: &EvalConfig,
+    ) -> RankMetrics {
+        let mut triples = dataset.augmented(split);
+        if let Some(cap) = cfg.max_triples {
+            let mut rng = Prng::new(cfg.seed);
+            rng.shuffle(&mut triples);
+            triples.truncate(cap);
+        }
+        self.rank_triples(&triples, filter, cfg.batch_size)
+    }
+
+    /// Rank an explicit triple list (used by [`ScoringEngine::evaluate`] and
+    /// directly by benchmarks that pre-select triples).
+    pub fn rank_triples(
+        &self,
+        triples: &[Triple],
+        filter: &FilterIndex,
+        batch_size: usize,
+    ) -> RankMetrics {
+        let n = self.num_entities();
+        let batch = if batch_size > 0 {
+            batch_size
+        } else {
+            self.cfg.batch_size
+        };
+        let mut flat = vec![0.0f32; batch * n];
+        let mut metrics = RankMetrics::new();
+        for chunk in triples.chunks(batch) {
+            let queries: Vec<(EntityId, RelationId)> = chunk.iter().map(|t| (t.h, t.r)).collect();
+            let block = &mut flat[..chunk.len() * n];
+            self.score_into(&queries, block);
+            let mut ranks = vec![0.0f64; chunk.len()];
+            let rows: Vec<(&Triple, &[f32], &mut f64)> = chunk
+                .iter()
+                .zip(block.chunks(n))
+                .zip(ranks.iter_mut())
+                .map(|((t, s), slot)| (t, s, slot))
+                .collect();
+            eval::rank_block(rows, filter);
+            for r in ranks {
+                metrics.push(r);
+            }
+        }
+        metrics
+    }
+
+    /// Answer one retrieval request. `filter`, when given, excludes every
+    /// known tail of `(h, r)` — serving predicts *new* links.
+    pub fn top_k(&self, req: TopKRequest, filter: Option<&FilterIndex>) -> TopKResponse {
+        self.top_k_batch(std::slice::from_ref(&req), filter)
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Answer a batch of retrieval requests, scoring
+    /// [`ServeConfig::batch_size`] queries per forward.
+    pub fn top_k_batch(
+        &self,
+        reqs: &[TopKRequest],
+        filter: Option<&FilterIndex>,
+    ) -> Vec<TopKResponse> {
+        let n = self.num_entities();
+        let batch = self.cfg.batch_size;
+        let mut flat = vec![0.0f32; batch.min(reqs.len().max(1)) * n];
+        let mut out = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(batch) {
+            let queries: Vec<(EntityId, RelationId)> =
+                chunk.iter().map(|r| (r.head, r.relation)).collect();
+            let block = &mut flat[..chunk.len() * n];
+            self.score_into(&queries, block);
+            for (req, row) in chunk.iter().zip(block.chunks(n)) {
+                let k = req.k.unwrap_or(self.cfg.default_k);
+                let known = filter.and_then(|f| f.known_tails(req.head, req.relation));
+                out.push(TopKResponse {
+                    head: req.head,
+                    relation: req.relation,
+                    hits: select_top_k(row, k, known),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The serving order: score descending, entity id ascending among exact
+/// ties. Total (via `total_cmp`), so partial selection and a full sort agree
+/// on every prefix.
+fn serve_order(row: &[f32]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+    |&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b))
+}
+
+/// Top `k` candidates of one score row under [`serve_order`], excluding the
+/// (sorted) `exclude` mask via a lockstep cursor. Equals the first `k`
+/// entries of a full sort of the surviving candidates, ties included.
+fn select_top_k(row: &[f32], k: usize, exclude: Option<&[EntityId]>) -> Vec<ScoredEntity> {
+    let exclude = exclude.unwrap_or_default();
+    let mut ids: Vec<u32> = Vec::with_capacity(row.len());
+    let mut cursor = 0usize;
+    for e in 0..row.len() as u32 {
+        while cursor < exclude.len() && exclude[cursor].0 < e {
+            cursor += 1;
+        }
+        if cursor < exclude.len() && exclude[cursor].0 == e {
+            cursor += 1;
+            continue;
+        }
+        ids.push(e);
+    }
+    let cmp = serve_order(row);
+    if ids.len() > k && k > 0 {
+        ids.select_nth_unstable_by(k - 1, &cmp);
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by(&cmp);
+    ids.truncate(k);
+    ids.into_iter()
+        .map(|e| ScoredEntity {
+            entity: EntityId(e),
+            score: row[e as usize],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-scorer: score(h, r, t) hashes the triple ids.
+    struct HashModel {
+        n: usize,
+    }
+
+    impl KgeModel for HashModel {
+        fn name(&self) -> &str {
+            "hash"
+        }
+        fn num_entities(&self) -> usize {
+            self.n
+        }
+        fn score_into(
+            &self,
+            _store: &ParamStore,
+            queries: &[(EntityId, RelationId)],
+            out: &mut [f32],
+        ) {
+            assert_eq!(out.len(), queries.len() * self.n);
+            for (q, row) in queries.iter().zip(out.chunks_mut(self.n)) {
+                for (t, slot) in row.iter_mut().enumerate() {
+                    let x = (q.0 .0 as u64)
+                        .wrapping_mul(0x9E37)
+                        .wrapping_add((q.1 .0 as u64) << 7)
+                        .wrapping_add(t as u64)
+                        .wrapping_mul(0x85EB_CA6B);
+                    // few distinct values => plenty of exact ties
+                    *slot = (x % 7) as f32;
+                }
+            }
+        }
+        fn state_bytes(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    fn engine_fixture(n: usize) -> (HashModel, ParamStore) {
+        (HashModel { n }, ParamStore::new())
+    }
+
+    fn full_sort_reference(row: &[f32], k: usize, exclude: Option<&[EntityId]>) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..row.len() as u32)
+            .filter(|e| !exclude.is_some_and(|m| m.binary_search(&EntityId(*e)).is_ok()))
+            .collect();
+        ids.sort_by(|&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b)));
+        ids.truncate(k);
+        ids
+    }
+
+    #[test]
+    fn top_k_equals_full_sort_reference_including_ties() {
+        let (model, store) = engine_fixture(31);
+        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default());
+        for (h, r) in [(0u32, 0u32), (3, 1), (7, 5), (11, 2)] {
+            for k in [0usize, 1, 3, 7, 31, 64] {
+                let resp = eng.top_k(TopKRequest::with_k(EntityId(h), RelationId(r), k), None);
+                let mut row = vec![0.0f32; 31];
+                eng.score_into(&[(EntityId(h), RelationId(r))], &mut row);
+                let want = full_sort_reference(&row, k, None);
+                let got: Vec<u32> = resp.hits.iter().map(|s| s.entity.0).collect();
+                assert_eq!(got, want, "h={h} r={r} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_excludes_known_tails() {
+        let (model, store) = engine_fixture(16);
+        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default());
+        let mask = [EntityId(1), EntityId(4), EntityId(9)];
+        let mut row = vec![0.0f32; 16];
+        eng.score_into(&[(EntityId(2), RelationId(0))], &mut row);
+        let got = select_top_k(&row, 16, Some(&mask));
+        assert_eq!(got.len(), 13);
+        for s in &got {
+            assert!(
+                !mask.contains(&s.entity),
+                "{:?} should be excluded",
+                s.entity
+            );
+        }
+        let want = full_sort_reference(&row, 16, Some(&mask));
+        let got_ids: Vec<u32> = got.iter().map(|s| s.entity.0).collect();
+        assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn batched_requests_match_single_requests() {
+        let (model, store) = engine_fixture(12);
+        let cfg = ServeConfig {
+            batch_size: 2, // force multiple chunks
+            default_k: 4,
+        };
+        let eng = ScoringEngine::with_config(&model, &store, cfg);
+        let reqs: Vec<TopKRequest> = (0..5)
+            .map(|i| TopKRequest::new(EntityId(i), RelationId(i % 3)))
+            .collect();
+        let batched = eng.top_k_batch(&reqs, None);
+        assert_eq!(batched.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&batched) {
+            let single = eng.top_k(*req, None);
+            assert_eq!(resp.hits, single.hits);
+            assert_eq!(resp.hits.len(), 4); // default_k
+        }
+    }
+
+    #[test]
+    fn serve_config_env_round_trip() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.batch_size, 128);
+        assert_eq!(cfg.default_k, 10);
+    }
+}

@@ -91,6 +91,90 @@ pub trait TripleModel: Sync {
     }
 }
 
+// Delegating impls so [`crate::model::OneToNKge`] / [`crate::model::TripleKge`]
+// can wrap a model by reference (bench: borrowed CamE) or by box (registry:
+// type-erased baselines) without per-model glue.
+
+impl<M: OneToNModel + ?Sized> OneToNModel for &M {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        (**self).forward(g, store, heads, rels)
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        (**self).state_bytes()
+    }
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
+    }
+    fn diagnose_non_finite(&self) -> Option<String> {
+        (**self).diagnose_non_finite()
+    }
+}
+
+impl<M: OneToNModel + ?Sized> OneToNModel for Box<M> {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        (**self).forward(g, store, heads, rels)
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        (**self).state_bytes()
+    }
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
+    }
+    fn diagnose_non_finite(&self) -> Option<String> {
+        (**self).diagnose_non_finite()
+    }
+}
+
+impl<M: TripleModel + ?Sized> TripleModel for &M {
+    fn score(&self, g: &Graph, store: &ParamStore, h: &[u32], r: &[u32], t: &[u32]) -> Var {
+        (**self).score(g, store, h, r, t)
+    }
+    fn aux_loss(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        h: &[u32],
+        r: &[u32],
+        t: &[u32],
+    ) -> Option<Var> {
+        (**self).aux_loss(g, store, h, r, t)
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        (**self).state_bytes()
+    }
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
+    }
+    fn diagnose_non_finite(&self) -> Option<String> {
+        (**self).diagnose_non_finite()
+    }
+}
+
+impl<M: TripleModel + ?Sized> TripleModel for Box<M> {
+    fn score(&self, g: &Graph, store: &ParamStore, h: &[u32], r: &[u32], t: &[u32]) -> Var {
+        (**self).score(g, store, h, r, t)
+    }
+    fn aux_loss(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        h: &[u32],
+        r: &[u32],
+        t: &[u32],
+    ) -> Option<Var> {
+        (**self).aux_loss(g, store, h, r, t)
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        (**self).state_bytes()
+    }
+    fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
+    }
+    fn diagnose_non_finite(&self) -> Option<String> {
+        (**self).diagnose_non_finite()
+    }
+}
+
 /// Options shared by both trainers.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {

@@ -280,6 +280,96 @@ pub trait Backend: Send + Sync {
         }
     }
 
+    /// Forward-only [`Backend::softmax_matmul`]: identical per-row math and
+    /// accumulation order, but the softmax lives in a pooled `k`-float row
+    /// that is recycled immediately instead of a `[batch,m,k]` tensor the
+    /// backward pass would read. Tape-free inference calls this.
+    fn softmax_matmul_fwd(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m * k == 0 {
+            return;
+        }
+        let mut row = crate::pool::alloc_uninit(k);
+        for i in 0..batch {
+            softmax_matmul_fwd_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &mut row,
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        crate::pool::recycle(row);
+    }
+
+    /// Forward-only [`Backend::outer_attention`]: same fused score build,
+    /// softmax, and ascending-`k` contraction, bit-equal to the
+    /// tape-recording kernel. The attention case `n == 1` takes the
+    /// column-major lane-parallel path ([`outer_attention_fwd_col_block`]);
+    /// other shapes reuse the row walk with a pooled `k`-float softmax row.
+    #[allow(clippy::too_many_arguments)]
+    fn outer_attention_fwd(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m * k == 0 {
+            return;
+        }
+        if n == 1 {
+            let mut u = crate::pool::alloc_uninit(m * k);
+            let mut lanes = crate::pool::alloc_uninit(3 * m);
+            for i in 0..batch {
+                outer_attention_fwd_col_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k..(i + 1) * k],
+                    tau,
+                    &mut u,
+                    &mut lanes,
+                    &mut out[i * m..(i + 1) * m],
+                    m,
+                    k,
+                );
+            }
+            crate::pool::recycle(lanes);
+            crate::pool::recycle(u);
+            return;
+        }
+        let mut row = crate::pool::alloc_uninit(k);
+        for i in 0..batch {
+            outer_attention_fwd_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                &mut row,
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        crate::pool::recycle(row);
+    }
+
     /// Backward of [`Backend::outer_attention`]: reads the saved row softmax
     /// and the upstream gradient `gout [batch,m,n]`, accumulates into
     /// `ga [batch,m]`, `gc [batch,k]`, `gv [batch,k,n]`, and returns the
@@ -489,6 +579,140 @@ fn outer_attention_block(
             for (o, &x) in orow.iter_mut().zip(vrow) {
                 *o += w * x;
             }
+        }
+    }
+}
+
+/// One batch entry of the forward-only softmax×matmul: per row the softmax
+/// lands in the caller's `k`-float `row` scratch (reused across rows) and is
+/// contracted ascending-`k`, matching [`softmax_matmul_block`] bit-for-bit.
+#[inline]
+fn softmax_matmul_fwd_block(
+    scores: &[f32],
+    v: &[f32],
+    row: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..m {
+        row.copy_from_slice(&scores[r * k..(r + 1) * k]);
+        softmax_one_lane(row);
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (p, &w) in row.iter().enumerate() {
+            let vrow = &v[p * n..(p + 1) * n];
+            for (o, &x) in orow.iter_mut().zip(vrow) {
+                *o += w * x;
+            }
+        }
+    }
+}
+
+/// One batch entry of the forward-only outer-product attention: the same
+/// three passes as [`outer_attention_block`] with the softmax confined to the
+/// caller's reused `k`-float `row` scratch.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn outer_attention_fwd_block(
+    a: &[f32],
+    c: &[f32],
+    v: &[f32],
+    tau: f32,
+    row: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(row.len(), k, "scratch must span the attention lane");
+    for r in 0..m {
+        let ars = a[r] / tau;
+        let mut mx = f32::NEG_INFINITY;
+        for (s, &cj) in row.iter_mut().zip(c) {
+            let sc = ars * cj;
+            *s = sc;
+            mx = mx.max(sc);
+        }
+        let mut z = 0.0;
+        for s in row.iter_mut() {
+            let e = crate::tensor::fast_exp(*s - mx);
+            *s = e;
+            z += e;
+        }
+        let inv_z = 1.0 / z;
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (p, s) in row.iter_mut().enumerate() {
+            *s *= inv_z;
+            let w = *s;
+            let vrow = &v[p * n..(p + 1) * n];
+            for (o, &x) in orow.iter_mut().zip(vrow) {
+                *o += w * x;
+            }
+        }
+    }
+}
+
+/// One batch entry of the forward-only outer attention, specialised for the
+/// TCA case `n == 1` and laid out column-major so the *rows* become SIMD
+/// lanes. Every per-row reduction (running max, softmax normaliser, weighted
+/// contraction) advances in ascending-`j` lock-step across all rows, i.e. in
+/// exactly the order [`outer_attention_block`] walks each row — the result is
+/// bit-identical to the taped kernel — but each pass is a contiguous
+/// element-wise loop over `m`-float row-lanes that the compiler vectorises
+/// (the row-serial form is latency-bound on its per-row accumulator chains
+/// and its branchy scalar `exp`). Only reachable from tape-free inference;
+/// the taped kernel keeps the row layout its backward pass reads.
+///
+/// `u` is a `[k, m]` column-major scratch holding scores then exponentials;
+/// `lanes` is `3·m` floats of per-row state (`a/τ` | running max | softmax
+/// normaliser, the last reused for its reciprocal).
+fn outer_attention_fwd_col_block(
+    a: &[f32],
+    c: &[f32],
+    v: &[f32],
+    tau: f32,
+    u: &mut [f32],
+    lanes: &mut [f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+) {
+    debug_assert_eq!(u.len(), m * k, "column scratch must span the score block");
+    debug_assert_eq!(lanes.len(), 3 * m, "lane scratch holds three m-vectors");
+    let (ars, rest) = lanes.split_at_mut(m);
+    let (mx, z) = rest.split_at_mut(m);
+    for (s, &ar) in ars.iter_mut().zip(a) {
+        *s = ar / tau;
+    }
+    mx.fill(f32::NEG_INFINITY);
+    z.fill(0.0);
+    // scores + running row max, ascending j
+    for (j, &cj) in c.iter().enumerate() {
+        let col = &mut u[j * m..(j + 1) * m];
+        for ((s, &ar), m_r) in col.iter_mut().zip(ars.iter()).zip(mx.iter_mut()) {
+            let sc = ar * cj;
+            *s = sc;
+            *m_r = m_r.max(sc);
+        }
+    }
+    // exponentials + normaliser, ascending j per row
+    for j in 0..k {
+        let col = &mut u[j * m..(j + 1) * m];
+        for ((s, &m_r), z_r) in col.iter_mut().zip(mx.iter()).zip(z.iter_mut()) {
+            let e = crate::tensor::fast_exp_lane(*s - m_r);
+            *s = e;
+            *z_r += e;
+        }
+    }
+    for z_r in z.iter_mut() {
+        *z_r = 1.0 / *z_r;
+    }
+    // normalised weight times v, ascending j per row
+    for (j, &vj) in v.iter().enumerate() {
+        let col = &u[j * m..(j + 1) * m];
+        for ((o, &e), &inv_z) in out.iter_mut().zip(col).zip(z.iter()) {
+            *o += e * inv_z * vj;
         }
     }
 }
@@ -1132,6 +1356,106 @@ impl Backend for ParallelBackend {
         });
     }
 
+    fn softmax_matmul_fwd(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            let mut row = crate::pool::alloc_uninit(k);
+            for i in 0..batch {
+                softmax_matmul_fwd_block(
+                    &scores[i * m * k..(i + 1) * m * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &mut row,
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            crate::pool::recycle(row);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, o)| {
+            let mut row = crate::pool::alloc_uninit(k);
+            softmax_matmul_fwd_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &mut row,
+                o,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(row);
+        });
+    }
+
+    fn outer_attention_fwd(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            Backend::outer_attention_fwd(&ScalarBackend, a, c, v, tau, out, batch, m, k, n);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, o)| {
+            if n == 1 {
+                let mut u = crate::pool::alloc_uninit(m * k);
+                let mut lanes = crate::pool::alloc_uninit(3 * m);
+                outer_attention_fwd_col_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k..(i + 1) * k],
+                    tau,
+                    &mut u,
+                    &mut lanes,
+                    o,
+                    m,
+                    k,
+                );
+                crate::pool::recycle(lanes);
+                crate::pool::recycle(u);
+                return;
+            }
+            let mut row = crate::pool::alloc_uninit(k);
+            outer_attention_fwd_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                &mut row,
+                o,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(row);
+        });
+    }
+
     fn outer_attention_backward(
         &self,
         a: &[f32],
@@ -1294,6 +1618,34 @@ pub fn fusion_enabled() -> bool {
 /// Enable or disable kernel fusion process-wide (see [`fusion_enabled`]).
 pub fn set_fusion(on: bool) {
     FUSION.store(on as u8, Ordering::SeqCst);
+}
+
+// Tape-free inference switch: u8::MAX = uninitialised (read CAME_INFER once).
+static INFER: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Whether [`crate::graph::Graph::inference`] runs tape-free (default): no op
+/// payloads recorded, no softmax retention, forward-only fused kernels.
+/// `CAME_INFER=0` at launch falls back to the taped inference graph; the
+/// micro-bench flips this to A/B the two modes.
+pub fn infer_tape_free() -> bool {
+    match INFER.load(Ordering::SeqCst) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("CAME_INFER").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            set_infer_tape_free(on);
+            on
+        }
+    }
+}
+
+/// Enable or disable tape-free inference process-wide (see
+/// [`infer_tape_free`]).
+pub fn set_infer_tape_free(on: bool) {
+    INFER.store(on as u8, Ordering::SeqCst);
 }
 
 #[cfg(test)]

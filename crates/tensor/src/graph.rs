@@ -178,6 +178,11 @@ pub struct Graph {
     nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,
     training: bool,
+    /// When false the graph is a pure forward evaluator: node values are
+    /// still kept (later ops read their parents by [`Var`] index) but every
+    /// op is recorded as a parentless [`Op::Input`], so no id buffers,
+    /// target clones, or softmax scratch survive and `backward` is illegal.
+    record: bool,
 }
 
 impl Default for Graph {
@@ -193,13 +198,17 @@ impl Graph {
             nodes: RefCell::new(Vec::new()),
             grads: RefCell::new(Vec::new()),
             training: true,
+            record: true,
         }
     }
 
-    /// Fresh graph in inference mode (dropout becomes identity).
+    /// Fresh graph in inference mode: dropout becomes identity and — unless
+    /// [`crate::backend::infer_tape_free`] is switched off via `CAME_INFER=0`
+    /// — the tape is not recorded (forward values only, no backward).
     pub fn inference() -> Self {
         Graph {
             training: false,
+            record: !crate::backend::infer_tape_free(),
             ..Self::new()
         }
     }
@@ -207,6 +216,12 @@ impl Graph {
     /// Whether dropout and other train-only behaviour is active.
     pub fn is_training(&self) -> bool {
         self.training
+    }
+
+    /// Whether this graph records the backward tape ([`Graph::backward`]
+    /// panics when false).
+    pub fn records_tape(&self) -> bool {
+        self.record
     }
 
     /// Clear the tape so the graph can be reused for the next step. Dropped
@@ -223,9 +238,22 @@ impl Graph {
             !value.has_non_finite(),
             "non-finite values produced by {op:?}"
         );
+        let op = if self.record { op } else { Op::Input };
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
         Var(nodes.len() - 1)
+    }
+
+    /// Build `op` only on a recording graph; tape-free graphs store a
+    /// parentless [`Op::Input`] instead, skipping the payload construction
+    /// (id-buffer copies, target clones) entirely.
+    #[inline]
+    fn op_if_recording(&self, op: impl FnOnce() -> Op) -> Op {
+        if self.record {
+            op()
+        } else {
+            Op::Input
+        }
     }
 
     /// Number of nodes on the tape.
@@ -298,10 +326,10 @@ impl Graph {
         }
         self.push(
             out,
-            Op::Embedding {
+            self.op_if_recording(|| Op::Embedding {
                 table,
                 ids: IdBuf::from_slice(ids),
-            },
+            }),
         )
     }
 
@@ -331,10 +359,10 @@ impl Graph {
         };
         self.push(
             v,
-            Op::ScatterSum {
+            self.op_if_recording(|| Op::ScatterSum {
                 x,
                 ids: IdBuf::from_slice(ids),
-            },
+            }),
         )
     }
 
@@ -361,10 +389,10 @@ impl Graph {
         };
         self.push(
             v,
-            Op::Gather {
+            self.op_if_recording(|| Op::Gather {
                 x,
                 ids: IdBuf::from_slice(ids),
-            },
+            }),
         )
     }
 
@@ -526,10 +554,10 @@ impl Graph {
         };
         self.push(
             v,
-            Op::Concat {
+            self.op_if_recording(|| Op::Concat {
                 xs: xs.to_vec(),
                 axis,
-            },
+            }),
         )
     }
 
@@ -634,22 +662,39 @@ impl Graph {
             assert_eq!(vv.shape().at(0), batch, "softmax_matmul batch mismatch");
             assert_eq!(vv.shape().at(1), k, "softmax_matmul inner dim mismatch");
             let n = vv.shape().at(2);
-            // every soft row is written by the kernel before use
-            let mut soft = Tensor::uninit(sv.shape());
             let mut out = Tensor::zeros(Shape::d3(batch, m, n));
-            crate::backend::active().softmax_matmul(
-                sv.data(),
-                vv.data(),
-                soft.data_mut(),
-                out.data_mut(),
-                batch,
-                m,
-                k,
-                n,
-            );
-            (out, soft)
+            if !self.record {
+                // tape-free: the softmax lives in a recycled per-row scratch
+                crate::backend::active().softmax_matmul_fwd(
+                    sv.data(),
+                    vv.data(),
+                    out.data_mut(),
+                    batch,
+                    m,
+                    k,
+                    n,
+                );
+                (out, None)
+            } else {
+                // every soft row is written by the kernel before use
+                let mut soft = Tensor::uninit(sv.shape());
+                crate::backend::active().softmax_matmul(
+                    sv.data(),
+                    vv.data(),
+                    soft.data_mut(),
+                    out.data_mut(),
+                    batch,
+                    m,
+                    k,
+                    n,
+                );
+                (out, Some(soft))
+            }
         };
-        self.push(out, Op::SoftmaxMatmul { scores, v, soft })
+        match soft {
+            Some(soft) => self.push(out, Op::SoftmaxMatmul { scores, v, soft }),
+            None => self.push(out, Op::Input),
+        }
     }
 
     /// Fully fused TCA attention term `softmax_rows(a ⊗ c / τ) · v` for
@@ -689,24 +734,43 @@ impl Graph {
             assert_eq!(vv.shape().at(0), batch, "outer_attention batch mismatch");
             assert_eq!(vv.shape().at(1), k, "outer_attention inner dim mismatch");
             let n = vv.shape().at(2);
-            // every soft row is written by the kernel before use
-            let mut soft = Tensor::uninit(Shape::d3(batch, m, k));
             let mut out = Tensor::zeros(Shape::d3(batch, m, n));
-            crate::backend::active().outer_attention(
-                av.data(),
-                cv.data(),
-                vv.data(),
-                tv.data()[0],
-                soft.data_mut(),
-                out.data_mut(),
-                batch,
-                m,
-                k,
-                n,
-            );
-            (out, soft)
+            if !self.record {
+                // tape-free: the softmax lives in a recycled per-row scratch
+                crate::backend::active().outer_attention_fwd(
+                    av.data(),
+                    cv.data(),
+                    vv.data(),
+                    tv.data()[0],
+                    out.data_mut(),
+                    batch,
+                    m,
+                    k,
+                    n,
+                );
+                (out, None)
+            } else {
+                // every soft row is written by the kernel before use
+                let mut soft = Tensor::uninit(Shape::d3(batch, m, k));
+                crate::backend::active().outer_attention(
+                    av.data(),
+                    cv.data(),
+                    vv.data(),
+                    tv.data()[0],
+                    soft.data_mut(),
+                    out.data_mut(),
+                    batch,
+                    m,
+                    k,
+                    n,
+                );
+                (out, Some(soft))
+            }
         };
-        self.push(out, Op::OuterAttention { a, c, v, tau, soft })
+        match soft {
+            Some(soft) => self.push(out, Op::OuterAttention { a, c, v, tau, soft }),
+            None => self.push(out, Op::Input),
+        }
     }
 
     // ----- reductions -------------------------------------------------------
@@ -817,11 +881,11 @@ impl Graph {
         };
         self.push(
             v,
-            Op::BceWithLogits {
+            self.op_if_recording(|| Op::BceWithLogits {
                 logits,
                 targets: targets.clone(),
                 weights,
-            },
+            }),
         )
     }
 
@@ -831,8 +895,14 @@ impl Graph {
     /// `store`; other node gradients are retrievable via [`Graph::grad`].
     ///
     /// # Panics
-    /// Panics if `loss` is not a scalar node.
+    /// Panics if `loss` is not a scalar node, or if the graph was built
+    /// tape-free (see [`Graph::inference`]).
     pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert!(
+            self.record,
+            "backward on a tape-free inference graph; use Graph::new() (or \
+             set CAME_INFER=0 / came_tensor::set_infer_tape_free(false))"
+        );
         let nodes = self.nodes.borrow();
         assert_eq!(
             nodes[loss.0].value.numel(),

@@ -49,8 +49,8 @@ pub mod shape;
 pub mod tensor;
 
 pub use backend::{
-    fusion_enabled, set_backend, set_fusion, Activation, Backend, BackendKind, ParallelBackend,
-    ScalarBackend,
+    fusion_enabled, infer_tape_free, set_backend, set_fusion, set_infer_tape_free, Activation,
+    Backend, BackendKind, ParallelBackend, ScalarBackend,
 };
 pub use graph::{sigmoid, Graph, UnaryKind, Var};
 pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStateView, ParamStore};

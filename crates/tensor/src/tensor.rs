@@ -731,6 +731,34 @@ pub fn fast_exp(x: f32) -> f32 {
     f32::from_bits(bits) * p
 }
 
+/// Branch-free [`fast_exp`]: bit-identical output for every finite input, but
+/// the range guards are selects instead of early returns so the compiler can
+/// vectorise element-wise loops over it (the branchy form defeats SLP/loop
+/// vectorisation and keeps softmax lanes scalar).
+#[inline(always)]
+pub fn fast_exp_lane(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    let y = x * LOG2E;
+    // clamp only feeds the bit trick; out-of-range inputs are overridden by
+    // the selects below, in-range inputs pass through the clamp untouched,
+    // so every surviving value is computed exactly as `fast_exp` computes it
+    let yc = y.clamp(-126.0, 127.0);
+    let t = yc as i32;
+    let i = t - i32::from(t as f32 > yc);
+    let f = yc - i as f32;
+    let p = 1.0
+        + f * (0.693_147_18
+            + f * (0.240_226_51
+                + f * (0.055_504_11 + f * (0.009_618_13 + f * (0.001_333_55 + f * 0.000_154_04)))));
+    let r = f32::from_bits(((i + 127) as u32) << 23) * p;
+    let r = if y > 127.0 { f32::MAX } else { r };
+    if y < -126.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
 /// Row-major `[m,k] x [k,n] -> [m,n]` with i-k-j loop order (streams `b` rows,
 /// auto-vectorises well).
 pub fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
@@ -860,6 +888,24 @@ mod tests {
         }
         assert_eq!(fast_exp(-200.0), 0.0);
         assert!(fast_exp(100.0).is_finite());
+    }
+
+    #[test]
+    fn fast_exp_lane_is_bit_identical() {
+        // the lane variant must agree bit for bit, including the flush-to-zero
+        // and saturation regions and the exact range-guard boundaries
+        for i in -40000..=40000 {
+            let x = i as f32 * 0.01; // [-400, 400]
+            assert_eq!(
+                fast_exp(x).to_bits(),
+                fast_exp_lane(x).to_bits(),
+                "fast_exp_lane({x}) diverged"
+            );
+        }
+        for x in [-126.0f32, 127.0, -87.336, 88.029, 0.0, -0.0] {
+            let x = x / std::f32::consts::LOG2_E;
+            assert_eq!(fast_exp(x).to_bits(), fast_exp_lane(x).to_bits());
+        }
     }
 
     #[test]

@@ -6,3 +6,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --check
+
+# Inference parity gate: the tape-free serving stack must reproduce the taped
+# metrics exactly and stay >= 2x faster on the eval_full_ranking A/B row.
+# Quick scale; the report goes to a scratch path so the committed full-scale
+# BENCH_micro.json stays untouched.
+CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_MICRO_OUT="$(mktemp)" \
+    cargo run --release -q -p came-bench --bin micro
