@@ -1,0 +1,30 @@
+//! Minimal end-to-end training run for CI observability checks.
+//!
+//! Trains CamE for a few epochs on the tiny generated BKG through the same
+//! env-honoring runtime path as the real experiment binaries, so every
+//! runtime knob applies: `CAME_CKPT_DIR` enables checkpointing,
+//! `CAME_TRACE=1 CAME_LOG=run.jsonl` attaches the structured JSONL sink,
+//! `CAME_LOG_STDERR=0` silences the stderr mirror. The `CAME_CHECK_OBS`
+//! gate in `scripts/check.sh` runs this and asserts the produced JSONL
+//! contains `EpochEnd` and `CheckpointSaved` events.
+
+use came_encoders::{FeatureConfig, ModalFeatures};
+
+fn main() {
+    let kind = came_bench::init_backend();
+    let epochs: usize = std::env::var("CAME_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&e| e > 0)
+        .unwrap_or(2);
+    eprintln!("[smoke-train] backend={} epochs={epochs}", kind.name());
+    let bkg = came_biodata::presets::tiny(11);
+    let fcfg = FeatureConfig {
+        compgcn_epochs: 0, // untrained structural features keep the run short
+        ..came_bench::feature_config()
+    };
+    let features = ModalFeatures::build(&bkg, &fcfg);
+    let (_model, _store) =
+        came_bench::train_came(&bkg, &features, came_bench::came_config_drkg(), epochs);
+    eprintln!("[smoke-train] done");
+}

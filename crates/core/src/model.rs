@@ -267,10 +267,11 @@ impl OneToNModel for CamE {
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
         let cfg = &self.cfg;
         let mut rng = self.dropout_rng.borrow_mut();
+
+        // ---- frozen-gather: embedding lookups + cached-encoder rows ----
+        let gather = came_obs::span("phase.frozen_gather");
         let r_emb = self.rel.lookup(g, store, rels); // [B, d_e]
         let e_h = self.ent.lookup(g, store, heads); // [B, d_e]
-
-        // raw modality vectors for this batch: cached-encoder row gathers
         let m_raw = cfg.use_molecule.then(|| g.input(self.feat_m.rows(heads)));
         let t_raw = cfg.use_text.then(|| g.input(self.feat_t.rows(heads)));
         let s_raw = if cfg.use_pretrained_struct {
@@ -278,8 +279,12 @@ impl OneToNModel for CamE {
         } else {
             e_h
         };
+        drop(gather);
 
         // ---- MMF: multimodal joint representation h_f ------------------
+        // (`phase.tca` spans opened inside the fuse nest as children, so
+        // `phase.mmf` self-time excludes the co-attention cost)
+        let mmf_span = came_obs::span("phase.mmf");
         let mut fused_inputs = Vec::with_capacity(3);
         if let Some(m) = m_raw {
             fused_inputs.push(self.w_mol.apply(g, store, m));
@@ -293,8 +298,10 @@ impl OneToNModel for CamE {
             _ => simple_multiplicative_fusion(g, &fused_inputs),
         };
         let h_f = g.dropout(h_f, cfg.dropout, &mut rng);
+        drop(mmf_span);
 
         // ---- RIC: interactive representations v_ω ----------------------
+        let ric_span = came_obs::span("phase.ric");
         let interact = |idx: usize, raw: Var| -> Var {
             let q = self.ric_proj[idx].apply(g, store, raw);
             self.ric.interact(g, store, idx, q, r_emb)
@@ -303,8 +310,10 @@ impl OneToNModel for CamE {
         let v_t = t_raw.map(|t| interact(MOD_TEXT, t));
         let v_s = interact(MOD_STRUCT, s_raw);
         let v_0 = g.concat(&[e_h, r_emb], 1);
+        drop(ric_span);
 
         // ---- Eqn. 15: two convolution branches --------------------------
+        let _scorer_span = came_obs::span("phase.scorer");
         let mut b1_channels = vec![h_f];
         if let Some(v_t) = v_t {
             b1_channels.push(self.w_vt.apply(g, store, v_t));

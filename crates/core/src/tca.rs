@@ -97,6 +97,9 @@ impl TcaModule {
     /// Apply the operator: `(Q_tca, D_tca) = TCA(Q, D)` with
     /// `Q, D: [B, d]` → outputs `[B, d]`.
     pub fn apply(&self, g: &Graph, store: &ParamStore, q: Var, d: Var) -> (Var, Var) {
+        // Nested inside phase.mmf / phase.ric; span self-time accounting
+        // keeps the co-attention cost out of the enclosing phase's total.
+        let _span = came_obs::span("phase.tca");
         let b = g.shape(q).at(0);
         let dim = self.dim;
         assert_eq!(g.shape(q), Shape::d2(b, dim), "TCA Q shape");

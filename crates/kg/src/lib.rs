@@ -42,8 +42,8 @@ pub use model::{capture_kge, restore_kge, KgeModel, KgeScorer, OneToNKge, Triple
 pub use negative::NegativeSampler;
 pub use relbucket::RelationFamily;
 pub use runtime::{
-    fingerprint, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig, TrainError,
-    TrainEvent, TrainRun,
+    fingerprint, observe_event, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig,
+    TrainError, TrainEvent, TrainRun,
 };
 pub use serve::{ScoredEntity, ScoringEngine, ServeConfig, TopKRequest, TopKResponse};
 pub use snapshot::{

@@ -375,6 +375,94 @@ pub fn fingerprint(tag: &str, config_words: &[u64], store: &ParamStore) -> u64 {
     h
 }
 
+/// Route one [`TrainEvent`] through the structured observability sink.
+///
+/// Every event becomes a `{"type":"TrainEvent","event":...}` JSONL record
+/// when `CAME_LOG` is configured; epoch boundaries additionally dump the
+/// aggregate metric records (kernel/pool/phase/serve) so a training log is
+/// self-contained. The historical stderr narration (resume, rejected
+/// checkpoint, divergence, recovery) is mirrored verbatim unless
+/// `CAME_LOG_STDERR=0` silences it — CI greps those exact strings.
+pub fn observe_event(ev: &TrainEvent) {
+    if came_obs::log_active() {
+        let rec = came_obs::Record::new("TrainEvent");
+        let rec = match ev {
+            TrainEvent::Resumed { epoch_next, path } => rec
+                .str("event", "Resumed")
+                .u64("epoch_next", *epoch_next as u64)
+                .str("path", &path.display().to_string()),
+            TrainEvent::CheckpointRejected { path, reason } => rec
+                .str("event", "CheckpointRejected")
+                .str("path", &path.display().to_string())
+                .str("reason", reason),
+            TrainEvent::EpochEnd(stats) => rec
+                .str("event", "EpochEnd")
+                .u64("epoch", stats.epoch as u64)
+                .f64("loss", stats.loss as f64)
+                .f64("elapsed_s", stats.elapsed_s),
+            TrainEvent::CheckpointSaved { path, epoch_next } => rec
+                .str("event", "CheckpointSaved")
+                .u64("epoch_next", *epoch_next as u64)
+                .str("path", &path.display().to_string()),
+            TrainEvent::Diverged {
+                epoch,
+                step,
+                lr_scale,
+                cause,
+            } => rec
+                .str("event", "Diverged")
+                .u64("epoch", *epoch as u64)
+                .u64("step", *step)
+                .f64("lr_scale", *lr_scale as f64)
+                .str("cause", cause),
+            TrainEvent::Recovered {
+                epoch,
+                step,
+                lr_scale,
+                retries,
+            } => rec
+                .str("event", "Recovered")
+                .u64("epoch", *epoch as u64)
+                .u64("step", *step)
+                .f64("lr_scale", *lr_scale as f64)
+                .u64("retries", *retries as u64),
+        };
+        rec.emit();
+    }
+    if matches!(ev, TrainEvent::EpochEnd(_)) {
+        came_obs::emit_metrics_records();
+    }
+    if came_obs::stderr_mirror() {
+        match ev {
+            TrainEvent::Resumed { epoch_next, path } => {
+                eprintln!(
+                    "came-kg: resumed from {} at epoch {epoch_next}",
+                    path.display()
+                );
+            }
+            TrainEvent::CheckpointRejected { path, reason } => {
+                eprintln!("came-kg: rejected checkpoint {}: {reason}", path.display());
+            }
+            TrainEvent::Diverged {
+                epoch, step, cause, ..
+            } => {
+                eprintln!("came-kg: diverged at epoch {epoch} step {step}: {cause}");
+            }
+            TrainEvent::Recovered {
+                epoch,
+                lr_scale,
+                retries,
+                ..
+            } => {
+                eprintln!(
+                    "came-kg: recovered to epoch {epoch} (lr_scale {lr_scale}, retry {retries})"
+                );
+            }
+            TrainEvent::EpochEnd(_) | TrainEvent::CheckpointSaved { .. } => {}
+        }
+    }
+}
+
 /// The guarded epoch loop shared by both trainers.
 ///
 /// `epoch_body` runs one full epoch (batching, forward/backward, optimiser
@@ -392,6 +480,13 @@ pub(crate) fn run_guarded(
     mut epoch_body: impl FnMut(usize, f32, &mut ParamStore, &mut FaultState) -> Result<f32, String>,
     mut emit: impl FnMut(&TrainEvent, &ParamStore),
 ) -> Result<TrainRun, TrainError> {
+    // Every event goes through the structured sink (and the stderr mirror)
+    // before reaching the caller's callback, so all trainers get logging
+    // without opting in.
+    let mut emit = move |ev: &TrainEvent, store: &ParamStore| {
+        observe_event(ev);
+        emit(ev, store);
+    };
     let mut faults = FaultState::new(&rt.faults);
     let run_dir = rt.checkpoint.as_ref().map(|ck| ck.run_dir(fp));
 

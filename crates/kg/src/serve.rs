@@ -151,10 +151,28 @@ impl<'a> ScoringEngine<'a> {
 
     /// Score `queries` into the row-major `[queries.len(), N]` buffer `out`.
     ///
+    /// When observability is on, each call records into the
+    /// `serve.batch_ns` latency histogram (p50/p95/p99 per scoring batch),
+    /// bumps the `serve.queries` counter, and refreshes the `serve.qps`
+    /// gauge with this batch's instantaneous throughput.
+    ///
     /// # Panics
     /// Panics if `out.len() != queries.len() * num_entities()`.
     pub fn score_into(&self, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        if !came_obs::enabled() {
+            self.model.score_into(self.store, queries, out);
+            return;
+        }
+        let t0 = std::time::Instant::now();
         self.model.score_into(self.store, queries, out);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let r = came_obs::registry();
+        r.histogram("serve.batch_ns").record(ns);
+        r.counter("serve.queries").add(queries.len() as u64);
+        if ns > 0 {
+            let qps = queries.len() as f64 * 1e9 / ns as f64;
+            r.gauge("serve.qps").set(qps as i64);
+        }
     }
 
     /// Full filtered-ranking evaluation of a split (inverse-augmented, both

@@ -337,14 +337,21 @@ pub fn train_one_to_n_rt<M: OneToNModel>(
                 let loss_val = g.with_value(loss, |t| t.item());
                 loss_sum += loss_val as f64;
                 n_batches += 1;
-                g.backward(loss, store);
+                {
+                    let _span = came_obs::span("phase.backward");
+                    g.backward(loss, store);
+                }
                 if faults.take_nan_grad(store.step) {
                     store.poison_first_grad();
                 }
                 guard_step(store, cfg.grad_clip, sentinel, loss_val, || {
                     model.diagnose_non_finite()
                 })?;
-                store.adam_step(&adam);
+                {
+                    let _span = came_obs::span("phase.optimizer");
+                    store.adam_step(&adam);
+                }
+                came_obs::periodic_dump(store.step);
             }
             Ok((loss_sum / n_batches.max(1) as f64) as f32)
         },
@@ -369,9 +376,13 @@ pub fn train_one_to_n<M: OneToNModel>(
     mut on_epoch: impl FnMut(&EpochStats, &M, &ParamStore),
 ) -> Vec<EpochStats> {
     let rt = RuntimeConfig::from_env();
-    let run = train_one_to_n_rt(model, store, dataset, cfg, &rt, |ev, m, s| match ev {
-        TrainEvent::EpochEnd(stats) => on_epoch(stats, m, s),
-        other => log_runtime_event(other),
+    // Non-epoch events (resume, divergence, recovery) need no handling here:
+    // `runtime::observe_event` narrates them to stderr and the structured
+    // sink before any callback fires.
+    let run = train_one_to_n_rt(model, store, dataset, cfg, &rt, |ev, m, s| {
+        if let TrainEvent::EpochEnd(stats) = ev {
+            on_epoch(stats, m, s)
+        }
     });
     match run {
         Ok(run) => run.history,
@@ -380,41 +391,22 @@ pub fn train_one_to_n<M: OneToNModel>(
     }
 }
 
-/// Stderr narration of non-epoch runtime events for callers still on the
-/// legacy per-epoch callback (the bench binaries): divergence trips and
-/// recoveries must be visible even when nobody consumes [`TrainEvent`]s.
-fn log_runtime_event(ev: &TrainEvent) {
-    match ev {
-        TrainEvent::Resumed { epoch_next, path } => {
-            eprintln!(
-                "came-kg: resumed from {} at epoch {epoch_next}",
-                path.display()
-            );
-        }
-        TrainEvent::CheckpointRejected { path, reason } => {
-            eprintln!("came-kg: rejected checkpoint {}: {reason}", path.display());
-        }
-        TrainEvent::Diverged {
-            epoch, step, cause, ..
-        } => {
-            eprintln!("came-kg: diverged at epoch {epoch} step {step}: {cause}");
-        }
-        TrainEvent::Recovered {
-            epoch,
-            lr_scale,
-            retries,
-            ..
-        } => {
-            eprintln!("came-kg: recovered to epoch {epoch} (lr_scale {lr_scale}, retry {retries})");
-        }
-        TrainEvent::EpochEnd(_) | TrainEvent::CheckpointSaved { .. } => {}
-    }
-}
-
 /// A simulated kill: report and exit like a crashed trainer would, so CI can
-/// assert the process died and then resume it.
+/// assert the process died and then resume it. The stderr line obeys the
+/// `CAME_LOG_STDERR` mirror switch; the structured record always lands in
+/// the sink when one is configured.
 fn exit_killed(epoch: usize) -> ! {
-    eprintln!("came-kg: injected kill fault fired at epoch {epoch}; exiting (resume to continue)");
+    if came_obs::log_active() {
+        came_obs::Record::new("TrainEvent")
+            .str("event", "Killed")
+            .u64("epoch", epoch as u64)
+            .emit();
+    }
+    if came_obs::stderr_mirror() {
+        eprintln!(
+            "came-kg: injected kill fault fired at epoch {epoch}; exiting (resume to continue)"
+        );
+    }
     std::process::exit(75);
 }
 
@@ -583,14 +575,21 @@ pub fn train_negative_sampling_rt<M: TripleModel>(
                 let loss_val = g.with_value(loss, |t| t.item());
                 loss_sum += loss_val as f64;
                 n_batches += 1;
-                g.backward(loss, store);
+                {
+                    let _span = came_obs::span("phase.backward");
+                    g.backward(loss, store);
+                }
                 if faults.take_nan_grad(store.step) {
                     store.poison_first_grad();
                 }
                 guard_step(store, cfg.base.grad_clip, sentinel, loss_val, || {
                     model.diagnose_non_finite()
                 })?;
-                store.adam_step(&adam);
+                {
+                    let _span = came_obs::span("phase.optimizer");
+                    store.adam_step(&adam);
+                }
+                came_obs::periodic_dump(store.step);
             }
             Ok((loss_sum / n_batches.max(1) as f64) as f32)
         },
@@ -613,9 +612,10 @@ pub fn train_negative_sampling<M: TripleModel>(
     mut on_epoch: impl FnMut(&EpochStats, &M, &ParamStore),
 ) -> Vec<EpochStats> {
     let rt = RuntimeConfig::from_env();
-    let run = train_negative_sampling_rt(model, store, dataset, cfg, &rt, |ev, m, s| match ev {
-        TrainEvent::EpochEnd(stats) => on_epoch(stats, m, s),
-        other => log_runtime_event(other),
+    let run = train_negative_sampling_rt(model, store, dataset, cfg, &rt, |ev, m, s| {
+        if let TrainEvent::EpochEnd(stats) = ev {
+            on_epoch(stats, m, s)
+        }
     });
     match run {
         Ok(run) => run.history,

@@ -1,0 +1,127 @@
+//! End-to-end observability check: a short checkpointed training run with
+//! the JSONL sink attached must produce parseable records of every class —
+//! `TrainEvent` (including `EpochEnd` and `CheckpointSaved`), `span`,
+//! `phase`, `kernel`, and `pool` — with monotone timestamps.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use came_kg::triple::Triple;
+use came_kg::{
+    train_one_to_n_rt, CheckpointConfig, EntityKind, FaultPlan, KgDataset, OneToNModel,
+    RuntimeConfig, TrainConfig, Vocab,
+};
+use came_obs::json;
+use came_tensor::{EmbeddingTable, Graph, ParamStore, Prng, Var};
+
+struct ToyDistMult {
+    ent: EmbeddingTable,
+    rel: EmbeddingTable,
+}
+
+impl OneToNModel for ToyDistMult {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        let h = self.ent.lookup(g, store, heads);
+        let r = self.rel.lookup(g, store, rels);
+        let hr = g.mul(h, r);
+        let e_t = g.transpose(self.ent.full(g, store), 0, 1);
+        g.matmul(hr, e_t)
+    }
+}
+
+fn toy_dataset() -> KgDataset {
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.add_entity(format!("e{i}"), EntityKind::Other);
+    }
+    vocab.add_relation("r0");
+    let triples: Vec<Triple> = (0..10u32)
+        .map(|i| Triple::new(i, 0, (i + 1) % 12))
+        .collect();
+    KgDataset::split(vocab, triples, (1.0, 0.0, 0.0), &mut Prng::new(3))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("came-obs-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn training_run_emits_all_record_classes() {
+    let log_path = scratch("log");
+    let ckpt_dir = scratch("ckpt");
+    let _ = std::fs::remove_file(&log_path);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    came_obs::set_enabled(true);
+    came_obs::set_stderr_mirror(false);
+    came_obs::set_log_path(Some(&log_path)).unwrap();
+
+    let d = toy_dataset();
+    let mut rng = Prng::new(0);
+    let mut store = ParamStore::new();
+    let model = ToyDistMult {
+        ent: EmbeddingTable::new(&mut store, "ent", d.num_entities(), 16, &mut rng),
+        rel: EmbeddingTable::new(&mut store, "rel", d.num_relations_aug(), 16, &mut rng),
+    };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 5e-3,
+        ..Default::default()
+    };
+    let rt = RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(ckpt_dir.clone())),
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let run = train_one_to_n_rt(&model, &mut store, &d, &cfg, &rt, |_, _, _| {}).unwrap();
+    assert_eq!(run.history.len(), 2);
+
+    came_obs::set_log_path(None).unwrap();
+    came_obs::set_enabled(false);
+
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let mut types = BTreeSet::new();
+    let mut events = BTreeSet::new();
+    let mut phase_names = BTreeSet::new();
+    let mut last_ts = 0.0f64;
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("sink line is not valid JSON ({e}): {line}"));
+        let ty = v.get("type").unwrap().as_str().unwrap().to_string();
+        let ts = v.get("ts_ns").unwrap().as_f64().unwrap();
+        assert!(ts >= last_ts, "timestamps must be monotone within the log");
+        last_ts = ts;
+        if ty == "TrainEvent" {
+            events.insert(v.get("event").unwrap().as_str().unwrap().to_string());
+        }
+        if ty == "phase" {
+            phase_names.insert(v.get("name").unwrap().as_str().unwrap().to_string());
+        }
+        types.insert(ty);
+        lines += 1;
+    }
+    assert!(lines > 0, "log must not be empty");
+    for want in ["TrainEvent", "span", "phase", "kernel", "pool"] {
+        assert!(
+            types.contains(want),
+            "missing record class {want} in {types:?}"
+        );
+    }
+    for want in ["EpochEnd", "CheckpointSaved"] {
+        assert!(
+            events.contains(want),
+            "missing TrainEvent {want} in {events:?}"
+        );
+    }
+    for want in ["phase.backward", "phase.optimizer"] {
+        assert!(
+            phase_names.contains(want),
+            "missing phase metric {want} in {phase_names:?}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&log_path);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

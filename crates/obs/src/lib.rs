@@ -1,0 +1,143 @@
+//! # came-obs
+//!
+//! Dependency-free observability for the CamE reproduction: a process-wide
+//! metrics registry (atomic counters, gauges, log2-bucketed latency
+//! histograms with `p50/p95/p99`), RAII tracing spans with a thread-local
+//! stack, and a structured JSONL sink.
+//!
+//! The subsystem is designed to stay out of the hot path:
+//!
+//! - everything is gated on one relaxed atomic load ([`enabled`]); with
+//!   observability off the per-call cost is a single branch,
+//! - all metric updates are relaxed atomic RMWs on pre-registered
+//!   `'static` handles — no locks, no allocation in steady state,
+//! - JSONL emission happens only at coarse boundaries (span close, epoch
+//!   end, periodic metric dumps), never per kernel call.
+//!
+//! ## Knobs
+//!
+//! | env var | effect |
+//! |---|---|
+//! | `CAME_TRACE=1` | master switch: enable spans + metric collection |
+//! | `CAME_LOG=path` | append structured JSONL records to `path` |
+//! | `CAME_LOG_STDERR=0` | silence the human-readable stderr mirror |
+//! | `CAME_METRICS_EVERY=N` | dump metric records every N optimizer steps |
+//!
+//! ```
+//! came_obs::set_enabled(true);
+//! {
+//!     let _outer = came_obs::span("phase.demo");
+//!     // ... work ...
+//! }
+//! let h = came_obs::registry().histogram("phase.demo");
+//! assert_eq!(h.count(), 1);
+//! came_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use sink::{
+    emit_metrics_records, log_active, metrics_every, periodic_dump, set_log_path,
+    set_stderr_mirror, stderr_mirror, Record,
+};
+pub use trace::{span, Span};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Tri-state master switch: `u8::MAX` = read `CAME_TRACE` on first use.
+static ENABLED: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Whether observability (spans, kernel timing, pool gauges) is on.
+///
+/// One relaxed atomic load in steady state. The first call resolves the
+/// `CAME_TRACE` environment variable (`1`/`true`/`on` enable).
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        u8::MAX => init_enabled_from_env(),
+        _ => true,
+    }
+}
+
+#[cold]
+fn init_enabled_from_env() -> bool {
+    let on = std::env::var("CAME_TRACE")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false);
+    ENABLED.store(on as u8, Ordering::Relaxed);
+    on
+}
+
+/// Force observability on or off, overriding `CAME_TRACE`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on as u8, Ordering::Relaxed);
+}
+
+/// Nanoseconds since process start (first call), from a monotonic clock.
+///
+/// All span and record timestamps share this origin, so timestamps within
+/// one process are directly comparable and monotone.
+#[inline]
+pub fn now_ns() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    let start = START.get_or_init(Instant::now);
+    start.elapsed().as_nanos() as u64
+}
+
+/// Record one timed observation (ns) into the histogram named `name`.
+///
+/// The histogram handle is cached in a thread-local map keyed by the
+/// `'static` name, so the registry lock is taken only on the first call
+/// per (thread, name). Callers are expected to check [`enabled`] first;
+/// this function does not re-check.
+#[inline]
+pub fn record_ns(name: &'static str, ns: u64) {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<&'static str, &'static Histogram>> =
+            RefCell::new(HashMap::new());
+    }
+    let h = CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        *c.entry(name).or_insert_with(|| registry().histogram(name))
+    });
+    h.record(ns);
+}
+
+/// Serialises tests that touch the process-global sink state.
+#[cfg(test)]
+pub(crate) fn sink_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_ns_reaches_registry() {
+        record_ns("test.record_ns", 42);
+        record_ns("test.record_ns", 58);
+        let h = registry().histogram("test.record_ns");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

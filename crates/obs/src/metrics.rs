@@ -1,0 +1,489 @@
+//! Process-wide metrics registry: atomic counters, gauges, and
+//! log2-bucketed latency histograms with quantile estimation, plus a
+//! Prometheus-style text exposition writer and a JSON snapshot.
+//!
+//! Handles returned by the registry are `&'static` (leaked on first
+//! registration) so hot paths update metrics with relaxed atomic RMWs and
+//! never touch the registry lock again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// Instantaneous signed value (e.g. outstanding buffers, queries/sec).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Add `d` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// Number of log2 buckets: bucket `i` holds values in `[2^(i-1), 2^i)`
+/// (bucket 0 holds the value 0), covering the full `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Log2-bucketed histogram of `u64` observations (latencies in ns).
+///
+/// Recording is a handful of relaxed atomic RMWs; quantiles are estimated
+/// by linear interpolation inside the selected bucket and clamped to the
+/// exact observed `[min, max]`, which makes single-sample and all-equal
+/// distributions exact.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive bounds of bucket `i` as `f64`.
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 1.0)
+    } else {
+        ((1u128 << (i - 1)) as f64, (1u128 << i) as f64)
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Mean observation (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`.
+    ///
+    /// Finds the bucket holding the rank-`ceil(q·count)` observation and
+    /// interpolates linearly within it, then clamps into the exact
+    /// observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum) as f64 / n as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min() as f64, self.max() as f64);
+            }
+            cum += n;
+        }
+        self.max() as f64
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// Named metric handles, registered on first use and leaked to `'static`.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl Registry {
+    /// Counter handle for `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::default());
+        map.insert(name.to_string(), c);
+        c
+    }
+
+    /// Gauge handle for `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::default());
+        map.insert(name.to_string(), g);
+        g
+    }
+
+    /// Histogram handle for `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::default());
+        map.insert(name.to_string(), h);
+        h
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+
+    /// Visit every metric as `(name, kind, fields)`; used by the sink.
+    pub fn visit(&self, mut f: impl FnMut(&str, MetricView<'_>)) {
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            f(name, MetricView::Counter(c));
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            f(name, MetricView::Gauge(g));
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            f(name, MetricView::Histogram(h));
+        }
+    }
+
+    /// Prometheus-style text exposition (counters and gauges as single
+    /// samples, histograms as summaries with `quantile` labels).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        self.visit(|name, view| {
+            let pname = prom_name(name);
+            match view {
+                MetricView::Counter(c) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+                }
+                MetricView::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                }
+                MetricView::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {pname} summary\n"));
+                    for (label, q) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                        out.push_str(&format!("{pname}{{quantile=\"{label}\"}} {q}\n"));
+                    }
+                    out.push_str(&format!("{pname}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{pname}_count {}\n", h.count()));
+                }
+            }
+        });
+        out
+    }
+
+    /// JSON object snapshot of every metric, keyed by metric name.
+    pub fn snapshot_json(&self) -> String {
+        let mut parts = Vec::new();
+        self.visit(|name, view| {
+            let body = match view {
+                MetricView::Counter(c) => format!("{{\"kind\":\"counter\",\"value\":{}}}", c.get()),
+                MetricView::Gauge(g) => format!("{{\"kind\":\"gauge\",\"value\":{}}}", g.get()),
+                MetricView::Histogram(h) => format!(
+                    "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                     \"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                ),
+            };
+            parts.push(format!("{}:{}", crate::sink::json_string(name), body));
+        });
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Borrowed view of one metric for [`Registry::visit`].
+pub enum MetricView<'a> {
+    /// A monotonically increasing counter.
+    Counter(&'a Counter),
+    /// An instantaneous gauge.
+    Gauge(&'a Gauge),
+    /// A latency histogram.
+    Histogram(&'a Histogram),
+}
+
+fn prom_name(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.starts_with(|c: char| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    format!("came_{s}")
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] as f64
+    }
+
+    /// Log2 buckets guarantee at worst a factor-2 error vs. the exact
+    /// sorted quantile (and exactness when min==max in the bucket).
+    fn assert_within_2x(est: f64, exact: f64) {
+        assert!(
+            est >= exact / 2.0 && est <= exact * 2.0,
+            "estimate {est} not within 2x of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn all_equal_distribution_is_exact() {
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(h.quantile(q), 777.0, "q={q}");
+        }
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 777_000);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let h = Histogram::default();
+        h.record(123_456);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn bimodal_distribution_tracks_exact_quantiles() {
+        let h = Histogram::default();
+        let mut values = Vec::new();
+        for _ in 0..500 {
+            h.record(10);
+            values.push(10);
+        }
+        for _ in 0..500 {
+            h.record(1_000_000);
+            values.push(1_000_000);
+        }
+        values.sort_unstable();
+        for q in [0.25, 0.5, 0.75, 0.95, 0.99] {
+            assert_within_2x(h.quantile(q), exact_quantile(&values, q));
+        }
+        // p50 must land in the low mode, p95/p99 in the high mode.
+        assert!(h.p50() <= 16.0);
+        assert!(h.p95() >= 500_000.0);
+    }
+
+    #[test]
+    fn uniform_ramp_within_bucket_error() {
+        let h = Histogram::default();
+        let mut values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_within_2x(h.quantile(q), exact_quantile(&values, q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_value_lands_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn registry_handles_are_stable_and_resettable() {
+        let r = Registry::default();
+        let c1 = r.counter("a.calls") as *const Counter;
+        let c2 = r.counter("a.calls") as *const Counter;
+        assert_eq!(c1, c2);
+        r.counter("a.calls").add(5);
+        r.gauge("a.live").set(-3);
+        r.histogram("a.ns").record(100);
+        r.reset();
+        assert_eq!(r.counter("a.calls").get(), 0);
+        assert_eq!(r.gauge("a.live").get(), 0);
+        assert_eq!(r.histogram("a.ns").count(), 0);
+        assert_eq!(r.histogram("a.ns").min(), 0);
+    }
+
+    #[test]
+    fn prometheus_text_has_all_kinds() {
+        let r = Registry::default();
+        r.counter("kernel.matmul.calls").add(3);
+        r.gauge("pool.outstanding").set(7);
+        r.histogram("serve.batch_ns").record(1024);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE came_kernel_matmul_calls counter"));
+        assert!(text.contains("came_kernel_matmul_calls 3"));
+        assert!(text.contains("came_pool_outstanding 7"));
+        assert!(text.contains("came_serve_batch_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("came_serve_batch_ns_count 1"));
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let r = Registry::default();
+        r.counter("x.calls").add(2);
+        r.histogram("x.ns").record(50);
+        let s = r.snapshot_json();
+        let v = crate::json::parse(&s).expect("snapshot must be valid JSON");
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("x.calls"));
+        assert!(obj.contains_key("x.ns"));
+    }
+}

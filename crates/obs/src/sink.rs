@@ -1,0 +1,346 @@
+//! Structured JSONL sink.
+//!
+//! Records are single JSON objects, one per line, appended to the file
+//! named by `CAME_LOG`. The appender is temp-file safe: the file is opened
+//! in append mode and each record is written with a single `write_all`
+//! call (line-atomic on POSIX for the sizes we emit), so concurrent
+//! processes pointing at the same log cannot interleave partial lines.
+//!
+//! Every record carries `ts_ns`, stamped from the process-monotonic clock
+//! at emission time, so lines written by a single thread have monotone
+//! non-decreasing timestamps.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Tri-state: u8::MAX = uninitialised (resolve env on first use).
+static SINK_STATE: AtomicU8 = AtomicU8::new(u8::MAX);
+static SINK: Mutex<Option<File>> = Mutex::new(None);
+static STDERR_MIRROR: AtomicU8 = AtomicU8::new(u8::MAX);
+static METRICS_EVERY: AtomicU64 = AtomicU64::new(u64::MAX);
+
+const SINK_OFF: u8 = 0;
+const SINK_ON: u8 = 1;
+
+/// Whether a JSONL sink is configured (one relaxed load in steady state).
+#[inline]
+pub fn log_active() -> bool {
+    match SINK_STATE.load(Relaxed) {
+        SINK_OFF => false,
+        u8::MAX => init_sink_from_env(),
+        _ => true,
+    }
+}
+
+#[cold]
+fn init_sink_from_env() -> bool {
+    let path = std::env::var("CAME_LOG").ok().filter(|p| !p.is_empty());
+    let on = match path {
+        Some(p) => set_log_path(Some(Path::new(&p))).is_ok(),
+        None => {
+            SINK_STATE.store(SINK_OFF, Relaxed);
+            false
+        }
+    };
+    on
+}
+
+/// Point the sink at `path` (append mode, created if missing), or disable
+/// it with `None`. Overrides `CAME_LOG`.
+pub fn set_log_path(path: Option<&Path>) -> std::io::Result<()> {
+    let mut guard = SINK.lock().unwrap();
+    match path {
+        Some(p) => {
+            let f = OpenOptions::new().create(true).append(true).open(p)?;
+            *guard = Some(f);
+            SINK_STATE.store(SINK_ON, Relaxed);
+        }
+        None => {
+            *guard = None;
+            SINK_STATE.store(SINK_OFF, Relaxed);
+        }
+    }
+    Ok(())
+}
+
+/// Whether human-readable event lines also go to stderr (default on;
+/// `CAME_LOG_STDERR=0` silences).
+#[inline]
+pub fn stderr_mirror() -> bool {
+    match STDERR_MIRROR.load(Relaxed) {
+        0 => false,
+        u8::MAX => {
+            let on = std::env::var("CAME_LOG_STDERR")
+                .map(|v| !matches!(v.trim(), "0" | "false" | "off" | "no"))
+                .unwrap_or(true);
+            STDERR_MIRROR.store(on as u8, Relaxed);
+            on
+        }
+        _ => true,
+    }
+}
+
+/// Force the stderr mirror on or off, overriding `CAME_LOG_STDERR`.
+pub fn set_stderr_mirror(on: bool) {
+    STDERR_MIRROR.store(on as u8, Relaxed);
+}
+
+/// Metric-dump period in optimizer steps (`CAME_METRICS_EVERY`; 0 = only
+/// at epoch boundaries).
+pub fn metrics_every() -> u64 {
+    match METRICS_EVERY.load(Relaxed) {
+        u64::MAX => {
+            let n = std::env::var("CAME_METRICS_EVERY")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0);
+            METRICS_EVERY.store(n, Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Append one pre-formatted line (no trailing newline) to the sink.
+pub fn emit_line(line: &str) {
+    if !log_active() {
+        return;
+    }
+    let mut guard = SINK.lock().unwrap();
+    if let Some(f) = guard.as_mut() {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let _ = f.write_all(buf.as_bytes());
+    }
+}
+
+/// JSON-escape `s` into a quoted string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one structured JSONL record.
+///
+/// Field order is preserved; `type` and `ts_ns` always lead so logs are
+/// greppable without a JSON parser.
+pub struct Record {
+    buf: String,
+}
+
+impl Record {
+    /// Start a record of the given `type`, stamped with the current
+    /// process-monotonic `ts_ns`.
+    pub fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"type\":");
+        buf.push_str(&json_string(kind));
+        buf.push_str(&format!(",\"ts_ns\":{}", crate::now_ns()));
+        Record { buf }
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.buf
+            .push_str(&format!(",{}:{}", json_string(key), json_string(value)));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.buf.push_str(&format!(",{}:{value}", json_string(key)));
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.buf.push_str(&format!(",{}:{value}", json_string(key)));
+        self
+    }
+
+    /// Add a float field (non-finite values become `null`).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.buf
+            .push_str(&format!(",{}:{}", json_string(key), json_f64(value)));
+        self
+    }
+
+    /// Add a raw pre-serialised JSON value.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.buf.push_str(&format!(",{}:{json}", json_string(key)));
+        self
+    }
+
+    /// Finish the record and append it to the sink (no-op if no sink).
+    pub fn emit(mut self) {
+        self.buf.push('}');
+        emit_line(&self.buf);
+    }
+
+    /// Finish the record and return the JSON text instead of emitting.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Emit one aggregate JSONL record per registered metric.
+///
+/// The record `type` is the metric name's first dot-segment (`kernel.*` →
+/// `"kernel"`, `pool.*` → `"pool"`, `phase.*` → `"phase"`, `serve.*` →
+/// `"serve"`; anything else → `"metric"`), so consumers can filter record
+/// classes with a plain grep. No-op when no sink is configured.
+pub fn emit_metrics_records() {
+    if !log_active() {
+        return;
+    }
+    let mut lines = Vec::new();
+    crate::registry().visit(|name, view| {
+        let kind = match name.split('.').next() {
+            Some(k @ ("kernel" | "pool" | "phase" | "serve")) => k,
+            _ => "metric",
+        };
+        let rec = Record::new(kind).str("name", name);
+        let rec = match view {
+            crate::metrics::MetricView::Counter(c) => rec.u64("value", c.get()),
+            crate::metrics::MetricView::Gauge(g) => rec.i64("value", g.get()),
+            crate::metrics::MetricView::Histogram(h) => rec
+                .u64("count", h.count())
+                .u64("sum_ns", h.sum())
+                .u64("min_ns", h.min())
+                .u64("max_ns", h.max())
+                .f64("p50_ns", h.p50())
+                .f64("p95_ns", h.p95())
+                .f64("p99_ns", h.p99()),
+        };
+        lines.push(rec.finish());
+    });
+    for line in lines {
+        emit_line(&line);
+    }
+}
+
+/// Dump metric records if `step` hits the `CAME_METRICS_EVERY` period.
+#[inline]
+pub fn periodic_dump(step: u64) {
+    let every = metrics_every();
+    if every > 0 && step > 0 && step % every == 0 {
+        emit_metrics_records();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("came_obs_sink_{tag}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn record_builder_produces_valid_json() {
+        let line = Record::new("TrainEvent")
+            .str("event", "EpochEnd")
+            .u64("epoch", 3)
+            .f64("loss", 0.25)
+            .i64("delta", -2)
+            .str("note", "quote \" backslash \\ newline \n done")
+            .finish();
+        let v = json::parse(&line).expect("record must be valid JSON");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("TrainEvent"));
+        assert_eq!(v.get("event").unwrap().as_str(), Some("EpochEnd"));
+        assert_eq!(v.get("epoch").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("delta").unwrap().as_f64(), Some(-2.0));
+        assert!(v.get("ts_ns").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let line = Record::new("x").f64("bad", f64::NAN).finish();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("bad"), Some(&json::Value::Null));
+    }
+
+    #[test]
+    fn sink_lines_parse_with_monotone_timestamps() {
+        let _guard = crate::sink_test_guard();
+        let path = temp_path("monotone");
+        let _ = std::fs::remove_file(&path);
+        set_log_path(Some(&path)).unwrap();
+        for i in 0..50u64 {
+            Record::new("span")
+                .str("name", "phase.test")
+                .u64("seq", i)
+                .emit();
+        }
+        set_log_path(None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut last_ts = 0.0;
+        let mut n = 0;
+        for line in text.lines() {
+            let v = json::parse(line).expect("every sink line parses as JSON");
+            let ts = v.get("ts_ns").unwrap().as_f64().unwrap();
+            assert!(
+                ts >= last_ts,
+                "timestamps must be monotone: {ts} < {last_ts}"
+            );
+            last_ts = ts;
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_records_derive_type_from_name() {
+        let _guard = crate::sink_test_guard();
+        let path = temp_path("metrics");
+        let _ = std::fs::remove_file(&path);
+        crate::registry().counter("kernel.matmul").add(1);
+        crate::registry().counter("pool.hits").add(1);
+        crate::registry().histogram("phase.tca").record(9);
+        crate::registry().histogram("serve.batch_ns").record(9);
+        crate::registry().counter("custom.thing").add(1);
+        set_log_path(Some(&path)).unwrap();
+        emit_metrics_records();
+        set_log_path(None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v = json::parse(line).unwrap();
+            kinds.insert(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        for want in ["kernel", "pool", "phase", "serve", "metric"] {
+            assert!(kinds.contains(want), "missing record type {want}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,167 @@
+//! RAII tracing spans with a thread-local stack.
+//!
+//! [`span`] pushes a frame on the current thread's stack and the returned
+//! guard pops it on drop, recording the span's *self time* (wall ns minus
+//! time spent in nested child spans) into the histogram named after the
+//! span. Self-time accounting means a phase breakdown obtained by summing
+//! `phase.*` histograms approximates total wall time without
+//! double-counting nested phases (e.g. `phase.tca` inside `phase.mmf`).
+//!
+//! When a JSONL sink is configured, each span close also emits a `span`
+//! record with start/duration/self-time and nesting depth.
+//!
+//! Everything is gated on [`crate::enabled`]: with observability off a
+//! span is a single branch and no stack traffic.
+
+use std::cell::RefCell;
+
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span; records on drop. Inert when observability was
+/// disabled at open time.
+pub struct Span {
+    armed: bool,
+}
+
+/// Open a span named `name` (by convention `phase.<step-phase>`).
+///
+/// Returns an inert guard when observability is disabled — bind it with
+/// `let _guard = span(...)`, never `let _ = span(...)` (which drops
+/// immediately).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { armed: false };
+    }
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            name,
+            start_ns: crate::now_ns(),
+            child_ns: 0,
+        })
+    });
+    Span { armed: true }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end = crate::now_ns();
+        let (frame, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let f = s.pop().expect("span stack underflow");
+            let total = end.saturating_sub(f.start_ns);
+            if let Some(parent) = s.last_mut() {
+                parent.child_ns += total;
+            }
+            (f, s.len())
+        });
+        let total_ns = end.saturating_sub(frame.start_ns);
+        let self_ns = total_ns.saturating_sub(frame.child_ns);
+        crate::record_ns(frame.name, self_ns);
+        if crate::log_active() {
+            crate::Record::new("span")
+                .str("name", frame.name)
+                .u64("start_ns", frame.start_ns)
+                .u64("dur_ns", total_ns)
+                .u64("self_ns", self_ns)
+                .u64("depth", depth as u64)
+                .emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, registry, set_enabled, set_log_path};
+
+    fn spin(ns: u64) {
+        let t0 = crate::now_ns();
+        while crate::now_ns() - t0 < ns {
+            std::hint::black_box(0);
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        let _guard = crate::sink_test_guard();
+        set_enabled(true);
+        {
+            let _outer = span("trace_test.outer");
+            spin(200_000);
+            {
+                let _inner = span("trace_test.inner");
+                spin(400_000);
+            }
+            spin(100_000);
+        }
+        set_enabled(false);
+        let outer = registry().histogram("trace_test.outer");
+        let inner = registry().histogram("trace_test.inner");
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        // inner's whole duration is excluded from outer's self time
+        assert!(inner.sum() >= 400_000);
+        assert!(outer.sum() >= 300_000);
+        assert!(
+            outer.sum() < inner.sum(),
+            "outer self time ({}) must exclude inner ({})",
+            outer.sum(),
+            inner.sum()
+        );
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = crate::sink_test_guard();
+        set_enabled(false);
+        let before = registry().histogram("trace_test.disabled").count();
+        {
+            let _s = span("trace_test.disabled");
+        }
+        assert_eq!(registry().histogram("trace_test.disabled").count(), before);
+    }
+
+    #[test]
+    fn span_records_reach_sink_with_monotone_timestamps() {
+        let _guard = crate::sink_test_guard();
+        let mut path = std::env::temp_dir();
+        path.push(format!("came_obs_trace_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        set_log_path(Some(&path)).unwrap();
+        set_enabled(true);
+        for _ in 0..5 {
+            let _outer = span("trace_test.sink_outer");
+            let _inner = span("trace_test.sink_inner");
+        }
+        set_enabled(false);
+        set_log_path(None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut last_ts = 0.0;
+        let mut depths = std::collections::BTreeSet::new();
+        let mut n = 0;
+        for line in text.lines() {
+            let v = json::parse(line).expect("span line parses");
+            assert_eq!(v.get("type").unwrap().as_str(), Some("span"));
+            let ts = v.get("ts_ns").unwrap().as_f64().unwrap();
+            assert!(ts >= last_ts, "span timestamps must be monotone");
+            last_ts = ts;
+            depths.insert(v.get("depth").unwrap().as_f64().unwrap() as u64);
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(depths, [0u64, 1].into_iter().collect());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1580,16 +1580,247 @@ pub fn kind() -> BackendKind {
 }
 
 /// The active backend implementation.
+///
+/// When observability is on ([`came_obs::enabled`]), dispatch goes through a
+/// [`TimedBackend`] wrapper that records per-kernel call counts and wall ns
+/// into `kernel.*` histograms; otherwise the raw backend is returned and the
+/// only cost is one relaxed atomic load.
 pub fn active() -> &'static dyn Backend {
-    of(kind())
+    let k = kind();
+    if came_obs::enabled() {
+        match k {
+            BackendKind::Scalar => &TIMED_SCALAR,
+            BackendKind::Parallel => &TIMED_PARALLEL,
+        }
+    } else {
+        of(k)
+    }
 }
 
 /// A specific backend implementation by kind (used by benches and parity
 /// tests to address both sides without mutating the global selection).
+/// Never wrapped in kernel timing, so parity harnesses measure raw kernels.
 pub fn of(kind: BackendKind) -> &'static dyn Backend {
     match kind {
         BackendKind::Scalar => &SCALAR,
         BackendKind::Parallel => &PARALLEL,
+    }
+}
+
+// --------------------------------------------------------------------------
+// kernel-dispatch instrumentation
+// --------------------------------------------------------------------------
+
+static TIMED_SCALAR: TimedBackend = TimedBackend { inner: &SCALAR };
+static TIMED_PARALLEL: TimedBackend = TimedBackend { inner: &PARALLEL };
+
+/// Decorator that forwards every kernel to `inner` and records the call's
+/// wall time into the `kernel.<method>` histogram (count + ns live in the
+/// same histogram: `count()` is calls, `sum()` is total ns). Every trait
+/// method is overridden — including the ones with default bodies — so
+/// composite kernels (`matmul_batched`, the fused attention paths) are timed
+/// once at the dispatch boundary rather than once per inner GEMM.
+struct TimedBackend {
+    inner: &'static dyn Backend,
+}
+
+impl TimedBackend {
+    #[inline]
+    fn timed<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        came_obs::record_ns(name, t0.elapsed().as_nanos() as u64);
+        r
+    }
+}
+
+impl Backend for TimedBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        self.timed("kernel.matmul", || self.inner.matmul(a, b, out, m, k, n))
+    }
+
+    fn matmul_batched(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.matmul_batched", || {
+            self.inner.matmul_batched(a, b, out, batch, m, k, n)
+        })
+    }
+
+    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
+        self.timed("kernel.softmax_lanes", || {
+            self.inner.softmax_lanes(data, lane)
+        })
+    }
+
+    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
+        self.timed("kernel.layer_norm_lanes", || {
+            self.inner.layer_norm_lanes(data, lane, eps)
+        })
+    }
+
+    fn layer_norm_backward_lanes(
+        &self,
+        x: &[f32],
+        g: &[f32],
+        out: &mut [f32],
+        lane: usize,
+        eps: f32,
+    ) {
+        self.timed("kernel.layer_norm_backward_lanes", || {
+            self.inner.layer_norm_backward_lanes(x, g, out, lane, eps)
+        })
+    }
+
+    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
+        self.timed("kernel.run1", || self.inner.run1(data, body))
+    }
+
+    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
+        self.timed("kernel.run2", || self.inner.run2(src, dst, body))
+    }
+
+    fn run3(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        dst: &mut [f32],
+        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
+    ) {
+        self.timed("kernel.run3", || self.inner.run3(a, b, dst, body))
+    }
+
+    fn sum(&self, xs: &[f32]) -> f32 {
+        self.timed("kernel.sum", || self.inner.sum(xs))
+    }
+
+    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
+        self.timed("kernel.dot", || self.inner.dot(xs, ys))
+    }
+
+    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+        self.timed("kernel.adam_update", || {
+            self.inner.adam_update(x, g, m, v, hp)
+        })
+    }
+
+    fn gemm_bias_act(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        act: Activation,
+    ) {
+        self.timed("kernel.gemm_bias_act", || {
+            self.inner.gemm_bias_act(a, b, bias, out, m, k, n, act)
+        })
+    }
+
+    fn softmax_matmul(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.softmax_matmul", || {
+            self.inner
+                .softmax_matmul(scores, v, soft, out, batch, m, k, n)
+        })
+    }
+
+    fn outer_attention(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.outer_attention", || {
+            self.inner
+                .outer_attention(a, c, v, tau, soft, out, batch, m, k, n)
+        })
+    }
+
+    fn softmax_matmul_fwd(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.softmax_matmul_fwd", || {
+            self.inner
+                .softmax_matmul_fwd(scores, v, out, batch, m, k, n)
+        })
+    }
+
+    fn outer_attention_fwd(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.outer_attention_fwd", || {
+            self.inner
+                .outer_attention_fwd(a, c, v, tau, out, batch, m, k, n)
+        })
+    }
+
+    fn outer_attention_backward(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        soft: &[f32],
+        gout: &[f32],
+        tau: f32,
+        ga: &mut [f32],
+        gc: &mut [f32],
+        gv: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> f32 {
+        self.timed("kernel.outer_attention_backward", || {
+            self.inner
+                .outer_attention_backward(a, c, v, soft, gout, tau, ga, gc, gv, batch, m, k, n)
+        })
     }
 }
 
@@ -1731,5 +1962,31 @@ mod tests {
         assert_eq!(BackendKind::parse("gpu"), None);
         assert_eq!("par".parse::<BackendKind>(), Ok(BackendKind::Parallel));
         assert_eq!(BackendKind::Parallel.name(), "parallel");
+    }
+
+    #[test]
+    fn timed_backend_records_kernel_metrics_and_matches_raw() {
+        let _guard = crate::obs_test_guard();
+        let mut rng = Prng::new(99);
+        let (m, k, n) = (7, 5, 6);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let mut raw = vec![0.0; m * n];
+        SCALAR.matmul(&a, &b, &mut raw, m, k, n);
+
+        let calls_before = came_obs::registry().histogram("kernel.matmul").count();
+        came_obs::set_enabled(true);
+        let timed: &dyn Backend = &TIMED_SCALAR;
+        assert_eq!(timed.name(), "scalar");
+        let mut out = vec![0.0; m * n];
+        timed.matmul(&a, &b, &mut out, m, k, n);
+        let s = timed.sum(&out);
+        came_obs::set_enabled(false);
+
+        assert_eq!(out, raw, "timing wrapper must not change results");
+        assert!((s - SCALAR.sum(&raw)).abs() < 1e-6);
+        let h = came_obs::registry().histogram("kernel.matmul");
+        assert!(h.count() > calls_before, "kernel call not recorded");
+        assert!(h.sum() > 0, "kernel ns not recorded");
     }
 }

@@ -48,6 +48,13 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
+/// Serialises tests that toggle the process-global `came_obs` switch.
+#[cfg(test)]
+pub(crate) fn obs_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 pub use backend::{
     fusion_enabled, infer_tape_free, set_backend, set_fusion, set_infer_tape_free, Activation,
     Backend, BackendKind, ParallelBackend, ScalarBackend,

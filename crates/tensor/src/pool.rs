@@ -86,7 +86,7 @@ impl BufferPool {
     /// buffers keep their previous (stale) contents.
     fn take(&mut self, len: usize) -> Option<Vec<f32>> {
         if !enabled() {
-            self.stats.misses += 1;
+            self.miss();
             return None;
         }
         match self.free.get_mut(&len).and_then(|list| list.pop()) {
@@ -94,12 +94,22 @@ impl BufferPool {
                 debug_assert_eq!(v.len(), len);
                 self.total_floats -= len;
                 self.stats.hits += 1;
+                if came_obs::enabled() {
+                    pool_obs().hits.add(1);
+                }
                 Some(v)
             }
             None => {
-                self.stats.misses += 1;
+                self.miss();
                 None
             }
+        }
+    }
+
+    fn miss(&mut self) {
+        self.stats.misses += 1;
+        if came_obs::enabled() {
+            pool_obs().misses.add(1);
         }
     }
 
@@ -114,12 +124,52 @@ impl BufferPool {
         }
         self.total_floats += len;
         self.stats.returned += 1;
+        if came_obs::enabled() {
+            pool_obs().returned.add(1);
+        }
         list.push(v);
     }
 }
 
 thread_local! {
     static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+}
+
+// --------------------------------------------------------------------------
+// process-wide observability
+// --------------------------------------------------------------------------
+
+/// Process-wide pool metric handles. [`PoolStats`] is per-thread (and dies
+/// with the thread), so multi-threaded hit rates are invisible from the main
+/// thread; these aggregate every thread's traffic into the shared registry.
+struct PoolObs {
+    hits: &'static came_obs::Counter,
+    misses: &'static came_obs::Counter,
+    returned: &'static came_obs::Counter,
+    outstanding: &'static came_obs::Gauge,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: std::sync::OnceLock<PoolObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = came_obs::registry();
+        PoolObs {
+            hits: r.counter("pool.hits"),
+            misses: r.counter("pool.misses"),
+            returned: r.counter("pool.returned"),
+            outstanding: r.gauge("pool.outstanding"),
+        }
+    })
+}
+
+/// +1 on every pooled float-buffer allocation, -1 on every recycle; the
+/// `pool.outstanding` gauge therefore tracks live buffers drawn through the
+/// pool allocator across all threads.
+#[inline]
+fn obs_outstanding(delta: i64) {
+    if came_obs::enabled() {
+        pool_obs().outstanding.add(delta);
+    }
 }
 
 thread_local! {
@@ -158,6 +208,7 @@ pub fn alloc_zeroed(len: usize) -> Vec<f32> {
     if len == 0 {
         return Vec::new();
     }
+    obs_outstanding(1);
     match POOL.try_with(|p| p.borrow_mut().take(len)) {
         Ok(Some(mut v)) => {
             v.fill(0.0);
@@ -174,6 +225,7 @@ pub fn alloc_uninit(len: usize) -> Vec<f32> {
     if len == 0 {
         return Vec::new();
     }
+    obs_outstanding(1);
     match POOL.try_with(|p| p.borrow_mut().take(len)) {
         Ok(Some(v)) => v,
         _ => vec![0.0; len],
@@ -200,6 +252,7 @@ pub fn recycle(v: Vec<f32>) {
     if v.is_empty() {
         return;
     }
+    obs_outstanding(-1);
     let _ = POOL.try_with(|p| p.borrow_mut().give(v));
 }
 
@@ -346,6 +399,40 @@ mod tests {
             recycle(vec![0.0; 4]);
         }
         assert_eq!(stats().returned as usize, MAX_PER_CLASS);
+    }
+
+    #[test]
+    fn obs_gauges_aggregate_across_threads() {
+        let _guard = crate::obs_test_guard();
+        came_obs::set_enabled(true);
+        let r = came_obs::registry();
+        let hits0 = r.counter("pool.hits").get();
+        let miss0 = r.counter("pool.misses").get();
+        let ret0 = r.counter("pool.returned").get();
+        // Two worker threads, each with its own thread-local pool: one miss
+        // (cold alloc), one park, one hit (warm alloc) apiece. The process
+        // counters must see contributions from both threads even though each
+        // thread's PoolStats dies with it.
+        let worker = || {
+            set_enabled(true);
+            let v = alloc_zeroed(12_345);
+            recycle(v);
+            let w = alloc_zeroed(12_345);
+            assert_eq!(stats().hits, 1);
+            recycle(w);
+        };
+        std::thread::scope(|s| {
+            let a = s.spawn(worker);
+            let b = s.spawn(worker);
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        came_obs::set_enabled(false);
+        // >= rather than == : other tests in this binary may run concurrently
+        // and also touch the shared registry.
+        assert!(r.counter("pool.hits").get() >= hits0 + 2);
+        assert!(r.counter("pool.misses").get() >= miss0 + 2);
+        assert!(r.counter("pool.returned").get() >= ret0 + 4);
     }
 
     #[test]

@@ -9,7 +9,20 @@ cargo fmt --check
 
 # Inference parity gate: the tape-free serving stack must reproduce the taped
 # metrics exactly and stay >= 2x faster on the eval_full_ranking A/B row.
+# Observability gate: enabling came-obs must cost < 1% on the training step
+# and the per-phase breakdown must account for the step wall time.
 # Quick scale; the report goes to a scratch path so the committed full-scale
 # BENCH_micro.json stays untouched.
-CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_MICRO_OUT="$(mktemp)" \
+CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_MICRO_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin micro
+
+# Structured-logging gate: a short checkpointed training run with the JSONL
+# sink attached must emit parseable EpochEnd and CheckpointSaved events.
+smoke_log="$(mktemp)"
+smoke_ckpt="$(mktemp -d)"
+CAME_TRACE=1 CAME_LOG="$smoke_log" CAME_LOG_STDERR=0 CAME_CKPT_DIR="$smoke_ckpt" \
+    cargo run --release -q -p came-bench --bin smoke_train
+grep -q '"event":"EpochEnd"' "$smoke_log"
+grep -q '"event":"CheckpointSaved"' "$smoke_log"
+rm -rf "$smoke_log" "$smoke_ckpt"
+echo "smoke-train JSONL gate passed"
