@@ -149,7 +149,7 @@ impl Default for BaselineHp {
 /// as a [`TailScorer`] and servable through
 /// [`came_kg::serve::ScoringEngine`].
 pub struct TrainedBaseline {
-    model: Box<dyn KgeModel>,
+    model: Box<dyn KgeModel + Send + Sync>,
     store: ParamStore,
     /// Per-epoch mean losses recorded during training.
     pub losses: Vec<f32>,
@@ -158,6 +158,12 @@ pub struct TrainedBaseline {
 impl TrainedBaseline {
     /// The trained model as the unified trait object.
     pub fn model(&self) -> &dyn KgeModel {
+        self.model.as_ref()
+    }
+
+    /// The trained model as a `Sync` trait object, shareable across the
+    /// serving tier's shard worker threads.
+    pub fn model_sync(&self) -> &(dyn KgeModel + Sync) {
         self.model.as_ref()
     }
 
@@ -337,7 +343,7 @@ pub fn train_baseline(
     }
 }
 
-fn run_one_to_n<M: OneToNModel + 'static>(
+fn run_one_to_n<M: OneToNModel + Send + Sync + 'static>(
     label: &str,
     model: M,
     mut store: ParamStore,
@@ -365,7 +371,7 @@ fn run_one_to_n<M: OneToNModel + 'static>(
     }
 }
 
-fn run_triple<M: TripleModel + 'static>(
+fn run_triple<M: TripleModel + Send + Sync + 'static>(
     label: &str,
     model: M,
     mut store: ParamStore,

@@ -583,7 +583,8 @@ fn main() {
         model
             .serve_preflight()
             .expect("frozen caches must pass the serving preflight");
-        let engine = ScoringEngine::with_config(&kge, &store, ServeConfig::default());
+        let engine = ScoringEngine::with_config(&kge, &store, ServeConfig::default())
+            .expect("default serve config is valid");
         let serve_eval = || engine.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
 
         let samples = if quick { 3 } else { 5 };
@@ -611,7 +612,7 @@ fn main() {
             .map(|t| TopKRequest::with_k(t.h, t.r, 10))
             .collect();
         let tk_ns = median_ns(1, samples, || {
-            black_box(engine.top_k_batch(&reqs, Some(&filter)));
+            let _ = black_box(engine.top_k_batch(&reqs, Some(&filter)));
         });
         (taped_ns, free_ns, triples.len(), equal, tk_ns, reqs.len())
     };
@@ -896,39 +897,10 @@ fn main() {
         ));
     }
     json.push_str("}},\n");
-    let git = |args: &[&str]| {
-        std::process::Command::new("git")
-            .args(args)
-            .output()
-            .ok()
-            .filter(|o| o.status.success())
-            .and_then(|o| String::from_utf8(o.stdout).ok())
-            .map(|s| s.trim().to_string())
-    };
-    let mut git_rev = git(&["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".into());
-    if git(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty()) {
-        git_rev.push_str("-dirty");
-    }
-    let mut came_env: Vec<(String, String)> = std::env::vars()
-        .filter(|(k, _)| k.starts_with("CAME_"))
-        .collect();
-    came_env.sort();
     json.push_str(&format!(
-        "  \"provenance\": {{\"git_rev\": {}, \"backend\": {}, \"host_threads\": {}, \
-         \"quick\": {quick}, \"env\": {{",
-        came_obs::sink::json_string(&git_rev),
-        came_obs::sink::json_string(kind.name()),
-        backend::num_threads()
+        "  \"provenance\": {}\n",
+        came_bench::provenance_json(kind, quick)
     ));
-    for (i, (k, v)) in came_env.iter().enumerate() {
-        json.push_str(&format!(
-            "{}: {}{}",
-            came_obs::sink::json_string(k),
-            came_obs::sink::json_string(v),
-            if i + 1 < came_env.len() { ", " } else { "" }
-        ));
-    }
-    json.push_str("}}\n");
     json.push_str("}\n");
     // CAME_MICRO_OUT redirects the report so gate-only runs (scripts/check.sh)
     // don't clobber the committed full-scale BENCH_micro.json

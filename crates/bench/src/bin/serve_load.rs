@@ -1,0 +1,262 @@
+//! Open-loop load generator for the sharded serving tier (`BENCH_serve.json`).
+//!
+//! Two phases over a trained CamE:
+//!
+//! 1. **Bit-equality** — the sharded engine and the full tier must
+//!    reproduce the single-engine path exactly: top-k hits (ties
+//!    included), score rows, and filtered-ranking metrics.
+//! 2. **Open-loop load** — requests arrive at scheduled instants
+//!    (`t0 + i/QPS`) regardless of completion pace, so the reported
+//!    latency includes queueing delay and is free of coordinated
+//!    omission. Latency is measured from the *scheduled* arrival to
+//!    completion; overload rejections are counted, not retried.
+//!
+//! Knobs: `CAME_SHARDS` (default min(4, host threads)), `CAME_SERVE_QUEUE`,
+//! `CAME_SERVE_FLUSH_US`, `CAME_SERVE_QPS` (target arrival rate),
+//! `CAME_SERVE_SECS` (load duration), `CAME_SERVE_OUT` (report path,
+//! default `BENCH_serve.json`). With `CAME_CHECK_SERVE` set, the run is a
+//! CI gate: bit-equality must hold, achieved throughput must reach
+//! `CAME_SERVE_QPS_FLOOR` (default half the target), and p99 latency must
+//! stay under `CAME_SERVE_P99_MS` (default 500 ms).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use came_bench::{came_config_drkg, came_kge, provenance_json, train_came, Scale};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{
+    EvalConfig, ScoringEngine, ServeConfig, ServeError, ServeTier, ShardedEngine, Split,
+    TierConfig, TopKRequest,
+};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let kind = came_tensor::backend::kind();
+    let quick = std::env::var_os("CAME_QUICK").is_some();
+    came_tensor::set_infer_tape_free(true);
+
+    let shards = env_usize(
+        "CAME_SHARDS",
+        came_tensor::backend::num_threads().min(4).max(1),
+    );
+    let queue = env_usize("CAME_SERVE_QUEUE", 1024);
+    let flush_us = env_usize("CAME_SERVE_FLUSH_US", 200) as u64;
+    let target_qps = env_f64("CAME_SERVE_QPS", if quick { 200.0 } else { 400.0 });
+    let secs = env_f64("CAME_SERVE_SECS", if quick { 2.0 } else { 4.0 });
+
+    // A small but real serving workload: trained CamE over the tiny preset,
+    // frozen multimodal caches passing the serving preflight.
+    let bkg = presets::tiny(scale.data_seed);
+    let features = ModalFeatures::build(&bkg, &FeatureConfig::default());
+    let epochs = if quick { 1 } else { 3 };
+    let (model, store) = train_came(&bkg, &features, came_config_drkg(), epochs);
+    model
+        .serve_preflight()
+        .expect("frozen caches must pass the serving preflight");
+    let kge = came_kge(&model, &bkg.dataset);
+    let n = bkg.dataset.num_entities();
+    let filter = bkg.dataset.filter_index();
+    eprintln!(
+        "[serve_load] model=CamE entities={n} shards={shards} queue={queue} flush={flush_us}us \
+         target={target_qps:.0} qps x {secs:.0}s"
+    );
+
+    // Request mix: the augmented test queries, cycled.
+    let test = bkg.dataset.augmented(Split::Test);
+    let reqs: Vec<TopKRequest> = test
+        .iter()
+        .map(|t| TopKRequest::with_k(t.h, t.r, 10))
+        .collect();
+    assert!(!reqs.is_empty(), "tiny preset must have test triples");
+
+    // ---- Phase 1: bit-equality of the sharded path -------------------------
+    let single = ScoringEngine::with_config(&kge, &store, ServeConfig::default())
+        .expect("default serve config is valid");
+    let sharded = ShardedEngine::with_config(&kge, &store, shards, ServeConfig::default())
+        .expect("default serve config is valid");
+    let sample: Vec<TopKRequest> = reqs.iter().take(32).copied().collect();
+    let want = single
+        .top_k_batch(&sample, Some(&filter))
+        .expect("single-engine top-k");
+    let got = sharded
+        .top_k_batch(&sample, Some(&filter))
+        .expect("sharded top-k");
+    let topk_equal = want.iter().zip(&got).all(|(w, g)| w.hits == g.hits);
+
+    let ecfg = EvalConfig {
+        max_triples: Some(if quick { 64 } else { 256 }),
+        ..Default::default()
+    };
+    let m_single = single.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
+    let m_sharded = sharded.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
+    let eval_equal = m_single.count() == m_sharded.count()
+        && m_single.mrr() == m_sharded.mrr()
+        && m_single.mr() == m_sharded.mr()
+        && [1, 3, 10]
+            .iter()
+            .all(|&k| m_single.hits(k) == m_sharded.hits(k));
+    let bit_equal = topk_equal && eval_equal;
+    eprintln!("[serve_load] shard-vs-single bit-equality: topk={topk_equal} eval={eval_equal}");
+
+    // ---- Phase 2: open-loop load through the tier --------------------------
+    let tier_cfg = TierConfig {
+        shards,
+        queue,
+        flush_us,
+        serve: ServeConfig::default(),
+    };
+    let total = (target_qps * secs).round() as usize;
+    let interval = Duration::from_secs_f64(1.0 / target_qps);
+    let lat = came_obs::registry().histogram("serve.load.latency_ns");
+    let completed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let elapsed_s = ServeTier::run(&kge, &store, Some(&filter), tier_cfg, |handle| {
+        let (tx, rx) = mpsc::channel::<(Instant, came_kg::PendingTopK)>();
+        let rx = std::sync::Mutex::new(rx);
+        std::thread::scope(|s| {
+            // Waiter pool: records completion latency from the scheduled
+            // arrival instant (not the submit instant), so a backed-up tier
+            // cannot hide queueing delay from the percentiles.
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    let item = { rx.lock().unwrap().recv() };
+                    let Ok((sched, pending)) = item else { return };
+                    if pending.wait().is_ok() {
+                        lat.record(sched.elapsed().as_nanos() as u64);
+                        completed.fetch_add(1, Relaxed);
+                    }
+                });
+            }
+            let t0 = Instant::now();
+            for i in 0..total {
+                let sched = t0 + interval.mul_f64(i as f64);
+                let now = Instant::now();
+                if sched > now {
+                    std::thread::sleep(sched - now);
+                }
+                match handle.submit(reqs[i % reqs.len()]) {
+                    Ok(pending) => {
+                        let _ = tx.send((sched, pending));
+                    }
+                    Err(ServeError::Overloaded { .. }) => {
+                        rejected.fetch_add(1, Relaxed);
+                    }
+                    Err(e) => panic!("unexpected serve error: {e}"),
+                }
+            }
+            drop(tx);
+            t0.elapsed().as_secs_f64()
+        })
+    })
+    .expect("tier config is valid");
+
+    let done = completed.load(Relaxed);
+    let shed = rejected.load(Relaxed);
+    let achieved_qps = if elapsed_s > 0.0 {
+        done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let (p50, p95, p99) = (lat.p50(), lat.p95(), lat.p99());
+    let mean_ns = if lat.count() > 0 {
+        lat.sum() as f64 / lat.count() as f64
+    } else {
+        0.0
+    };
+    println!(
+        "serve_load: offered {total} @ {target_qps:.0} qps, completed {done} \
+         ({achieved_qps:.0} qps), rejected {shed}"
+    );
+    println!(
+        "latency (from scheduled arrival): p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+         mean {:.2} ms, max {:.2} ms",
+        p50 / 1e6,
+        p95 / 1e6,
+        p99 / 1e6,
+        mean_ns / 1e6,
+        lat.max() as f64 / 1e6
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"came-serve-bench-v1\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"model\": \"CamE\", \"entities\": {n}, \"shards\": {shards}, \
+         \"queue\": {queue}, \"flush_us\": {flush_us}, \"batch_size\": {}, \
+         \"target_qps\": {target_qps:.0}, \"duration_s\": {secs:.1}, \"k\": 10}},\n",
+        ServeConfig::default().batch_size
+    ));
+    json.push_str(&format!(
+        "  \"bit_equal\": {{\"topk\": {topk_equal}, \"eval\": {eval_equal}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"load\": {{\"offered\": {total}, \"completed\": {done}, \"rejected\": {shed}, \
+         \"elapsed_s\": {elapsed_s:.3}, \"achieved_qps\": {achieved_qps:.1}, \
+         \"p50_ns\": {p50:.0}, \"p95_ns\": {p95:.0}, \"p99_ns\": {p99:.0}, \
+         \"mean_ns\": {mean_ns:.0}, \"min_ns\": {}, \"max_ns\": {}}},\n",
+        lat.min(),
+        lat.max()
+    ));
+    json.push_str(&format!(
+        "  \"provenance\": {}\n}}\n",
+        provenance_json(kind, quick)
+    ));
+    // CAME_SERVE_OUT redirects the report so gate-only runs (scripts/check.sh)
+    // don't clobber the committed full-scale BENCH_serve.json
+    let out_path =
+        std::env::var("CAME_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("[serve_load] wrote {out_path}");
+
+    // CI gate: bit-equality, throughput floor, p99 SLO.
+    if std::env::var_os("CAME_CHECK_SERVE").is_some() {
+        let floor = env_f64("CAME_SERVE_QPS_FLOOR", target_qps * 0.5);
+        let slo_ms = env_f64("CAME_SERVE_P99_MS", 500.0);
+        let mut failed = false;
+        if !bit_equal {
+            eprintln!(
+                "[serve_load] SERVE GATE FAILED: sharded path diverges from single engine \
+                 (topk={topk_equal} eval={eval_equal})"
+            );
+            failed = true;
+        }
+        if achieved_qps < floor {
+            eprintln!(
+                "[serve_load] SERVE GATE FAILED: achieved {achieved_qps:.1} qps \
+                 < floor {floor:.1} qps"
+            );
+            failed = true;
+        }
+        if p99 / 1e6 > slo_ms {
+            eprintln!(
+                "[serve_load] SERVE GATE FAILED: p99 {:.2} ms > SLO {slo_ms:.1} ms",
+                p99 / 1e6
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve_load] serve gate passed (bit-equal, {achieved_qps:.0} qps >= {floor:.0}, \
+             p99 {:.2} ms <= {slo_ms:.0} ms)",
+            p99 / 1e6
+        );
+    }
+}

@@ -187,6 +187,47 @@ pub fn eval_scorer(
     )
 }
 
+/// The provenance block shared by every BENCH_*.json report: git revision
+/// (with a `-dirty` marker), kernel backend, host thread count, quick-mode
+/// flag, and the sorted `CAME_*` environment — everything needed to
+/// reproduce the numbers. Returns the JSON object text (no trailing
+/// newline), to be embedded under a `"provenance"` key.
+pub fn provenance_json(backend: came_tensor::BackendKind, quick: bool) -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+    };
+    let mut git_rev = git(&["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".into());
+    if git(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty()) {
+        git_rev.push_str("-dirty");
+    }
+    let mut came_env: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("CAME_"))
+        .collect();
+    came_env.sort();
+    let mut json = format!(
+        "{{\"git_rev\": {}, \"backend\": {}, \"host_threads\": {}, \"quick\": {quick}, \"env\": {{",
+        came_obs::sink::json_string(&git_rev),
+        came_obs::sink::json_string(backend.name()),
+        came_tensor::backend::num_threads()
+    );
+    for (i, (k, v)) in came_env.iter().enumerate() {
+        json.push_str(&format!(
+            "{}: {}{}",
+            came_obs::sink::json_string(k),
+            came_obs::sink::json_string(v),
+            if i + 1 < came_env.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("}}");
+    json
+}
+
 /// Render a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -13,7 +13,7 @@ use came_biodata::MultimodalBkg;
 use came_encoders::{FeatureConfig, ModalFeatures};
 use came_kg::{
     capture_kge, evaluate, restore_kge, EntityId, EvalConfig, KgeModel, RelationId, ScoringEngine,
-    ServeConfig, Split, TopKRequest,
+    ServeConfig, ServeTier, ShardedEngine, Split, TierConfig, TopKRequest,
 };
 
 // The infer switch is process-global; serialise the tests that flip it.
@@ -128,7 +128,8 @@ fn serve_eval_is_bit_equal_to_legacy_eval_in_both_modes() {
 
         came_tensor::set_infer_tape_free(true);
         let engine =
-            ScoringEngine::with_config(trained.model(), trained.store(), ServeConfig::default());
+            ScoringEngine::with_config(trained.model(), trained.store(), ServeConfig::default())
+                .unwrap();
         let served = engine.evaluate(&bkg.dataset, Split::Test, &filter, &cfg);
 
         assert_eq!(legacy.count(), served.count(), "{}", kind.label());
@@ -147,14 +148,17 @@ fn top_k_on_a_trained_model_matches_a_full_sort() {
     let bkg = presets::tiny(13);
     let trained = train_baseline(Baseline::DistMult, &bkg.dataset, None, &quick_hp(), None);
     let engine =
-        ScoringEngine::with_config(trained.model(), trained.store(), ServeConfig::default());
+        ScoringEngine::with_config(trained.model(), trained.store(), ServeConfig::default())
+            .unwrap();
     let n = trained.model().num_entities();
     let q = (EntityId(1), RelationId(0));
     let mut row = vec![0.0f32; n];
     engine.score_into(&[q], &mut row);
 
     for k in [1usize, 5, n, n + 10] {
-        let resp = engine.top_k(TopKRequest::with_k(q.0, q.1, k), None);
+        let resp = engine
+            .top_k(TopKRequest::with_k(q.0, q.1, k), None)
+            .unwrap();
         let mut want: Vec<u32> = (0..n as u32).collect();
         want.sort_by(|&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b)));
         want.truncate(k);
@@ -188,6 +192,82 @@ fn checkpoint_round_trips_bit_identically_through_the_trait_object() {
     restore_kge(&kge, &mut store, &snap).unwrap();
     assert_store_matches(&store, &snap);
     assert_eq!(kge.state_bytes(), snap.model_state, "CamE state bytes");
+}
+
+/// Tentpole guarantee on real trained models: the sharded engine and the
+/// full serving tier reproduce the single-engine path bit for bit — top-k
+/// hits (ties included), score rows, and evaluation metrics — for both
+/// scoring disciplines (DistMult is 1-N, TransE is per-triple and scores
+/// shard stripes natively).
+#[test]
+fn sharded_serving_is_bit_equal_to_single_engine_on_trained_models() {
+    let _guard = SWITCH_LOCK.lock().unwrap();
+    came_tensor::set_infer_tape_free(true);
+    let bkg = presets::tiny(15);
+    let f = features_for(&bkg);
+    let filter = bkg.dataset.filter_index();
+    let ecfg = EvalConfig {
+        max_triples: Some(48),
+        ..Default::default()
+    };
+    let n = bkg.dataset.num_entities();
+
+    for kind in [Baseline::DistMult, Baseline::TransE] {
+        let trained = train_baseline(kind, &bkg.dataset, Some(&f), &quick_hp(), None);
+        let model = trained.model_sync();
+        let single =
+            ScoringEngine::with_config(model, trained.store(), ServeConfig::default()).unwrap();
+        let reqs: Vec<TopKRequest> = (0..10u32)
+            .map(|i| {
+                TopKRequest::with_k(
+                    EntityId(i.wrapping_mul(7) % n as u32),
+                    RelationId(i % bkg.dataset.num_relations_aug() as u32),
+                    12,
+                )
+            })
+            .collect();
+        let want_topk = single.top_k_batch(&reqs, Some(&filter)).unwrap();
+        let want_eval = single.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
+
+        for shards in [2usize, 4] {
+            let sharded =
+                ShardedEngine::with_config(model, trained.store(), shards, ServeConfig::default())
+                    .unwrap();
+            let got_topk = sharded.top_k_batch(&reqs, Some(&filter)).unwrap();
+            for (w, g) in want_topk.iter().zip(&got_topk) {
+                assert_eq!(w.hits, g.hits, "{} shards={shards}", kind.label());
+            }
+            let got_eval = sharded.evaluate(&bkg.dataset, Split::Test, &filter, &ecfg);
+            assert_eq!(want_eval.count(), got_eval.count(), "{}", kind.label());
+            assert_eq!(want_eval.mrr(), got_eval.mrr(), "{} MRR", kind.label());
+            assert_eq!(want_eval.mr(), got_eval.mr(), "{} MR", kind.label());
+            for k in [1, 3, 10] {
+                assert_eq!(
+                    want_eval.hits(k),
+                    got_eval.hits(k),
+                    "{} Hits@{k}",
+                    kind.label()
+                );
+            }
+        }
+
+        // The full tier (router + shards + merge) serves the same bits.
+        let cfg = TierConfig {
+            shards: 3,
+            ..TierConfig::default()
+        };
+        ServeTier::run(model, trained.store(), Some(&filter), cfg, |handle| {
+            for (req, want) in reqs.iter().zip(&want_topk) {
+                let got = handle.top_k(*req).unwrap();
+                assert_eq!(got.hits, want.hits, "{} tier", kind.label());
+            }
+            let q = (reqs[0].head, reqs[0].relation);
+            let mut want_row = vec![0.0f32; n];
+            single.score_into(&[q], &mut want_row);
+            assert_eq!(handle.scores(q).unwrap(), want_row, "{} row", kind.label());
+        })
+        .unwrap();
+    }
 }
 
 fn round_trip(trained: &mut TrainedBaseline) {

@@ -3,7 +3,7 @@
 //! convolutional scoring over all candidate tails → 1-N Bernoulli training
 //! (Eqn. 16).
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use came_encoders::{FrozenCache, FrozenError, ModalFeatures};
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
@@ -48,7 +48,10 @@ pub struct CamE {
     branch1: ConvBranch,
     branch2: ConvBranch,
     ent_bias: ParamId,
-    dropout_rng: RefCell<Prng>,
+    // A Mutex (not RefCell) so a trained CamE is `Sync` and can be scored
+    // concurrently from the serving tier's shard workers; training forwards
+    // take the lock once per step, inference forwards never contend.
+    dropout_rng: Mutex<Prng>,
 }
 
 impl CamE {
@@ -170,7 +173,7 @@ impl CamE {
             &mut rng,
         );
         let ent_bias = store.add_zeros("came.ent_bias", Shape::d1(n));
-        let dropout_rng = RefCell::new(Prng::new(cfg.seed ^ 0xD409));
+        let dropout_rng = Mutex::new(Prng::new(cfg.seed ^ 0xD409));
 
         let (feat_m, feat_t, feat_s) = features.caches();
         Ok(CamE {
@@ -266,7 +269,7 @@ impl CamE {
 impl OneToNModel for CamE {
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
         let cfg = &self.cfg;
-        let mut rng = self.dropout_rng.borrow_mut();
+        let mut rng = self.dropout_rng.lock().unwrap();
 
         // ---- frozen-gather: embedding lookups + cached-encoder rows ----
         let gather = came_obs::span("phase.frozen_gather");
@@ -337,7 +340,7 @@ impl OneToNModel for CamE {
     // ParamStore is the dropout RNG; a bit-identical resume must restore its
     // exact stream position.
     fn state_bytes(&self) -> Vec<u8> {
-        let words = self.dropout_rng.borrow().save_state();
+        let words = self.dropout_rng.lock().unwrap().save_state();
         let mut out = Vec::with_capacity(24);
         for w in words {
             out.extend_from_slice(&w.to_le_bytes());
@@ -353,7 +356,7 @@ impl OneToNModel for CamE {
             ));
         }
         let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
-        *self.dropout_rng.borrow_mut() = Prng::from_saved([word(0), word(1), word(2)]);
+        *self.dropout_rng.lock().unwrap() = Prng::from_saved([word(0), word(1), word(2)]);
         Ok(())
     }
 

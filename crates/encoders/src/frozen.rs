@@ -6,8 +6,8 @@
 //! Features are computed once per dataset and shared by CamE and every
 //! multimodal baseline.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use came_biodata::MultimodalBkg;
 use came_kg::KgDataset;
@@ -260,8 +260,10 @@ pub struct FrozenCache {
     version: u64,
     trainable: bool,
     dirty: bool,
-    gathers: Cell<u64>,
-    rows_served: Cell<u64>,
+    // Relaxed atomics (not Cells) so the cache is `Sync`: the serving tier's
+    // shard workers gather rows from one shared cache concurrently.
+    gathers: AtomicU64,
+    rows_served: AtomicU64,
 }
 
 impl FrozenCache {
@@ -278,8 +280,8 @@ impl FrozenCache {
             version: 1,
             trainable: false,
             dirty: false,
-            gathers: Cell::new(0),
-            rows_served: Cell::new(0),
+            gathers: AtomicU64::new(0),
+            rows_served: AtomicU64::new(0),
         }
     }
 
@@ -341,7 +343,7 @@ impl FrozenCache {
 
     /// Number of `rows` calls and total rows served, for the bench report.
     pub fn gather_stats(&self) -> (u64, u64) {
-        (self.gathers.get(), self.rows_served.get())
+        (self.gathers.load(Relaxed), self.rows_served.load(Relaxed))
     }
 
     /// The full cached table.
@@ -376,9 +378,8 @@ impl FrozenCache {
             data[row * d..(row + 1) * d]
                 .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
         }
-        self.gathers.set(self.gathers.get() + 1);
-        self.rows_served
-            .set(self.rows_served.get() + ids.len() as u64);
+        self.gathers.fetch_add(1, Relaxed);
+        self.rows_served.fetch_add(ids.len() as u64, Relaxed);
         Tensor::from_vec(Shape::d2(ids.len(), d), data)
     }
 

@@ -45,7 +45,10 @@ pub use runtime::{
     fingerprint, observe_event, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig,
     TrainError, TrainEvent, TrainRun,
 };
-pub use serve::{ScoredEntity, ScoringEngine, ServeConfig, TopKRequest, TopKResponse};
+pub use serve::{
+    merge_top_k, PendingScores, PendingTopK, ScoredEntity, ScoringEngine, ServeConfig, ServeError,
+    ServeTier, ShardPlan, ShardedEngine, TierConfig, TierHandle, TopKRequest, TopKResponse,
+};
 pub use snapshot::{
     resume_or_init, write_atomic, ParamRecord, ResumeReport, Snapshot, SnapshotError,
 };

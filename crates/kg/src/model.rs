@@ -38,6 +38,54 @@ pub trait KgeModel {
     /// Panics if `out.len() != queries.len() * num_entities()`.
     fn score_into(&self, store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]);
 
+    /// Whether [`KgeModel::score_range_into`] computes only the requested
+    /// candidate range (`true`) or falls back to scoring full rows and
+    /// copying the slice out (`false`, the default).
+    ///
+    /// Per-triple models slice natively — the candidate axis is their task
+    /// axis. 1-N models compute all candidates inside one fused forward, so
+    /// sharding the candidate axis saves them nothing; the serving tier uses
+    /// this flag to score full rows once and shard only the selection work.
+    fn supports_range_scoring(&self) -> bool {
+        false
+    }
+
+    /// Score each query against the candidate entities in `lo..hi` only,
+    /// writing row-major `[queries.len(), hi - lo]` scores into `out` —
+    /// column `c` of a row is the score of entity `lo + c`. Bit-identical
+    /// to the corresponding columns of [`KgeModel::score_into`].
+    ///
+    /// The default implementation scores full rows into a scratch buffer
+    /// and copies the range out (correct for every model); adapters that
+    /// can score a candidate slice natively override it.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or `out` is missized.
+    fn score_range_into(
+        &self,
+        store: &ParamStore,
+        queries: &[(EntityId, RelationId)],
+        lo: usize,
+        hi: usize,
+        out: &mut [f32],
+    ) {
+        let n = self.num_entities();
+        assert!(lo <= hi && hi <= n, "candidate range {lo}..{hi} out of {n}");
+        let w = hi - lo;
+        assert_eq!(out.len(), queries.len() * w, "range buffer size mismatch");
+        if queries.is_empty() || w == 0 {
+            return;
+        }
+        if lo == 0 && hi == n {
+            return self.score_into(store, queries, out);
+        }
+        let mut full = vec![0.0f32; queries.len() * n];
+        self.score_into(store, queries, &mut full);
+        for (row, slice) in full.chunks(n).zip(out.chunks_mut(w)) {
+            slice.copy_from_slice(&row[lo..hi]);
+        }
+    }
+
     /// Opaque model-side mutable state for checkpoints (see
     /// [`OneToNModel::state_bytes`]). Parameters are captured separately
     /// from the [`ParamStore`].
@@ -140,25 +188,47 @@ impl<M: TripleModel> KgeModel for TripleKge<M> {
     }
 
     fn score_into(&self, store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
-        use came_tensor::backend::{self, BackendKind};
-        let n = self.num_entities;
-        assert_eq!(out.len(), queries.len() * n, "score buffer size mismatch");
-        if queries.is_empty() || n == 0 {
-            return;
-        }
         // Each (query, entity-shard) cell is an independent inference pass
         // writing a disjoint slice of its query's row, so sharding is exact.
         // Under the Scalar backend (or one thread) there is one shard per
         // query and this degenerates to a sequential loop.
+        self.score_range_into(store, queries, 0, self.num_entities, out);
+    }
+
+    fn supports_range_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_range_into(
+        &self,
+        store: &ParamStore,
+        queries: &[(EntityId, RelationId)],
+        lo: usize,
+        hi: usize,
+        out: &mut [f32],
+    ) {
+        use came_tensor::backend::{self, BackendKind};
+        let n = self.num_entities;
+        assert!(lo <= hi && hi <= n, "candidate range {lo}..{hi} out of {n}");
+        let w = hi - lo;
+        assert_eq!(out.len(), queries.len() * w, "range buffer size mismatch");
+        if queries.is_empty() || w == 0 {
+            return;
+        }
+        // Same per-(query, chunk) independent inference passes as
+        // `score_into`, tiled over the requested range only: each candidate's
+        // score is a row-local function of its (h, r, t) triple, so chunk
+        // boundaries never change values and the slice is bit-identical to
+        // the full-row path.
         let shard = match backend::kind() {
-            BackendKind::Scalar => n,
-            BackendKind::Parallel => n.div_ceil(backend::num_threads()).max(512),
+            BackendKind::Scalar => w,
+            BackendKind::Parallel => w.div_ceil(backend::num_threads()).max(512),
         }
         .max(1);
         let mut tasks: Vec<(EntityId, RelationId, usize, &mut [f32])> = Vec::new();
-        for (q, row) in queries.iter().zip(out.chunks_mut(n)) {
+        for (q, row) in queries.iter().zip(out.chunks_mut(w)) {
             for (si, chunk) in row.chunks_mut(shard).enumerate() {
-                tasks.push((q.0, q.1, si * shard, chunk));
+                tasks.push((q.0, q.1, lo + si * shard, chunk));
             }
         }
         backend::run_tasks(tasks, |(h, r, start, chunk)| {

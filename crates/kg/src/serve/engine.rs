@@ -1,26 +1,11 @@
-//! Batched scoring/serving layer over the unified [`KgeModel`] interface.
-//!
-//! A [`ScoringEngine`] pairs a trained model with its parameter store and
-//! answers two kinds of requests through one batched, tape-free scoring
-//! path:
-//!
-//! * **full ranking** ([`ScoringEngine::evaluate`]) — the filtered-ranking
-//!   protocol of [`crate::eval`], rebuilt on flat score buffers: one
-//!   `[B, N]` buffer is reused across query batches and ranked in place by
-//!   the shared rank core, so evaluation allocates nothing per query.
-//! * **top-k retrieval** ([`ScoringEngine::top_k`]) — "which tails complete
-//!   `(h, r)`?", the serving question. Selection is a partial sort
-//!   (`select_nth_unstable` + sort of the short prefix) with a total,
-//!   deterministic order: score descending, entity id ascending on ties —
-//!   exactly the first `k` rows of a full sort.
-//!
-//! Scores come from [`KgeModel::score_into`], which runs on tape-free
-//! inference graphs ([`came_tensor::Graph::inference`]) and shards the
-//! candidate axis across the backend thread pool, so both request kinds get
-//! the same execution path the benchmarks measure.
+//! The single-caller batched scoring engine (PR 4), now with typed
+//! admission: configuration and request problems come back as
+//! [`ServeError`] instead of panicking in the serving path.
 
 use came_tensor::{ParamStore, Prng};
 
+use super::merge::select_top_k;
+use super::{ServeConfig, ServeError, TopKRequest, TopKResponse};
 use crate::dataset::{FilterIndex, KgDataset, Split};
 use crate::eval::{self, EvalConfig};
 use crate::metrics::RankMetrics;
@@ -28,95 +13,59 @@ use crate::model::KgeModel;
 use crate::triple::Triple;
 use crate::vocab::{EntityId, RelationId};
 
-/// Serving options.
-#[derive(Clone, Debug)]
-pub struct ServeConfig {
-    /// Queries scored per batched forward (`CAME_SERVE_BATCH`).
-    pub batch_size: usize,
-    /// `k` used when a request does not name one (`CAME_TOPK`).
-    pub default_k: usize,
+/// Reject a request naming ids outside the served space or asking for zero
+/// candidates. Shared by the engine, the sharded engine, and the router's
+/// admission control so every entry point rejects identically.
+pub(super) fn validate_request(
+    req: &TopKRequest,
+    num_entities: usize,
+    relation_bound: Option<usize>,
+) -> Result<(), ServeError> {
+    if (req.head.0 as usize) >= num_entities {
+        return Err(ServeError::EntityOutOfRange {
+            entity: req.head,
+            num_entities,
+        });
+    }
+    if let Some(bound) = relation_bound {
+        if (req.relation.0 as usize) >= bound {
+            return Err(ServeError::RelationOutOfRange {
+                relation: req.relation,
+                num_relations: bound,
+            });
+        }
+    }
+    if req.k == Some(0) {
+        return Err(ServeError::ZeroK);
+    }
+    Ok(())
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            batch_size: 128,
-            default_k: 10,
-        }
+/// Record one scoring batch into the serve metrics (`serve.batch_ns`
+/// histogram, `serve.queries` counter, `serve.qps` gauge). Callers guard on
+/// [`came_obs::enabled`].
+pub(super) fn record_batch(queries: usize, ns: u64) {
+    let r = came_obs::registry();
+    r.histogram("serve.batch_ns").record(ns);
+    r.counter("serve.queries").add(queries as u64);
+    if ns > 0 {
+        let qps = queries as f64 * 1e9 / ns as f64;
+        r.gauge("serve.qps").set(qps as i64);
     }
 }
 
-impl ServeConfig {
-    /// Defaults overridden by `CAME_SERVE_BATCH` / `CAME_TOPK` when set to
-    /// positive integers.
-    pub fn from_env() -> Self {
-        let mut cfg = ServeConfig::default();
-        let read = |key: &str| {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&v| v > 0)
-        };
-        if let Some(b) = read("CAME_SERVE_BATCH") {
-            cfg.batch_size = b;
-        }
-        if let Some(k) = read("CAME_TOPK") {
-            cfg.default_k = k;
-        }
-        cfg
+/// Draw the evaluation triples for a split: inverse-augmented, optionally
+/// shuffled and truncated to `cfg.max_triples` with the eval seed. Shared
+/// by the single-engine and sharded `evaluate` so both rank the exact same
+/// triple sequence.
+pub(super) fn eval_triples(dataset: &KgDataset, split: Split, cfg: &EvalConfig) -> Vec<Triple> {
+    let mut triples = dataset.augmented(split);
+    if let Some(cap) = cfg.max_triples {
+        let mut rng = Prng::new(cfg.seed);
+        rng.shuffle(&mut triples);
+        triples.truncate(cap);
     }
-}
-
-/// One retrieval request: rank tail candidates of `(head, relation)`.
-#[derive(Clone, Copy, Debug)]
-pub struct TopKRequest {
-    /// Query head entity.
-    pub head: EntityId,
-    /// Query relation (inverse-augmented space `[0, 2R)`).
-    pub relation: RelationId,
-    /// Number of candidates to return; `None` uses the engine default.
-    pub k: Option<usize>,
-}
-
-impl TopKRequest {
-    /// Request the engine-default number of candidates for `(h, r)`.
-    pub fn new(head: EntityId, relation: RelationId) -> Self {
-        TopKRequest {
-            head,
-            relation,
-            k: None,
-        }
-    }
-
-    /// Request exactly `k` candidates for `(h, r)`.
-    pub fn with_k(head: EntityId, relation: RelationId, k: usize) -> Self {
-        TopKRequest {
-            head,
-            relation,
-            k: Some(k),
-        }
-    }
-}
-
-/// One ranked candidate.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ScoredEntity {
-    /// Candidate tail entity.
-    pub entity: EntityId,
-    /// Model score (higher is more plausible).
-    pub score: f32,
-}
-
-/// Response to a [`TopKRequest`]: candidates in serving order — score
-/// descending, entity id ascending among exact ties.
-#[derive(Clone, Debug)]
-pub struct TopKResponse {
-    /// Echo of the query head.
-    pub head: EntityId,
-    /// Echo of the query relation.
-    pub relation: RelationId,
-    /// The top candidates, best first.
-    pub hits: Vec<ScoredEntity>,
+    triples
 }
 
 /// Batched scoring engine: a [`KgeModel`] plus its [`ParamStore`], serving
@@ -128,20 +77,34 @@ pub struct ScoringEngine<'a> {
 }
 
 impl<'a> ScoringEngine<'a> {
-    /// Engine with environment-derived [`ServeConfig`].
+    /// Engine with environment-derived [`ServeConfig`]. Infallible: the env
+    /// parser only accepts positive overrides of valid defaults.
     pub fn new(model: &'a dyn KgeModel, store: &'a ParamStore) -> Self {
-        ScoringEngine::with_config(model, store, ServeConfig::from_env())
+        match ScoringEngine::with_config(model, store, ServeConfig::from_env()) {
+            Ok(engine) => engine,
+            Err(_) => unreachable!("env-derived serve config is always valid"),
+        }
     }
 
-    /// Engine with an explicit configuration.
-    pub fn with_config(model: &'a dyn KgeModel, store: &'a ParamStore, cfg: ServeConfig) -> Self {
-        assert!(cfg.batch_size > 0, "serve batch size must be positive");
-        ScoringEngine { model, store, cfg }
+    /// Engine with an explicit configuration; rejects unusable ones
+    /// (`batch_size == 0`, `default_k == 0`) with a typed error.
+    pub fn with_config(
+        model: &'a dyn KgeModel,
+        store: &'a ParamStore,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        Ok(ScoringEngine { model, store, cfg })
     }
 
     /// The model being served.
     pub fn model(&self) -> &dyn KgeModel {
         self.model
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
     }
 
     /// Candidate entities per query.
@@ -165,14 +128,7 @@ impl<'a> ScoringEngine<'a> {
         }
         let t0 = std::time::Instant::now();
         self.model.score_into(self.store, queries, out);
-        let ns = t0.elapsed().as_nanos() as u64;
-        let r = came_obs::registry();
-        r.histogram("serve.batch_ns").record(ns);
-        r.counter("serve.queries").add(queries.len() as u64);
-        if ns > 0 {
-            let qps = queries.len() as f64 * 1e9 / ns as f64;
-            r.gauge("serve.qps").set(qps as i64);
-        }
+        record_batch(queries.len(), t0.elapsed().as_nanos() as u64);
     }
 
     /// Full filtered-ranking evaluation of a split (inverse-augmented, both
@@ -186,12 +142,7 @@ impl<'a> ScoringEngine<'a> {
         filter: &FilterIndex,
         cfg: &EvalConfig,
     ) -> RankMetrics {
-        let mut triples = dataset.augmented(split);
-        if let Some(cap) = cfg.max_triples {
-            let mut rng = Prng::new(cfg.seed);
-            rng.shuffle(&mut triples);
-            triples.truncate(cap);
-        }
+        let triples = eval_triples(dataset, split, cfg);
         self.rank_triples(&triples, filter, cfg.batch_size)
     }
 
@@ -232,20 +183,30 @@ impl<'a> ScoringEngine<'a> {
 
     /// Answer one retrieval request. `filter`, when given, excludes every
     /// known tail of `(h, r)` — serving predicts *new* links.
-    pub fn top_k(&self, req: TopKRequest, filter: Option<&FilterIndex>) -> TopKResponse {
-        self.top_k_batch(std::slice::from_ref(&req), filter)
+    pub fn top_k(
+        &self,
+        req: TopKRequest,
+        filter: Option<&FilterIndex>,
+    ) -> Result<TopKResponse, ServeError> {
+        self.top_k_batch(std::slice::from_ref(&req), filter)?
             .pop()
-            .expect("one request yields one response")
+            .ok_or(ServeError::ShutDown)
     }
 
     /// Answer a batch of retrieval requests, scoring
-    /// [`ServeConfig::batch_size`] queries per forward.
+    /// [`ServeConfig::batch_size`] queries per forward. Admission is
+    /// all-or-nothing: every request is validated before any is scored, so a
+    /// bad id in the batch rejects the whole batch without wasted compute.
+    /// `k` larger than the entity count is clamped to it.
     pub fn top_k_batch(
         &self,
         reqs: &[TopKRequest],
         filter: Option<&FilterIndex>,
-    ) -> Vec<TopKResponse> {
+    ) -> Result<Vec<TopKResponse>, ServeError> {
         let n = self.num_entities();
+        for req in reqs {
+            validate_request(req, n, self.cfg.relation_bound)?;
+        }
         let batch = self.cfg.batch_size;
         let mut flat = vec![0.0f32; batch.min(reqs.len().max(1)) * n];
         let mut out = Vec::with_capacity(reqs.len());
@@ -255,7 +216,7 @@ impl<'a> ScoringEngine<'a> {
             let block = &mut flat[..chunk.len() * n];
             self.score_into(&queries, block);
             for (req, row) in chunk.iter().zip(block.chunks(n)) {
-                let k = req.k.unwrap_or(self.cfg.default_k);
+                let k = req.k.unwrap_or(self.cfg.default_k).min(n);
                 let known = filter.and_then(|f| f.known_tails(req.head, req.relation));
                 out.push(TopKResponse {
                     head: req.head,
@@ -264,47 +225,8 @@ impl<'a> ScoringEngine<'a> {
                 });
             }
         }
-        out
+        Ok(out)
     }
-}
-
-/// The serving order: score descending, entity id ascending among exact
-/// ties. Total (via `total_cmp`), so partial selection and a full sort agree
-/// on every prefix.
-fn serve_order(row: &[f32]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
-    |&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b))
-}
-
-/// Top `k` candidates of one score row under [`serve_order`], excluding the
-/// (sorted) `exclude` mask via a lockstep cursor. Equals the first `k`
-/// entries of a full sort of the surviving candidates, ties included.
-fn select_top_k(row: &[f32], k: usize, exclude: Option<&[EntityId]>) -> Vec<ScoredEntity> {
-    let exclude = exclude.unwrap_or_default();
-    let mut ids: Vec<u32> = Vec::with_capacity(row.len());
-    let mut cursor = 0usize;
-    for e in 0..row.len() as u32 {
-        while cursor < exclude.len() && exclude[cursor].0 < e {
-            cursor += 1;
-        }
-        if cursor < exclude.len() && exclude[cursor].0 == e {
-            cursor += 1;
-            continue;
-        }
-        ids.push(e);
-    }
-    let cmp = serve_order(row);
-    if ids.len() > k && k > 0 {
-        ids.select_nth_unstable_by(k - 1, &cmp);
-        ids.truncate(k);
-    }
-    ids.sort_unstable_by(&cmp);
-    ids.truncate(k);
-    ids.into_iter()
-        .map(|e| ScoredEntity {
-            entity: EntityId(e),
-            score: row[e as usize],
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -312,8 +234,8 @@ mod tests {
     use super::*;
 
     /// Deterministic pseudo-scorer: score(h, r, t) hashes the triple ids.
-    struct HashModel {
-        n: usize,
+    pub(crate) struct HashModel {
+        pub(crate) n: usize,
     }
 
     impl KgeModel for HashModel {
@@ -366,10 +288,12 @@ mod tests {
     #[test]
     fn top_k_equals_full_sort_reference_including_ties() {
         let (model, store) = engine_fixture(31);
-        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default());
+        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default()).unwrap();
         for (h, r) in [(0u32, 0u32), (3, 1), (7, 5), (11, 2)] {
-            for k in [0usize, 1, 3, 7, 31, 64] {
-                let resp = eng.top_k(TopKRequest::with_k(EntityId(h), RelationId(r), k), None);
+            for k in [1usize, 3, 7, 31] {
+                let resp = eng
+                    .top_k(TopKRequest::with_k(EntityId(h), RelationId(r), k), None)
+                    .unwrap();
                 let mut row = vec![0.0f32; 31];
                 eng.score_into(&[(EntityId(h), RelationId(r))], &mut row);
                 let want = full_sort_reference(&row, k, None);
@@ -380,9 +304,24 @@ mod tests {
     }
 
     #[test]
+    fn top_k_clamps_oversized_k_to_entity_count() {
+        let (model, store) = engine_fixture(31);
+        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default()).unwrap();
+        let resp = eng
+            .top_k(TopKRequest::with_k(EntityId(3), RelationId(1), 64), None)
+            .unwrap();
+        assert_eq!(resp.hits.len(), 31, "k > N must clamp to N");
+        let mut row = vec![0.0f32; 31];
+        eng.score_into(&[(EntityId(3), RelationId(1))], &mut row);
+        let want = full_sort_reference(&row, 31, None);
+        let got: Vec<u32> = resp.hits.iter().map(|s| s.entity.0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn top_k_excludes_known_tails() {
         let (model, store) = engine_fixture(16);
-        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default());
+        let eng = ScoringEngine::with_config(&model, &store, ServeConfig::default()).unwrap();
         let mask = [EntityId(1), EntityId(4), EntityId(9)];
         let mut row = vec![0.0f32; 16];
         eng.score_into(&[(EntityId(2), RelationId(0))], &mut row);
@@ -406,18 +345,72 @@ mod tests {
         let cfg = ServeConfig {
             batch_size: 2, // force multiple chunks
             default_k: 4,
+            ..ServeConfig::default()
         };
-        let eng = ScoringEngine::with_config(&model, &store, cfg);
+        let eng = ScoringEngine::with_config(&model, &store, cfg).unwrap();
         let reqs: Vec<TopKRequest> = (0..5)
             .map(|i| TopKRequest::new(EntityId(i), RelationId(i % 3)))
             .collect();
-        let batched = eng.top_k_batch(&reqs, None);
+        let batched = eng.top_k_batch(&reqs, None).unwrap();
         assert_eq!(batched.len(), reqs.len());
         for (req, resp) in reqs.iter().zip(&batched) {
-            let single = eng.top_k(*req, None);
+            let single = eng.top_k(*req, None).unwrap();
             assert_eq!(resp.hits, single.hits);
             assert_eq!(resp.hits.len(), 4); // default_k
         }
+    }
+
+    #[test]
+    fn admission_rejects_bad_requests_with_typed_errors() {
+        let (model, store) = engine_fixture(8);
+        let cfg = ServeConfig::default().with_relation_bound(4);
+        let eng = ScoringEngine::with_config(&model, &store, cfg).unwrap();
+
+        let bad_entity = TopKRequest::new(EntityId(8), RelationId(0));
+        assert_eq!(
+            eng.top_k(bad_entity, None).unwrap_err(),
+            ServeError::EntityOutOfRange {
+                entity: EntityId(8),
+                num_entities: 8,
+            }
+        );
+
+        let bad_relation = TopKRequest::new(EntityId(0), RelationId(4));
+        assert_eq!(
+            eng.top_k(bad_relation, None).unwrap_err(),
+            ServeError::RelationOutOfRange {
+                relation: RelationId(4),
+                num_relations: 4,
+            }
+        );
+
+        let zero_k = TopKRequest::with_k(EntityId(0), RelationId(0), 0);
+        assert_eq!(eng.top_k(zero_k, None).unwrap_err(), ServeError::ZeroK);
+
+        // One bad request rejects the whole batch before any scoring.
+        let batch = [TopKRequest::new(EntityId(0), RelationId(0)), bad_entity];
+        assert!(eng.top_k_batch(&batch, None).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (model, store) = engine_fixture(8);
+        let zero_batch = ServeConfig {
+            batch_size: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            ScoringEngine::with_config(&model, &store, zero_batch).err(),
+            Some(ServeError::InvalidBatchSize)
+        );
+        let zero_k = ServeConfig {
+            default_k: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            ScoringEngine::with_config(&model, &store, zero_k).err(),
+            Some(ServeError::ZeroK)
+        );
     }
 
     #[test]
@@ -425,5 +418,6 @@ mod tests {
         let cfg = ServeConfig::default();
         assert_eq!(cfg.batch_size, 128);
         assert_eq!(cfg.default_k, 10);
+        assert_eq!(cfg.relation_bound, None);
     }
 }

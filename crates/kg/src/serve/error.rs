@@ -1,0 +1,76 @@
+//! Typed serving errors: every rejection the tier can hand back to a
+//! caller, replacing the panics of the PR 4 engine. Admission problems
+//! (bad ids, `k == 0`, bad configuration) and capacity problems
+//! (`Overloaded`, `ShutDown`) share one enum so traffic-facing callers
+//! match on a single type.
+
+use crate::vocab::{EntityId, RelationId};
+
+/// Why the serving tier rejected a request or configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// `ServeConfig::batch_size` was zero.
+    InvalidBatchSize,
+    /// A shard plan asked for zero shards.
+    InvalidShardCount,
+    /// A request named an entity outside `[0, num_entities)`.
+    EntityOutOfRange {
+        /// The offending entity id.
+        entity: EntityId,
+        /// The model's entity count.
+        num_entities: usize,
+    },
+    /// A request named a relation outside the configured bound.
+    RelationOutOfRange {
+        /// The offending relation id.
+        relation: RelationId,
+        /// The configured inverse-augmented relation count.
+        num_relations: usize,
+    },
+    /// A request (or `ServeConfig::default_k`) asked for zero candidates.
+    ZeroK,
+    /// The tier's bounded request queue was full; retry later or shed the
+    /// request. This is backpressure, not a failure of the request itself.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The tier has shut down (or a worker disappeared) before the request
+    /// completed.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidBatchSize => write!(f, "serve batch size must be positive"),
+            ServeError::InvalidShardCount => write!(f, "shard count must be positive"),
+            ServeError::EntityOutOfRange {
+                entity,
+                num_entities,
+            } => write!(
+                f,
+                "entity id {} out of range (model has {num_entities} entities)",
+                entity.0
+            ),
+            ServeError::RelationOutOfRange {
+                relation,
+                num_relations,
+            } => write!(
+                f,
+                "relation id {} out of range (serving {num_relations} relations)",
+                relation.0
+            ),
+            ServeError::ZeroK => write!(f, "k must be positive"),
+            ServeError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "serving queue full (capacity {capacity}); request rejected"
+                )
+            }
+            ServeError::ShutDown => write!(f, "serving tier has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

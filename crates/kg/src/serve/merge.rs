@@ -1,0 +1,105 @@
+//! The serving order and the scatter-gather top-k merge.
+//!
+//! Everything here is comparisons and copies — no float arithmetic — so a
+//! merge of per-shard partials is bit-identical to selecting from the full
+//! row: each candidate's `(score, id)` pair is unchanged by sharding, and
+//! [`serve_order`] is total (`total_cmp`), so the global first-`k` prefix
+//! is the same set in the same order no matter how the candidate axis was
+//! partitioned.
+
+use super::ScoredEntity;
+use crate::vocab::EntityId;
+
+/// The serving order: score descending, entity id ascending among exact
+/// ties. Total (via `total_cmp`), so partial selection and a full sort
+/// agree on every prefix.
+pub(super) fn serve_order(row: &[f32]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+    |&a, &b| row[b as usize].total_cmp(&row[a as usize]).then(a.cmp(&b))
+}
+
+/// Top `k` candidates of one score row under [`serve_order`], excluding the
+/// (sorted) `exclude` mask via a lockstep cursor. Equals the first `k`
+/// entries of a full sort of the surviving candidates, ties included.
+pub(super) fn select_top_k(
+    row: &[f32],
+    k: usize,
+    exclude: Option<&[EntityId]>,
+) -> Vec<ScoredEntity> {
+    select_top_k_range(row, 0, k, exclude)
+}
+
+/// [`select_top_k`] for a shard's column stripe: `row[c]` is the score of
+/// entity `lo + c`. The `exclude` mask is global (sorted entity ids); the
+/// cursor starts at the first id `>= lo` so only in-range exclusions apply.
+pub(super) fn select_top_k_range(
+    row: &[f32],
+    lo: u32,
+    k: usize,
+    exclude: Option<&[EntityId]>,
+) -> Vec<ScoredEntity> {
+    let exclude = exclude.unwrap_or_default();
+    let mut cursor = exclude.partition_point(|e| e.0 < lo);
+    let mut ids: Vec<u32> = Vec::with_capacity(row.len());
+    for c in 0..row.len() as u32 {
+        let e = lo + c;
+        while cursor < exclude.len() && exclude[cursor].0 < e {
+            cursor += 1;
+        }
+        if cursor < exclude.len() && exclude[cursor].0 == e {
+            cursor += 1;
+            continue;
+        }
+        ids.push(c);
+    }
+    let cmp = serve_order(row);
+    if ids.len() > k && k > 0 {
+        ids.select_nth_unstable_by(k - 1, &cmp);
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by(&cmp);
+    ids.truncate(k);
+    ids.into_iter()
+        .map(|c| ScoredEntity {
+            entity: EntityId(lo + c),
+            score: row[c as usize],
+        })
+        .collect()
+}
+
+/// Merge per-shard top-k partials into the global top `k`.
+///
+/// Each partial must already be in serving order (score descending, id
+/// ascending) over a candidate range disjoint from every other partial —
+/// exactly what [`select_top_k_range`] produces for a shard stripe. The
+/// merge repeatedly picks the best remaining head across partials, so the
+/// output equals the first `k` rows of a full sort of the union, ties
+/// included.
+pub fn merge_top_k(partials: &[Vec<ScoredEntity>], k: usize) -> Vec<ScoredEntity> {
+    let mut cursors = vec![0usize; partials.len()];
+    let total: usize = partials.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (i, partial) in partials.iter().enumerate() {
+            let Some(cand) = partial.get(cursors[i]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let cur = &partials[b][cursors[b]];
+                    let better = cand
+                        .score
+                        .total_cmp(&cur.score)
+                        .then(cur.entity.0.cmp(&cand.entity.0))
+                        .is_gt();
+                    Some(if better { i } else { b })
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(partials[b][cursors[b]]);
+        cursors[b] += 1;
+    }
+    out
+}

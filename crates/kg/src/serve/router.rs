@@ -1,0 +1,489 @@
+//! The router layer: a traffic-facing async tier over persistent shard
+//! workers.
+//!
+//! Concurrent callers submit through a [`TierHandle`] into one bounded
+//! request queue. A router thread coalesces whatever has accumulated into a
+//! continuous batch — flushed when it reaches the serve batch size or when
+//! the oldest request has waited `flush_us` — then scatter-gathers the
+//! batch across shard workers and replies per request. While a batch is
+//! scoring, new arrivals pile up in the queue and form the next batch; a
+//! full queue rejects immediately with [`ServeError::Overloaded`] (typed
+//! backpressure instead of unbounded buffering).
+//!
+//! Everything is `std`: scoped threads so workers can borrow the model and
+//! store, `sync_channel` for the bounded queue and the depth-1 per-shard
+//! dispatch slots, and per-request reply channels for completion.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use came_tensor::ParamStore;
+
+use super::engine::{record_batch, validate_request};
+use super::merge::{merge_top_k, select_top_k_range};
+use super::shard::ShardPlan;
+use super::{ScoredEntity, ServeConfig, ServeError, TopKRequest, TopKResponse};
+use crate::dataset::FilterIndex;
+use crate::model::KgeModel;
+use crate::vocab::{EntityId, RelationId};
+
+/// Tier options: shard count, queue bound, flush deadline, plus the
+/// engine-level [`ServeConfig`].
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// Entity-axis shard workers (`CAME_SHARDS`).
+    pub shards: usize,
+    /// Bounded request-queue capacity (`CAME_SERVE_QUEUE`); a full queue
+    /// rejects with [`ServeError::Overloaded`].
+    pub queue: usize,
+    /// Microseconds the oldest queued request may wait before a partial
+    /// batch is flushed (`CAME_SERVE_FLUSH_US`).
+    pub flush_us: u64,
+    /// Engine-level serving options; `serve.batch_size` is also the
+    /// router's maximum coalesced batch.
+    pub serve: ServeConfig,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            shards: 1,
+            queue: 1024,
+            flush_us: 200,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+impl TierConfig {
+    /// Defaults overridden by `CAME_SHARDS`, `CAME_SERVE_QUEUE`,
+    /// `CAME_SERVE_FLUSH_US` (positive integers), and the
+    /// [`ServeConfig::from_env`] knobs.
+    pub fn from_env() -> Self {
+        let mut cfg = TierConfig {
+            serve: ServeConfig::from_env(),
+            ..TierConfig::default()
+        };
+        if let Some(s) = super::env_usize("CAME_SHARDS") {
+            cfg.shards = s;
+        }
+        if let Some(q) = super::env_usize("CAME_SERVE_QUEUE") {
+            cfg.queue = q;
+        }
+        if let Some(us) = super::env_usize("CAME_SERVE_FLUSH_US") {
+            cfg.flush_us = us as u64;
+        }
+        cfg
+    }
+}
+
+/// One queued request: the payload plus its private reply channel.
+enum Job {
+    TopK {
+        req: TopKRequest,
+        reply: mpsc::Sender<Result<TopKResponse, ServeError>>,
+    },
+    Scores {
+        query: (EntityId, RelationId),
+        reply: mpsc::Sender<Result<Vec<f32>, ServeError>>,
+    },
+}
+
+/// An in-flight [`TierHandle::submit`]; [`PendingTopK::wait`] blocks for
+/// the response.
+pub struct PendingTopK {
+    rx: mpsc::Receiver<Result<TopKResponse, ServeError>>,
+}
+
+impl PendingTopK {
+    /// Block until the tier answers (or shuts down).
+    pub fn wait(self) -> Result<TopKResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+    }
+}
+
+/// An in-flight [`TierHandle::submit_scores`]; [`PendingScores::wait`]
+/// blocks for the full score row.
+pub struct PendingScores {
+    rx: mpsc::Receiver<Result<Vec<f32>, ServeError>>,
+}
+
+impl PendingScores {
+    /// Block until the tier answers (or shuts down).
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+    }
+}
+
+/// A caller's entry point into the tier: validating, non-blocking
+/// admission into the bounded queue. Clone freely — one handle per client
+/// thread.
+pub struct TierHandle {
+    tx: mpsc::SyncSender<Job>,
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
+    num_entities: usize,
+    relation_bound: Option<usize>,
+}
+
+impl Clone for TierHandle {
+    fn clone(&self) -> Self {
+        TierHandle {
+            tx: self.tx.clone(),
+            depth: self.depth.clone(),
+            capacity: self.capacity,
+            num_entities: self.num_entities,
+            relation_bound: self.relation_bound,
+        }
+    }
+}
+
+impl TierHandle {
+    /// Submit a retrieval request without blocking: admission validates ids
+    /// and `k`, and a full queue rejects with
+    /// [`ServeError::Overloaded`] (bumping `serve.router.rejected`).
+    pub fn submit(&self, req: TopKRequest) -> Result<PendingTopK, ServeError> {
+        validate_request(&req, self.num_entities, self.relation_bound)?;
+        let (reply, rx) = mpsc::channel();
+        self.admit(Job::TopK { req, reply })?;
+        Ok(PendingTopK { rx })
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper over
+    /// [`TierHandle::submit`].
+    pub fn top_k(&self, req: TopKRequest) -> Result<TopKResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Submit a full-row scoring request (the bit-equality audit surface:
+    /// the exact `[N]` score row the tier serves for one query).
+    pub fn submit_scores(
+        &self,
+        query: (EntityId, RelationId),
+    ) -> Result<PendingScores, ServeError> {
+        let probe = TopKRequest::new(query.0, query.1);
+        validate_request(&probe, self.num_entities, self.relation_bound)?;
+        let (reply, rx) = mpsc::channel();
+        self.admit(Job::Scores { query, reply })?;
+        Ok(PendingScores { rx })
+    }
+
+    /// Submit-and-wait wrapper over [`TierHandle::submit_scores`].
+    pub fn scores(&self, query: (EntityId, RelationId)) -> Result<Vec<f32>, ServeError> {
+        self.submit_scores(query)?.wait()
+    }
+
+    fn admit(&self, job: Job) -> Result<(), ServeError> {
+        // Count the job before it is visible to the router, so the router's
+        // matching decrement can never underflow the gauge.
+        self.depth.fetch_add(1, SeqCst);
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                if came_obs::enabled() {
+                    came_obs::registry()
+                        .gauge("serve.router.queue_depth")
+                        .set(self.depth.load(SeqCst) as i64);
+                }
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, SeqCst);
+                if came_obs::enabled() {
+                    came_obs::registry().counter("serve.router.rejected").add(1);
+                }
+                Err(ServeError::Overloaded {
+                    capacity: self.capacity,
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, SeqCst);
+                Err(ServeError::ShutDown)
+            }
+        }
+    }
+}
+
+/// One coalesced batch's shared work order, read by every shard worker.
+struct BatchPlan<'e> {
+    queries: Vec<(EntityId, RelationId)>,
+    ks: Vec<usize>,
+    knowns: Vec<Option<&'e [EntityId]>>,
+    /// 1-N models: the pre-scored `[Q, N]` block (shards only select).
+    /// Range-scoring models: `None` — each shard scores its own stripe.
+    full: Option<Vec<f32>>,
+}
+
+/// One dispatch to a shard worker: the shared plan plus the batch's
+/// gather channel.
+struct ShardTask<'e> {
+    plan: Arc<BatchPlan<'e>>,
+    reply: mpsc::Sender<(usize, Vec<Vec<ScoredEntity>>)>,
+}
+
+/// The serving tier: shard workers + router over a bounded queue, run as a
+/// scoped-thread region so workers borrow the model and store directly.
+pub struct ServeTier;
+
+impl ServeTier {
+    /// Start the tier, hand the caller a [`TierHandle`], and tear the tier
+    /// down when the closure returns. `filter`, when given, excludes known
+    /// tails from every response (serve *new* links).
+    ///
+    /// The closure runs on the calling thread; clone the handle into any
+    /// client threads spawned inside it. Handles that outlive the closure
+    /// fail all calls with [`ServeError::ShutDown`].
+    pub fn run<R>(
+        model: &(dyn KgeModel + Sync),
+        store: &ParamStore,
+        filter: Option<&FilterIndex>,
+        cfg: TierConfig,
+        f: impl FnOnce(&TierHandle) -> R,
+    ) -> Result<R, ServeError> {
+        cfg.serve.validate()?;
+        let plan = ShardPlan::new(model.num_entities(), cfg.shards)?;
+        let capacity = cfg.queue.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = TierHandle {
+            tx,
+            depth: Arc::clone(&depth),
+            capacity,
+            num_entities: model.num_entities(),
+            relation_bound: cfg.serve.relation_bound,
+        };
+        let result = std::thread::scope(|scope| {
+            let mut shard_txs = Vec::with_capacity(plan.num_shards());
+            for (i, &(lo, hi)) in plan.ranges().iter().enumerate() {
+                // Depth-1 dispatch slot: a busy shard stalls the router,
+                // the queue fills, and admission starts rejecting — the
+                // backpressure chain.
+                let (stx, srx) = mpsc::sync_channel::<ShardTask<'_>>(1);
+                shard_txs.push(stx);
+                scope.spawn(move || shard_loop(i, lo, hi, srx, model, store));
+            }
+            {
+                let depth = Arc::clone(&depth);
+                let stop = Arc::clone(&stop);
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    router_loop(rx, shard_txs, model, store, filter, &cfg, &depth, &stop)
+                });
+            }
+            let r = f(&handle);
+            stop.store(true, SeqCst);
+            drop(handle);
+            r
+        });
+        Ok(result)
+    }
+}
+
+/// Coalesce queued jobs into continuous batches and dispatch them.
+#[allow(clippy::too_many_arguments)]
+fn router_loop<'e>(
+    rx: mpsc::Receiver<Job>,
+    shard_txs: Vec<mpsc::SyncSender<ShardTask<'e>>>,
+    model: &(dyn KgeModel + Sync),
+    store: &ParamStore,
+    filter: Option<&'e FilterIndex>,
+    cfg: &TierConfig,
+    depth: &AtomicUsize,
+    stop: &AtomicBool,
+) {
+    let max_batch = cfg.serve.batch_size;
+    let flush = Duration::from_micros(cfg.flush_us);
+    loop {
+        // Block for the first job; wake periodically to notice shutdown
+        // even when a cloned handle keeps the channel open.
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        depth.fetch_sub(1, SeqCst);
+        let mut batch = vec![first];
+        // Continuous batching: drain whatever arrives before the oldest
+        // request's flush deadline, up to the serve batch size.
+        let deadline = Instant::now() + flush;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    depth.fetch_sub(1, SeqCst);
+                    batch.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        if came_obs::enabled() {
+            let r = came_obs::registry();
+            r.histogram("serve.router.batch_size")
+                .record(batch.len() as u64);
+            r.gauge("serve.router.queue_depth")
+                .set(depth.load(SeqCst) as i64);
+        }
+        process_batch(batch, &shard_txs, model, store, filter, &cfg.serve);
+    }
+}
+
+/// Score one coalesced batch: full rows for score requests, scatter-gather
+/// top-k for retrieval requests.
+fn process_batch<'e>(
+    batch: Vec<Job>,
+    shard_txs: &[mpsc::SyncSender<ShardTask<'e>>],
+    model: &(dyn KgeModel + Sync),
+    store: &ParamStore,
+    filter: Option<&'e FilterIndex>,
+    serve: &ServeConfig,
+) {
+    let n = model.num_entities();
+    let mut topk: Vec<(TopKRequest, mpsc::Sender<Result<TopKResponse, ServeError>>)> = Vec::new();
+    let mut scores: Vec<(
+        (EntityId, RelationId),
+        mpsc::Sender<Result<Vec<f32>, ServeError>>,
+    )> = Vec::new();
+    for job in batch {
+        match job {
+            Job::TopK { req, reply } => topk.push((req, reply)),
+            Job::Scores { query, reply } => scores.push((query, reply)),
+        }
+    }
+
+    if !scores.is_empty() {
+        let queries: Vec<(EntityId, RelationId)> = scores.iter().map(|s| s.0).collect();
+        let t0 = Instant::now();
+        let mut flat = vec![0.0f32; queries.len() * n];
+        model.score_into(store, &queries, &mut flat);
+        if came_obs::enabled() {
+            record_batch(queries.len(), t0.elapsed().as_nanos() as u64);
+        }
+        for ((_, reply), row) in scores.into_iter().zip(flat.chunks(n)) {
+            let _ = reply.send(Ok(row.to_vec()));
+        }
+    }
+
+    if topk.is_empty() {
+        return;
+    }
+    let queries: Vec<(EntityId, RelationId)> =
+        topk.iter().map(|(r, _)| (r.head, r.relation)).collect();
+    let ks: Vec<usize> = topk
+        .iter()
+        .map(|(r, _)| r.k.unwrap_or(serve.default_k).min(n))
+        .collect();
+    let knowns: Vec<Option<&[EntityId]>> = topk
+        .iter()
+        .map(|(r, _)| filter.and_then(|f| f.known_tails(r.head, r.relation)))
+        .collect();
+    let t0 = Instant::now();
+    // 1-N models score the whole block once; shards then only select over
+    // column stripes (splitting a fused forward would repeat its work).
+    let full = if model.supports_range_scoring() && shard_txs.len() > 1 {
+        None
+    } else {
+        let mut flat = vec![0.0f32; queries.len() * n];
+        model.score_into(store, &queries, &mut flat);
+        Some(flat)
+    };
+    let nq = queries.len();
+    let plan = Arc::new(BatchPlan {
+        queries,
+        ks,
+        knowns,
+        full,
+    });
+    let (gather_tx, gather_rx) = mpsc::channel();
+    for stx in shard_txs {
+        let task = ShardTask {
+            plan: Arc::clone(&plan),
+            reply: gather_tx.clone(),
+        };
+        if stx.send(task).is_err() {
+            // A shard worker died; fail the whole batch.
+            for (_, reply) in topk {
+                let _ = reply.send(Err(ServeError::ShutDown));
+            }
+            return;
+        }
+    }
+    drop(gather_tx);
+    let mut per_shard: Vec<Option<Vec<Vec<ScoredEntity>>>> = vec![None; shard_txs.len()];
+    for _ in 0..shard_txs.len() {
+        match gather_rx.recv() {
+            Ok((idx, partials)) => per_shard[idx] = Some(partials),
+            Err(_) => {
+                for (_, reply) in topk {
+                    let _ = reply.send(Err(ServeError::ShutDown));
+                }
+                return;
+            }
+        }
+    }
+    if came_obs::enabled() {
+        record_batch(nq, t0.elapsed().as_nanos() as u64);
+    }
+    let per_shard: Vec<Vec<Vec<ScoredEntity>>> = per_shard.into_iter().flatten().collect();
+    for (qi, (req, reply)) in topk.into_iter().enumerate() {
+        let lists: Vec<Vec<ScoredEntity>> = per_shard.iter().map(|s| s[qi].clone()).collect();
+        let resp = TopKResponse {
+            head: req.head,
+            relation: req.relation,
+            hits: merge_top_k(&lists, plan.ks[qi]),
+        };
+        let _ = reply.send(Ok(resp));
+    }
+}
+
+/// One shard worker: receive a batch plan, produce this shard's sorted
+/// top-k partial for every query, send it to the batch's gather channel.
+fn shard_loop(
+    idx: usize,
+    lo: usize,
+    hi: usize,
+    rx: mpsc::Receiver<ShardTask<'_>>,
+    model: &(dyn KgeModel + Sync),
+    store: &ParamStore,
+) {
+    let n = model.num_entities();
+    let w = hi - lo;
+    let gauge =
+        came_obs::enabled().then(|| came_obs::registry().gauge(&format!("serve.shard{idx}.queue")));
+    while let Ok(task) = rx.recv() {
+        if let Some(g) = gauge {
+            g.set(1);
+        }
+        let plan = &task.plan;
+        let nq = plan.queries.len();
+        let stripe: Option<Vec<f32>> = if plan.full.is_none() {
+            let mut buf = vec![0.0f32; nq * w];
+            model.score_range_into(store, &plan.queries, lo, hi, &mut buf);
+            Some(buf)
+        } else {
+            None
+        };
+        let partials: Vec<Vec<ScoredEntity>> = (0..nq)
+            .map(|qi| {
+                let row: &[f32] = match (&stripe, &plan.full) {
+                    (Some(s), _) => &s[qi * w..(qi + 1) * w],
+                    (None, Some(full)) => &full[qi * n + lo..qi * n + hi],
+                    (None, None) => unreachable!("shard task carries stripe or full block"),
+                };
+                select_top_k_range(row, lo as u32, plan.ks[qi], plan.knowns[qi])
+            })
+            .collect();
+        let _ = task.reply.send((idx, partials));
+        if let Some(g) = gauge {
+            g.set(0);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! End-to-end guarantees of the sharded serving tier: shard plans partition
+//! the candidate axis exactly, the scatter-gather top-k merge is
+//! bit-identical to the single-engine full-sort prefix (tie runs straddling
+//! shard boundaries included), sharded evaluation reproduces single-engine
+//! metrics bit for bit, admission control rejects bad requests and overload
+//! with typed errors, and the router's events land in the JSONL sink.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::Duration;
+
+use came_kg::triple::Triple;
+use came_kg::{
+    EntityId, EntityKind, EvalConfig, KgDataset, KgeModel, RelationId, ScoringEngine, ServeConfig,
+    ServeError, ServeTier, ShardPlan, ShardedEngine, Split, TierConfig, TopKRequest, TopKResponse,
+    Vocab,
+};
+use came_obs::json;
+use came_tensor::{ParamStore, Prng};
+
+/// Deterministic pseudo-scorer with only seven distinct score values, so
+/// exact tie runs are everywhere — including straddling shard boundaries.
+fn hash_score(h: u32, r: u32, t: usize) -> f32 {
+    let x = (h as u64)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((r as u64) << 7)
+        .wrapping_add(t as u64)
+        .wrapping_mul(0x85EB_CA6B);
+    (x % 7) as f32
+}
+
+/// 1-N-style model: no native range scoring (the tier scores full rows once
+/// and shards only the selection work).
+struct HashModel {
+    n: usize,
+}
+
+impl KgeModel for HashModel {
+    fn name(&self) -> &str {
+        "hash-1n"
+    }
+    fn num_entities(&self) -> usize {
+        self.n
+    }
+    fn score_into(&self, _store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        assert_eq!(out.len(), queries.len() * self.n);
+        for (q, row) in queries.iter().zip(out.chunks_mut(self.n)) {
+            for (t, slot) in row.iter_mut().enumerate() {
+                *slot = hash_score(q.0 .0, q.1 .0, t);
+            }
+        }
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Per-triple-style model: scores candidate ranges natively (each shard
+/// computes its own stripe), same scores as [`HashModel`].
+struct RangedHashModel {
+    n: usize,
+    range_calls: AtomicUsize,
+}
+
+impl RangedHashModel {
+    fn new(n: usize) -> Self {
+        RangedHashModel {
+            n,
+            range_calls: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl KgeModel for RangedHashModel {
+    fn name(&self) -> &str {
+        "hash-ranged"
+    }
+    fn num_entities(&self) -> usize {
+        self.n
+    }
+    fn score_into(&self, store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        self.score_range_into(store, queries, 0, self.n, out);
+    }
+    fn supports_range_scoring(&self) -> bool {
+        true
+    }
+    fn score_range_into(
+        &self,
+        _store: &ParamStore,
+        queries: &[(EntityId, RelationId)],
+        lo: usize,
+        hi: usize,
+        out: &mut [f32],
+    ) {
+        self.range_calls.fetch_add(1, Relaxed);
+        let w = hi - lo;
+        assert_eq!(out.len(), queries.len() * w);
+        for (q, row) in queries.iter().zip(out.chunks_mut(w)) {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = hash_score(q.0 .0, q.1 .0, lo + c);
+            }
+        }
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Every candidate scores identically: the whole axis is one tie run, so
+/// every shard boundary splits a tie.
+struct ConstModel {
+    n: usize,
+}
+
+impl KgeModel for ConstModel {
+    fn name(&self) -> &str {
+        "const"
+    }
+    fn num_entities(&self) -> usize {
+        self.n
+    }
+    fn score_into(&self, _store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        assert_eq!(out.len(), queries.len() * self.n);
+        out.fill(1.5);
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A deliberately slow scorer, to hold the router busy long enough for the
+/// bounded queue to fill and reject.
+struct SlowModel {
+    inner: HashModel,
+    delay: Duration,
+}
+
+impl KgeModel for SlowModel {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn num_entities(&self) -> usize {
+        self.inner.n
+    }
+    fn score_into(&self, store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        std::thread::sleep(self.delay);
+        self.inner.score_into(store, queries, out);
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn toy_dataset(entities: usize, triples: u32) -> KgDataset {
+    let mut vocab = Vocab::new();
+    for i in 0..entities {
+        vocab.add_entity(format!("e{i}"), EntityKind::Other);
+    }
+    vocab.add_relation("r0");
+    vocab.add_relation("r1");
+    let triples: Vec<Triple> = (0..triples)
+        .map(|i| Triple::new(i % entities as u32, i % 2, (i * 3 + 1) % entities as u32))
+        .collect();
+    KgDataset::split(vocab, triples, (0.6, 0.2, 0.2), &mut Prng::new(3))
+}
+
+fn reqs_for(n: u32, count: u32, k: usize) -> Vec<TopKRequest> {
+    (0..count)
+        .map(|i| TopKRequest::with_k(EntityId(i.wrapping_mul(7) % n), RelationId(i % 4), k))
+        .collect()
+}
+
+fn ids(resp: &TopKResponse) -> Vec<u32> {
+    resp.hits.iter().map(|s| s.entity.0).collect()
+}
+
+#[test]
+fn shard_plan_is_balanced_contiguous_and_exact() {
+    for (n, shards) in [(97usize, 7usize), (10, 3), (5, 5), (3, 8), (1, 4)] {
+        let plan = ShardPlan::new(n, shards).unwrap();
+        assert!(plan.num_shards() <= shards);
+        assert_eq!(plan.num_entities(), n);
+        let mut covered = 0usize;
+        let mut sizes = Vec::new();
+        for &(lo, hi) in plan.ranges() {
+            assert_eq!(lo, covered, "ranges must be contiguous in id order");
+            assert!(hi > lo, "ranges must be non-empty");
+            sizes.push(hi - lo);
+            covered = hi;
+        }
+        assert_eq!(covered, n, "ranges must cover the whole axis");
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced: sizes differ by at most one");
+    }
+    assert_eq!(
+        ShardPlan::new(10, 0).err(),
+        Some(ServeError::InvalidShardCount)
+    );
+}
+
+#[test]
+fn sharded_top_k_is_bit_identical_to_single_engine_for_both_disciplines() {
+    let n = 53usize;
+    let store = ParamStore::new();
+    let one_n = HashModel { n };
+    let ranged = RangedHashModel::new(n);
+    let models: [&(dyn KgeModel + Sync); 2] = [&one_n, &ranged];
+    for model in models {
+        let single = ScoringEngine::with_config(model, &store, ServeConfig::default()).unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            let sharded =
+                ShardedEngine::with_config(model, &store, shards, ServeConfig::default()).unwrap();
+            for k in [1usize, 3, 10, n, n + 40] {
+                let reqs = reqs_for(n as u32, 9, k);
+                let want = single.top_k_batch(&reqs, None).unwrap();
+                let got = sharded.top_k_batch(&reqs, None).unwrap();
+                assert_eq!(want.len(), got.len());
+                for (w, g) in want.iter().zip(&got) {
+                    assert_eq!(
+                        w.hits,
+                        g.hits,
+                        "{} shards={shards} k={k} h={} r={}",
+                        model.name(),
+                        w.head.0,
+                        w.relation.0
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        ranged.range_calls.load(Relaxed) > 0,
+        "ranged model must have scored stripes natively"
+    );
+}
+
+#[test]
+fn tie_runs_straddling_shard_boundaries_merge_in_id_order() {
+    // All scores equal: the global top-k under (score desc, id asc) is ids
+    // 0..k, and with 5 shards over 23 entities every boundary splits the
+    // one big tie run.
+    let model = ConstModel { n: 23 };
+    let store = ParamStore::new();
+    let sharded = ShardedEngine::with_config(&model, &store, 5, ServeConfig::default()).unwrap();
+    for k in [1usize, 4, 5, 6, 11, 23] {
+        let resp = sharded
+            .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), k), None)
+            .unwrap();
+        let want: Vec<u32> = (0..k as u32).collect();
+        assert_eq!(ids(&resp), want, "k={k}");
+    }
+}
+
+#[test]
+fn sharded_evaluate_is_bit_equal_to_single_engine() {
+    let d = toy_dataset(41, 120);
+    let filter = d.filter_index();
+    let store = ParamStore::new();
+    let cfg = EvalConfig {
+        batch_size: 16,
+        ..Default::default()
+    };
+    let one_n = HashModel {
+        n: d.num_entities(),
+    };
+    let ranged = RangedHashModel::new(d.num_entities());
+    let models: [&(dyn KgeModel + Sync); 2] = [&one_n, &ranged];
+    for model in models {
+        let single = ScoringEngine::with_config(model, &store, ServeConfig::default()).unwrap();
+        let want = single.evaluate(&d, Split::Test, &filter, &cfg);
+        for shards in [2usize, 5] {
+            let sharded =
+                ShardedEngine::with_config(model, &store, shards, ServeConfig::default()).unwrap();
+            let got = sharded.evaluate(&d, Split::Test, &filter, &cfg);
+            assert_eq!(want.count(), got.count(), "{}", model.name());
+            assert_eq!(want.mrr(), got.mrr(), "{} MRR", model.name());
+            assert_eq!(want.mr(), got.mr(), "{} MR", model.name());
+            for k in [1, 3, 10] {
+                assert_eq!(want.hits(k), got.hits(k), "{} Hits@{k}", model.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_validates_and_clamps_like_the_engine() {
+    let model = HashModel { n: 20 };
+    let store = ParamStore::new();
+    let cfg = ServeConfig::default().with_relation_bound(4);
+    let sharded = ShardedEngine::with_config(&model, &store, 3, cfg).unwrap();
+
+    // k > N clamps to N.
+    let resp = sharded
+        .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), 500), None)
+        .unwrap();
+    assert_eq!(resp.hits.len(), 20);
+
+    assert_eq!(
+        sharded
+            .top_k(TopKRequest::new(EntityId(20), RelationId(0)), None)
+            .err(),
+        Some(ServeError::EntityOutOfRange {
+            entity: EntityId(20),
+            num_entities: 20,
+        })
+    );
+    assert_eq!(
+        sharded
+            .top_k(TopKRequest::new(EntityId(0), RelationId(9)), None)
+            .err(),
+        Some(ServeError::RelationOutOfRange {
+            relation: RelationId(9),
+            num_relations: 4,
+        })
+    );
+    assert_eq!(
+        sharded
+            .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), 0), None)
+            .err(),
+        Some(ServeError::ZeroK)
+    );
+}
+
+#[test]
+fn tier_answers_match_the_single_engine_under_concurrent_clients() {
+    let n = 37usize;
+    let store = ParamStore::new();
+    let model = RangedHashModel::new(n);
+    let d = toy_dataset(n, 90);
+    let filter = d.filter_index();
+    let single = ScoringEngine::with_config(&model, &store, ServeConfig::default()).unwrap();
+
+    // Precompute the single-engine answers: `ScoringEngine` borrows a plain
+    // `&dyn KgeModel`, so the comparison happens against owned responses
+    // inside the client threads.
+    let req_at = |client: u32, i: u32| {
+        TopKRequest::with_k(EntityId((client * 8 + i) % n as u32), RelationId(i % 4), 10)
+    };
+    let want: Vec<Vec<TopKResponse>> = (0..4u32)
+        .map(|client| {
+            (0..8u32)
+                .map(|i| single.top_k(req_at(client, i), Some(&filter)).unwrap())
+                .collect()
+        })
+        .collect();
+
+    let cfg = TierConfig {
+        shards: 3,
+        flush_us: 100,
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, Some(&filter), cfg, |handle| {
+        std::thread::scope(|s| {
+            for client in 0..4u32 {
+                let handle = handle.clone();
+                let want = &want;
+                s.spawn(move || {
+                    for i in 0..8u32 {
+                        let got = handle.top_k(req_at(client, i)).unwrap();
+                        let expect = &want[client as usize][i as usize];
+                        assert_eq!(got.hits, expect.hits, "client={client} i={i}");
+                    }
+                });
+            }
+        });
+        // The score-row audit surface is bit-equal to a direct forward.
+        let q = (EntityId(5), RelationId(1));
+        let row = handle.scores(q).unwrap();
+        let mut want = vec![0.0f32; n];
+        single.score_into(&[q], &mut want);
+        assert_eq!(row, want);
+    })
+    .unwrap();
+}
+
+#[test]
+fn tier_rejects_overload_with_typed_backpressure() {
+    let model = SlowModel {
+        inner: HashModel { n: 64 },
+        delay: Duration::from_millis(40),
+    };
+    let store = ParamStore::new();
+    let cfg = TierConfig {
+        shards: 2,
+        queue: 1,
+        flush_us: 1,
+        ..TierConfig::default()
+    };
+    let overloaded = ServeTier::run(&model, &store, None, cfg, |handle| {
+        let mut pending = Vec::new();
+        let mut rejections = 0usize;
+        for i in 0..64u32 {
+            let req = TopKRequest::with_k(EntityId(i % 64), RelationId(0), 5);
+            match handle.submit(req) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejections += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // Accepted requests still complete correctly after the burst.
+        for p in pending {
+            let resp = p.wait().unwrap();
+            assert_eq!(resp.hits.len(), 5);
+        }
+        rejections
+    })
+    .unwrap();
+    assert!(
+        overloaded > 0,
+        "a 64-request burst into a capacity-1 queue must shed load"
+    );
+}
+
+#[test]
+fn tier_validates_at_admission_and_fails_escaped_handles() {
+    let model = HashModel { n: 16 };
+    let store = ParamStore::new();
+    let cfg = TierConfig {
+        serve: ServeConfig::default().with_relation_bound(4),
+        ..TierConfig::default()
+    };
+    let escaped = ServeTier::run(&model, &store, None, cfg, |handle| {
+        assert_eq!(
+            handle
+                .top_k(TopKRequest::new(EntityId(99), RelationId(0)))
+                .err(),
+            Some(ServeError::EntityOutOfRange {
+                entity: EntityId(99),
+                num_entities: 16,
+            })
+        );
+        assert_eq!(
+            handle
+                .top_k(TopKRequest::new(EntityId(0), RelationId(7)))
+                .err(),
+            Some(ServeError::RelationOutOfRange {
+                relation: RelationId(7),
+                num_relations: 4,
+            })
+        );
+        assert_eq!(
+            handle
+                .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), 0))
+                .err(),
+            Some(ServeError::ZeroK)
+        );
+        // k > N clamps through the tier too.
+        let resp = handle
+            .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), 1000))
+            .unwrap();
+        assert_eq!(resp.hits.len(), 16);
+        handle.clone()
+    })
+    .unwrap();
+    // The tier is torn down when the closure returns; an escaped handle
+    // degrades to typed shutdown errors instead of hanging.
+    assert_eq!(
+        escaped
+            .top_k(TopKRequest::new(EntityId(0), RelationId(0)))
+            .err(),
+        Some(ServeError::ShutDown)
+    );
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("came-serve-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn tier_metrics_land_in_the_jsonl_sink() {
+    let log_path = scratch("log");
+    let _ = std::fs::remove_file(&log_path);
+    came_obs::set_enabled(true);
+    came_obs::set_stderr_mirror(false);
+    came_obs::set_log_path(Some(&log_path)).unwrap();
+
+    let model = SlowModel {
+        inner: HashModel { n: 32 },
+        delay: Duration::from_millis(20),
+    };
+    let store = ParamStore::new();
+    let cfg = TierConfig {
+        shards: 2,
+        queue: 1,
+        flush_us: 1,
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, None, cfg, |handle| {
+        let mut pending = Vec::new();
+        let mut rejected = false;
+        for i in 0..64u32 {
+            match handle.submit(TopKRequest::with_k(EntityId(i % 32), RelationId(0), 3)) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded { .. }) => rejected = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected, "burst must trip the rejected counter");
+        for p in pending {
+            p.wait().unwrap();
+        }
+    })
+    .unwrap();
+
+    came_obs::emit_metrics_records();
+    came_obs::set_log_path(None).unwrap();
+    came_obs::set_enabled(false);
+
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let mut serve_names = BTreeSet::new();
+    for line in text.lines() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("sink line is not valid JSON ({e}): {line}"));
+        if v.get("type").and_then(|t| t.as_str()) == Some("serve") {
+            serve_names.insert(v.get("name").unwrap().as_str().unwrap().to_string());
+        }
+    }
+    for want in [
+        "serve.router.batch_size",
+        "serve.router.queue_depth",
+        "serve.router.rejected",
+        "serve.shard0.queue",
+        "serve.shard1.queue",
+        "serve.batch_ns",
+        "serve.queries",
+    ] {
+        assert!(
+            serve_names.contains(want),
+            "missing serve metric {want} in {serve_names:?}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&log_path);
+}

@@ -16,6 +16,14 @@ cargo fmt --check
 CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_MICRO_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin micro
 
+# Serving gate: the sharded tier must reproduce the single-engine path bit
+# for bit (top-k ties included, eval metrics), sustain the throughput floor,
+# and hold the p99 latency SLO under an open-loop load. CAME_SHARDS=4
+# exercises the scatter-gather merge even on small hosts; the report goes to
+# a scratch path so the committed full-scale BENCH_serve.json stays put.
+CAME_QUICK=1 CAME_CHECK_SERVE=1 CAME_SHARDS=4 CAME_SERVE_OUT="$(mktemp)" \
+    cargo run --release -q -p came-bench --bin serve_load
+
 # Structured-logging gate: a short checkpointed training run with the JSONL
 # sink attached must emit parseable EpochEnd and CheckpointSaved events.
 smoke_log="$(mktemp)"
