@@ -73,6 +73,7 @@ struct Row {
     name: String,
     scalar_ns: f64,
     parallel_ns: f64,
+    simd_ns: f64,
 }
 
 impl Row {
@@ -83,9 +84,17 @@ impl Row {
             0.0
         }
     }
+
+    fn simd_speedup(&self) -> f64 {
+        if self.simd_ns > 0.0 {
+            self.scalar_ns / self.simd_ns
+        } else {
+            0.0
+        }
+    }
 }
 
-/// Time `f(backend)` under both backend implementations.
+/// Time `f(backend)` under all three backend implementations.
 fn both(
     name: impl Into<String>,
     warmup: usize,
@@ -94,10 +103,12 @@ fn both(
 ) -> Row {
     let scalar_ns = median_ns(warmup, samples, || f(backend::of(BackendKind::Scalar)));
     let parallel_ns = median_ns(warmup, samples, || f(backend::of(BackendKind::Parallel)));
+    let simd_ns = median_ns(warmup, samples, || f(backend::of(BackendKind::Simd)));
     Row {
         name: name.into(),
         scalar_ns,
         parallel_ns,
+        simd_ns,
     }
 }
 
@@ -187,24 +198,34 @@ fn ab(
 /// Time `f()` with the *global* backend switched per side (for paths that
 /// dispatch through `backend::active()` internally: conv, training, eval).
 fn both_global(name: impl Into<String>, warmup: usize, samples: usize, mut f: impl FnMut()) -> Row {
+    let prev = backend::kind();
     came_tensor::set_backend(BackendKind::Scalar);
     let scalar_ns = median_ns(warmup, samples, &mut f);
     came_tensor::set_backend(BackendKind::Parallel);
     let parallel_ns = median_ns(warmup, samples, &mut f);
+    came_tensor::set_backend(BackendKind::Simd);
+    let simd_ns = median_ns(warmup, samples, &mut f);
+    came_tensor::set_backend(prev);
     Row {
         name: name.into(),
         scalar_ns,
         parallel_ns,
+        simd_ns,
     }
 }
 
 fn main() {
     let quick = std::env::var_os("CAME_QUICK").is_some();
     let kind = came_bench::init_backend();
+    if backend::simd::supported() {
+        // pick GEMM micro-kernel tiles for this host before anything is timed
+        backend::simd::autotune();
+    }
     eprintln!(
-        "[micro] default backend={} threads={} quick={}",
+        "[micro] default backend={} threads={} simd={} quick={}",
         kind.name(),
         backend::num_threads(),
+        backend::simd::descr(),
         quick
     );
     let mut rng = Prng::new(0xBE7C);
@@ -305,6 +326,18 @@ fn main() {
             be.adam_update(&mut x, black_box(&grad), &mut m1, &mut v1, &hp);
             black_box(&x);
         }));
+        // Cache-resident variant: at 1M elements the update streams 28 MB
+        // against the single-core DRAM floor and every backend converges on
+        // the same bandwidth; 64k (1 MB working set, fits L2) shows the
+        // compute-bound kernel ratio instead.
+        let nh = 1 << 16;
+        let mut xh = src[..nh].to_vec();
+        let mut mh = vec![0.0f32; nh];
+        let mut vh = vec![0.0f32; nh];
+        rows.push(both("adam_64k_hot", 4, 15, |be| {
+            be.adam_update(&mut xh, black_box(&grad[..nh]), &mut mh, &mut vh, &hp);
+            black_box(&xh);
+        }));
     }
 
     // --- end-to-end: filtered-ranking evaluation ------------------------
@@ -364,19 +397,30 @@ fn main() {
             ..Adam::default()
         };
         let mut g = Graph::new();
+        let mut train_step = || {
+            g.reset();
+            let logits = model.forward(&g, &store, &heads, &rels);
+            let loss = g.bce_with_logits(logits, &targets);
+            black_box(g.with_value(loss, |t| t.item()));
+            g.backward(loss, &mut store);
+            store.adam_step(&adam);
+        };
         ab_rows.push(ab(
             "step_came_batch256",
             if quick { 1 } else { 2 },
             if quick { 3 } else { 7 },
             false,
-            || {
-                g.reset();
-                let logits = model.forward(&g, &store, &heads, &rels);
-                let loss = g.bce_with_logits(logits, &targets);
-                black_box(g.with_value(loss, |t| t.item()));
-                g.backward(loss, &mut store);
-                store.adam_step(&adam);
-            },
+            &mut train_step,
+        ));
+        // The same full step, A/B'd across backends (pool + fusion stay on):
+        // the end-to-end number the SIMD gate checks.
+        pool::set_enabled(true);
+        came_tensor::set_fusion(true);
+        rows.push(both_global(
+            "step_came_batch256_e2e",
+            if quick { 1 } else { 2 },
+            if quick { 3 } else { 7 },
+            &mut train_step,
         ));
     }
     {
@@ -795,13 +839,22 @@ fn main() {
                 format!("{:.0}", r.scalar_ns),
                 format!("{:.0}", r.parallel_ns),
                 format!("{:.2}x", r.speedup()),
+                format!("{:.0}", r.simd_ns),
+                format!("{:.2}x", r.simd_speedup()),
             ]
         })
         .collect();
     println!(
         "{}",
         came_bench::markdown_table(
-            &["kernel", "scalar ns/op", "parallel ns/op", "speedup"],
+            &[
+                "kernel",
+                "scalar ns/op",
+                "parallel ns/op",
+                "par x",
+                "simd ns/op",
+                "simd x"
+            ],
             &table_rows
         )
     );
@@ -842,11 +895,13 @@ fn main() {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"scalar_ns_op\": {:.0}, \"parallel_ns_op\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"scalar_ns_op\": {:.0}, \"parallel_ns_op\": {:.0}, \"speedup\": {:.3}, \"simd_ns_op\": {:.0}, \"simd_speedup\": {:.3}}}{}\n",
             r.name,
             r.scalar_ns,
             r.parallel_ns,
             r.speedup(),
+            r.simd_ns,
+            r.simd_speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -1021,5 +1076,66 @@ fn main() {
             obs_overhead * 100.0,
             obs_phase_cover * 100.0
         );
+    }
+
+    // CI gate: with CAME_CHECK_SIMD set, the vectorized backend must beat
+    // the scalar backend on the kernels it rewrites, and the end-to-end
+    // training step must not regress. Thresholds reflect what each cell can
+    // physically deliver: softmax/layer-norm are compute-bound (the scalar
+    // exp/rsqrt sequences don't autovectorize) so 2x is a floor, while the
+    // 1M-element Adam update streams 28 MB against the single-core DRAM
+    // bandwidth — and its scalar baseline is itself LLVM-autovectorized to
+    // 4-wide SSE2 — so 2x is unreachable there by any implementation and
+    // the gate asks for 1.25x instead (measured ~1.5x; the cache-resident
+    // adam_64k_hot row documents the ~2x compute-bound ratio). On hosts
+    // without SSE2/AVX2 the gate is skipped (SimdBackend delegates).
+    if std::env::var_os("CAME_CHECK_SIMD").is_some() {
+        if !backend::simd::supported() {
+            eprintln!("[micro] simd gate skipped: no vector ISA on this host");
+        } else {
+            let mut failed = false;
+            for (want, floor) in [
+                ("softmax_512x512", 2.0),
+                ("layer_norm_512x512", 2.0),
+                ("adam_1m", 1.25),
+            ] {
+                let Some(r) = rows.iter().find(|r| r.name == want) else {
+                    eprintln!("[micro] SIMD GATE FAILED: kernel row {want} missing");
+                    failed = true;
+                    continue;
+                };
+                if r.simd_speedup() < floor {
+                    eprintln!(
+                        "[micro] SIMD GATE FAILED: {} simd {:.0} ns/op vs scalar {:.0} ns/op \
+                         is only {:.2}x (< {floor}x)",
+                        r.name,
+                        r.simd_ns,
+                        r.scalar_ns,
+                        r.simd_speedup()
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(r) = rows.iter().find(|r| r.name == "step_came_batch256_e2e") {
+                if r.simd_ns >= r.scalar_ns {
+                    eprintln!(
+                        "[micro] SIMD GATE FAILED: end-to-end step simd {:.0} ns/op is not \
+                         faster than scalar {:.0} ns/op",
+                        r.simd_ns, r.scalar_ns
+                    );
+                    failed = true;
+                }
+            } else {
+                eprintln!("[micro] SIMD GATE FAILED: step_came_batch256_e2e row missing");
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[micro] simd gate passed ({})",
+                came_tensor::backend::simd::descr()
+            );
+        }
     }
 }

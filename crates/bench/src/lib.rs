@@ -68,8 +68,9 @@ impl Scale {
     }
 }
 
-/// Select the kernel backend from `CAME_BACKEND` (`scalar` | `parallel`,
-/// default parallel) and return the chosen kind.
+/// Select the kernel backend from `CAME_BACKEND` (`scalar` | `parallel` |
+/// `simd`, default simd where the host supports it) and return the chosen
+/// kind.
 pub fn init_backend() -> came_tensor::BackendKind {
     came_tensor::backend::init_from_env()
 }
@@ -188,10 +189,11 @@ pub fn eval_scorer(
 }
 
 /// The provenance block shared by every BENCH_*.json report: git revision
-/// (with a `-dirty` marker), kernel backend, host thread count, quick-mode
-/// flag, and the sorted `CAME_*` environment — everything needed to
-/// reproduce the numbers. Returns the JSON object text (no trailing
-/// newline), to be embedded under a `"provenance"` key.
+/// (with a `-dirty` marker), kernel backend, detected vector ISA and
+/// autotuned GEMM tile, host thread count, quick-mode flag, and the sorted
+/// `CAME_*` environment — everything needed to reproduce the numbers.
+/// Returns the JSON object text (no trailing newline), to be embedded under
+/// a `"provenance"` key.
 pub fn provenance_json(backend: came_tensor::BackendKind, quick: bool) -> String {
     let git = |args: &[&str]| {
         std::process::Command::new("git")
@@ -211,9 +213,10 @@ pub fn provenance_json(backend: came_tensor::BackendKind, quick: bool) -> String
         .collect();
     came_env.sort();
     let mut json = format!(
-        "{{\"git_rev\": {}, \"backend\": {}, \"host_threads\": {}, \"quick\": {quick}, \"env\": {{",
+        "{{\"git_rev\": {}, \"backend\": {}, \"simd\": {}, \"host_threads\": {}, \"quick\": {quick}, \"env\": {{",
         came_obs::sink::json_string(&git_rev),
         came_obs::sink::json_string(backend.name()),
+        came_obs::sink::json_string(&came_tensor::backend::simd::descr()),
         came_tensor::backend::num_threads()
     );
     for (i, (k, v)) in came_env.iter().enumerate() {

@@ -177,8 +177,14 @@ fn rank_triples(
 /// core of [`evaluate`] and [`crate::serve::ScoringEngine`]. Each row is
 /// independent, so the work shards across the backend thread pool; ranks
 /// land in caller-provided slots, keeping the metrics fold deterministic.
+///
+/// Small blocks (a few hundred candidates per triple) stay sequential: each
+/// rank is one linear scan of its score row, and the scoped-thread spawn
+/// cost made tiny fan-outs a 0.935x regression. The min-work guard keeps the
+/// crossover aligned with the lane kernels'.
 pub(crate) fn rank_block(rows: Vec<(&Triple, &[f32], &mut f64)>, filter: &FilterIndex) {
-    came_tensor::backend::run_tasks(rows, |(t, s, slot)| {
+    let total_work: usize = rows.iter().map(|(_, s, _)| s.len()).sum();
+    came_tensor::backend::run_tasks_min_work(rows, total_work, |(t, s, slot)| {
         *slot = filtered_rank(s, t.t, None, t.h, t.r, filter);
     });
 }

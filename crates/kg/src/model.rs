@@ -222,7 +222,9 @@ impl<M: TripleModel> KgeModel for TripleKge<M> {
         // the full-row path.
         let shard = match backend::kind() {
             BackendKind::Scalar => w,
-            BackendKind::Parallel => w.div_ceil(backend::num_threads()).max(512),
+            BackendKind::Parallel | BackendKind::Simd => {
+                w.div_ceil(backend::num_threads()).max(512)
+            }
         }
         .max(1);
         let mut tasks: Vec<(EntityId, RelationId, usize, &mut [f32])> = Vec::new();

@@ -681,7 +681,9 @@ impl<M: TripleModel + ?Sized> TailScorer for TripleScorerAdapter<'_, M> {
         // query and this degenerates to the original sequential loop.
         let shard = match backend::kind() {
             BackendKind::Scalar => n,
-            BackendKind::Parallel => n.div_ceil(backend::num_threads()).max(512),
+            BackendKind::Parallel | BackendKind::Simd => {
+                n.div_ceil(backend::num_threads()).max(512)
+            }
         }
         .max(1);
         let mut out: Vec<Vec<f32>> = queries.iter().map(|_| vec![0.0f32; n]).collect();

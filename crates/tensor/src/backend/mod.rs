@@ -3,7 +3,7 @@
 //! All dense kernels the stack spends wall-clock in — GEMM (plain, batched,
 //! and the im2col GEMMs inside conv2d), rowwise softmax / layer-norm, and the
 //! elementwise map / zip / reduce drivers — are routed through the [`Backend`]
-//! trait. Two implementations ship:
+//! trait. Three implementations ship:
 //!
 //! - [`ScalarBackend`]: the original single-threaded reference loops.
 //!   Bitwise-stable semantics; the oracle every parity test compares against.
@@ -11,21 +11,50 @@
 //!   `std::thread::scope` row-panel work-stealing sized by
 //!   [`std::thread::available_parallelism`]. No external crates. Within each
 //!   output element the accumulation order is identical to the scalar kernel,
-//!   so GEMM results match the reference bit-for-bit; blocked reductions
-//!   (`sum`/`dot`) use a fixed block size so they are deterministic for any
-//!   thread count.
+//!   so GEMM results match the reference bit-for-bit.
+//! - [`SimdBackend`]: explicit `std::arch` x86_64 intrinsics (AVX2+FMA or
+//!   SSE2, chosen once at runtime via `is_x86_feature_detected!`) for the
+//!   kernels that dominate the TCA step; delegates to the parallel backend
+//!   on hosts without SIMD support and for the kernels that don't vectorise.
+//!   See the [`simd`] module docs for the safety argument.
 //!
 //! The active backend is a process-wide setting: [`set_backend`] selects one
 //! programmatically, the `CAME_BACKEND` environment variable (`scalar` |
-//! `parallel`) selects one at launch, and the default is `parallel`. Thread
-//! count follows `available_parallelism`, overridable with `CAME_THREADS`.
+//! `parallel` | `simd`) selects one at launch, and the default is `simd` when
+//! the host supports it, else `parallel`. Thread count follows
+//! `available_parallelism`, overridable with `CAME_THREADS`.
 //!
 //! Elementwise ops keep their inner loops monomorphised: callers hand the
 //! backend a *chunk* closure (`&dyn Fn(&[f32], &mut [f32])`), so the dynamic
 //! dispatch cost is paid once per cache-sized chunk, not once per element.
+//!
+//! # Summation-order contract
+//!
+//! Floating-point addition is not associative, so reductions (`sum`, `dot`)
+//! pin one canonical grouping that every backend follows: the input is cut
+//! into fixed [`SUM_BLOCK`]-element blocks at deterministic offsets
+//! (`0..4096`, `4096..8192`, …), each block is reduced independently, and the
+//! per-block partials are folded left-to-right in block order. The block
+//! partition depends only on the input length — never on thread count, chunk
+//! grain, or backend — so:
+//!
+//! - scalar and parallel reductions are **bitwise equal** (both reduce inside
+//!   a block in ascending element order);
+//! - the simd backend reduces inside a block with striped vector accumulators
+//!   (a different intra-block association), which agrees with the scalar
+//!   grouping to well within the 1e-5 parity tolerance but not bit-for-bit;
+//! - results are reproducible run-to-run on every backend, because no
+//!   grouping decision is made dynamically.
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+
+mod parallel;
+mod scalar;
+pub mod simd;
+
+pub use parallel::{num_threads, run_tasks, run_tasks_min_work, ParallelBackend};
+pub use scalar::ScalarBackend;
+pub use simd::SimdBackend;
 
 /// Which backend implementation to dispatch through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,14 +63,19 @@ pub enum BackendKind {
     Scalar,
     /// Cache-blocked, multithreaded kernels.
     Parallel,
+    /// Explicit `std::arch` vectorized kernels (runtime feature detection,
+    /// parallel fallback where unsupported).
+    Simd,
 }
 
 impl BackendKind {
-    /// Parse `"scalar"` / `"parallel"` (case-insensitive; `"par"` accepted).
+    /// Parse `"scalar"` / `"parallel"` / `"simd"` (case-insensitive; a few
+    /// aliases accepted).
     pub fn parse(s: &str) -> Option<BackendKind> {
         match s.to_ascii_lowercase().as_str() {
             "scalar" | "ref" | "reference" => Some(BackendKind::Scalar),
             "parallel" | "par" | "blocked" => Some(BackendKind::Parallel),
+            "simd" | "vector" | "avx" => Some(BackendKind::Simd),
             _ => None,
         }
     }
@@ -51,6 +85,7 @@ impl BackendKind {
         match self {
             BackendKind::Scalar => "scalar",
             BackendKind::Parallel => "parallel",
+            BackendKind::Simd => "simd",
         }
     }
 }
@@ -176,10 +211,12 @@ pub trait Backend: Send + Sync {
         body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
     );
 
-    /// Deterministic sum of all elements.
+    /// Deterministic sum of all elements, following the module-level
+    /// summation-order contract (fixed [`SUM_BLOCK`] grouping).
     fn sum(&self, xs: &[f32]) -> f32;
 
-    /// Deterministic dot product (`xs.len() == ys.len()`).
+    /// Deterministic dot product (`xs.len() == ys.len()`), following the
+    /// module-level summation-order contract.
     fn dot(&self, xs: &[f32], ys: &[f32]) -> f32;
 
     /// Fused Adam step over one parameter tensor's buffers.
@@ -420,11 +457,32 @@ pub trait Backend: Send + Sync {
 }
 
 // --------------------------------------------------------------------------
+// shared reduction blocks (the summation-order contract's unit of grouping)
+// --------------------------------------------------------------------------
+
+/// Fixed reduction block: reductions group their input into `SUM_BLOCK`-sized
+/// blocks at deterministic offsets regardless of backend or thread count (see
+/// the module-level summation-order contract).
+pub(crate) const SUM_BLOCK: usize = 4096;
+
+/// Reduce one contract block in ascending element order.
+#[inline]
+pub(crate) fn sum_block(c: &[f32]) -> f32 {
+    c.iter().sum()
+}
+
+/// Reduce one contract dot-product block in ascending element order.
+#[inline]
+pub(crate) fn dot_block(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+// --------------------------------------------------------------------------
 // shared lane kernels (per-lane math identical across backends)
 // --------------------------------------------------------------------------
 
 #[inline]
-fn softmax_one_lane(lane: &mut [f32]) {
+pub(crate) fn softmax_one_lane(lane: &mut [f32]) {
     let mut mx = f32::NEG_INFINITY;
     for &v in lane.iter() {
         mx = mx.max(v);
@@ -442,7 +500,7 @@ fn softmax_one_lane(lane: &mut [f32]) {
 }
 
 #[inline]
-fn layer_norm_one_lane(lane: &mut [f32], eps: f32) {
+pub(crate) fn layer_norm_one_lane(lane: &mut [f32], eps: f32) {
     let d = lane.len() as f32;
     let mean = lane.iter().sum::<f32>() / d;
     let var = lane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
@@ -453,7 +511,7 @@ fn layer_norm_one_lane(lane: &mut [f32], eps: f32) {
 }
 
 #[inline]
-fn layer_norm_backward_one_lane(xs: &[f32], gs: &[f32], os: &mut [f32], eps: f32) {
+pub(crate) fn layer_norm_backward_one_lane(xs: &[f32], gs: &[f32], os: &mut [f32], eps: f32) {
     let d = xs.len() as f32;
     let mean = xs.iter().sum::<f32>() / d;
     let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
@@ -473,7 +531,7 @@ fn layer_norm_backward_one_lane(xs: &[f32], gs: &[f32], os: &mut [f32], eps: f32
 }
 
 #[inline]
-fn adam_chunk(x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+pub(crate) fn adam_chunk(x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
     for i in 0..x.len() {
         let gi = g[i] + hp.weight_decay * x[i];
         m[i] = hp.beta1 * m[i] + (1.0 - hp.beta1) * gi;
@@ -487,7 +545,7 @@ fn adam_chunk(x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamH
 /// Fused-GEMM epilogue: add the row-broadcast bias and apply the activation
 /// over rows of length `n`.
 #[inline]
-fn bias_act_rows(out: &mut [f32], bias: Option<&[f32]>, n: usize, act: Activation) {
+pub(crate) fn bias_act_rows(out: &mut [f32], bias: Option<&[f32]>, n: usize, act: Activation) {
     match bias {
         Some(b) => {
             debug_assert_eq!(b.len(), n);
@@ -512,7 +570,7 @@ fn bias_act_rows(out: &mut [f32], bias: Option<&[f32]>, n: usize, act: Activatio
 /// ascending, matching both GEMM kernels, so results are bitwise equal to
 /// the composed ops.
 #[inline]
-fn softmax_matmul_block(
+pub(crate) fn softmax_matmul_block(
     scores: &[f32],
     v: &[f32],
     soft: &mut [f32],
@@ -544,7 +602,7 @@ fn softmax_matmul_block(
 /// divisions for one per row (agrees with the composed mul-then-div ordering
 /// to float rounding, within the 1e-5 parity budget).
 #[inline]
-fn outer_attention_block(
+pub(crate) fn outer_attention_block(
     a: &[f32],
     c: &[f32],
     v: &[f32],
@@ -587,7 +645,7 @@ fn outer_attention_block(
 /// lands in the caller's `k`-float `row` scratch (reused across rows) and is
 /// contracted ascending-`k`, matching [`softmax_matmul_block`] bit-for-bit.
 #[inline]
-fn softmax_matmul_fwd_block(
+pub(crate) fn softmax_matmul_fwd_block(
     scores: &[f32],
     v: &[f32],
     row: &mut [f32],
@@ -614,7 +672,7 @@ fn softmax_matmul_fwd_block(
 /// caller's reused `k`-float `row` scratch.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn outer_attention_fwd_block(
+pub(crate) fn outer_attention_fwd_block(
     a: &[f32],
     c: &[f32],
     v: &[f32],
@@ -667,7 +725,7 @@ fn outer_attention_fwd_block(
 /// `u` is a `[k, m]` column-major scratch holding scores then exponentials;
 /// `lanes` is `3·m` floats of per-row state (`a/τ` | running max | softmax
 /// normaliser, the last reused for its reciprocal).
-fn outer_attention_fwd_col_block(
+pub(crate) fn outer_attention_fwd_col_block(
     a: &[f32],
     c: &[f32],
     v: &[f32],
@@ -724,7 +782,7 @@ fn outer_attention_fwd_col_block(
 /// reductions onto `ga`, `gc`, and τ.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn outer_attention_backward_block(
+pub(crate) fn outer_attention_backward_block(
     a: &[f32],
     c: &[f32],
     v: &[f32],
@@ -775,783 +833,38 @@ fn outer_attention_backward_block(
 }
 
 // --------------------------------------------------------------------------
-// ScalarBackend
-// --------------------------------------------------------------------------
-
-/// Reference single-threaded backend: the seed repo's original loops.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ScalarBackend;
-
-impl Backend for ScalarBackend {
-    fn name(&self) -> &'static str {
-        "scalar"
-    }
-
-    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-        crate::tensor::matmul_kernel(a, b, out, m, k, n);
-    }
-
-    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
-        if lane == 0 {
-            return;
-        }
-        for l in data.chunks_mut(lane) {
-            softmax_one_lane(l);
-        }
-    }
-
-    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
-        if lane == 0 {
-            return;
-        }
-        for l in data.chunks_mut(lane) {
-            layer_norm_one_lane(l, eps);
-        }
-    }
-
-    fn layer_norm_backward_lanes(
-        &self,
-        x: &[f32],
-        g: &[f32],
-        out: &mut [f32],
-        lane: usize,
-        eps: f32,
-    ) {
-        if lane == 0 {
-            return;
-        }
-        for ((xs, gs), os) in x.chunks(lane).zip(g.chunks(lane)).zip(out.chunks_mut(lane)) {
-            layer_norm_backward_one_lane(xs, gs, os, eps);
-        }
-    }
-
-    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
-        body(data);
-    }
-
-    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
-        body(src, dst);
-    }
-
-    fn run3(
-        &self,
-        a: &[f32],
-        b: &[f32],
-        dst: &mut [f32],
-        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
-    ) {
-        body(a, b, dst);
-    }
-
-    fn sum(&self, xs: &[f32]) -> f32 {
-        xs.iter().sum()
-    }
-
-    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
-        xs.iter().zip(ys).map(|(a, b)| a * b).sum()
-    }
-
-    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
-        adam_chunk(x, g, m, v, hp);
-    }
-}
-
-// --------------------------------------------------------------------------
-// ParallelBackend
-// --------------------------------------------------------------------------
-
-/// Minimum elements before elementwise work is fanned out to threads.
-const PAR_MIN_ELEMS: usize = 16 * 1024;
-/// Minimum multiply-adds before a GEMM is fanned out to threads.
-const PAR_MIN_FLOPS: usize = 64 * 1024;
-/// Rows per GEMM work-stealing panel.
-const PANEL_ROWS: usize = 32;
-/// k-dimension cache block: `KC * n` floats of `b` stay hot in L1/L2 while a
-/// panel of `a` rows streams past.
-const KC: usize = 256;
-/// Elementwise chunk grain (floats) handed to each stolen task.
-const GRAIN: usize = 32 * 1024;
-/// Minimum elements before the *lane* kernels (softmax / layer-norm) fan
-/// out. These are memory-bound few-pass kernels, so the scoped-thread spawn
-/// cost is only recovered on much larger buffers than the generic
-/// elementwise threshold — 512×512 buffers regressed to 0.935x under the old
-/// [`PAR_MIN_ELEMS`] guard.
-const PAR_MIN_LANE_ELEMS: usize = 512 * 1024;
-/// Fixed reduction block so blocked sums are deterministic for any thread
-/// count.
-const SUM_BLOCK: usize = 4096;
-
-/// Threads to use: `CAME_THREADS` override, else `available_parallelism`.
-pub fn num_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        if let Ok(s) = std::env::var("CAME_THREADS") {
-            if let Ok(n) = s.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    })
-}
-
-/// Work-stealing task pool: spawns scoped workers that pull tasks off a
-/// shared queue until it drains. Falls back to a plain loop for one thread or
-/// a single task. Task order of *execution* is nondeterministic but each task
-/// owns its output exclusively, so results are deterministic.
-fn steal_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
-    let nt = num_threads().min(tasks.len());
-    if nt <= 1 {
-        for t in tasks {
-            f(t);
-        }
-        return;
-    }
-    let queue = Mutex::new(tasks.into_iter());
-    std::thread::scope(|s| {
-        for _ in 0..nt {
-            s.spawn(|| loop {
-                let next = queue.lock().unwrap().next();
-                match next {
-                    Some(t) => f(t),
-                    None => break,
-                }
-            });
-        }
-    });
-}
-
-/// Run `f` over `tasks` through the *active* backend's execution policy:
-/// sequential under [`ScalarBackend`], work-stealing threads under
-/// [`ParallelBackend`]. This is the hook the upper layers (filtered ranking,
-/// per-query scoring) use to shard coarse-grained work without depending on
-/// `std::thread` details.
-pub fn run_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
-    match kind() {
-        BackendKind::Scalar => {
-            for t in tasks {
-                f(t);
-            }
-        }
-        BackendKind::Parallel => steal_tasks(tasks, f),
-    }
-}
-
-/// Register-tiled accumulating GEMM block: processes 4 output rows at a time
-/// (4 independent accumulator streams, `b` row traffic quartered) with the
-/// k loop blocked at [`KC`]. The per-element accumulation order over `k` is
-/// ascending — identical to the scalar kernel — so results are bitwise equal
-/// on finite inputs.
-fn gemm_tile(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(out.len(), m * n);
-    let mut kb = 0;
-    while kb < k {
-        let kend = (kb + KC).min(k);
-        let mut i = 0;
-        while i + 4 <= m {
-            let rows = &mut out[i * n..(i + 4) * n];
-            let (r0, rest) = rows.split_at_mut(n);
-            let (r1, rest) = rest.split_at_mut(n);
-            let (r2, r3) = rest.split_at_mut(n);
-            let (a0, a1, a2) = (&a[i * k..], &a[(i + 1) * k..], &a[(i + 2) * k..]);
-            let a3 = &a[(i + 3) * k..];
-            for p in kb..kend {
-                let bro = &b[p * n..(p + 1) * n];
-                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
-                for j in 0..n {
-                    let bv = bro[j];
-                    r0[j] += x0 * bv;
-                    r1[j] += x1 * bv;
-                    r2[j] += x2 * bv;
-                    r3[j] += x3 * bv;
-                }
-            }
-            i += 4;
-        }
-        while i < m {
-            let row = &mut out[i * n..(i + 1) * n];
-            for p in kb..kend {
-                let x = a[i * k + p];
-                let bro = &b[p * n..(p + 1) * n];
-                for (o, &bv) in row.iter_mut().zip(bro) {
-                    *o += x * bv;
-                }
-            }
-            i += 1;
-        }
-        kb = kend;
-    }
-}
-
-/// Min-work guard for the rowwise lane kernels: require both a large buffer
-/// and enough rows to give every thread at least two, otherwise fall through
-/// to the scalar loop.
-fn lane_work_parallel(len: usize, lane: usize) -> bool {
-    len >= PAR_MIN_LANE_ELEMS && num_threads() > 1 && len / lane.max(1) >= 2 * num_threads()
-}
-
-/// Split equal-length buffers into lockstep chunk tuples of at most `grain`
-/// elements, aligned to `lane` boundaries when `lane > 0`.
-fn grain_for(total: usize, lane: usize) -> usize {
-    let lane = lane.max(1);
-    let g = (GRAIN / lane).max(1) * lane;
-    g.min(total.max(1))
-}
-
-/// Cache-blocked multithreaded backend.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ParallelBackend;
-
-impl Backend for ParallelBackend {
-    fn name(&self) -> &'static str {
-        "parallel"
-    }
-
-    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-        debug_assert_eq!(a.len(), m * k);
-        debug_assert_eq!(b.len(), k * n);
-        debug_assert_eq!(out.len(), m * n);
-        if m * n == 0 || k == 0 {
-            return; // nothing to accumulate
-        }
-        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
-            gemm_tile(a, b, out, m, k, n);
-            return;
-        }
-        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
-        steal_tasks(tasks, |(pi, panel)| {
-            let i0 = pi * PANEL_ROWS;
-            let rows = panel.len() / n;
-            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
-        });
-    }
-
-    fn matmul_batched(
-        &self,
-        a: &[f32],
-        b: &[f32],
-        out: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) {
-        if batch == 0 || m * n == 0 || k == 0 {
-            return;
-        }
-        if batch * m * n * k < PAR_MIN_FLOPS || num_threads() == 1 {
-            for i in 0..batch {
-                gemm_tile(
-                    &a[i * m * k..(i + 1) * m * k],
-                    &b[i * k * n..(i + 1) * k * n],
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-            return;
-        }
-        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
-        steal_tasks(tasks, |(i, panel)| {
-            gemm_tile(
-                &a[i * m * k..(i + 1) * m * k],
-                &b[i * k * n..(i + 1) * k * n],
-                panel,
-                m,
-                k,
-                n,
-            );
-        });
-    }
-
-    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
-        if lane == 0 || data.is_empty() {
-            return;
-        }
-        if !lane_work_parallel(data.len(), lane) {
-            for l in data.chunks_mut(lane) {
-                softmax_one_lane(l);
-            }
-            return;
-        }
-        let g = grain_for(data.len(), lane);
-        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
-            for l in chunk.chunks_mut(lane) {
-                softmax_one_lane(l);
-            }
-        });
-    }
-
-    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
-        if lane == 0 || data.is_empty() {
-            return;
-        }
-        if !lane_work_parallel(data.len(), lane) {
-            for l in data.chunks_mut(lane) {
-                layer_norm_one_lane(l, eps);
-            }
-            return;
-        }
-        let g = grain_for(data.len(), lane);
-        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
-            for l in chunk.chunks_mut(lane) {
-                layer_norm_one_lane(l, eps);
-            }
-        });
-    }
-
-    fn layer_norm_backward_lanes(
-        &self,
-        x: &[f32],
-        g: &[f32],
-        out: &mut [f32],
-        lane: usize,
-        eps: f32,
-    ) {
-        if lane == 0 || x.is_empty() {
-            return;
-        }
-        let run = |xs: &[f32], gs: &[f32], os: &mut [f32]| {
-            for ((xl, gl), ol) in xs
-                .chunks(lane)
-                .zip(gs.chunks(lane))
-                .zip(os.chunks_mut(lane))
-            {
-                layer_norm_backward_one_lane(xl, gl, ol, eps);
-            }
-        };
-        if !lane_work_parallel(x.len(), lane) {
-            run(x, g, out);
-            return;
-        }
-        let gr = grain_for(x.len(), lane);
-        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = x
-            .chunks(gr)
-            .zip(g.chunks(gr))
-            .zip(out.chunks_mut(gr))
-            .collect();
-        steal_tasks(tasks, |((xs, gs), os)| run(xs, gs, os));
-    }
-
-    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
-        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            body(data);
-            return;
-        }
-        let g = grain_for(data.len(), 1);
-        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
-            body(chunk)
-        });
-    }
-
-    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
-        debug_assert_eq!(src.len(), dst.len());
-        if src.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            body(src, dst);
-            return;
-        }
-        let g = grain_for(src.len(), 1);
-        let tasks: Vec<(&[f32], &mut [f32])> = src.chunks(g).zip(dst.chunks_mut(g)).collect();
-        steal_tasks(tasks, |(s, d)| body(s, d));
-    }
-
-    fn run3(
-        &self,
-        a: &[f32],
-        b: &[f32],
-        dst: &mut [f32],
-        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
-    ) {
-        debug_assert_eq!(a.len(), dst.len());
-        debug_assert_eq!(b.len(), dst.len());
-        if a.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            body(a, b, dst);
-            return;
-        }
-        let g = grain_for(a.len(), 1);
-        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = a
-            .chunks(g)
-            .zip(b.chunks(g))
-            .zip(dst.chunks_mut(g))
-            .collect();
-        steal_tasks(tasks, |((x, y), d)| body(x, y, d));
-    }
-
-    fn sum(&self, xs: &[f32]) -> f32 {
-        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            // fixed-block fold even on one thread: result must not depend on
-            // where the size threshold lands
-            return xs.chunks(SUM_BLOCK).map(|c| c.iter().sum::<f32>()).sum();
-        }
-        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
-        let tasks: Vec<(&[f32], &mut f32)> =
-            xs.chunks(SUM_BLOCK).zip(partials.iter_mut()).collect();
-        steal_tasks(tasks, |(c, slot)| *slot = c.iter().sum::<f32>());
-        partials.iter().sum()
-    }
-
-    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
-        debug_assert_eq!(xs.len(), ys.len());
-        let block = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
-        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            return xs
-                .chunks(SUM_BLOCK)
-                .zip(ys.chunks(SUM_BLOCK))
-                .map(|(a, b)| block(a, b))
-                .sum();
-        }
-        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
-        let tasks: Vec<((&[f32], &[f32]), &mut f32)> = xs
-            .chunks(SUM_BLOCK)
-            .zip(ys.chunks(SUM_BLOCK))
-            .zip(partials.iter_mut())
-            .collect();
-        steal_tasks(tasks, |((a, b), slot)| *slot = block(a, b));
-        partials.iter().sum()
-    }
-
-    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
-        if x.len() < PAR_MIN_ELEMS || num_threads() == 1 {
-            adam_chunk(x, g, m, v, hp);
-            return;
-        }
-        let gr = grain_for(x.len(), 1);
-        let tasks: Vec<(((&mut [f32], &[f32]), &mut [f32]), &mut [f32])> = x
-            .chunks_mut(gr)
-            .zip(g.chunks(gr))
-            .zip(m.chunks_mut(gr))
-            .zip(v.chunks_mut(gr))
-            .collect();
-        steal_tasks(tasks, |(((xs, gs), ms), vs)| adam_chunk(xs, gs, ms, vs, hp));
-    }
-
-    fn gemm_bias_act(
-        &self,
-        a: &[f32],
-        b: &[f32],
-        bias: Option<&[f32]>,
-        out: &mut [f32],
-        m: usize,
-        k: usize,
-        n: usize,
-        act: Activation,
-    ) {
-        if m * n == 0 {
-            return;
-        }
-        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
-            gemm_tile(a, b, out, m, k, n);
-            bias_act_rows(out, bias, n, act);
-            return;
-        }
-        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
-        steal_tasks(tasks, |(pi, panel)| {
-            let i0 = pi * PANEL_ROWS;
-            let rows = panel.len() / n;
-            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
-            // epilogue while the panel is still cache-hot
-            bias_act_rows(panel, bias, n, act);
-        });
-    }
-
-    fn softmax_matmul(
-        &self,
-        scores: &[f32],
-        v: &[f32],
-        soft: &mut [f32],
-        out: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) {
-        if batch * m * k == 0 {
-            return;
-        }
-        let seq = |soft: &mut [f32], out: &mut [f32]| {
-            for i in 0..batch {
-                softmax_matmul_block(
-                    &scores[i * m * k..(i + 1) * m * k],
-                    &v[i * k * n..(i + 1) * k * n],
-                    &mut soft[i * m * k..(i + 1) * m * k],
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-        };
-        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
-            seq(soft, out);
-            return;
-        }
-        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
-            .chunks_mut(m * k)
-            .enumerate()
-            .zip(out.chunks_mut(m * n))
-            .collect();
-        steal_tasks(tasks, |((i, s), o)| {
-            softmax_matmul_block(
-                &scores[i * m * k..(i + 1) * m * k],
-                &v[i * k * n..(i + 1) * k * n],
-                s,
-                o,
-                m,
-                k,
-                n,
-            );
-        });
-    }
-
-    fn outer_attention(
-        &self,
-        a: &[f32],
-        c: &[f32],
-        v: &[f32],
-        tau: f32,
-        soft: &mut [f32],
-        out: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) {
-        if batch * m * k == 0 {
-            return;
-        }
-        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
-            for i in 0..batch {
-                outer_attention_block(
-                    &a[i * m..(i + 1) * m],
-                    &c[i * k..(i + 1) * k],
-                    &v[i * k * n..(i + 1) * k * n],
-                    tau,
-                    &mut soft[i * m * k..(i + 1) * m * k],
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-            return;
-        }
-        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
-            .chunks_mut(m * k)
-            .enumerate()
-            .zip(out.chunks_mut(m * n))
-            .collect();
-        steal_tasks(tasks, |((i, s), o)| {
-            outer_attention_block(
-                &a[i * m..(i + 1) * m],
-                &c[i * k..(i + 1) * k],
-                &v[i * k * n..(i + 1) * k * n],
-                tau,
-                s,
-                o,
-                m,
-                k,
-                n,
-            );
-        });
-    }
-
-    fn softmax_matmul_fwd(
-        &self,
-        scores: &[f32],
-        v: &[f32],
-        out: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) {
-        if batch * m * k == 0 {
-            return;
-        }
-        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
-            let mut row = crate::pool::alloc_uninit(k);
-            for i in 0..batch {
-                softmax_matmul_fwd_block(
-                    &scores[i * m * k..(i + 1) * m * k],
-                    &v[i * k * n..(i + 1) * k * n],
-                    &mut row,
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-            crate::pool::recycle(row);
-            return;
-        }
-        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
-        steal_tasks(tasks, |(i, o)| {
-            let mut row = crate::pool::alloc_uninit(k);
-            softmax_matmul_fwd_block(
-                &scores[i * m * k..(i + 1) * m * k],
-                &v[i * k * n..(i + 1) * k * n],
-                &mut row,
-                o,
-                m,
-                k,
-                n,
-            );
-            crate::pool::recycle(row);
-        });
-    }
-
-    fn outer_attention_fwd(
-        &self,
-        a: &[f32],
-        c: &[f32],
-        v: &[f32],
-        tau: f32,
-        out: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) {
-        if batch * m * k == 0 {
-            return;
-        }
-        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
-            Backend::outer_attention_fwd(&ScalarBackend, a, c, v, tau, out, batch, m, k, n);
-            return;
-        }
-        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
-        steal_tasks(tasks, |(i, o)| {
-            if n == 1 {
-                let mut u = crate::pool::alloc_uninit(m * k);
-                let mut lanes = crate::pool::alloc_uninit(3 * m);
-                outer_attention_fwd_col_block(
-                    &a[i * m..(i + 1) * m],
-                    &c[i * k..(i + 1) * k],
-                    &v[i * k..(i + 1) * k],
-                    tau,
-                    &mut u,
-                    &mut lanes,
-                    o,
-                    m,
-                    k,
-                );
-                crate::pool::recycle(lanes);
-                crate::pool::recycle(u);
-                return;
-            }
-            let mut row = crate::pool::alloc_uninit(k);
-            outer_attention_fwd_block(
-                &a[i * m..(i + 1) * m],
-                &c[i * k..(i + 1) * k],
-                &v[i * k * n..(i + 1) * k * n],
-                tau,
-                &mut row,
-                o,
-                m,
-                k,
-                n,
-            );
-            crate::pool::recycle(row);
-        });
-    }
-
-    fn outer_attention_backward(
-        &self,
-        a: &[f32],
-        c: &[f32],
-        v: &[f32],
-        soft: &[f32],
-        gout: &[f32],
-        tau: f32,
-        ga: &mut [f32],
-        gc: &mut [f32],
-        gv: &mut [f32],
-        batch: usize,
-        m: usize,
-        k: usize,
-        n: usize,
-    ) -> f32 {
-        if batch * m * k == 0 {
-            return 0.0;
-        }
-        let seq = batch == 1 || batch * m * k * (n + 2) < PAR_MIN_FLOPS || num_threads() == 1;
-        if seq {
-            let mut scratch = crate::pool::alloc_uninit(k);
-            let mut gtau = 0.0f32;
-            for i in 0..batch {
-                gtau += outer_attention_backward_block(
-                    &a[i * m..(i + 1) * m],
-                    &c[i * k..(i + 1) * k],
-                    &v[i * k * n..(i + 1) * k * n],
-                    &soft[i * m * k..(i + 1) * m * k],
-                    &gout[i * m * n..(i + 1) * m * n],
-                    tau,
-                    &mut ga[i * m..(i + 1) * m],
-                    &mut gc[i * k..(i + 1) * k],
-                    &mut gv[i * k * n..(i + 1) * k * n],
-                    &mut scratch,
-                    m,
-                    k,
-                    n,
-                );
-            }
-            crate::pool::recycle(scratch);
-            return gtau;
-        }
-        // per-batch gradient slices are disjoint; τ partials land in
-        // per-entry slots so the final fold is deterministic
-        let mut gtau_parts = vec![0.0f32; batch];
-        let tasks: Vec<((((usize, &mut [f32]), &mut [f32]), &mut [f32]), &mut f32)> = ga
-            .chunks_mut(m)
-            .enumerate()
-            .zip(gc.chunks_mut(k))
-            .zip(gv.chunks_mut(k * n))
-            .zip(gtau_parts.iter_mut())
-            .collect();
-        steal_tasks(tasks, |((((i, ga_i), gc_i), gv_i), slot)| {
-            let mut scratch = crate::pool::alloc_uninit(k);
-            *slot = outer_attention_backward_block(
-                &a[i * m..(i + 1) * m],
-                &c[i * k..(i + 1) * k],
-                &v[i * k * n..(i + 1) * k * n],
-                &soft[i * m * k..(i + 1) * m * k],
-                &gout[i * m * n..(i + 1) * m * n],
-                tau,
-                ga_i,
-                gc_i,
-                gv_i,
-                &mut scratch,
-                m,
-                k,
-                n,
-            );
-            crate::pool::recycle(scratch);
-        });
-        gtau_parts.iter().sum()
-    }
-}
-
-// --------------------------------------------------------------------------
 // global selection
 // --------------------------------------------------------------------------
 
 static SCALAR: ScalarBackend = ScalarBackend;
 static PARALLEL: ParallelBackend = ParallelBackend;
+static SIMD: SimdBackend = SimdBackend;
 
 const KIND_UNSET: u8 = u8::MAX;
 static ACTIVE: AtomicU8 = AtomicU8::new(KIND_UNSET);
 
+/// The default backend when nothing is selected: SIMD where the host has a
+/// vector unit the simd module targets, else parallel.
+fn default_kind() -> BackendKind {
+    if simd::supported() {
+        BackendKind::Simd
+    } else {
+        BackendKind::Parallel
+    }
+}
+
 fn kind_from_env() -> BackendKind {
     match std::env::var("CAME_BACKEND") {
         Ok(s) => BackendKind::parse(&s).unwrap_or_else(|| {
+            let d = default_kind();
             eprintln!(
-                "[came-tensor] unknown CAME_BACKEND={s:?} (expected \"scalar\" or \
-                 \"parallel\"); using parallel"
+                "[came-tensor] unknown CAME_BACKEND={s:?} (expected \"scalar\", \
+                 \"parallel\", or \"simd\"); using {}",
+                d.name()
             );
-            BackendKind::Parallel
+            d
         }),
-        Err(_) => BackendKind::Parallel,
+        Err(_) => default_kind(),
     }
 }
 
@@ -1561,9 +874,9 @@ pub fn set_backend(kind: BackendKind) {
     ACTIVE.store(kind as u8, Ordering::SeqCst);
 }
 
-/// Re-read `CAME_BACKEND` and make it the active backend (`parallel` when the
-/// variable is unset or unrecognised). Binaries call this at startup so the
-/// environment wins over any backend a library default left behind.
+/// Re-read `CAME_BACKEND` and make it the active backend (auto-detected when
+/// the variable is unset or unrecognised). Binaries call this at startup so
+/// the environment wins over any backend a library default left behind.
 pub fn init_from_env() -> BackendKind {
     let k = kind_from_env();
     set_backend(k);
@@ -1575,6 +888,7 @@ pub fn kind() -> BackendKind {
     match ACTIVE.load(Ordering::SeqCst) {
         0 => BackendKind::Scalar,
         1 => BackendKind::Parallel,
+        2 => BackendKind::Simd,
         _ => init_from_env(),
     }
 }
@@ -1591,6 +905,7 @@ pub fn active() -> &'static dyn Backend {
         match k {
             BackendKind::Scalar => &TIMED_SCALAR,
             BackendKind::Parallel => &TIMED_PARALLEL,
+            BackendKind::Simd => &TIMED_SIMD,
         }
     } else {
         of(k)
@@ -1604,6 +919,7 @@ pub fn of(kind: BackendKind) -> &'static dyn Backend {
     match kind {
         BackendKind::Scalar => &SCALAR,
         BackendKind::Parallel => &PARALLEL,
+        BackendKind::Simd => &SIMD,
     }
 }
 
@@ -1613,6 +929,7 @@ pub fn of(kind: BackendKind) -> &'static dyn Backend {
 
 static TIMED_SCALAR: TimedBackend = TimedBackend { inner: &SCALAR };
 static TIMED_PARALLEL: TimedBackend = TimedBackend { inner: &PARALLEL };
+static TIMED_SIMD: TimedBackend = TimedBackend { inner: &SIMD };
 
 /// Decorator that forwards every kernel to `inner` and records the call's
 /// wall time into the `kernel.<method>` histogram (count + ns live in the
@@ -1881,6 +1198,7 @@ pub fn set_infer_tape_free(on: bool) {
 
 #[cfg(test)]
 mod tests {
+    use super::parallel::{gemm_tile, steal_tasks};
     use super::*;
     use crate::rng::Prng;
 
@@ -1934,6 +1252,9 @@ mod tests {
         assert_eq!(out, vec![1.0, 2.0]);
         ParallelBackend.softmax_lanes(&mut [], 4);
         ScalarBackend.softmax_lanes(&mut [], 0);
+        SimdBackend.matmul(&[], &[], &mut out, 1, 0, 2);
+        assert_eq!(out, vec![1.0, 2.0]);
+        SimdBackend.softmax_lanes(&mut [], 4);
     }
 
     #[test]
@@ -1948,6 +1269,34 @@ mod tests {
     }
 
     #[test]
+    fn scalar_and_parallel_sums_follow_the_same_block_grouping() {
+        // the summation-order contract: both backends group at SUM_BLOCK
+        // boundaries, so results are bitwise equal for any input length
+        let mut rng = Prng::new(7);
+        for &len in &[
+            1usize,
+            100,
+            SUM_BLOCK - 1,
+            SUM_BLOCK,
+            SUM_BLOCK + 1,
+            100_000,
+        ] {
+            let xs = randv(len, &mut rng);
+            let ys = randv(len, &mut rng);
+            assert_eq!(
+                ScalarBackend.sum(&xs).to_bits(),
+                ParallelBackend.sum(&xs).to_bits(),
+                "sum grouping mismatch at len {len}"
+            );
+            assert_eq!(
+                ScalarBackend.dot(&xs, &ys).to_bits(),
+                ParallelBackend.dot(&xs, &ys).to_bits(),
+                "dot grouping mismatch at len {len}"
+            );
+        }
+    }
+
+    #[test]
     fn steal_tasks_covers_every_task_exactly_once() {
         let mut flags = vec![0u8; 257];
         let tasks: Vec<(usize, &mut u8)> = flags.iter_mut().enumerate().collect();
@@ -1956,12 +1305,24 @@ mod tests {
     }
 
     #[test]
+    fn run_tasks_min_work_small_batches_stay_sequential() {
+        // under the threshold the guard must still run every task
+        let mut flags = vec![0u8; 37];
+        let tasks: Vec<&mut u8> = flags.iter_mut().collect();
+        run_tasks_min_work(tasks, 37, |f| *f += 1);
+        assert!(flags.iter().all(|&f| f == 1));
+    }
+
+    #[test]
     fn kind_parsing() {
         assert_eq!(BackendKind::parse("Scalar"), Some(BackendKind::Scalar));
         assert_eq!(BackendKind::parse("PARALLEL"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("simd"), Some(BackendKind::Simd));
         assert_eq!(BackendKind::parse("gpu"), None);
         assert_eq!("par".parse::<BackendKind>(), Ok(BackendKind::Parallel));
+        assert_eq!("SIMD".parse::<BackendKind>(), Ok(BackendKind::Simd));
         assert_eq!(BackendKind::Parallel.name(), "parallel");
+        assert_eq!(BackendKind::Simd.name(), "simd");
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Cache-blocked, multithreaded backend plus the scoped-thread work-stealing
+//! machinery the SIMD backend reuses for its own fan-out.
+//!
+//! GEMM is register-tiled (4 output rows per pass) with the k loop blocked at
+//! [`KC`]; within each output element the accumulation order is identical to
+//! the scalar kernel, so GEMM results match the reference bit-for-bit.
+//! Blocked reductions (`sum`/`dot`) use the fixed [`SUM_BLOCK`] grouping so
+//! they are deterministic for any thread count and bit-equal to the scalar
+//! backend.
+
+use super::{
+    adam_chunk, bias_act_rows, dot_block, layer_norm_backward_one_lane, layer_norm_one_lane,
+    outer_attention_backward_block, outer_attention_block, outer_attention_fwd_block,
+    outer_attention_fwd_col_block, softmax_matmul_block, softmax_matmul_fwd_block,
+    softmax_one_lane, sum_block, Activation, AdamHp, Backend, BackendKind, ScalarBackend,
+    SUM_BLOCK,
+};
+use std::sync::{Mutex, OnceLock};
+
+/// Minimum elements before elementwise work is fanned out to threads.
+pub(crate) const PAR_MIN_ELEMS: usize = 16 * 1024;
+/// Minimum multiply-adds before a GEMM is fanned out to threads.
+pub(crate) const PAR_MIN_FLOPS: usize = 64 * 1024;
+/// Rows per GEMM work-stealing panel.
+pub(crate) const PANEL_ROWS: usize = 32;
+/// k-dimension cache block: `KC * n` floats of `b` stay hot in L1/L2 while a
+/// panel of `a` rows streams past.
+const KC: usize = 256;
+/// Elementwise chunk grain (floats) handed to each stolen task.
+const GRAIN: usize = 32 * 1024;
+/// Minimum elements before the *lane* kernels (softmax / layer-norm) fan
+/// out. These are memory-bound few-pass kernels, so the scoped-thread spawn
+/// cost is only recovered on much larger buffers than the generic
+/// elementwise threshold — 512×512 buffers regressed to 0.935x under the old
+/// [`PAR_MIN_ELEMS`] guard.
+pub(crate) const PAR_MIN_LANE_ELEMS: usize = 512 * 1024;
+
+/// Threads to use: `CAME_THREADS` override, else `available_parallelism`.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(s) = std::env::var("CAME_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Work-stealing task pool: spawns scoped workers that pull tasks off a
+/// shared queue until it drains. Falls back to a plain loop for one thread or
+/// a single task. Task order of *execution* is nondeterministic but each task
+/// owns its output exclusively, so results are deterministic.
+pub(crate) fn steal_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
+    let nt = num_threads().min(tasks.len());
+    if nt <= 1 {
+        for t in tasks {
+            f(t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..nt {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some(t) => f(t),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Run `f` over `tasks` through the *active* backend's execution policy:
+/// sequential under [`ScalarBackend`], work-stealing threads under the
+/// parallel and SIMD backends. This is the hook the upper layers (filtered
+/// ranking, per-query scoring) use to shard coarse-grained work without
+/// depending on `std::thread` details.
+pub fn run_tasks<T: Send>(tasks: Vec<T>, f: impl Fn(T) + Sync) {
+    match super::kind() {
+        BackendKind::Scalar => {
+            for t in tasks {
+                f(t);
+            }
+        }
+        BackendKind::Parallel | BackendKind::Simd => steal_tasks(tasks, f),
+    }
+}
+
+/// [`run_tasks`] with a min-work guard: stays sequential unless the total
+/// work (caller-estimated, in elements touched) clears the same crossover
+/// threshold the lane kernels use. Spawning scoped threads costs tens of
+/// microseconds; batches of small tasks (e.g. filtered ranking over a few
+/// hundred candidates per triple) regressed to 0.935x when fanned out
+/// unconditionally.
+pub fn run_tasks_min_work<T: Send>(tasks: Vec<T>, total_work: usize, f: impl Fn(T) + Sync) {
+    if total_work < PAR_MIN_LANE_ELEMS {
+        for t in tasks {
+            f(t);
+        }
+        return;
+    }
+    run_tasks(tasks, f);
+}
+
+/// Register-tiled accumulating GEMM block: processes 4 output rows at a time
+/// (4 independent accumulator streams, `b` row traffic quartered) with the
+/// k loop blocked at [`KC`]. The per-element accumulation order over `k` is
+/// ascending — identical to the scalar kernel — so results are bitwise equal
+/// on finite inputs.
+pub(crate) fn gemm_tile(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = 0;
+        while i + 4 <= m {
+            let rows = &mut out[i * n..(i + 4) * n];
+            let (r0, rest) = rows.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let (a0, a1, a2) = (&a[i * k..], &a[(i + 1) * k..], &a[(i + 2) * k..]);
+            let a3 = &a[(i + 3) * k..];
+            for p in kb..kend {
+                let bro = &b[p * n..(p + 1) * n];
+                let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+                for j in 0..n {
+                    let bv = bro[j];
+                    r0[j] += x0 * bv;
+                    r1[j] += x1 * bv;
+                    r2[j] += x2 * bv;
+                    r3[j] += x3 * bv;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let row = &mut out[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let x = a[i * k + p];
+                let bro = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(bro) {
+                    *o += x * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// Min-work guard for the rowwise lane kernels: require both a large buffer
+/// and enough rows to give every thread at least two, otherwise fall through
+/// to the scalar loop.
+pub(crate) fn lane_work_parallel(len: usize, lane: usize) -> bool {
+    len >= PAR_MIN_LANE_ELEMS && num_threads() > 1 && len / lane.max(1) >= 2 * num_threads()
+}
+
+/// Split equal-length buffers into lockstep chunk tuples of at most `grain`
+/// elements, aligned to `lane` boundaries when `lane > 0`.
+pub(crate) fn grain_for(total: usize, lane: usize) -> usize {
+    let lane = lane.max(1);
+    let g = (GRAIN / lane).max(1) * lane;
+    g.min(total.max(1))
+}
+
+/// Cache-blocked multithreaded backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelBackend;
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m * n == 0 || k == 0 {
+            return; // nothing to accumulate
+        }
+        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
+            gemm_tile(a, b, out, m, k, n);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
+        steal_tasks(tasks, |(pi, panel)| {
+            let i0 = pi * PANEL_ROWS;
+            let rows = panel.len() / n;
+            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
+        });
+    }
+
+    fn matmul_batched(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch == 0 || m * n == 0 || k == 0 {
+            return;
+        }
+        if batch * m * n * k < PAR_MIN_FLOPS || num_threads() == 1 {
+            for i in 0..batch {
+                gemm_tile(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, panel)| {
+            gemm_tile(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                panel,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn softmax_lanes(&self, data: &mut [f32], lane: usize) {
+        if lane == 0 || data.is_empty() {
+            return;
+        }
+        if !lane_work_parallel(data.len(), lane) {
+            for l in data.chunks_mut(lane) {
+                softmax_one_lane(l);
+            }
+            return;
+        }
+        let g = grain_for(data.len(), lane);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            for l in chunk.chunks_mut(lane) {
+                softmax_one_lane(l);
+            }
+        });
+    }
+
+    fn layer_norm_lanes(&self, data: &mut [f32], lane: usize, eps: f32) {
+        if lane == 0 || data.is_empty() {
+            return;
+        }
+        if !lane_work_parallel(data.len(), lane) {
+            for l in data.chunks_mut(lane) {
+                layer_norm_one_lane(l, eps);
+            }
+            return;
+        }
+        let g = grain_for(data.len(), lane);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            for l in chunk.chunks_mut(lane) {
+                layer_norm_one_lane(l, eps);
+            }
+        });
+    }
+
+    fn layer_norm_backward_lanes(
+        &self,
+        x: &[f32],
+        g: &[f32],
+        out: &mut [f32],
+        lane: usize,
+        eps: f32,
+    ) {
+        if lane == 0 || x.is_empty() {
+            return;
+        }
+        let run = |xs: &[f32], gs: &[f32], os: &mut [f32]| {
+            for ((xl, gl), ol) in xs
+                .chunks(lane)
+                .zip(gs.chunks(lane))
+                .zip(os.chunks_mut(lane))
+            {
+                layer_norm_backward_one_lane(xl, gl, ol, eps);
+            }
+        };
+        if !lane_work_parallel(x.len(), lane) {
+            run(x, g, out);
+            return;
+        }
+        let gr = grain_for(x.len(), lane);
+        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = x
+            .chunks(gr)
+            .zip(g.chunks(gr))
+            .zip(out.chunks_mut(gr))
+            .collect();
+        steal_tasks(tasks, |((xs, gs), os)| run(xs, gs, os));
+    }
+
+    fn run1(&self, data: &mut [f32], body: &(dyn Fn(&mut [f32]) + Sync)) {
+        if data.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(data);
+            return;
+        }
+        let g = grain_for(data.len(), 1);
+        steal_tasks(data.chunks_mut(g).collect(), |chunk: &mut [f32]| {
+            body(chunk)
+        });
+    }
+
+    fn run2(&self, src: &[f32], dst: &mut [f32], body: &(dyn Fn(&[f32], &mut [f32]) + Sync)) {
+        debug_assert_eq!(src.len(), dst.len());
+        if src.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(src, dst);
+            return;
+        }
+        let g = grain_for(src.len(), 1);
+        let tasks: Vec<(&[f32], &mut [f32])> = src.chunks(g).zip(dst.chunks_mut(g)).collect();
+        steal_tasks(tasks, |(s, d)| body(s, d));
+    }
+
+    fn run3(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        dst: &mut [f32],
+        body: &(dyn Fn(&[f32], &[f32], &mut [f32]) + Sync),
+    ) {
+        debug_assert_eq!(a.len(), dst.len());
+        debug_assert_eq!(b.len(), dst.len());
+        if a.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            body(a, b, dst);
+            return;
+        }
+        let g = grain_for(a.len(), 1);
+        let tasks: Vec<((&[f32], &[f32]), &mut [f32])> = a
+            .chunks(g)
+            .zip(b.chunks(g))
+            .zip(dst.chunks_mut(g))
+            .collect();
+        steal_tasks(tasks, |((x, y), d)| body(x, y, d));
+    }
+
+    fn sum(&self, xs: &[f32]) -> f32 {
+        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            // fixed-block fold even on one thread: result must not depend on
+            // where the size threshold lands
+            return xs.chunks(SUM_BLOCK).map(sum_block).sum();
+        }
+        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
+        let tasks: Vec<(&[f32], &mut f32)> =
+            xs.chunks(SUM_BLOCK).zip(partials.iter_mut()).collect();
+        steal_tasks(tasks, |(c, slot)| *slot = sum_block(c));
+        partials.iter().sum()
+    }
+
+    fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
+        debug_assert_eq!(xs.len(), ys.len());
+        if xs.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            return xs
+                .chunks(SUM_BLOCK)
+                .zip(ys.chunks(SUM_BLOCK))
+                .map(|(a, b)| dot_block(a, b))
+                .sum();
+        }
+        let mut partials = vec![0.0f32; xs.len().div_ceil(SUM_BLOCK)];
+        let tasks: Vec<((&[f32], &[f32]), &mut f32)> = xs
+            .chunks(SUM_BLOCK)
+            .zip(ys.chunks(SUM_BLOCK))
+            .zip(partials.iter_mut())
+            .collect();
+        steal_tasks(tasks, |((a, b), slot)| *slot = dot_block(a, b));
+        partials.iter().sum()
+    }
+
+    fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
+        if x.len() < PAR_MIN_ELEMS || num_threads() == 1 {
+            adam_chunk(x, g, m, v, hp);
+            return;
+        }
+        let gr = grain_for(x.len(), 1);
+        let tasks: Vec<(((&mut [f32], &[f32]), &mut [f32]), &mut [f32])> = x
+            .chunks_mut(gr)
+            .zip(g.chunks(gr))
+            .zip(m.chunks_mut(gr))
+            .zip(v.chunks_mut(gr))
+            .collect();
+        steal_tasks(tasks, |(((xs, gs), ms), vs)| adam_chunk(xs, gs, ms, vs, hp));
+    }
+
+    fn gemm_bias_act(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        act: Activation,
+    ) {
+        if m * n == 0 {
+            return;
+        }
+        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 || m <= PANEL_ROWS {
+            gemm_tile(a, b, out, m, k, n);
+            bias_act_rows(out, bias, n, act);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(PANEL_ROWS * n).enumerate().collect();
+        steal_tasks(tasks, |(pi, panel)| {
+            let i0 = pi * PANEL_ROWS;
+            let rows = panel.len() / n;
+            gemm_tile(&a[i0 * k..(i0 + rows) * k], b, panel, rows, k, n);
+            // epilogue while the panel is still cache-hot
+            bias_act_rows(panel, bias, n, act);
+        });
+    }
+
+    fn softmax_matmul(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        let seq = |soft: &mut [f32], out: &mut [f32]| {
+            for i in 0..batch {
+                softmax_matmul_block(
+                    &scores[i * m * k..(i + 1) * m * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &mut soft[i * m * k..(i + 1) * m * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        };
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            seq(soft, out);
+            return;
+        }
+        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
+            .chunks_mut(m * k)
+            .enumerate()
+            .zip(out.chunks_mut(m * n))
+            .collect();
+        steal_tasks(tasks, |((i, s), o)| {
+            softmax_matmul_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                s,
+                o,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn outer_attention(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        soft: &mut [f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            for i in 0..batch {
+                outer_attention_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    tau,
+                    &mut soft[i * m * k..(i + 1) * m * k],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return;
+        }
+        let tasks: Vec<((usize, &mut [f32]), &mut [f32])> = soft
+            .chunks_mut(m * k)
+            .enumerate()
+            .zip(out.chunks_mut(m * n))
+            .collect();
+        steal_tasks(tasks, |((i, s), o)| {
+            outer_attention_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                s,
+                o,
+                m,
+                k,
+                n,
+            );
+        });
+    }
+
+    fn softmax_matmul_fwd(
+        &self,
+        scores: &[f32],
+        v: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            let mut row = crate::pool::alloc_uninit(k);
+            for i in 0..batch {
+                softmax_matmul_fwd_block(
+                    &scores[i * m * k..(i + 1) * m * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &mut row,
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            crate::pool::recycle(row);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, o)| {
+            let mut row = crate::pool::alloc_uninit(k);
+            softmax_matmul_fwd_block(
+                &scores[i * m * k..(i + 1) * m * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &mut row,
+                o,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(row);
+        });
+    }
+
+    fn outer_attention_fwd(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        tau: f32,
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if batch * m * k == 0 {
+            return;
+        }
+        if batch == 1 || n == 0 || batch * m * k * (n + 1) < PAR_MIN_FLOPS || num_threads() == 1 {
+            Backend::outer_attention_fwd(&ScalarBackend, a, c, v, tau, out, batch, m, k, n);
+            return;
+        }
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(m * n).enumerate().collect();
+        steal_tasks(tasks, |(i, o)| {
+            if n == 1 {
+                let mut u = crate::pool::alloc_uninit(m * k);
+                let mut lanes = crate::pool::alloc_uninit(3 * m);
+                outer_attention_fwd_col_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k..(i + 1) * k],
+                    tau,
+                    &mut u,
+                    &mut lanes,
+                    o,
+                    m,
+                    k,
+                );
+                crate::pool::recycle(lanes);
+                crate::pool::recycle(u);
+                return;
+            }
+            let mut row = crate::pool::alloc_uninit(k);
+            outer_attention_fwd_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                tau,
+                &mut row,
+                o,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(row);
+        });
+    }
+
+    fn outer_attention_backward(
+        &self,
+        a: &[f32],
+        c: &[f32],
+        v: &[f32],
+        soft: &[f32],
+        gout: &[f32],
+        tau: f32,
+        ga: &mut [f32],
+        gc: &mut [f32],
+        gv: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> f32 {
+        if batch * m * k == 0 {
+            return 0.0;
+        }
+        let seq = batch == 1 || batch * m * k * (n + 2) < PAR_MIN_FLOPS || num_threads() == 1;
+        if seq {
+            let mut scratch = crate::pool::alloc_uninit(k);
+            let mut gtau = 0.0f32;
+            for i in 0..batch {
+                gtau += outer_attention_backward_block(
+                    &a[i * m..(i + 1) * m],
+                    &c[i * k..(i + 1) * k],
+                    &v[i * k * n..(i + 1) * k * n],
+                    &soft[i * m * k..(i + 1) * m * k],
+                    &gout[i * m * n..(i + 1) * m * n],
+                    tau,
+                    &mut ga[i * m..(i + 1) * m],
+                    &mut gc[i * k..(i + 1) * k],
+                    &mut gv[i * k * n..(i + 1) * k * n],
+                    &mut scratch,
+                    m,
+                    k,
+                    n,
+                );
+            }
+            crate::pool::recycle(scratch);
+            return gtau;
+        }
+        // per-batch gradient slices are disjoint; τ partials land in
+        // per-entry slots so the final fold is deterministic
+        let mut gtau_parts = vec![0.0f32; batch];
+        let tasks: Vec<((((usize, &mut [f32]), &mut [f32]), &mut [f32]), &mut f32)> = ga
+            .chunks_mut(m)
+            .enumerate()
+            .zip(gc.chunks_mut(k))
+            .zip(gv.chunks_mut(k * n))
+            .zip(gtau_parts.iter_mut())
+            .collect();
+        steal_tasks(tasks, |((((i, ga_i), gc_i), gv_i), slot)| {
+            let mut scratch = crate::pool::alloc_uninit(k);
+            *slot = outer_attention_backward_block(
+                &a[i * m..(i + 1) * m],
+                &c[i * k..(i + 1) * k],
+                &v[i * k * n..(i + 1) * k * n],
+                &soft[i * m * k..(i + 1) * m * k],
+                &gout[i * m * n..(i + 1) * m * n],
+                tau,
+                ga_i,
+                gc_i,
+                gv_i,
+                &mut scratch,
+                m,
+                k,
+                n,
+            );
+            crate::pool::recycle(scratch);
+        });
+        gtau_parts.iter().sum()
+    }
+}

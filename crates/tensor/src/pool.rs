@@ -278,6 +278,124 @@ pub fn clear() {
 }
 
 // --------------------------------------------------------------------------
+// aligned scratch buffers
+// --------------------------------------------------------------------------
+
+/// Parked aligned buffers per length class. These are few (one GEMM packing
+/// panel per live kernel call) and small, so a tight cap keeps the footprint
+/// negligible.
+const MAX_ALIGNED_PER_CLASS: usize = 8;
+
+thread_local! {
+    // Free list for AlignedBuf storage, keyed by element count. Kept apart
+    // from the Vec<f32> pool because the two allocation families use
+    // different Layouts and must never be mixed (dealloc with a mismatched
+    // Layout is undefined behaviour).
+    static ALIGNED_FREE: RefCell<HashMap<usize, Vec<std::ptr::NonNull<f32>>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn aligned_layout(len: usize) -> std::alloc::Layout {
+    std::alloc::Layout::from_size_align(len * std::mem::size_of::<f32>(), AlignedBuf::ALIGN)
+        .expect("aligned buffer layout")
+}
+
+/// A 64-byte-aligned `f32` buffer with thread-local recycling, for kernels
+/// whose aligned vector loads need a guaranteed alignment that `Vec<f32>`
+/// cannot promise (the SIMD GEMM's packed B panels). Allocated zeroed on a
+/// cold miss; recycled buffers keep stale contents, so callers must write
+/// before reading — the packing loop overwrites its panel before use.
+///
+/// Dropping parks the storage in a bounded per-length free list (or frees it
+/// with the *same* Layout it was allocated with — the invariant that makes
+/// this sound where coercing a `Vec` to a stricter alignment would not be).
+pub struct AlignedBuf {
+    ptr: std::ptr::NonNull<f32>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Guaranteed alignment in bytes (one cache line; covers any SSE/AVX
+    /// vector width in use).
+    pub const ALIGN: usize = 64;
+
+    /// A buffer of `len` floats aligned to [`AlignedBuf::ALIGN`]. Contents
+    /// are zero on a fresh allocation and stale on a pool hit.
+    pub fn alloc(len: usize) -> AlignedBuf {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: std::ptr::NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let hit = ALIGNED_FREE
+            .try_with(|f| f.borrow_mut().get_mut(&len).and_then(|list| list.pop()))
+            .ok()
+            .flatten();
+        if let Some(ptr) = hit {
+            return AlignedBuf { ptr, len };
+        }
+        let layout = aligned_layout(len);
+        // SAFETY: len > 0, so the layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) } as *mut f32;
+        match std::ptr::NonNull::new(raw) {
+            Some(ptr) => AlignedBuf { ptr, len },
+            None => std::alloc::handle_alloc_error(layout),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let parked = ALIGNED_FREE
+            .try_with(|f| {
+                let mut f = f.borrow_mut();
+                let list = f.entry(self.len).or_default();
+                if list.len() < MAX_ALIGNED_PER_CLASS {
+                    list.push(self.ptr);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if !parked {
+            // SAFETY: allocated by `alloc` with exactly this layout.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, aligned_layout(self.len)) }
+        }
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        // SAFETY: ptr/len describe one live allocation (or a dangling pointer
+        // with len 0, for which from_raw_parts is defined).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus exclusive ownership of the allocation.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+// --------------------------------------------------------------------------
 // id buffers
 // --------------------------------------------------------------------------
 
@@ -433,6 +551,24 @@ mod tests {
         assert!(r.counter("pool.hits").get() >= hits0 + 2);
         assert!(r.counter("pool.misses").get() >= miss0 + 2);
         assert!(r.counter("pool.returned").get() >= ret0 + 4);
+    }
+
+    #[test]
+    fn aligned_buf_alignment_reuse_and_zero_len() {
+        let a = AlignedBuf::alloc(1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a.as_ptr() as usize % AlignedBuf::ALIGN, 0);
+        assert!(a.iter().all(|&x| x == 0.0), "cold alloc must be zeroed");
+        let p = a.as_ptr();
+        drop(a);
+        let b = AlignedBuf::alloc(1000);
+        assert_eq!(b.as_ptr(), p, "same aligned buffer must come back");
+        assert_eq!(b.as_ptr() as usize % AlignedBuf::ALIGN, 0);
+        let c = AlignedBuf::alloc(999);
+        assert_ne!(c.as_ptr(), b.as_ptr(), "length classes must not cross");
+        let z = AlignedBuf::alloc(0);
+        assert!(z.is_empty());
+        assert_eq!(&z[..], &[] as &[f32]);
     }
 
     #[test]

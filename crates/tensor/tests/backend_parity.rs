@@ -1,20 +1,27 @@
-//! Backend parity: every kernel of [`ParallelBackend`] must match
-//! [`ScalarBackend`] within 1e-5 on randomized shapes — including sizes that
-//! are not multiples of the GEMM tile, batch = 1, and empty dims — and the
-//! autograd backward pass must agree across backends.
+//! Backend parity: every kernel of [`ParallelBackend`] and [`SimdBackend`]
+//! must match [`ScalarBackend`] within 1e-5 on randomized shapes — including
+//! sizes that are not multiples of the GEMM tile or the vector width,
+//! batch = 1, and empty dims — and the autograd backward pass must agree
+//! across all three backends.
 //!
-//! Kernel tests address the two implementations *directly* (no global
-//! backend mutation), so they are safe under the multithreaded test harness.
-//! The cross-backend gradient check flips the process-global backend and is
+//! Kernel tests address the implementations *directly* (no global backend
+//! mutation), so they are safe under the multithreaded test harness. The
+//! cross-backend gradient checks flip the process-global backend and are
 //! serialised behind a mutex.
 
 use came_tensor::backend::{self, AdamHp, Backend};
 use came_tensor::{
-    BackendKind, Graph, ParallelBackend, ParamStore, Prng, ScalarBackend, Shape, Tensor,
+    BackendKind, Graph, ParallelBackend, ParamStore, Prng, ScalarBackend, Shape, SimdBackend,
+    Tensor,
 };
 use std::sync::Mutex;
 
 const TOL: f32 = 1e-5;
+
+/// The backends checked against the scalar oracle.
+fn others() -> [(&'static str, &'static dyn Backend); 2] {
+    [("parallel", &ParallelBackend), ("simd", &SimdBackend)]
+}
 
 fn randv(n: usize, rng: &mut Prng) -> Vec<f32> {
     (0..n).map(|_| rng.normal_in(0.0, 1.0)).collect()
@@ -31,7 +38,8 @@ fn assert_close(a: &[f32], b: &[f32], what: &str) {
 }
 
 /// Shapes chosen to straddle the 4-row micro-kernel, the 32-row panel, the
-/// 256-wide k block, and the threading thresholds; includes batch=1 and 0-dims.
+/// 256-wide k block, the 8/16-float vector tiles, and the threading
+/// thresholds; includes batch=1 and 0-dims.
 const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (4, 4, 4),
@@ -40,9 +48,12 @@ const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (33, 40, 31),  // one past the panel size
     (64, 300, 17), // k crosses the 256 block boundary
     (97, 43, 129),
-    (0, 5, 3), // m == 0
-    (3, 0, 5), // k == 0: pure accumulate-nothing
-    (3, 5, 0), // n == 0
+    (25, 30, 16), // exactly one AVX2 column tile
+    (26, 31, 15), // one short of the SSE2-wide tile
+    (3, 9, 40),   // fewer rows than any MR block
+    (0, 5, 3),    // m == 0
+    (3, 0, 5),    // k == 0: pure accumulate-nothing
+    (3, 5, 0),    // n == 0
 ];
 
 #[test]
@@ -54,10 +65,12 @@ fn matmul_parity_on_randomized_shapes() {
         // accumulate into a non-zero C so the += contract is exercised too
         let init = randv(m * n, &mut rng);
         let mut scalar = init.clone();
-        let mut par = init.clone();
         ScalarBackend.matmul(&a, &b, &mut scalar, m, k, n);
-        ParallelBackend.matmul(&a, &b, &mut par, m, k, n);
-        assert_close(&par, &scalar, &format!("matmul {m}x{k}x{n}"));
+        for (name, be) in others() {
+            let mut got = init.clone();
+            be.matmul(&a, &b, &mut got, m, k, n);
+            assert_close(&got, &scalar, &format!("{name} matmul {m}x{k}x{n}"));
+        }
     }
 }
 
@@ -68,49 +81,70 @@ fn matmul_batched_parity_including_batch_one() {
         (1usize, 5usize, 7usize, 3usize),
         (4, 9, 13, 6),
         (16, 6, 6, 6),
+        (2, 10, 12, 20),
         (3, 0, 4, 2),
     ] {
         let a = randv(batch * m * k, &mut rng);
         let b = randv(batch * k * n, &mut rng);
         let mut scalar = vec![0.0; batch * m * n];
-        let mut par = scalar.clone();
         ScalarBackend.matmul_batched(&a, &b, &mut scalar, batch, m, k, n);
-        ParallelBackend.matmul_batched(&a, &b, &mut par, batch, m, k, n);
-        assert_close(&par, &scalar, &format!("batched {batch}x{m}x{k}x{n}"));
+        for (name, be) in others() {
+            let mut got = vec![0.0; batch * m * n];
+            be.matmul_batched(&a, &b, &mut got, batch, m, k, n);
+            assert_close(
+                &got,
+                &scalar,
+                &format!("{name} batched {batch}x{m}x{k}x{n}"),
+            );
+        }
     }
 }
 
 #[test]
 fn softmax_parity() {
     let mut rng = Prng::new(0x9A73);
-    for &(rows, lane) in &[(1usize, 1usize), (3, 7), (200, 33), (1000, 40), (5, 1)] {
-        let mut scalar = randv(rows * lane, &mut rng);
-        let mut par = scalar.clone();
+    for &(rows, lane) in &[
+        (1usize, 1usize),
+        (3, 7),
+        (200, 33),
+        (1000, 40),
+        (5, 1),
+        (4, 8),
+        (4, 19),
+    ] {
+        let base = randv(rows * lane, &mut rng);
+        let mut scalar = base.clone();
         ScalarBackend.softmax_lanes(&mut scalar, lane);
-        ParallelBackend.softmax_lanes(&mut par, lane);
-        assert_close(&par, &scalar, &format!("softmax {rows}x{lane}"));
+        for (name, be) in others() {
+            let mut got = base.clone();
+            be.softmax_lanes(&mut got, lane);
+            assert_close(&got, &scalar, &format!("{name} softmax {rows}x{lane}"));
+        }
     }
-    // empty buffer / zero lane are no-ops on both
+    // empty buffer / zero lane are no-ops on all backends
     ScalarBackend.softmax_lanes(&mut [], 4);
     ParallelBackend.softmax_lanes(&mut [], 0);
+    SimdBackend.softmax_lanes(&mut [], 0);
 }
 
 #[test]
 fn layer_norm_parity_forward_and_backward() {
     let mut rng = Prng::new(0x9A74);
-    for &(rows, lane) in &[(1usize, 2usize), (7, 5), (300, 64), (2048, 16)] {
+    for &(rows, lane) in &[(1usize, 2usize), (7, 5), (300, 64), (2048, 16), (9, 21)] {
         let x = randv(rows * lane, &mut rng);
         let g = randv(rows * lane, &mut rng);
         let mut fs = x.clone();
-        let mut fp = x.clone();
         ScalarBackend.layer_norm_lanes(&mut fs, lane, 1e-6);
-        ParallelBackend.layer_norm_lanes(&mut fp, lane, 1e-6);
-        assert_close(&fp, &fs, &format!("ln fwd {rows}x{lane}"));
         let mut bs = vec![0.0; rows * lane];
-        let mut bp = bs.clone();
         ScalarBackend.layer_norm_backward_lanes(&x, &g, &mut bs, lane, 1e-6);
-        ParallelBackend.layer_norm_backward_lanes(&x, &g, &mut bp, lane, 1e-6);
-        assert_close(&bp, &bs, &format!("ln bwd {rows}x{lane}"));
+        for (name, be) in others() {
+            let mut fp = x.clone();
+            be.layer_norm_lanes(&mut fp, lane, 1e-6);
+            assert_close(&fp, &fs, &format!("{name} ln fwd {rows}x{lane}"));
+            let mut bp = vec![0.0; rows * lane];
+            be.layer_norm_backward_lanes(&x, &g, &mut bp, lane, 1e-6);
+            assert_close(&bp, &bs, &format!("{name} ln bwd {rows}x{lane}"));
+        }
     }
 }
 
@@ -120,58 +154,61 @@ fn elementwise_driver_parity() {
     for &n in &[0usize, 1, 100, 50_000] {
         let a = randv(n, &mut rng);
         let b = randv(n, &mut rng);
-        // run1
-        let mut s1 = a.clone();
-        let mut p1 = a.clone();
         let relu = |chunk: &mut [f32]| {
             for x in chunk {
                 *x = x.max(0.0);
             }
         };
-        ScalarBackend.run1(&mut s1, &relu);
-        ParallelBackend.run1(&mut p1, &relu);
-        assert_close(&p1, &s1, &format!("run1 n={n}"));
-        // run2
-        let mut s2 = vec![0.0; n];
-        let mut p2 = vec![0.0; n];
         let tanh = |src: &[f32], dst: &mut [f32]| {
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d = s.tanh();
             }
         };
-        ScalarBackend.run2(&a, &mut s2, &tanh);
-        ParallelBackend.run2(&a, &mut p2, &tanh);
-        assert_close(&p2, &s2, &format!("run2 n={n}"));
-        // run3
-        let mut s3 = vec![0.0; n];
-        let mut p3 = vec![0.0; n];
         let mul = |x: &[f32], y: &[f32], dst: &mut [f32]| {
             for ((d, &a), &b) in dst.iter_mut().zip(x).zip(y) {
                 *d = a * b;
             }
         };
+        let mut s1 = a.clone();
+        ScalarBackend.run1(&mut s1, &relu);
+        let mut s2 = vec![0.0; n];
+        ScalarBackend.run2(&a, &mut s2, &tanh);
+        let mut s3 = vec![0.0; n];
         ScalarBackend.run3(&a, &b, &mut s3, &mul);
-        ParallelBackend.run3(&a, &b, &mut p3, &mul);
-        assert_close(&p3, &s3, &format!("run3 n={n}"));
+        for (name, be) in others() {
+            let mut p1 = a.clone();
+            be.run1(&mut p1, &relu);
+            assert_close(&p1, &s1, &format!("{name} run1 n={n}"));
+            let mut p2 = vec![0.0; n];
+            be.run2(&a, &mut p2, &tanh);
+            assert_close(&p2, &s2, &format!("{name} run2 n={n}"));
+            let mut p3 = vec![0.0; n];
+            be.run3(&a, &b, &mut p3, &mul);
+            assert_close(&p3, &s3, &format!("{name} run3 n={n}"));
+        }
     }
 }
 
 #[test]
 fn reduction_parity() {
     let mut rng = Prng::new(0x9A76);
-    for &n in &[0usize, 1, 4095, 4096, 4097, 120_000] {
+    for &n in &[0usize, 1, 31, 4095, 4096, 4097, 120_000] {
         let a = randv(n, &mut rng);
         let b = randv(n, &mut rng);
-        let (ss, ps) = (ScalarBackend.sum(&a), ParallelBackend.sum(&a));
-        assert!(
-            (ss - ps).abs() <= TOL * (1.0 + ss.abs()),
-            "sum n={n}: {ss} vs {ps}"
-        );
-        let (sd, pd) = (ScalarBackend.dot(&a, &b), ParallelBackend.dot(&a, &b));
-        assert!(
-            (sd - pd).abs() <= TOL * (1.0 + sd.abs()) * 10.0,
-            "dot n={n}: {sd} vs {pd}"
-        );
+        let ss = ScalarBackend.sum(&a);
+        let sd = ScalarBackend.dot(&a, &b);
+        for (name, be) in others() {
+            let ps = be.sum(&a);
+            assert!(
+                (ss - ps).abs() <= TOL * (1.0 + ss.abs()),
+                "{name} sum n={n}: {ss} vs {ps}"
+            );
+            let pd = be.dot(&a, &b);
+            assert!(
+                (sd - pd).abs() <= TOL * (1.0 + sd.abs()) * 10.0,
+                "{name} dot n={n}: {sd} vs {pd}"
+            );
+        }
     }
 }
 
@@ -193,12 +230,85 @@ fn adam_update_parity() {
         let m0 = randv(n, &mut rng);
         let v0: Vec<f32> = randv(n, &mut rng).iter().map(|v| v.abs()).collect();
         let (mut xs, mut ms, mut vs) = (x0.clone(), m0.clone(), v0.clone());
-        let (mut xp, mut mp, mut vp) = (x0, m0, v0);
         ScalarBackend.adam_update(&mut xs, &g, &mut ms, &mut vs, &hp);
-        ParallelBackend.adam_update(&mut xp, &g, &mut mp, &mut vp, &hp);
-        assert_close(&xp, &xs, &format!("adam x n={n}"));
-        assert_close(&mp, &ms, &format!("adam m n={n}"));
-        assert_close(&vp, &vs, &format!("adam v n={n}"));
+        for (name, be) in others() {
+            let (mut xp, mut mp, mut vp) = (x0.clone(), m0.clone(), v0.clone());
+            be.adam_update(&mut xp, &g, &mut mp, &mut vp, &hp);
+            assert_close(&xp, &xs, &format!("{name} adam x n={n}"));
+            assert_close(&mp, &ms, &format!("{name} adam m n={n}"));
+            assert_close(&vp, &vs, &format!("{name} adam v n={n}"));
+        }
+    }
+}
+
+#[test]
+fn fused_attention_kernel_parity() {
+    let mut rng = Prng::new(0x9A78);
+    // (batch, m, k, n): n == 1 is the TCA hot path with its own simd code
+    for &(batch, m, k, n) in &[
+        (1usize, 3usize, 5usize, 1usize),
+        (4, 8, 33, 1),
+        (2, 6, 64, 1),
+        (3, 4, 10, 6),
+        (2, 5, 17, 3),
+        (1, 2, 40, 24),
+    ] {
+        let a = randv(batch * m, &mut rng);
+        let c = randv(batch * k, &mut rng);
+        let v = randv(batch * k * n, &mut rng);
+        let scores = randv(batch * m * k, &mut rng);
+        let gout = randv(batch * m * n, &mut rng);
+        let tau = 1.37;
+
+        let mut soft_s = vec![0.0; batch * m * k];
+        let mut out_s = vec![0.0; batch * m * n];
+        ScalarBackend.outer_attention(&a, &c, &v, tau, &mut soft_s, &mut out_s, batch, m, k, n);
+        let mut fwd_s = vec![0.0; batch * m * n];
+        ScalarBackend.outer_attention_fwd(&a, &c, &v, tau, &mut fwd_s, batch, m, k, n);
+        let mut sm_soft_s = vec![0.0; batch * m * k];
+        let mut sm_out_s = vec![0.0; batch * m * n];
+        ScalarBackend.softmax_matmul(&scores, &v, &mut sm_soft_s, &mut sm_out_s, batch, m, k, n);
+        let mut sm_fwd_s = vec![0.0; batch * m * n];
+        ScalarBackend.softmax_matmul_fwd(&scores, &v, &mut sm_fwd_s, batch, m, k, n);
+        let mut ga_s = vec![0.0; batch * m];
+        let mut gc_s = vec![0.0; batch * k];
+        let mut gv_s = vec![0.0; batch * k * n];
+        let gtau_s = ScalarBackend.outer_attention_backward(
+            &a, &c, &v, &soft_s, &gout, tau, &mut ga_s, &mut gc_s, &mut gv_s, batch, m, k, n,
+        );
+
+        for (name, be) in others() {
+            let what = format!("{name} {batch}x{m}x{k}x{n}");
+            let mut soft = vec![0.0; batch * m * k];
+            let mut out = vec![0.0; batch * m * n];
+            be.outer_attention(&a, &c, &v, tau, &mut soft, &mut out, batch, m, k, n);
+            assert_close(&soft, &soft_s, &format!("{what} oa soft"));
+            assert_close(&out, &out_s, &format!("{what} oa out"));
+            let mut fwd = vec![0.0; batch * m * n];
+            be.outer_attention_fwd(&a, &c, &v, tau, &mut fwd, batch, m, k, n);
+            assert_close(&fwd, &fwd_s, &format!("{what} oa fwd"));
+            let mut sm_soft = vec![0.0; batch * m * k];
+            let mut sm_out = vec![0.0; batch * m * n];
+            be.softmax_matmul(&scores, &v, &mut sm_soft, &mut sm_out, batch, m, k, n);
+            assert_close(&sm_soft, &sm_soft_s, &format!("{what} sm soft"));
+            assert_close(&sm_out, &sm_out_s, &format!("{what} sm out"));
+            let mut sm_fwd = vec![0.0; batch * m * n];
+            be.softmax_matmul_fwd(&scores, &v, &mut sm_fwd, batch, m, k, n);
+            assert_close(&sm_fwd, &sm_fwd_s, &format!("{what} sm fwd"));
+            let mut ga = vec![0.0; batch * m];
+            let mut gc = vec![0.0; batch * k];
+            let mut gv = vec![0.0; batch * k * n];
+            let gtau = be.outer_attention_backward(
+                &a, &c, &v, &soft_s, &gout, tau, &mut ga, &mut gc, &mut gv, batch, m, k, n,
+            );
+            assert_close(&ga, &ga_s, &format!("{what} oa bwd ga"));
+            assert_close(&gc, &gc_s, &format!("{what} oa bwd gc"));
+            assert_close(&gv, &gv_s, &format!("{what} oa bwd gv"));
+            assert!(
+                (gtau - gtau_s).abs() <= TOL * (1.0 + gtau_s.abs()) * 10.0,
+                "{what} gtau: {gtau} vs {gtau_s}"
+            );
+        }
     }
 }
 
@@ -257,13 +367,15 @@ fn grads_under(kind: BackendKind, seed: u64) -> (f32, Vec<Vec<f32>>) {
 fn backward_pass_agrees_across_backends() {
     for seed in [3u64, 17, 99] {
         let (loss_s, grads_s) = grads_under(BackendKind::Scalar, seed);
-        let (loss_p, grads_p) = grads_under(BackendKind::Parallel, seed);
-        assert!(
-            (loss_s - loss_p).abs() <= TOL * (1.0 + loss_s.abs()),
-            "seed {seed}: loss {loss_s} vs {loss_p}"
-        );
-        for (i, (gs, gp)) in grads_s.iter().zip(&grads_p).enumerate() {
-            assert_close(gp, gs, &format!("seed {seed}: grad[{i}]"));
+        for kind in [BackendKind::Parallel, BackendKind::Simd] {
+            let (loss_p, grads_p) = grads_under(kind, seed);
+            assert!(
+                (loss_s - loss_p).abs() <= TOL * (1.0 + loss_s.abs()),
+                "seed {seed} {kind:?}: loss {loss_s} vs {loss_p}"
+            );
+            for (i, (gs, gp)) in grads_s.iter().zip(&grads_p).enumerate() {
+                assert_close(gp, gs, &format!("seed {seed} {kind:?}: grad[{i}]"));
+            }
         }
     }
 }
@@ -283,9 +395,11 @@ fn conv_forward_and_backward_agree_across_backends() {
         })
     };
     let (ys, gxs, gws, gbs) = run(BackendKind::Scalar);
-    let (yp, gxp, gwp, gbp) = run(BackendKind::Parallel);
-    assert_close(yp.data(), ys.data(), "conv fwd");
-    assert_close(gxp.data(), gxs.data(), "conv gx");
-    assert_close(gwp.data(), gws.data(), "conv gw");
-    assert_close(gbp.data(), gbs.data(), "conv gb");
+    for kind in [BackendKind::Parallel, BackendKind::Simd] {
+        let (yp, gxp, gwp, gbp) = run(kind);
+        assert_close(yp.data(), ys.data(), &format!("{kind:?} conv fwd"));
+        assert_close(gxp.data(), gxs.data(), &format!("{kind:?} conv gx"));
+        assert_close(gwp.data(), gws.data(), &format!("{kind:?} conv gw"));
+        assert_close(gbp.data(), gbs.data(), &format!("{kind:?} conv gb"));
+    }
 }

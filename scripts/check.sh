@@ -7,13 +7,22 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --check
 
+# SIMD-pinned test leg: the suites above run under the auto-detected default
+# backend; this pins CAME_BACKEND=simd so the vectorized kernels (and their
+# scalar-delegation fallbacks on narrow shapes) are exercised explicitly even
+# if the default ever changes.
+CAME_BACKEND=simd cargo test -q -p came-tensor -p came-kg
+
 # Inference parity gate: the tape-free serving stack must reproduce the taped
 # metrics exactly and stay >= 2x faster on the eval_full_ranking A/B row.
 # Observability gate: enabling came-obs must cost < 1% on the training step
 # and the per-phase breakdown must account for the step wall time.
+# SIMD gate: the vectorized backend must hold >= 2x over scalar on the
+# softmax/layer-norm/adam kernels and not regress the end-to-end step
+# (skipped automatically on hosts without SSE2/AVX2).
 # Quick scale; the report goes to a scratch path so the committed full-scale
 # BENCH_micro.json stays untouched.
-CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_MICRO_OUT="$(mktemp)" \
+CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_MICRO_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin micro
 
 # Serving gate: the sharded tier must reproduce the single-engine path bit
