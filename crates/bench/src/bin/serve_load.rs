@@ -27,7 +27,7 @@ use came_bench::{came_config_drkg, came_kge, provenance_json, train_came, Scale}
 use came_biodata::presets;
 use came_encoders::{FeatureConfig, ModalFeatures};
 use came_kg::{
-    EvalConfig, ScoringEngine, ServeConfig, ServeError, ServeTier, ShardedEngine, Split,
+    EvalConfig, FaultPlan, ScoringEngine, ServeConfig, ServeError, ServeTier, ShardedEngine, Split,
     TierConfig, TopKRequest,
 };
 
@@ -65,7 +65,18 @@ fn main() {
     // A small but real serving workload: trained CamE over the tiny preset,
     // frozen multimodal caches passing the serving preflight.
     let bkg = presets::tiny(scale.data_seed);
-    let features = ModalFeatures::build(&bkg, &FeatureConfig::default());
+    let mut features = ModalFeatures::build(&bkg, &FeatureConfig::default());
+    // Fault injection (`CAME_FAULTS=drop_modality@entity=F`): clear both
+    // modalities for a fraction of entities before training, so the tier
+    // serves those heads through the learned-fallback degraded path.
+    let faults = FaultPlan::from_env();
+    let entities_dropped = match faults.drop_modality_entity_frac {
+        Some(frac) => features.drop_modality_fraction(frac, scale.data_seed),
+        None => 0,
+    };
+    if entities_dropped > 0 {
+        eprintln!("[serve_load] fault: dropped both modalities for {entities_dropped} entities");
+    }
     let epochs = if quick { 1 } else { 3 };
     let (model, store) = train_came(&bkg, &features, came_config_drkg(), epochs);
     model
@@ -117,10 +128,16 @@ fn main() {
     eprintln!("[serve_load] shard-vs-single bit-equality: topk={topk_equal} eval={eval_equal}");
 
     // ---- Phase 2: open-loop load through the tier --------------------------
+    let deadline_us = std::env::var("CAME_SERVE_DEADLINE_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0);
     let tier_cfg = TierConfig {
         shards,
         queue,
         flush_us,
+        deadline_us,
+        panic_at_batch: faults.shard_panic_at_batch,
         serve: ServeConfig::default(),
     };
     let total = (target_qps * secs).round() as usize;
@@ -128,6 +145,10 @@ fn main() {
     let lat = came_obs::registry().histogram("serve.load.latency_ns");
     let completed = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let partial = AtomicU64::new(0);
+    let deadline_shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
     let elapsed_s = ServeTier::run(&kge, &store, Some(&filter), tier_cfg, |handle| {
         let (tx, rx) = mpsc::channel::<(Instant, came_kg::PendingTopK)>();
         let rx = std::sync::Mutex::new(rx);
@@ -139,9 +160,24 @@ fn main() {
                 s.spawn(|| loop {
                     let item = { rx.lock().unwrap().recv() };
                     let Ok((sched, pending)) = item else { return };
-                    if pending.wait().is_ok() {
-                        lat.record(sched.elapsed().as_nanos() as u64);
-                        completed.fetch_add(1, Relaxed);
+                    match pending.wait() {
+                        Ok(resp) => {
+                            lat.record(sched.elapsed().as_nanos() as u64);
+                            completed.fetch_add(1, Relaxed);
+                            if resp.degraded {
+                                degraded.fetch_add(1, Relaxed);
+                            }
+                            if resp.partial {
+                                partial.fetch_add(1, Relaxed);
+                            }
+                        }
+                        Err(ServeError::DeadlineExceeded { .. }) => {
+                            deadline_shed.fetch_add(1, Relaxed);
+                        }
+                        // e.g. the batch where every shard failed.
+                        Err(_) => {
+                            failed.fetch_add(1, Relaxed);
+                        }
                     }
                 });
             }
@@ -170,6 +206,10 @@ fn main() {
 
     let done = completed.load(Relaxed);
     let shed = rejected.load(Relaxed);
+    let n_degraded = degraded.load(Relaxed);
+    let n_partial = partial.load(Relaxed);
+    let n_deadline = deadline_shed.load(Relaxed);
+    let n_failed = failed.load(Relaxed);
     let achieved_qps = if elapsed_s > 0.0 {
         done as f64 / elapsed_s
     } else {
@@ -185,6 +225,13 @@ fn main() {
         "serve_load: offered {total} @ {target_qps:.0} qps, completed {done} \
          ({achieved_qps:.0} qps), rejected {shed}"
     );
+    if n_degraded + n_partial + n_deadline + n_failed > 0 || entities_dropped > 0 {
+        println!(
+            "degraded mode: {n_degraded} degraded responses, {n_partial} partial responses, \
+             {n_deadline} deadline-shed, {n_failed} failed ({entities_dropped} entities \
+             without modalities)"
+        );
+    }
     println!(
         "latency (from scheduled arrival): p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
          mean {:.2} ms, max {:.2} ms",
@@ -212,6 +259,16 @@ fn main() {
          \"mean_ns\": {mean_ns:.0}, \"min_ns\": {}, \"max_ns\": {}}},\n",
         lat.min(),
         lat.max()
+    ));
+    json.push_str(&format!(
+        "  \"degraded\": {{\"entities_dropped\": {entities_dropped}, \
+         \"degraded_responses\": {n_degraded}, \"partial_responses\": {n_partial}, \
+         \"deadline_shed\": {n_deadline}, \"failed\": {n_failed}, \
+         \"shard_panic_at_batch\": {}}},\n",
+        match faults.shard_panic_at_batch {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        }
     ));
     json.push_str(&format!(
         "  \"provenance\": {}\n}}\n",
@@ -257,6 +314,38 @@ fn main() {
             "[serve_load] serve gate passed (bit-equal, {achieved_qps:.0} qps >= {floor:.0}, \
              p99 {:.2} ms <= {slo_ms:.0} ms)",
             p99 / 1e6
+        );
+    }
+
+    // Degraded-mode gate: the tier must keep answering under injected
+    // missing-modality and shard-panic faults — reaching this line at all
+    // means zero uncaught panics in the train→serve path.
+    if std::env::var_os("CAME_CHECK_DEGRADE").is_some() {
+        let mut gate_failed = false;
+        if done == 0 {
+            eprintln!("[serve_load] DEGRADE GATE FAILED: no request completed");
+            gate_failed = true;
+        }
+        if entities_dropped > 0 && n_degraded == 0 {
+            eprintln!(
+                "[serve_load] DEGRADE GATE FAILED: {entities_dropped} entities lost their \
+                 modalities but no response was tagged degraded"
+            );
+            gate_failed = true;
+        }
+        if faults.shard_panic_at_batch.is_some() && shards > 1 && n_partial == 0 {
+            eprintln!(
+                "[serve_load] DEGRADE GATE FAILED: shard panic was injected but no response \
+                 was tagged partial"
+            );
+            gate_failed = true;
+        }
+        if gate_failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve_load] degrade gate passed ({n_degraded} degraded, {n_partial} partial, \
+             {n_failed} failed; tier survived)"
         );
     }
 }

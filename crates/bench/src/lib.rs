@@ -91,6 +91,9 @@ pub fn came_config_drkg() -> CamEConfig {
         d_fusion: 32,
         ..CamEConfig::default()
     }
+    // robustness env knobs (CAME_MODALITY_DROPOUT, CAME_CONTRASTIVE_W)
+    // reach every bench/experiment binary through these builders
+    .with_env_overrides()
 }
 
 /// Default CamE configuration for the OMAHA-MM-like preset (paper: m=3,
@@ -104,6 +107,7 @@ pub fn came_config_omaha() -> CamEConfig {
         d_fusion: 32,
         ..CamEConfig::default()
     }
+    .with_env_overrides()
 }
 
 /// Default CamE training configuration.

@@ -170,6 +170,18 @@ impl TypedEntities {
     }
 }
 
+/// Per-entity modality presence mask: each of the `n` rows keeps its
+/// modality with probability `coverage` (clamped below by 0). Coverage of
+/// `1.0` or more short-circuits to an all-true mask *without touching the
+/// RNG*, so full-coverage configs generate bit-identical datasets to the
+/// pre-presence-mask generator.
+pub fn presence_mask(n: usize, coverage: f64, rng: &mut Prng) -> Vec<bool> {
+    if coverage >= 1.0 {
+        return vec![true; n];
+    }
+    (0..n).map(|_| rng.chance(coverage.max(0.0))).collect()
+}
+
 /// Draw a random compatibility map: each of `n_head` clusters is linked to
 /// 1..=`max_fanout` of the `n_tail` clusters.
 pub fn random_compat(

@@ -6,6 +6,7 @@
 //! | [`drkg_mm_like`]  | DRKG-MM (dense, 6 relation families, Table V ratios) | ~1000 | ~20k | yes |
 //! | [`omaha_mm_like`] | OMAHA-MM (sparse, 17 relations, min-degree pruned)   | ~1000 | ~3.5k | no |
 //! | [`tiny`]          | unit-test scale | ~110 | ~500 | yes |
+//! | [`modality_poor_like`] | tiny with ~50% molecule / ~60% text coverage (`CAME_MODALITY_POOR`) | ~110 | ~500 | partial |
 //!
 //! The paper's absolute sizes (97k/74k entities, 4.7M/0.4M triples) are out
 //! of reach for a single-thread CPU reproduction of *fourteen* models; the
@@ -87,6 +88,8 @@ pub fn drkg_mm_like_config(seed: u64) -> BkgConfig {
         noise_edge_frac: 0.08,
         modality_text_noise: 0.1,
         with_molecules: true,
+        molecule_coverage: 1.0,
+        text_coverage: 1.0,
         split: (8.0, 1.0, 1.0),
         min_degree: None,
         seed,
@@ -177,6 +180,8 @@ pub fn omaha_mm_like_config(seed: u64) -> BkgConfig {
         modality_text_noise: 0.1,
         // OMAHA-MM compounds carry no molecular information (paper §V-A2)
         with_molecules: false,
+        molecule_coverage: 1.0,
+        text_coverage: 1.0,
         split: (8.0, 1.0, 1.0),
         // OMAHA-MM construction rule 3: drop entities with degree < 5; the
         // scaled-down graph uses 2 to keep a comparable pruned fraction
@@ -259,6 +264,8 @@ pub fn tiny_config(seed: u64) -> BkgConfig {
         noise_edge_frac: 0.05,
         modality_text_noise: 0.1,
         with_molecules: true,
+        molecule_coverage: 1.0,
+        text_coverage: 1.0,
         split: (8.0, 1.0, 1.0),
         min_degree: None,
         seed,
@@ -268,6 +275,34 @@ pub fn tiny_config(seed: u64) -> BkgConfig {
 /// Unit-test-scale multimodal BKG (~110 entities, ~500 triples).
 pub fn tiny(seed: u64) -> MultimodalBkg {
     build(&tiny_config(seed))
+}
+
+/// Configuration behind [`modality_poor_like`]: the tiny graph rebuilt
+/// OMAHA-style with sparse modal coverage — roughly half the compounds
+/// lose their molecule graph and 40% of entities lose their description,
+/// so structure is the only modality guaranteed present.
+pub fn modality_poor_like_config(seed: u64) -> BkgConfig {
+    BkgConfig {
+        name: "ModalityPoor-BKG".into(),
+        molecule_coverage: 0.5,
+        text_coverage: 0.6,
+        ..tiny_config(seed)
+    }
+}
+
+/// A modality-poor multimodal BKG: same schema and scale as [`tiny`] but
+/// with per-entity presence gaps in both the molecule and text modalities
+/// (BioBLP-style missing-modality realism). Exercised by the degraded-mode
+/// scenario matrix and selectable at the bench layer via
+/// `CAME_MODALITY_POOR`.
+pub fn modality_poor_like(seed: u64) -> MultimodalBkg {
+    build(&modality_poor_like_config(seed))
+}
+
+/// True when `CAME_MODALITY_POOR` is set (to anything but `0`): bench and
+/// serving binaries swap their default dataset for [`modality_poor_like`].
+pub fn modality_poor_env() -> bool {
+    std::env::var("CAME_MODALITY_POOR").is_ok_and(|v| v != "0")
 }
 
 #[cfg(test)]
@@ -323,6 +358,24 @@ mod tests {
             low * 20 <= d.num_entities(),
             "{low}/{} entities below min degree",
             d.num_entities()
+        );
+    }
+
+    #[test]
+    fn modality_poor_preset_has_presence_gaps() {
+        let poor = modality_poor_like(7);
+        let n = poor.num_entities();
+        let with_text = poor.has_text.iter().filter(|&&p| p).count();
+        assert!(
+            with_text > 0 && with_text < n,
+            "text coverage {with_text}/{n}"
+        );
+        let full = tiny(7);
+        let full_mols = full.molecules.iter().filter(|m| m.is_some()).count();
+        let poor_mols = poor.molecules.iter().filter(|m| m.is_some()).count();
+        assert!(
+            poor_mols > 0 && poor_mols < full_mols,
+            "molecule coverage {poor_mols}/{full_mols}"
         );
     }
 

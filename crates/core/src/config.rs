@@ -37,6 +37,16 @@ pub struct CamEConfig {
     /// Use pretrained CompGCN structural features as `h_s` (off = learnable
     /// structural embedding only, as in the Fig. 8(a) fairness setting).
     pub use_pretrained_struct: bool,
+    /// Per-modality dropout probabilities `(p_molecule, p_text)`: during
+    /// training each batch row independently loses that modality with the
+    /// given probability and is served by the learned fallback embedding
+    /// instead, teaching the model to score modality-poor entities. Zero
+    /// disables. Env override: `CAME_MODALITY_DROPOUT=p_mol,p_text`.
+    pub modality_dropout: (f32, f32),
+    /// Weight of the cross-modal contrastive (InfoNCE) auxiliary loss
+    /// aligning molecule and text projections of the same entity. Zero
+    /// disables. Env override: `CAME_CONTRASTIVE_W`.
+    pub contrastive_w: f32,
     /// Parameter-initialisation seed.
     pub seed: u64,
     /// Kernel backend to select before building/training the model. `None`
@@ -62,9 +72,33 @@ impl Default for CamEConfig {
             use_text: true,
             use_molecule: true,
             use_pretrained_struct: true,
+            modality_dropout: (0.0, 0.0),
+            contrastive_w: 0.0,
             seed: 0xCA4E,
             backend: None,
         }
+    }
+}
+
+impl CamEConfig {
+    /// Apply the robustness env knobs: `CAME_MODALITY_DROPOUT=p_mol,p_text`
+    /// (a single value sets both) and `CAME_CONTRASTIVE_W=w`. Unset or
+    /// unparsable values leave the config untouched.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Ok(v) = std::env::var("CAME_MODALITY_DROPOUT") {
+            let mut parts = v.splitn(2, ',').map(|p| p.trim().parse::<f32>());
+            match (parts.next(), parts.next()) {
+                (Some(Ok(p_mol)), Some(Ok(p_text))) => self.modality_dropout = (p_mol, p_text),
+                (Some(Ok(p)), None) => self.modality_dropout = (p, p),
+                _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("CAME_CONTRASTIVE_W") {
+            if let Ok(w) = v.trim().parse::<f32>() {
+                self.contrastive_w = w;
+            }
+        }
+        self
     }
 }
 
@@ -159,5 +193,35 @@ mod tests {
         assert_eq!(Ablation::all().len(), 8);
         assert_eq!(Ablation::WithoutMmfAndRic.label(), "w/o M and R");
         assert_eq!(Ablation::WithoutText.label(), "w/o TD");
+    }
+
+    #[test]
+    fn env_overrides_parse_dropout_pair_and_contrastive_weight() {
+        let base = CamEConfig::default();
+        assert_eq!(base.modality_dropout, (0.0, 0.0));
+        assert_eq!(base.contrastive_w, 0.0);
+        // unset env leaves the config untouched
+        std::env::remove_var("CAME_MODALITY_DROPOUT");
+        std::env::remove_var("CAME_CONTRASTIVE_W");
+        let c = CamEConfig::default().with_env_overrides();
+        assert_eq!(c.modality_dropout, (0.0, 0.0));
+
+        std::env::set_var("CAME_MODALITY_DROPOUT", "0.3,0.1");
+        std::env::set_var("CAME_CONTRASTIVE_W", "0.05");
+        let c = CamEConfig::default().with_env_overrides();
+        assert_eq!(c.modality_dropout, (0.3, 0.1));
+        assert_eq!(c.contrastive_w, 0.05);
+
+        // a single value sets both probabilities
+        std::env::set_var("CAME_MODALITY_DROPOUT", "0.25");
+        let c = CamEConfig::default().with_env_overrides();
+        assert_eq!(c.modality_dropout, (0.25, 0.25));
+
+        // garbage is ignored, not a panic
+        std::env::set_var("CAME_MODALITY_DROPOUT", "lots");
+        let c = CamEConfig::default().with_env_overrides();
+        assert_eq!(c.modality_dropout, (0.0, 0.0));
+        std::env::remove_var("CAME_MODALITY_DROPOUT");
+        std::env::remove_var("CAME_CONTRASTIVE_W");
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Mutex;
 
 use came_encoders::{FrozenCache, FrozenError, ModalFeatures};
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
-use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Var};
+use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var};
 
 use crate::config::CamEConfig;
 use crate::mmf::{simple_multiplicative_fusion, MmfModule};
@@ -48,10 +48,19 @@ pub struct CamE {
     branch1: ConvBranch,
     branch2: ConvBranch,
     ent_bias: ParamId,
+    // Learned per-modality fallback embeddings `[1, d_m]` / `[1, d_t]` in
+    // the raw feature space: they stand in for absent (or dropout-masked)
+    // modality rows and flow through the same projections as real features.
+    fallback_m: ParamId,
+    fallback_t: ParamId,
     // A Mutex (not RefCell) so a trained CamE is `Sync` and can be scored
     // concurrently from the serving tier's shard workers; training forwards
     // take the lock once per step, inference forwards never contend.
     dropout_rng: Mutex<Prng>,
+    // Modality-dropout coin flips get their own stream so enabling the knob
+    // leaves the feature-dropout stream (and pre-existing runs) untouched;
+    // its position is checkpointed alongside `dropout_rng`.
+    modality_rng: Mutex<Prng>,
 }
 
 impl CamE {
@@ -173,7 +182,13 @@ impl CamE {
             &mut rng,
         );
         let ent_bias = store.add_zeros("came.ent_bias", Shape::d1(n));
+        // Zero-init keeps absent rows bit-identical to the pre-fallback
+        // model at step 0 (they were served as zero rows) and draws nothing
+        // from the init RNG, so all other parameters keep their streams.
+        let fallback_m = store.add_zeros("came.fallback_m", Shape::d2(1, d_m));
+        let fallback_t = store.add_zeros("came.fallback_t", Shape::d2(1, d_t));
         let dropout_rng = Mutex::new(Prng::new(cfg.seed ^ 0xD409));
+        let modality_rng = Mutex::new(Prng::new(cfg.seed ^ 0x30D0));
 
         let (feat_m, feat_t, feat_s) = features.caches();
         Ok(CamE {
@@ -194,7 +209,10 @@ impl CamE {
             branch1,
             branch2,
             ent_bias,
+            fallback_m,
+            fallback_t,
             dropout_rng,
+            modality_rng,
             cfg,
         })
     }
@@ -248,6 +266,11 @@ impl CamE {
     /// from: each active modality's cache must be fresh, finite, and aligned
     /// with the served entity space. Run once when the model goes behind a
     /// scoring endpoint; per-request gathers then skip validation entirely.
+    /// Partial modality coverage is *not* an error: entities missing a
+    /// modality are served through the learned fallback embedding and their
+    /// responses tagged degraded. The preflight publishes coverage on the
+    /// `serve.degraded_entities` gauge (and per-modality sub-gauges) so
+    /// operators see how much of the entity space is degraded.
     pub fn serve_preflight(&self) -> Result<(), FrozenError> {
         let mut caches = vec![];
         if self.cfg.use_molecule {
@@ -260,9 +283,78 @@ impl CamE {
             caches.push(&self.feat_s);
         }
         for cache in caches {
-            cache.preflight(self.n_entities)?;
+            cache.preflight_coverage(self.n_entities)?;
+        }
+        if came_obs::enabled() {
+            let degraded = (0..self.n_entities as u32)
+                .filter(|&e| self.head_degraded(e))
+                .count();
+            came_obs::registry()
+                .gauge("serve.degraded_entities")
+                .set(degraded as i64);
         }
         Ok(())
+    }
+
+    /// Whether scoring head `entity` takes the degraded path: an active
+    /// modality has no row for it, so the learned fallback stands in.
+    pub fn head_degraded(&self, entity: u32) -> bool {
+        (self.cfg.use_molecule && !self.feat_m.is_present(entity))
+            || (self.cfg.use_text && !self.feat_t.is_present(entity))
+    }
+
+    /// Whether any served entity is degraded (partial modality coverage).
+    pub fn serving_degraded(&self) -> bool {
+        (self.cfg.use_molecule && self.feat_m.missing_rows() > 0)
+            || (self.cfg.use_text && self.feat_t.missing_rows() > 0)
+    }
+
+    /// Gather one modality's rows for `heads`, routing entities whose row
+    /// is absent — or knocked out by modality dropout during training —
+    /// through the learned fallback embedding. When every head is present
+    /// and no dropout fires, the gathered rows pass through untouched, so
+    /// full-coverage runs build exactly the pre-fallback graph.
+    fn modal_rows(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        cache: &came_encoders::FrozenCache,
+        fallback: ParamId,
+        p_drop: f32,
+        heads: &[u32],
+    ) -> Var {
+        let b = heads.len();
+        let mut keep: Vec<bool> = heads.iter().map(|&h| cache.is_present(h)).collect();
+        if p_drop > 0.0 && g.records_tape() {
+            // One draw per head (present or not) keeps the stream position a
+            // pure function of rows seen, so snapshots replay bit-identically.
+            let mut rng = self.modality_rng.lock().unwrap();
+            for k in keep.iter_mut() {
+                if rng.chance(p_drop as f64) {
+                    *k = false;
+                }
+            }
+        }
+        let rows = g.input(cache.rows(heads));
+        if keep.iter().all(|&k| k) {
+            return rows;
+        }
+        let d = cache.dim();
+        let mut keep_mask = vec![0.0f32; b * d];
+        let mut fill = vec![0.0f32; b];
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                keep_mask[i * d..(i + 1) * d].fill(1.0);
+            } else {
+                fill[i] = 1.0;
+            }
+        }
+        let keep_t = g.input(Tensor::from_vec(Shape::d2(b, d), keep_mask));
+        let fill_t = g.input(Tensor::from_vec(Shape::d2(b, 1), fill));
+        // `[B,1] @ [1,d]` broadcasts the fallback onto dropped rows and
+        // routes their gradients back into it.
+        let fb = g.matmul(fill_t, g.param(store, fallback));
+        g.add(g.mul(rows, keep_t), fb)
     }
 }
 
@@ -275,8 +367,13 @@ impl OneToNModel for CamE {
         let gather = came_obs::span("phase.frozen_gather");
         let r_emb = self.rel.lookup(g, store, rels); // [B, d_e]
         let e_h = self.ent.lookup(g, store, heads); // [B, d_e]
-        let m_raw = cfg.use_molecule.then(|| g.input(self.feat_m.rows(heads)));
-        let t_raw = cfg.use_text.then(|| g.input(self.feat_t.rows(heads)));
+        let (p_mol, p_text) = cfg.modality_dropout;
+        let m_raw = cfg
+            .use_molecule
+            .then(|| self.modal_rows(g, store, &self.feat_m, self.fallback_m, p_mol, heads));
+        let t_raw = cfg
+            .use_text
+            .then(|| self.modal_rows(g, store, &self.feat_t, self.fallback_t, p_text, heads));
         let s_raw = if cfg.use_pretrained_struct {
             g.input(self.feat_s.rows(heads))
         } else {
@@ -336,27 +433,80 @@ impl OneToNModel for CamE {
         g.add(scores, g.param(store, self.ent_bias))
     }
 
-    // Checkpointing: the only model-side mutable state outside the
-    // ParamStore is the dropout RNG; a bit-identical resume must restore its
-    // exact stream position.
+    // Cross-modal contrastive alignment (InfoNCE): for batch heads carrying
+    // *both* molecule and text, project each modality into the fusion space
+    // and ask every molecule row to pick out its own entity's text row
+    // against the rest of the batch. Weighted by `cfg.contrastive_w`.
+    fn aux_loss(&self, g: &Graph, store: &ParamStore, heads: &[u32], _rels: &[u32]) -> Option<Var> {
+        let w = self.cfg.contrastive_w;
+        if w <= 0.0 || !self.cfg.use_molecule || !self.cfg.use_text {
+            return None;
+        }
+        // unique heads with both modalities — duplicates would put the same
+        // positive pair on two rows and turn it into its own false negative
+        let mut seen = std::collections::HashSet::new();
+        let both: Vec<u32> = heads
+            .iter()
+            .copied()
+            .filter(|&h| self.feat_m.is_present(h) && self.feat_t.is_present(h) && seen.insert(h))
+            .collect();
+        let k = both.len();
+        if k < 2 {
+            return None;
+        }
+        let m = self.w_mol.apply(g, store, g.input(self.feat_m.rows(&both))); // [K, d_f]
+        let t = self
+            .w_text
+            .apply(g, store, g.input(self.feat_t.rows(&both))); // [K, d_f]
+        let logits = g.matmul(m, g.transpose(t, 0, 1)); // [K, K]
+        let probs = g.softmax(logits, 1);
+        // epsilon keeps ln() finite if a row saturates; eye picks diagonals
+        let eps = g.input(Tensor::from_vec(Shape::d2(k, k), vec![1e-9; k * k]));
+        let mut eye = vec![0.0f32; k * k];
+        for i in 0..k {
+            eye[i * k + i] = 1.0;
+        }
+        let picked = g.mul(
+            g.ln(g.add(probs, eps)),
+            g.input(Tensor::from_vec(Shape::d2(k, k), eye)),
+        );
+        let nll = g.neg(g.scale(g.sum_all(picked), 1.0 / k as f32));
+        Some(g.scale(nll, w))
+    }
+
+    fn degraded(&self, entity: u32) -> bool {
+        self.head_degraded(entity)
+    }
+
+    // Checkpointing: the model-side mutable state outside the ParamStore is
+    // the two RNG streams (feature dropout + modality dropout); a
+    // bit-identical resume must restore their exact positions.
     fn state_bytes(&self) -> Vec<u8> {
-        let words = self.dropout_rng.lock().unwrap().save_state();
-        let mut out = Vec::with_capacity(24);
-        for w in words {
-            out.extend_from_slice(&w.to_le_bytes());
+        let mut out = Vec::with_capacity(48);
+        for rng in [&self.dropout_rng, &self.modality_rng] {
+            for w in rng.lock().unwrap().save_state() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
         }
         out
     }
 
     fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
-        if bytes.len() != 24 {
+        if bytes.len() != 24 && bytes.len() != 48 {
             return Err(format!(
-                "CamE checkpoint state must be 24 bytes (dropout RNG), got {}",
+                "CamE checkpoint state must be 24 bytes (dropout RNG) or 48 (plus modality-dropout RNG), got {}",
                 bytes.len()
             ));
         }
         let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
         *self.dropout_rng.lock().unwrap() = Prng::from_saved([word(0), word(1), word(2)]);
+        *self.modality_rng.lock().unwrap() = if bytes.len() == 48 {
+            Prng::from_saved([word(3), word(4), word(5)])
+        } else {
+            // pre-PR-8 checkpoint: modality dropout did not exist, so the
+            // stream is at its seed position
+            Prng::new(self.cfg.seed ^ 0x30D0)
+        };
         Ok(())
     }
 
@@ -485,6 +635,159 @@ mod tests {
         );
         // random MRR on ~110 entities is ~0.05
         assert!(m.mrr() > 0.2, "train MRR {} barely above chance", m.mrr());
+    }
+
+    #[test]
+    fn modality_poor_dataset_trains_and_scores_degraded_heads() {
+        let bkg = presets::modality_poor_like(5);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let cfg = CamEConfig {
+            modality_dropout: (0.2, 0.2),
+            contrastive_w: 0.05,
+            ..small_cfg()
+        };
+        let model = CamE::new(&mut store, &bkg.dataset, &f, cfg);
+        assert!(model.serving_degraded(), "preset should leave gaps");
+        assert_eq!(
+            model.serve_preflight(),
+            Ok(()),
+            "partial coverage is not an error"
+        );
+        let hist = model.fit(
+            &mut store,
+            &bkg.dataset,
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 64,
+                ..Default::default()
+            },
+        );
+        assert!(hist.iter().all(|e| e.loss.is_finite()));
+        let degraded_head = (0..bkg.num_entities() as u32)
+            .find(|&e| model.head_degraded(e))
+            .expect("some head should be degraded");
+        let g = Graph::inference();
+        let s = model.forward(&g, &store, &[degraded_head], &[0]);
+        assert!(!g.value(s).has_non_finite());
+    }
+
+    #[test]
+    fn fallback_embeddings_learn_under_modality_dropout() {
+        let bkg = presets::tiny(4);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let cfg = CamEConfig {
+            modality_dropout: (0.5, 0.5),
+            ..small_cfg()
+        };
+        let model = CamE::new(&mut store, &bkg.dataset, &f, cfg);
+        assert!(
+            store
+                .value(model.fallback_t)
+                .data()
+                .iter()
+                .all(|&x| x == 0.0),
+            "fallbacks start at zero"
+        );
+        model.fit(
+            &mut store,
+            &bkg.dataset,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 64,
+                ..Default::default()
+            },
+        );
+        assert!(
+            store
+                .value(model.fallback_t)
+                .data()
+                .iter()
+                .any(|&x| x != 0.0),
+            "dropout should route gradients into the text fallback"
+        );
+        assert!(
+            store
+                .value(model.fallback_m)
+                .data()
+                .iter()
+                .any(|&x| x != 0.0),
+            "dropout should route gradients into the molecule fallback"
+        );
+    }
+
+    #[test]
+    fn full_coverage_without_dropout_is_bit_identical_to_plain_gather() {
+        // the fallback path must not perturb the graph when unused
+        let bkg = presets::tiny(7);
+        let f = small_features(&bkg);
+        let mut s1 = ParamStore::new();
+        let m1 = CamE::new(&mut s1, &bkg.dataset, &f, small_cfg());
+        let g = Graph::inference();
+        let a = g.value(m1.forward(&g, &s1, &[0, 1, 2], &[0, 1, 0]));
+        let g2 = Graph::inference();
+        let b = g2.value(m1.forward(&g2, &s1, &[0, 1, 2], &[0, 1, 0]));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn contrastive_aux_loss_fires_only_when_weighted_and_eligible() {
+        let bkg = presets::tiny(8);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let model = CamE::new(&mut store, &bkg.dataset, &f, small_cfg());
+        let g = Graph::inference();
+        assert!(
+            model.aux_loss(&g, &store, &[0, 1, 2], &[0, 0, 0]).is_none(),
+            "w = 0 disables the term"
+        );
+
+        let mut store2 = ParamStore::new();
+        let cfg = CamEConfig {
+            contrastive_w: 0.1,
+            ..small_cfg()
+        };
+        let model2 = CamE::new(&mut store2, &bkg.dataset, &f, cfg);
+        let both: Vec<u32> = (0..bkg.num_entities() as u32)
+            .filter(|&e| !model2.head_degraded(e))
+            .take(4)
+            .collect();
+        assert!(both.len() >= 2, "tiny preset has dual-modality entities");
+        let aux = model2.aux_loss(&g, &store2, &both, &vec![0; both.len()]);
+        let v = g.value(aux.expect("eligible pairs should produce a loss"));
+        assert!(v.data()[0].is_finite());
+        // a single eligible head has no in-batch negatives
+        assert!(model2.aux_loss(&g, &store2, &both[..1], &[0]).is_none());
+    }
+
+    #[test]
+    fn state_roundtrip_covers_both_rng_streams() {
+        let bkg = presets::tiny(9);
+        let f = small_features(&bkg);
+        let mut store = ParamStore::new();
+        let cfg = CamEConfig {
+            modality_dropout: (0.3, 0.3),
+            ..small_cfg()
+        };
+        let model = CamE::new(&mut store, &bkg.dataset, &f, cfg);
+        let before = model.state_bytes();
+        assert_eq!(before.len(), 48);
+        // advance both streams with a training-graph forward
+        let g = Graph::new();
+        let _ = model.forward(&g, &store, &[0, 1, 2, 3], &[0, 0, 1, 1]);
+        let advanced = model.state_bytes();
+        assert_ne!(
+            before, advanced,
+            "training forward should consume both RNGs"
+        );
+        model.restore_state(&before).unwrap();
+        assert_eq!(model.state_bytes(), before);
+        // legacy 24-byte checkpoints restore the dropout RNG and reset the
+        // modality stream to its seed position
+        model.restore_state(&before[..24]).unwrap();
+        assert_eq!(model.state_bytes()[..24], before[..24]);
+        assert!(model.restore_state(&before[..10]).is_err());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Missing-modality robustness, end to end: kill/resume bit-identity while
+//! the modality-dropout RNG stream is live, and degraded serving parity —
+//! a modality-poor CamE answers bit-identically through the single engine
+//! and the sharded tier, with degraded heads tagged.
+
+use std::path::PathBuf;
+
+use came::{CamE, CamEConfig};
+use came_biodata::presets;
+use came_encoders::{FeatureConfig, ModalFeatures};
+use came_kg::{
+    train_one_to_n_rt, CheckpointConfig, EntityId, FaultPlan, OneToNKge, RelationId, RuntimeConfig,
+    ScoringEngine, ServeConfig, ServeTier, TierConfig, TopKRequest, TrainConfig, TrainError,
+    TrainEvent,
+};
+use came_tensor::ParamStore;
+
+fn small_features(bkg: &came_biodata::MultimodalBkg) -> ModalFeatures {
+    ModalFeatures::build(
+        bkg,
+        &FeatureConfig {
+            d_molecule: 16,
+            d_text: 24,
+            d_struct: 16,
+            gin_layers: 2,
+            compgcn_epochs: 2,
+            seed: 3,
+        },
+    )
+}
+
+/// A small CamE with every robustness knob live: modality dropout draws
+/// from the second RNG stream every batch, and the contrastive auxiliary
+/// loss runs over both-modality heads.
+fn robust_cfg() -> CamEConfig {
+    CamEConfig {
+        d_embed: 32,
+        d_fusion: 32,
+        n_filters: 4,
+        kernel: 3,
+        n_heads: 2,
+        dropout: 0.1,
+        modality_dropout: (0.25, 0.25),
+        contrastive_w: 0.05,
+        ..Default::default()
+    }
+}
+
+/// Bitwise image of every parameter, Adam moments included.
+fn store_bits(store: &ParamStore) -> Vec<(String, Vec<u32>)> {
+    store
+        .state_views()
+        .map(|p| {
+            let bits = p
+                .value
+                .data()
+                .iter()
+                .chain(p.m.data())
+                .chain(p.v.data())
+                .map(|f| f.to_bits())
+                .collect();
+            (p.name.to_string(), bits)
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("came-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ckpt_runtime(dir: &PathBuf, faults: FaultPlan) -> RuntimeConfig {
+    RuntimeConfig {
+        checkpoint: Some(CheckpointConfig::new(dir.clone())),
+        faults,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_with_modality_dropout_active() {
+    let bkg = presets::modality_poor_like(11);
+    let f = small_features(&bkg);
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 64,
+        lr: 3e-3,
+        ..Default::default()
+    };
+
+    // Reference: 4 epochs straight through, both RNG streams advancing.
+    let dir_a = scratch_dir("straight");
+    let mut store = ParamStore::new();
+    let model = CamE::new(&mut store, &bkg.dataset, &f, robust_cfg());
+    let rt = ckpt_runtime(&dir_a, FaultPlan::none());
+    let run = train_one_to_n_rt(&model, &mut store, &bkg.dataset, &cfg, &rt, |_, _, _| {}).unwrap();
+    let want = store_bits(&store);
+    let want_losses: Vec<f32> = run.history.iter().map(|s| s.loss).collect();
+
+    // Killed at epoch 2, resumed in fresh process-worth of state. The
+    // snapshot must carry BOTH RNG streams (feature dropout + modality
+    // dropout) for the continuation to replay the same coin flips.
+    let dir_b = scratch_dir("killed");
+    let mut store = ParamStore::new();
+    let model = CamE::new(&mut store, &bkg.dataset, &f, robust_cfg());
+    let rt = ckpt_runtime(
+        &dir_b,
+        FaultPlan {
+            kill_at_epoch: Some(2),
+            ..FaultPlan::none()
+        },
+    );
+    match train_one_to_n_rt(&model, &mut store, &bkg.dataset, &cfg, &rt, |_, _, _| {}) {
+        Err(TrainError::Killed { epoch: 2 }) => {}
+        other => panic!("expected kill at epoch 2, got {other:?}"),
+    }
+
+    let mut store = ParamStore::new();
+    let model = CamE::new(&mut store, &bkg.dataset, &f, robust_cfg());
+    let rt = ckpt_runtime(&dir_b, FaultPlan::none());
+    let mut resumed_at = None;
+    let run = train_one_to_n_rt(&model, &mut store, &bkg.dataset, &cfg, &rt, |ev, _, _| {
+        if let TrainEvent::Resumed { epoch_next, .. } = ev {
+            resumed_at = Some(*epoch_next);
+        }
+    })
+    .unwrap();
+    assert_eq!(resumed_at, Some(2), "resume should continue at epoch 2");
+    let got_losses: Vec<f32> = run.history.iter().map(|s| s.loss).collect();
+    assert_eq!(got_losses, want_losses, "loss history must match");
+    assert_eq!(store_bits(&store), want, "parameters must be bit-identical");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn degraded_serving_parity_between_engine_and_sharded_tier() {
+    let bkg = presets::modality_poor_like(7);
+    let f = small_features(&bkg);
+    let mut store = ParamStore::new();
+    let model = CamE::new(&mut store, &bkg.dataset, &f, robust_cfg());
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        lr: 3e-3,
+        ..Default::default()
+    };
+    model.fit(&mut store, &bkg.dataset, &cfg);
+    assert!(
+        model.serving_degraded(),
+        "the modality-poor preset must leave some entities without features"
+    );
+    // Degraded coverage is reported, not fatal.
+    assert_eq!(model.serve_preflight(), Ok(()));
+
+    let n = bkg.dataset.num_entities() as u32;
+    let kge = OneToNKge::new("CamE", &model, n as usize);
+    let reqs: Vec<TopKRequest> = (0..16u32)
+        .map(|i| TopKRequest::with_k(EntityId(i.wrapping_mul(5) % n), RelationId(i % 2), 10))
+        .collect();
+    assert!(
+        reqs.iter().any(|r| model.head_degraded(r.head.0)),
+        "the request mix must hit at least one degraded head"
+    );
+    let single = ScoringEngine::with_config(&kge, &store, ServeConfig::default()).unwrap();
+    let want = single.top_k_batch(&reqs, None).unwrap();
+
+    let tier_cfg = TierConfig {
+        shards: 3,
+        flush_us: 100,
+        ..TierConfig::default()
+    };
+    ServeTier::run(&kge, &store, None, tier_cfg, |handle| {
+        for (req, w) in reqs.iter().zip(&want) {
+            let got = handle.top_k(*req).unwrap();
+            assert_eq!(got.hits, w.hits, "degraded head must score bit-identically");
+            assert_eq!(got.degraded, model.head_degraded(req.head.0));
+            assert_eq!(got.degraded, w.degraded);
+            assert!(!got.partial);
+        }
+    })
+    .unwrap();
+}

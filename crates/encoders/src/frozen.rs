@@ -43,6 +43,15 @@ pub enum FrozenError {
         /// Modality of the stale cache.
         modality: String,
     },
+    /// A strict gather asked for an entity that does not carry this
+    /// modality. Degraded-mode serving catches this and substitutes the
+    /// model's learned fallback embedding instead of panicking.
+    MissingModality {
+        /// Modality the entity lacks.
+        modality: String,
+        /// Entity id whose row is absent.
+        entity: usize,
+    },
 }
 
 impl fmt::Display for FrozenError {
@@ -64,11 +73,26 @@ impl fmt::Display for FrozenError {
                 f,
                 "stale frozen {modality} cache: refresh() it before serving"
             ),
+            FrozenError::MissingModality { modality, entity } => write!(
+                f,
+                "entity {entity} carries no {modality} features; serve degraded or use the fallback embedding"
+            ),
         }
     }
 }
 
 impl std::error::Error for FrozenError {}
+
+/// Zero every row of a `[N, d]` table whose presence flag is false.
+fn zero_absent_rows(t: &mut Tensor, present: &[bool]) {
+    let d = t.shape().at(1);
+    let data = t.data_mut();
+    for (i, &keep) in present.iter().enumerate() {
+        if !keep {
+            data[i * d..(i + 1) * d].fill(0.0);
+        }
+    }
+}
 
 /// Count rows of a `[N, d]` table containing any non-finite value.
 fn non_finite_rows(t: &Tensor) -> usize {
@@ -121,6 +145,8 @@ pub struct ModalFeatures {
     pub structural: Tensor,
     /// Whether each entity carries a molecule.
     pub has_molecule: Vec<bool>,
+    /// Whether each entity carries a textual description.
+    pub has_text: Vec<bool>,
 }
 
 impl ModalFeatures {
@@ -128,15 +154,20 @@ impl ModalFeatures {
     pub fn build(bkg: &MultimodalBkg, cfg: &FeatureConfig) -> Self {
         let text_enc = TextEncoder::new(cfg.d_text, cfg.seed ^ 0x7E57);
         let mol_enc = MoleculeEncoder::new(cfg.d_molecule, cfg.gin_layers, cfg.seed ^ 0x6147);
-        let textual = text_enc.encode_all(&bkg.texts);
+        let mut textual = text_enc.encode_all(&bkg.texts);
         let molecular = mol_enc.encode_all(&bkg.molecules);
         let structural = Self::structural(&bkg.dataset, cfg);
         let has_molecule = bkg.molecules.iter().map(|m| m.is_some()).collect();
+        let has_text = bkg.has_text.clone();
+        // Text-less entities get zero rows, mirroring molecule-less ones, so
+        // a stray gather cannot leak features the entity never had.
+        zero_absent_rows(&mut textual, &has_text);
         let out = ModalFeatures {
             molecular,
             textual,
             structural,
             has_molecule,
+            has_text,
         };
         out.validate(bkg.num_entities());
         out
@@ -183,12 +214,17 @@ impl ModalFeatures {
                 });
             }
         }
-        if self.has_molecule.len() != n {
-            return Err(FrozenError::Misaligned {
-                modality: "has_molecule".into(),
-                rows: self.has_molecule.len(),
-                expected: n,
-            });
+        for (name, mask) in [
+            ("has_molecule", &self.has_molecule),
+            ("has_text", &self.has_text),
+        ] {
+            if mask.len() != n {
+                return Err(FrozenError::Misaligned {
+                    modality: name.into(),
+                    rows: mask.len(),
+                    expected: n,
+                });
+            }
         }
         Ok(())
     }
@@ -210,6 +246,7 @@ impl ModalFeatures {
             textual: self.textual.clone(),
             structural: self.structural.clone(),
             has_molecule: vec![false; self.has_molecule.len()],
+            has_text: self.has_text.clone(),
         }
     }
 
@@ -220,15 +257,41 @@ impl ModalFeatures {
             textual: Tensor::zeros(self.textual.shape()),
             structural: self.structural.clone(),
             has_molecule: self.has_molecule.clone(),
+            has_text: vec![false; self.has_text.len()],
         }
     }
 
+    /// Fault injection: deterministically strip *both* non-structural
+    /// modalities from a `frac` fraction of entities (the `CAME_FAULTS`
+    /// `drop_modality@entity=F` form). Dropped rows are zeroed and their
+    /// presence flags cleared, so serving must take the degraded path.
+    /// Returns the number of entities degraded.
+    pub fn drop_modality_fraction(&mut self, frac: f64, seed: u64) -> usize {
+        let n = self.num_entities();
+        let mut rng = came_tensor::Prng::new(seed ^ 0xD20B);
+        let mut dropped = 0;
+        for e in 0..n {
+            if rng.chance(frac) {
+                self.has_molecule[e] = false;
+                self.has_text[e] = false;
+                dropped += 1;
+            }
+        }
+        let (mol, text) = (self.has_molecule.clone(), self.has_text.clone());
+        zero_absent_rows(&mut self.molecular, &mol);
+        zero_absent_rows(&mut self.textual, &text);
+        dropped
+    }
+
     /// Wrap each modality table in a [`FrozenCache`] for gather-based
-    /// serving with version tracking.
+    /// serving with version tracking. The molecular and textual caches
+    /// carry their presence masks; structural features are always dense.
     pub fn caches(&self) -> (FrozenCache, FrozenCache, FrozenCache) {
         (
-            FrozenCache::named("molecular", self.molecular.clone()),
-            FrozenCache::named("textual", self.textual.clone()),
+            FrozenCache::named("molecular", self.molecular.clone())
+                .with_presence(self.has_molecule.clone()),
+            FrozenCache::named("textual", self.textual.clone())
+                .with_presence(self.has_text.clone()),
             FrozenCache::named("structural", self.structural.clone()),
         )
     }
@@ -241,6 +304,7 @@ impl ModalFeatures {
             textual: Tensor::randn(Shape::d2(n, cfg.d_text), 0.3, &mut rng),
             structural: Tensor::randn(Shape::d2(n, cfg.d_struct), 0.3, &mut rng),
             has_molecule: vec![true; n],
+            has_text: vec![true; n],
         }
     }
 }
@@ -257,6 +321,9 @@ impl ModalFeatures {
 pub struct FrozenCache {
     modality: String,
     table: Tensor,
+    /// Per-row presence mask; `None` means every entity carries this
+    /// modality (dense caches pay no per-gather presence check).
+    presence: Option<Vec<bool>>,
     version: u64,
     trainable: bool,
     dirty: bool,
@@ -277,12 +344,34 @@ impl FrozenCache {
         FrozenCache {
             modality: modality.into(),
             table,
+            presence: None,
             version: 1,
             trainable: false,
             dirty: false,
             gathers: AtomicU64::new(0),
             rows_served: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a per-row presence mask: entities whose flag is `false` carry
+    /// no row in this modality and must be served through the degraded
+    /// path. An all-true mask is dropped so dense caches stay maskless.
+    ///
+    /// # Panics
+    /// Panics if the mask length disagrees with the table's row count.
+    pub fn with_presence(mut self, presence: Vec<bool>) -> Self {
+        assert_eq!(
+            presence.len(),
+            self.len(),
+            "frozen {} presence mask misaligned with table",
+            self.modality
+        );
+        self.presence = if presence.iter().all(|&p| p) {
+            None
+        } else {
+            Some(presence)
+        };
+        self
     }
 
     /// [`FrozenCache::named`] with an anonymous modality tag.
@@ -341,6 +430,33 @@ impl FrozenCache {
         self.trainable
     }
 
+    /// The per-row presence mask, or `None` when every entity is covered.
+    pub fn presence(&self) -> Option<&[bool]> {
+        self.presence.as_deref()
+    }
+
+    /// Whether entity `id` carries this modality (out-of-range ids are
+    /// absent rather than a panic — admission validates ranges upstream).
+    pub fn is_present(&self, id: u32) -> bool {
+        match &self.presence {
+            None => (id as usize) < self.len(),
+            Some(p) => p.get(id as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// Number of entities that carry this modality.
+    pub fn present_rows(&self) -> usize {
+        match &self.presence {
+            None => self.len(),
+            Some(p) => p.iter().filter(|&&x| x).count(),
+        }
+    }
+
+    /// Number of entities *missing* this modality.
+    pub fn missing_rows(&self) -> usize {
+        self.len() - self.present_rows()
+    }
+
     /// Number of `rows` calls and total rows served, for the bench report.
     pub fn gather_stats(&self) -> (u64, u64) {
         (self.gathers.load(Relaxed), self.rows_served.load(Relaxed))
@@ -383,11 +499,42 @@ impl FrozenCache {
         Tensor::from_vec(Shape::d2(ids.len(), d), data)
     }
 
+    /// Strict gather: like [`FrozenCache::rows`] but returns a typed error
+    /// instead of panicking — `Stale` for a poisoned cache, and
+    /// `MissingModality` naming the first entity that does not carry this
+    /// modality (including out-of-range ids). Serving uses this so a
+    /// modality-poor entity downgrades the request instead of killing a
+    /// shard worker.
+    pub fn try_rows(&self, ids: &[u32]) -> Result<Tensor, FrozenError> {
+        if self.dirty {
+            return Err(FrozenError::Stale {
+                modality: self.modality.clone(),
+            });
+        }
+        if let Some(&missing) = ids.iter().find(|&&id| !self.is_present(id)) {
+            return Err(FrozenError::MissingModality {
+                modality: self.modality.clone(),
+                entity: missing as usize,
+            });
+        }
+        Ok(self.rows(ids))
+    }
+
     /// Serving preflight: the cache must be fresh, finite, and row-aligned
     /// with the entity space the scoring engine serves. Run it once when a
     /// model is put behind a serving endpoint; thereafter every gather is a
     /// plain memcpy with no per-request validation.
     pub fn preflight(&self, expected_rows: usize) -> Result<(), FrozenError> {
+        self.preflight_coverage(expected_rows).map(|_| ())
+    }
+
+    /// [`FrozenCache::preflight`] that additionally reports modality
+    /// coverage: returns the number of entities *missing* this modality
+    /// (0 for dense caches). Partial coverage is not an error — serving
+    /// degrades those entities to fallback embeddings — but it is
+    /// observable: the count is published on the
+    /// `serve.degraded_entities.<modality>` gauge.
+    pub fn preflight_coverage(&self, expected_rows: usize) -> Result<usize, FrozenError> {
         self.check_finite()?;
         if self.len() != expected_rows {
             return Err(FrozenError::Misaligned {
@@ -396,7 +543,13 @@ impl FrozenCache {
                 expected: expected_rows,
             });
         }
-        Ok(())
+        let missing = self.missing_rows();
+        if came_obs::enabled() {
+            came_obs::registry()
+                .gauge(&format!("serve.degraded_entities.{}", self.modality))
+                .set(missing as i64);
+        }
+        Ok(missing)
     }
 
     /// Mark the backing encoder trainable: its outputs may now drift from
@@ -581,6 +734,91 @@ mod tests {
         );
         c.refresh(Tensor::from_vec(Shape::d2(2, 2), vec![5.0; 4]));
         assert_eq!(c.preflight(2), Ok(()));
+    }
+
+    #[test]
+    fn text_rows_match_has_text_on_modality_poor_preset() {
+        let bkg = presets::modality_poor_like(9);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        assert!(f.has_text.iter().any(|&h| !h), "preset should drop text");
+        let d = f.textual.shape().at(1);
+        for (i, &has) in f.has_text.iter().enumerate() {
+            if !has {
+                let row = &f.textual.data()[i * d..(i + 1) * d];
+                assert!(row.iter().all(|&x| x == 0.0), "entity {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn caches_carry_presence_and_report_coverage() {
+        let bkg = presets::modality_poor_like(10);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        let n = f.num_entities();
+        let (m, t, s) = f.caches();
+        assert_eq!(
+            m.missing_rows(),
+            f.has_molecule.iter().filter(|&&h| !h).count()
+        );
+        assert_eq!(t.missing_rows(), f.has_text.iter().filter(|&&h| !h).count());
+        assert_eq!(s.missing_rows(), 0);
+        assert!(s.presence().is_none(), "dense cache keeps no mask");
+        assert_eq!(m.preflight_coverage(n), Ok(m.missing_rows()));
+        assert_eq!(s.preflight_coverage(n), Ok(0));
+        assert_eq!(m.present_rows() + m.missing_rows(), n);
+    }
+
+    #[test]
+    fn try_rows_names_the_absent_entity() {
+        let table = Tensor::from_vec(Shape::d2(3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = FrozenCache::named("molecular", table).with_presence(vec![true, false, true]);
+        assert_eq!(c.try_rows(&[0, 2]).unwrap().data(), &[1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(
+            c.try_rows(&[0, 1]),
+            Err(FrozenError::MissingModality {
+                modality: "molecular".into(),
+                entity: 1,
+            })
+        );
+        // Out-of-range ids are absent, not a panic.
+        assert!(matches!(
+            c.try_rows(&[7]),
+            Err(FrozenError::MissingModality { entity: 7, .. })
+        ));
+        assert!(c.is_present(0) && !c.is_present(1) && !c.is_present(9));
+    }
+
+    #[test]
+    fn all_true_presence_normalises_to_dense() {
+        let c = FrozenCache::new(Tensor::zeros(Shape::d2(2, 2))).with_presence(vec![true, true]);
+        assert!(c.presence().is_none());
+        assert_eq!(c.missing_rows(), 0);
+    }
+
+    #[test]
+    fn drop_modality_fraction_is_deterministic_and_zeroes_rows() {
+        let bkg = presets::tiny(6);
+        let mut a = ModalFeatures::build(&bkg, &small_cfg());
+        let mut b = ModalFeatures::build(&bkg, &small_cfg());
+        let da = a.drop_modality_fraction(0.3, 42);
+        let db = b.drop_modality_fraction(0.3, 42);
+        assert_eq!(da, db);
+        assert!(
+            da > 0,
+            "0.3 of {} entities should drop some",
+            a.num_entities()
+        );
+        assert_eq!(a.has_text, b.has_text);
+        assert_eq!(a.has_molecule, b.has_molecule);
+        let d = a.textual.shape().at(1);
+        for (i, &has) in a.has_text.iter().enumerate() {
+            if !has {
+                assert!(a.textual.data()[i * d..(i + 1) * d]
+                    .iter()
+                    .all(|&x| x == 0.0));
+            }
+        }
+        a.validate(bkg.num_entities());
     }
 
     #[test]

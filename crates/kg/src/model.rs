@@ -86,6 +86,14 @@ pub trait KgeModel {
         }
     }
 
+    /// Whether scores for `entity` as query head come from a degraded path
+    /// — a modality the model normally consumes is absent for this entity,
+    /// so a learned fallback stood in. The serving layer stamps responses
+    /// for such heads `degraded: true`. Default: never degraded.
+    fn degraded(&self, _entity: u32) -> bool {
+        false
+    }
+
     /// Opaque model-side mutable state for checkpoints (see
     /// [`OneToNModel::state_bytes`]). Parameters are captured separately
     /// from the [`ParamStore`].
@@ -142,6 +150,10 @@ impl<M: OneToNModel> KgeModel for OneToNKge<M> {
             assert_eq!(t.numel(), out.len(), "forward produced wrong shape");
             out.copy_from_slice(t.data());
         });
+    }
+
+    fn degraded(&self, entity: u32) -> bool {
+        self.model.degraded(entity)
     }
 
     fn state_bytes(&self) -> Vec<u8> {

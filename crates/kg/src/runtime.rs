@@ -81,18 +81,24 @@ impl Default for SentinelConfig {
     }
 }
 
-/// A deterministic set of faults to inject into a training run.
+/// A deterministic set of faults to inject into a training or serving run.
 ///
 /// Grammar (comma-separated, via `CAME_FAULTS`):
 ///
 /// ```text
-/// nan_grad@step=N      poison one gradient scalar with NaN at global step N
-/// kill@epoch=N         abort the process-equivalent at the start of epoch N
-/// corrupt_checkpoint   truncate the next checkpoint right after writing it
+/// nan_grad@step=N           poison one gradient scalar with NaN at global step N
+/// kill@epoch=N              abort the process-equivalent at the start of epoch N
+/// corrupt_checkpoint        truncate the next checkpoint right after writing it
+/// drop_modality@entity=F    clear modality presence for fraction F of entities
+/// shard_panic@batch=N       panic one serve-tier shard worker on its Nth batch
 /// ```
 ///
-/// Each fault fires at most once per run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// The first three are train-side and fire at most once per run. The last
+/// two are consumed by the feature/serving layers: `drop_modality` degrades
+/// the frozen modality caches before serving (see
+/// `came_encoders::ModalFeatures`), and `shard_panic` is armed by
+/// [`crate::serve::TierConfig`] to exercise the tier's panic recovery.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// Poison a gradient at this 0-based global optimiser step.
     pub nan_grad_at_step: Option<u64>,
@@ -100,12 +106,33 @@ pub struct FaultPlan {
     pub kill_at_epoch: Option<usize>,
     /// Truncate the next written checkpoint (simulates a torn write).
     pub corrupt_checkpoint: bool,
+    /// Clear modality presence for this fraction of entities (in `[0, 1]`)
+    /// before serving, simulating a modality-poor deployment.
+    pub drop_modality_entity_frac: Option<f64>,
+    /// Panic one shard worker on its Nth dispatched batch (1-based).
+    pub shard_panic_at_batch: Option<u64>,
 }
 
 impl FaultPlan {
     /// The empty plan: no faults.
     pub fn none() -> FaultPlan {
         FaultPlan::default()
+    }
+
+    /// Read the plan from `CAME_FAULTS` (empty plan when unset).
+    ///
+    /// # Panics
+    /// Panics with the grammar message when `CAME_FAULTS` is malformed —
+    /// same policy as [`RuntimeConfig::from_env`]: a misconfigured run
+    /// should fail at startup, not mid-flight.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("CAME_FAULTS") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(p) => p,
+                Err(e) => panic!("CAME_FAULTS: {e}"),
+            },
+            Err(_) => FaultPlan::none(),
+        }
     }
 
     /// True when no fault is armed.
@@ -126,10 +153,18 @@ impl FaultPlan {
                 Some(("kill", arg)) => {
                     plan.kill_at_epoch = Some(Self::keyed_number(token, arg, "epoch")? as usize)
                 }
+                Some(("drop_modality", arg)) => {
+                    plan.drop_modality_entity_frac =
+                        Some(Self::keyed_fraction(token, arg, "entity")?)
+                }
+                Some(("shard_panic", arg)) => {
+                    plan.shard_panic_at_batch = Some(Self::keyed_number(token, arg, "batch")?)
+                }
                 _ => {
                     return Err(format!(
                         "unknown fault '{token}'; grammar: nan_grad@step=N, kill@epoch=N, \
-                         corrupt_checkpoint (comma-separated)"
+                         corrupt_checkpoint, drop_modality@entity=F, shard_panic@batch=N \
+                         (comma-separated)"
                     ))
                 }
             }
@@ -145,6 +180,18 @@ impl FaultPlan {
         value
             .parse::<u64>()
             .map_err(|_| format!("fault '{token}': '{value}' is not a non-negative integer"))
+    }
+
+    fn keyed_fraction(token: &str, arg: &str, key: &str) -> Result<f64, String> {
+        let value = arg
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| format!("fault '{token}' must use the form '{key}=F'"))?;
+        value
+            .parse::<f64>()
+            .ok()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .ok_or_else(|| format!("fault '{token}': '{value}' is not a fraction in [0, 1]"))
     }
 }
 
@@ -220,13 +267,7 @@ impl RuntimeConfig {
                 every_epochs,
             }
         });
-        let faults = match std::env::var("CAME_FAULTS") {
-            Ok(spec) => match FaultPlan::parse(&spec) {
-                Ok(p) => p,
-                Err(e) => panic!("CAME_FAULTS: {e}"),
-            },
-            Err(_) => FaultPlan::none(),
-        };
+        let faults = FaultPlan::from_env();
         RuntimeConfig {
             checkpoint,
             sentinel: SentinelConfig::default(),
@@ -643,10 +684,16 @@ mod tests {
 
     #[test]
     fn fault_plan_parses_full_grammar() {
-        let p = FaultPlan::parse("nan_grad@step=40, kill@epoch=2,corrupt_checkpoint").unwrap();
+        let p = FaultPlan::parse(
+            "nan_grad@step=40, kill@epoch=2,corrupt_checkpoint, \
+             drop_modality@entity=0.3,shard_panic@batch=5",
+        )
+        .unwrap();
         assert_eq!(p.nan_grad_at_step, Some(40));
         assert_eq!(p.kill_at_epoch, Some(2));
         assert!(p.corrupt_checkpoint);
+        assert_eq!(p.drop_modality_entity_frac, Some(0.3));
+        assert_eq!(p.shard_panic_at_batch, Some(5));
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }
 
@@ -658,6 +705,11 @@ mod tests {
             "nan_grad@step=x",
             "kill@step=2",
             "corrupt_checkpoint@now",
+            "drop_modality@entity=1.5",
+            "drop_modality@entity=x",
+            "drop_modality@frac=0.3",
+            "shard_panic@batch=x",
+            "shard_panic@epoch=3",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }

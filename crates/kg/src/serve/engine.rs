@@ -222,6 +222,8 @@ impl<'a> ScoringEngine<'a> {
                     head: req.head,
                     relation: req.relation,
                     hits: select_top_k(row, k, known),
+                    degraded: self.model.degraded(req.head.0),
+                    partial: false,
                 });
             }
         }

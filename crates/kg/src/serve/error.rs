@@ -35,6 +35,12 @@ pub enum ServeError {
         /// The queue capacity that was exhausted.
         capacity: usize,
     },
+    /// The request waited in the queue past its per-request deadline
+    /// (`CAME_SERVE_DEADLINE_US`) and was shed before scoring.
+    DeadlineExceeded {
+        /// The configured deadline in microseconds.
+        deadline_us: u64,
+    },
     /// The tier has shut down (or a worker disappeared) before the request
     /// completed.
     ShutDown,
@@ -68,6 +74,10 @@ impl std::fmt::Display for ServeError {
                     "serving queue full (capacity {capacity}); request rejected"
                 )
             }
+            ServeError::DeadlineExceeded { deadline_us } => write!(
+                f,
+                "request exceeded its {deadline_us}us serving deadline in the queue"
+            ),
             ServeError::ShutDown => write!(f, "serving tier has shut down"),
         }
     }

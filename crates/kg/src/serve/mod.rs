@@ -30,7 +30,10 @@
 //! (`serve.router.queue_depth`), per-shard queue gauges
 //! (`serve.shard{i}.queue`), a rejected-request counter
 //! (`serve.router.rejected`), and the engine's existing `serve.batch_ns` /
-//! `serve.queries` / `serve.qps` metrics.
+//! `serve.queries` / `serve.qps` metrics. The robustness layer adds a
+//! deadline-shed counter (`serve.router.deadline_exceeded`), per-shard
+//! panic counters (`serve.shard{i}.panics`), and a feature-coverage gauge
+//! (`serve.degraded_entities`, set at cache preflight).
 
 mod engine;
 mod error;
@@ -162,4 +165,13 @@ pub struct TopKResponse {
     pub relation: RelationId,
     /// The top candidates, best first.
     pub hits: Vec<ScoredEntity>,
+    /// True when the model scored this head through a degraded path (a
+    /// modality it normally consumes is absent for this entity and a
+    /// learned fallback stood in). Scores are still exact for the degraded
+    /// model; the flag tells callers the answer used less evidence.
+    pub degraded: bool,
+    /// True when one or more shard workers failed while serving this batch
+    /// and the hits were merged from the surviving shards only — candidates
+    /// owned by the failed shard(s) are missing from `hits`.
+    pub partial: bool,
 }

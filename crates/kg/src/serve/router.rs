@@ -14,6 +14,7 @@
 //! store, `sync_channel` for the bounded queue and the depth-1 per-shard
 //! dispatch slots, and per-request reply channels for completion.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -40,6 +41,15 @@ pub struct TierConfig {
     /// Microseconds the oldest queued request may wait before a partial
     /// batch is flushed (`CAME_SERVE_FLUSH_US`).
     pub flush_us: u64,
+    /// Per-request deadline in microseconds (`CAME_SERVE_DEADLINE_US`):
+    /// a request still queued past this age is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of being scored late.
+    /// `None` disables deadline shedding.
+    pub deadline_us: Option<u64>,
+    /// Fault injection (`CAME_FAULTS=shard_panic@batch=N`): shard worker 0
+    /// panics once while serving the `N`-th coalesced batch, exercising the
+    /// catch-and-respawn recovery path. `None` disables injection.
+    pub panic_at_batch: Option<u64>,
     /// Engine-level serving options; `serve.batch_size` is also the
     /// router's maximum coalesced batch.
     pub serve: ServeConfig,
@@ -51,6 +61,8 @@ impl Default for TierConfig {
             shards: 1,
             queue: 1024,
             flush_us: 200,
+            deadline_us: None,
+            panic_at_batch: None,
             serve: ServeConfig::default(),
         }
     }
@@ -58,7 +70,8 @@ impl Default for TierConfig {
 
 impl TierConfig {
     /// Defaults overridden by `CAME_SHARDS`, `CAME_SERVE_QUEUE`,
-    /// `CAME_SERVE_FLUSH_US` (positive integers), and the
+    /// `CAME_SERVE_FLUSH_US`, `CAME_SERVE_DEADLINE_US` (positive integers),
+    /// the `shard_panic@batch=N` form of `CAME_FAULTS`, and the
     /// [`ServeConfig::from_env`] knobs.
     pub fn from_env() -> Self {
         let mut cfg = TierConfig {
@@ -74,18 +87,25 @@ impl TierConfig {
         if let Some(us) = super::env_usize("CAME_SERVE_FLUSH_US") {
             cfg.flush_us = us as u64;
         }
+        if let Some(us) = super::env_usize("CAME_SERVE_DEADLINE_US") {
+            cfg.deadline_us = Some(us as u64);
+        }
+        cfg.panic_at_batch = crate::runtime::FaultPlan::from_env().shard_panic_at_batch;
         cfg
     }
 }
 
-/// One queued request: the payload plus its private reply channel.
+/// One queued request: the payload, its admission time (for deadline
+/// shedding), and its private reply channel.
 enum Job {
     TopK {
         req: TopKRequest,
+        at: Instant,
         reply: mpsc::Sender<Result<TopKResponse, ServeError>>,
     },
     Scores {
         query: (EntityId, RelationId),
+        at: Instant,
         reply: mpsc::Sender<Result<Vec<f32>, ServeError>>,
     },
 }
@@ -146,7 +166,11 @@ impl TierHandle {
     pub fn submit(&self, req: TopKRequest) -> Result<PendingTopK, ServeError> {
         validate_request(&req, self.num_entities, self.relation_bound)?;
         let (reply, rx) = mpsc::channel();
-        self.admit(Job::TopK { req, reply })?;
+        self.admit(Job::TopK {
+            req,
+            at: Instant::now(),
+            reply,
+        })?;
         Ok(PendingTopK { rx })
     }
 
@@ -165,7 +189,11 @@ impl TierHandle {
         let probe = TopKRequest::new(query.0, query.1);
         validate_request(&probe, self.num_entities, self.relation_bound)?;
         let (reply, rx) = mpsc::channel();
-        self.admit(Job::Scores { query, reply })?;
+        self.admit(Job::Scores {
+            query,
+            at: Instant::now(),
+            reply,
+        })?;
         Ok(PendingScores { rx })
     }
 
@@ -215,10 +243,13 @@ struct BatchPlan<'e> {
 }
 
 /// One dispatch to a shard worker: the shared plan plus the batch's
-/// gather channel.
+/// gather channel. `None` in the reply means the worker panicked while
+/// serving this task; the router merges the surviving shards instead.
 struct ShardTask<'e> {
     plan: Arc<BatchPlan<'e>>,
-    reply: mpsc::Sender<(usize, Vec<Vec<ScoredEntity>>)>,
+    /// Fault injection: the worker panics on this task instead of scoring.
+    poison: bool,
+    reply: mpsc::Sender<(usize, Option<Vec<Vec<ScoredEntity>>>)>,
 }
 
 /// The serving tier: shard workers + router over a bounded queue, run as a
@@ -294,6 +325,11 @@ fn router_loop<'e>(
 ) {
     let max_batch = cfg.serve.batch_size;
     let flush = Duration::from_micros(cfg.flush_us);
+    // Fault injection: arm the shard-panic for the Nth coalesced batch; it
+    // stays armed until a batch actually reaches the shard workers (a
+    // scores-only batch never does), then fires exactly once.
+    let mut armed = cfg.panic_at_batch;
+    let mut batches: u64 = 0;
     loop {
         // Block for the first job; wake periodically to notice shutdown
         // even when a cloned handle keeps the channel open.
@@ -332,31 +368,66 @@ fn router_loop<'e>(
             r.gauge("serve.router.queue_depth")
                 .set(depth.load(SeqCst) as i64);
         }
-        process_batch(batch, &shard_txs, model, store, filter, &cfg.serve);
+        batches += 1;
+        let poison = armed.is_some_and(|n| batches >= n);
+        let dispatched = process_batch(batch, &shard_txs, model, store, filter, cfg, poison);
+        if poison && dispatched {
+            armed = None;
+        }
     }
 }
 
 /// Score one coalesced batch: full rows for score requests, scatter-gather
-/// top-k for retrieval requests.
+/// top-k for retrieval requests. Returns true when the batch was dispatched
+/// to the shard workers (i.e. it contained at least one top-k request).
 fn process_batch<'e>(
     batch: Vec<Job>,
     shard_txs: &[mpsc::SyncSender<ShardTask<'e>>],
     model: &(dyn KgeModel + Sync),
     store: &ParamStore,
     filter: Option<&'e FilterIndex>,
-    serve: &ServeConfig,
-) {
+    cfg: &TierConfig,
+    poison: bool,
+) -> bool {
+    let serve = &cfg.serve;
     let n = model.num_entities();
     let mut topk: Vec<(TopKRequest, mpsc::Sender<Result<TopKResponse, ServeError>>)> = Vec::new();
     let mut scores: Vec<(
         (EntityId, RelationId),
         mpsc::Sender<Result<Vec<f32>, ServeError>>,
     )> = Vec::new();
+    let limit = cfg.deadline_us.map(Duration::from_micros);
+    let mut shed = 0u64;
     for job in batch {
-        match job {
-            Job::TopK { req, reply } => topk.push((req, reply)),
-            Job::Scores { query, reply } => scores.push((query, reply)),
+        // Deadline shedding: a request that already waited past its
+        // per-request deadline is answered with a typed rejection instead
+        // of being scored late and holding the batch's other requests back.
+        let expired = match (&job, limit) {
+            (Job::TopK { at, .. } | Job::Scores { at, .. }, Some(limit)) => at.elapsed() > limit,
+            (_, None) => false,
+        };
+        if expired {
+            shed += 1;
+            let deadline_us = cfg.deadline_us.unwrap_or(0);
+            match job {
+                Job::TopK { reply, .. } => {
+                    let _ = reply.send(Err(ServeError::DeadlineExceeded { deadline_us }));
+                }
+                Job::Scores { reply, .. } => {
+                    let _ = reply.send(Err(ServeError::DeadlineExceeded { deadline_us }));
+                }
+            }
+            continue;
         }
+        match job {
+            Job::TopK { req, reply, .. } => topk.push((req, reply)),
+            Job::Scores { query, reply, .. } => scores.push((query, reply)),
+        }
+    }
+    if shed > 0 && came_obs::enabled() {
+        came_obs::registry()
+            .counter("serve.router.deadline_exceeded")
+            .add(shed);
     }
 
     if !scores.is_empty() {
@@ -373,7 +444,7 @@ fn process_batch<'e>(
     }
 
     if topk.is_empty() {
-        return;
+        return false;
     }
     let queries: Vec<(EntityId, RelationId)> =
         topk.iter().map(|(r, _)| (r.head, r.relation)).collect();
@@ -403,35 +474,48 @@ fn process_batch<'e>(
         full,
     });
     let (gather_tx, gather_rx) = mpsc::channel();
-    for stx in shard_txs {
+    for (si, stx) in shard_txs.iter().enumerate() {
         let task = ShardTask {
             plan: Arc::clone(&plan),
+            poison: poison && si == 0,
             reply: gather_tx.clone(),
         };
         if stx.send(task).is_err() {
-            // A shard worker died; fail the whole batch.
+            // A shard worker's channel is gone (tier tearing down); fail
+            // the whole batch.
             for (_, reply) in topk {
                 let _ = reply.send(Err(ServeError::ShutDown));
             }
-            return;
+            return true;
         }
     }
     drop(gather_tx);
     let mut per_shard: Vec<Option<Vec<Vec<ScoredEntity>>>> = vec![None; shard_txs.len()];
+    let mut failed = 0usize;
     for _ in 0..shard_txs.len() {
         match gather_rx.recv() {
-            Ok((idx, partials)) => per_shard[idx] = Some(partials),
+            Ok((idx, Some(partials))) => per_shard[idx] = Some(partials),
+            // A worker panicked on this task; merge the survivors below.
+            Ok((_, None)) => failed += 1,
             Err(_) => {
                 for (_, reply) in topk {
                     let _ = reply.send(Err(ServeError::ShutDown));
                 }
-                return;
+                return true;
             }
         }
+    }
+    if failed == shard_txs.len() {
+        // Every shard failed this batch — nothing to merge.
+        for (_, reply) in topk {
+            let _ = reply.send(Err(ServeError::ShutDown));
+        }
+        return true;
     }
     if came_obs::enabled() {
         record_batch(nq, t0.elapsed().as_nanos() as u64);
     }
+    let partial = failed > 0;
     let per_shard: Vec<Vec<Vec<ScoredEntity>>> = per_shard.into_iter().flatten().collect();
     for (qi, (req, reply)) in topk.into_iter().enumerate() {
         let lists: Vec<Vec<ScoredEntity>> = per_shard.iter().map(|s| s[qi].clone()).collect();
@@ -439,13 +523,21 @@ fn process_batch<'e>(
             head: req.head,
             relation: req.relation,
             hits: merge_top_k(&lists, plan.ks[qi]),
+            degraded: model.degraded(req.head.0),
+            partial,
         };
         let _ = reply.send(Ok(resp));
     }
+    true
 }
 
 /// One shard worker: receive a batch plan, produce this shard's sorted
 /// top-k partial for every query, send it to the batch's gather channel.
+///
+/// A panic while serving one task (injected or real) is caught: the worker
+/// reports the failure to the batch's gather channel (`None`), bumps
+/// `serve.shard{idx}.panics`, and keeps draining its queue — recovery is
+/// staying alive for the next batch, not dying and stalling the router.
 fn shard_loop(
     idx: usize,
     lo: usize,
@@ -463,25 +555,42 @@ fn shard_loop(
             g.set(1);
         }
         let plan = &task.plan;
-        let nq = plan.queries.len();
-        let stripe: Option<Vec<f32>> = if plan.full.is_none() {
-            let mut buf = vec![0.0f32; nq * w];
-            model.score_range_into(store, &plan.queries, lo, hi, &mut buf);
-            Some(buf)
-        } else {
-            None
-        };
-        let partials: Vec<Vec<ScoredEntity>> = (0..nq)
-            .map(|qi| {
-                let row: &[f32] = match (&stripe, &plan.full) {
-                    (Some(s), _) => &s[qi * w..(qi + 1) * w],
-                    (None, Some(full)) => &full[qi * n + lo..qi * n + hi],
-                    (None, None) => unreachable!("shard task carries stripe or full block"),
-                };
-                select_top_k_range(row, lo as u32, plan.ks[qi], plan.knowns[qi])
-            })
-            .collect();
-        let _ = task.reply.send((idx, partials));
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            if task.poison {
+                panic!("injected shard panic (CAME_FAULTS shard_panic@batch)");
+            }
+            let nq = plan.queries.len();
+            let stripe: Option<Vec<f32>> = if plan.full.is_none() {
+                let mut buf = vec![0.0f32; nq * w];
+                model.score_range_into(store, &plan.queries, lo, hi, &mut buf);
+                Some(buf)
+            } else {
+                None
+            };
+            (0..nq)
+                .map(|qi| {
+                    let row: &[f32] = match (&stripe, &plan.full) {
+                        (Some(s), _) => &s[qi * w..(qi + 1) * w],
+                        (None, Some(full)) => &full[qi * n + lo..qi * n + hi],
+                        (None, None) => unreachable!("shard task carries stripe or full block"),
+                    };
+                    select_top_k_range(row, lo as u32, plan.ks[qi], plan.knowns[qi])
+                })
+                .collect::<Vec<Vec<ScoredEntity>>>()
+        }));
+        match scored {
+            Ok(partials) => {
+                let _ = task.reply.send((idx, Some(partials)));
+            }
+            Err(_) => {
+                if came_obs::enabled() {
+                    came_obs::registry()
+                        .counter(&format!("serve.shard{idx}.panics"))
+                        .add(1);
+                }
+                let _ = task.reply.send((idx, None));
+            }
+        }
         if let Some(g) = gauge {
             g.set(0);
         }

@@ -280,6 +280,8 @@ impl<'a> ShardedEngine<'a> {
                     head: req.head,
                     relation: req.relation,
                     hits: merge_top_k(&shard_lists, *k),
+                    degraded: self.model.degraded(req.head.0),
+                    partial: false,
                 });
             }
         }

@@ -21,6 +21,21 @@ pub trait OneToNModel {
     /// Build the forward graph; result shape `[B, N]`.
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var;
 
+    /// Optional auxiliary loss added to each step *after* the BCE term
+    /// (e.g. CamE's cross-modal contrastive alignment). Called once per
+    /// batch with the `(head, relation)` queries, after [`Self::forward`]
+    /// on the same graph — so it may reuse cached activations. Return the
+    /// already-weighted scalar term, or `None` for no extra loss.
+    fn aux_loss(
+        &self,
+        _g: &Graph,
+        _store: &ParamStore,
+        _heads: &[u32],
+        _rels: &[u32],
+    ) -> Option<Var> {
+        None
+    }
+
     /// Opaque model-side mutable state to include in training checkpoints
     /// (e.g. a dropout RNG behind a `RefCell`). Parameters live in the
     /// [`ParamStore`] and are captured separately; this covers everything
@@ -43,6 +58,14 @@ pub trait OneToNModel {
     /// the model can tell (e.g. which frozen modality cache holds NaN/inf).
     fn diagnose_non_finite(&self) -> Option<String> {
         None
+    }
+
+    /// Whether scores for `entity` as query head come from a degraded path
+    /// (a modality the model normally uses is absent for this entity, so a
+    /// fallback stood in). Serving tags such responses `degraded: true`.
+    /// Default: never degraded.
+    fn degraded(&self, _entity: u32) -> bool {
+        false
     }
 }
 
@@ -99,6 +122,12 @@ impl<M: OneToNModel + ?Sized> OneToNModel for &M {
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
         (**self).forward(g, store, heads, rels)
     }
+    fn aux_loss(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Option<Var> {
+        (**self).aux_loss(g, store, heads, rels)
+    }
+    fn degraded(&self, entity: u32) -> bool {
+        (**self).degraded(entity)
+    }
     fn state_bytes(&self) -> Vec<u8> {
         (**self).state_bytes()
     }
@@ -113,6 +142,12 @@ impl<M: OneToNModel + ?Sized> OneToNModel for &M {
 impl<M: OneToNModel + ?Sized> OneToNModel for Box<M> {
     fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
         (**self).forward(g, store, heads, rels)
+    }
+    fn aux_loss(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Option<Var> {
+        (**self).aux_loss(g, store, heads, rels)
+    }
+    fn degraded(&self, entity: u32) -> bool {
+        (**self).degraded(entity)
     }
     fn state_bytes(&self) -> Vec<u8> {
         (**self).state_bytes()
@@ -330,10 +365,13 @@ pub fn train_one_to_n_rt<M: OneToNModel>(
             for batch in batcher.epoch(&mut rng) {
                 g.reset();
                 let logits = model.forward(&g, store, &batch.heads, &batch.rels);
-                let loss = match &batch.weights {
+                let mut loss = match &batch.weights {
                     Some(w) => g.bce_with_logits_weighted(logits, &batch.targets, w),
                     None => g.bce_with_logits(logits, &batch.targets),
                 };
+                if let Some(aux) = model.aux_loss(&g, store, &batch.heads, &batch.rels) {
+                    loss = g.add(loss, aux);
+                }
                 let loss_val = g.with_value(loss, |t| t.item());
                 loss_sum += loss_val as f64;
                 n_batches += 1;

@@ -478,6 +478,152 @@ fn tier_validates_at_admission_and_fails_escaped_handles() {
     );
 }
 
+/// [`HashModel`] scores with a degraded-head predicate: odd entities are
+/// served through a (simulated) fallback path.
+struct DegradedHashModel {
+    inner: HashModel,
+}
+
+impl KgeModel for DegradedHashModel {
+    fn name(&self) -> &str {
+        "hash-degraded"
+    }
+    fn num_entities(&self) -> usize {
+        self.inner.n
+    }
+    fn score_into(&self, store: &ParamStore, queries: &[(EntityId, RelationId)], out: &mut [f32]) {
+        self.inner.score_into(store, queries, out);
+    }
+    fn degraded(&self, entity: u32) -> bool {
+        entity % 2 == 1
+    }
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn restore_state(&self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[test]
+fn stale_queued_requests_are_shed_with_a_typed_deadline_error() {
+    let model = HashModel { n: 32 };
+    let store = ParamStore::new();
+    // The flush window alone (50 ms) ages a lone queued request far past
+    // its 1 ms deadline, so shedding is deterministic.
+    let cfg = TierConfig {
+        flush_us: 50_000,
+        deadline_us: Some(1_000),
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, None, cfg, |handle| {
+        assert_eq!(
+            handle
+                .top_k(TopKRequest::with_k(EntityId(3), RelationId(0), 5))
+                .err(),
+            Some(ServeError::DeadlineExceeded { deadline_us: 1_000 })
+        );
+        assert_eq!(
+            handle.scores((EntityId(3), RelationId(0))).err(),
+            Some(ServeError::DeadlineExceeded { deadline_us: 1_000 })
+        );
+    })
+    .unwrap();
+
+    // A generous deadline leaves the same request untouched.
+    let cfg = TierConfig {
+        flush_us: 100,
+        deadline_us: Some(10_000_000),
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, None, cfg, |handle| {
+        let resp = handle
+            .top_k(TopKRequest::with_k(EntityId(3), RelationId(0), 5))
+            .unwrap();
+        assert_eq!(resp.hits.len(), 5);
+        assert!(!resp.degraded && !resp.partial);
+    })
+    .unwrap();
+}
+
+#[test]
+fn injected_shard_panic_yields_partial_responses_and_the_tier_recovers() {
+    let n = 24usize;
+    let store = ParamStore::new();
+    let one_n = HashModel { n };
+    let ranged = RangedHashModel::new(n);
+    let models: [&(dyn KgeModel + Sync); 2] = [&one_n, &ranged];
+    for model in models {
+        let cfg = TierConfig {
+            shards: 2,
+            flush_us: 100,
+            panic_at_batch: Some(1),
+            ..TierConfig::default()
+        };
+        ServeTier::run(model, &store, None, cfg, |handle| {
+            // Batch 1: shard 0 (entities 0..12) panics. The response is
+            // merged from shard 1 only and tagged partial.
+            let resp = handle
+                .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), n))
+                .unwrap();
+            assert!(resp.partial, "{}: batch 1 must be partial", model.name());
+            assert_eq!(resp.hits.len(), n / 2, "{}", model.name());
+            assert!(
+                resp.hits.iter().all(|s| s.entity.0 >= (n / 2) as u32),
+                "{}: hits must come from the surviving shard only",
+                model.name()
+            );
+
+            // Batch 2: the worker caught the panic and kept draining its
+            // queue — full coverage is back, bit-identical to a single
+            // engine.
+            let resp = handle
+                .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), n))
+                .unwrap();
+            assert!(!resp.partial, "{}: batch 2 must be full", model.name());
+            assert_eq!(resp.hits.len(), n, "{}", model.name());
+            let single = ScoringEngine::with_config(model, &store, ServeConfig::default()).unwrap();
+            let want = single
+                .top_k(TopKRequest::with_k(EntityId(0), RelationId(0), n), None)
+                .unwrap();
+            assert_eq!(resp.hits, want.hits, "{}", model.name());
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn degraded_heads_are_tagged_through_engine_shards_and_tier() {
+    let n = 16usize;
+    let model = DegradedHashModel {
+        inner: HashModel { n },
+    };
+    let store = ParamStore::new();
+    let reqs = [
+        TopKRequest::with_k(EntityId(2), RelationId(0), 4),
+        TopKRequest::with_k(EntityId(5), RelationId(0), 4),
+    ];
+
+    let single = ScoringEngine::with_config(&model, &store, ServeConfig::default()).unwrap();
+    let resp = single.top_k_batch(&reqs, None).unwrap();
+    assert!(!resp[0].degraded && resp[1].degraded);
+
+    let sharded = ShardedEngine::with_config(&model, &store, 3, ServeConfig::default()).unwrap();
+    let resp = sharded.top_k_batch(&reqs, None).unwrap();
+    assert!(!resp[0].degraded && resp[1].degraded);
+
+    let cfg = TierConfig {
+        shards: 2,
+        flush_us: 100,
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, None, cfg, |handle| {
+        assert!(!handle.top_k(reqs[0]).unwrap().degraded);
+        assert!(handle.top_k(reqs[1]).unwrap().degraded);
+    })
+    .unwrap();
+}
+
 fn scratch(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("came-serve-{tag}-{}", std::process::id()))
 }

@@ -33,6 +33,23 @@ CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_MICRO_OU
 CAME_QUICK=1 CAME_CHECK_SERVE=1 CAME_SHARDS=4 CAME_SERVE_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin serve_load
 
+# Missing-modality robustness gate, training side: the micro modality
+# scenario matrix (full / text-only / structure-only) must train to finite
+# parameters and clear the chance-level MRR floor in every scenario.
+CAME_QUICK=1 CAME_CHECK_DEGRADE=1 CAME_MICRO_OUT="$(mktemp)" \
+    cargo run --release -q -p came-bench --bin micro
+
+# Missing-modality robustness gate, serving side: with 30% of entities
+# stripped of their modalities and an injected shard panic, the tier must
+# complete the run with zero uncaught panics, tag degraded responses, and
+# recover the poisoned batch as partial responses. CAME_SHARDS=2 forces a
+# multi-shard tier so the partial-merge path is exercised even on 1-CPU
+# hosts (with a single shard the poisoned batch correctly fails whole).
+CAME_QUICK=1 CAME_CHECK_DEGRADE=1 CAME_SHARDS=2 \
+    CAME_FAULTS=drop_modality@entity=0.3,shard_panic@batch=5 \
+    CAME_SERVE_OUT="$(mktemp)" \
+    cargo run --release -q -p came-bench --bin serve_load
+
 # Structured-logging gate: a short checkpointed training run with the JSONL
 # sink attached must emit parseable EpochEnd and CheckpointSaved events.
 smoke_log="$(mktemp)"
