@@ -5,13 +5,13 @@
 //! molecular similarity lifts it to 66.98%.
 
 use came_bench::Scale;
-use came_biodata::{presets, sample_diamonds, similarity_conditioned_same_rate};
+use came_biodata::{sample_diamonds, similarity_conditioned_same_rate};
 use came_encoders::MoleculeEncoder;
 use came_tensor::Prng;
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let mut rng = Prng::new(0xD1A);
     // paper: 5,000 + 5,000; the scaled graph holds fewer distinct diamonds
     let diamonds = sample_diamonds(&bkg, 5_000, 5_000, &mut rng);

@@ -35,7 +35,7 @@ fn main() {
     let scale = Scale::from_env();
     println!("# Fig. 4 — entity/relation frequency long tails\n");
     for bkg in [
-        presets::drkg_mm_like(scale.data_seed),
+        came_bench::drkg_bkg(scale.data_seed),
         presets::omaha_mm_like(scale.data_seed),
     ] {
         println!("{}:", bkg.config.name);

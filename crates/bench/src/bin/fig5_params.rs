@@ -5,14 +5,13 @@
 //! (no argument = all three sweeps).
 
 use came_bench::*;
-use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::Split;
 
 fn main() {
     let scale = Scale::from_env();
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let features = ModalFeatures::build(&bkg, &feature_config());
     // the sweep trains CamE 14 times; a triple subsample keeps it tractable
     // on one core while preserving the sweep's shape

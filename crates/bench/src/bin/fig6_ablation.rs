@@ -12,7 +12,7 @@ fn main() {
     for (name, bkg, cfg) in [
         (
             "DRKG-MM-like",
-            presets::drkg_mm_like(scale.data_seed),
+            came_bench::drkg_bkg(scale.data_seed),
             came_config_drkg(),
         ),
         (

@@ -3,13 +3,12 @@
 //! highlights ("-cillin" names ↔ penicillin-type substructures).
 
 use came_bench::*;
-use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::{EntityKind, RelationId};
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let d = &bkg.dataset;
     let features = ModalFeatures::build(&bkg, &feature_config());
     eprintln!("[fig7] training CamE…");

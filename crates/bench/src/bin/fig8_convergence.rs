@@ -6,14 +6,13 @@
 use came::{Ablation, CamE};
 use came_baselines::{train_baseline, Baseline, BaselineHp};
 use came_bench::*;
-use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::{OneToNScorer, Split, TailScorer};
 use came_tensor::ParamStore;
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let d = bkg.dataset.subsample(scale.sweep_frac.max(0.5));
     let features = ModalFeatures::build(&bkg, &feature_config());
     let cap = scale.eval_cap.map(|c| c / 2);

@@ -3,7 +3,6 @@
 
 use came::{Ablation, CamE};
 use came_bench::*;
-use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::{OneToNScorer, Split};
 use came_tensor::ParamStore;
@@ -11,7 +10,7 @@ use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let features = ModalFeatures::build(&bkg, &feature_config());
     let variants = [
         Ablation::Full,

@@ -882,6 +882,161 @@ fn main() {
         0.0
     };
 
+    // --- compact embedding store: footprint + fused dequant-scoring ------
+    // Section A sizes the three store layouts over one synthetic entity
+    // table and times the 1-vs-all scoring hot loop through each; Section B
+    // trains a real CamE, freezes its entity rows into the quantized store,
+    // and measures how far fused-dequant serving drifts from the dense f32
+    // path — the rank-correlation / ΔMRR numbers `CAME_CHECK_QUANT` gates.
+    struct StoreCell {
+        name: &'static str,
+        resident_bytes: usize,
+        score_ns: f64,
+    }
+    let (store_cells, q8_footprint_ratio, q8_throughput_ratio, file_bitwise, file_misses) = {
+        use came_tensor::{build_store, StoreKind};
+        let (n, d) = if quick { (8_000, 96) } else { (40_000, 96) };
+        let m = 32;
+        let mut srng = Prng::new(0xE5707);
+        let table: Vec<f32> = (0..n * d).map(|_| srng.normal_in(0.0, 1.0)).collect();
+        let queries: Vec<f32> = (0..m * d).map(|_| srng.normal_in(0.0, 1.0)).collect();
+        let f32_store = build_store(StoreKind::F32, &table, n, d, 0).expect("f32 store");
+        let q8_store = build_store(StoreKind::Q8, &table, n, d, 0).expect("q8 store");
+        // cache budget n/4: a full scoring pass must stream most rows
+        let file_store = build_store(StoreKind::File, &table, n, d, n / 4).expect("file store");
+        let samples = if quick { 5 } else { 9 };
+        let mut out = vec![0.0f32; m * n];
+        let mut time_store = |st: &dyn came_tensor::EmbeddingStore| {
+            median_ns(2, samples, || {
+                st.score_range_into(black_box(&queries), m, 0, n, &mut out);
+                black_box(&out);
+            })
+        };
+        let f32_ns = time_store(f32_store.as_ref());
+        let q8_ns = time_store(q8_store.as_ref());
+        let file_ns = time_store(file_store.as_ref());
+        let mut q8_out = vec![0.0f32; m * n];
+        q8_store.score_range_into(&queries, m, 0, n, &mut q8_out);
+        let mut file_out = vec![0.0f32; m * n];
+        file_store.score_range_into(&queries, m, 0, n, &mut file_out);
+        let bitwise = q8_out
+            .iter()
+            .zip(&file_out)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let (_hits, misses) = file_store.cache_stats().expect("file store has stats");
+        let cells = vec![
+            StoreCell {
+                name: "f32",
+                resident_bytes: f32_store.resident_bytes(),
+                score_ns: f32_ns,
+            },
+            StoreCell {
+                name: "q8",
+                resident_bytes: q8_store.resident_bytes(),
+                score_ns: q8_ns,
+            },
+            StoreCell {
+                name: "file",
+                resident_bytes: file_store.resident_bytes(),
+                score_ns: file_ns,
+            },
+        ];
+        let footprint = q8_store.resident_bytes() as f64 / f32_store.resident_bytes() as f64;
+        // >= 1.0 means the fused dequant path beats the dense f32 GEMM
+        let throughput = if q8_ns > 0.0 { f32_ns / q8_ns } else { 0.0 };
+        (cells, footprint, throughput, bitwise, misses)
+    };
+
+    // Section B: serving parity of the quantized head on a trained model,
+    // per backend — the fused kernels have three implementations and each
+    // must preserve the dense ranking, not just the scalar one.
+    struct QuantParityCell {
+        backend: &'static str,
+        spearman: f64,
+    }
+    let (quant_backend_cells, quant_mrr_delta, quant_file_bitwise, quant_file_misses) = {
+        use came_kg::KgeModel;
+        use came_tensor::StoreKind;
+        let bkg = presets::tiny(41);
+        let fcfg = FeatureConfig {
+            compgcn_epochs: 0,
+            ..came_bench::feature_config()
+        };
+        let features = ModalFeatures::build(&bkg, &fcfg);
+        let (model, store) = came_bench::train_came(
+            &bkg,
+            &features,
+            came_bench::came_config_drkg(),
+            if quick { 4 } else { 8 },
+        );
+        let kge = came_bench::came_kge(&model, &bkg.dataset);
+        let n_ent = bkg.dataset.num_entities();
+        let n_rel = bkg.dataset.num_relations_aug();
+        let queries: Vec<(EntityId, RelationId)> = (0..24u32)
+            .map(|i| {
+                (
+                    EntityId(i.wrapping_mul(7) % n_ent as u32),
+                    RelationId(i.wrapping_mul(5) % n_rel as u32),
+                )
+            })
+            .collect();
+        let score_all = |out: &mut Vec<f32>| {
+            out.clear();
+            out.resize(queries.len() * n_ent, 0.0);
+            kge.score_into(&store, &queries, out);
+        };
+        let eval_cap = Some(if quick { 64 } else { 256 });
+        came_tensor::set_backend(BackendKind::Parallel);
+        let mut dense = Vec::new();
+        score_all(&mut dense);
+        let dense_metrics =
+            came_bench::eval_came(&model, &store, &bkg.dataset, Split::Test, eval_cap);
+        model
+            .freeze_entity_store(&store, StoreKind::Q8)
+            .expect("freeze q8");
+        let cells: Vec<QuantParityCell> = [
+            ("scalar", BackendKind::Scalar),
+            ("parallel", BackendKind::Parallel),
+            ("simd", BackendKind::Simd),
+        ]
+        .into_iter()
+        .map(|(name, bk)| {
+            came_tensor::set_backend(bk);
+            let mut q8 = Vec::new();
+            score_all(&mut q8);
+            QuantParityCell {
+                backend: name,
+                spearman: came_kg::mean_spearman_topk(&dense, &q8, n_ent, 10),
+            }
+        })
+        .collect();
+        came_tensor::set_backend(BackendKind::Parallel);
+        let q8_metrics = came_bench::eval_came(&model, &store, &bkg.dataset, Split::Test, eval_cap);
+        let mrr_delta = (dense_metrics.mrr() - q8_metrics.mrr()).abs();
+        // file-backed head with a starved cache: bitwise q8, streaming rows
+        let mut q8_scores = Vec::new();
+        score_all(&mut q8_scores);
+        std::env::set_var("CAME_EMBED_CACHE_ROWS", "16");
+        let froze = model.freeze_entity_store(&store, StoreKind::File);
+        std::env::remove_var("CAME_EMBED_CACHE_ROWS");
+        froze.expect("freeze file");
+        let mut file_scores = Vec::new();
+        score_all(&mut file_scores);
+        let bitwise = q8_scores
+            .iter()
+            .zip(&file_scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let misses = OneToNModel::entity_head(&model)
+            .and_then(|h| h.store().cache_stats())
+            .map_or(0, |(_, m)| m);
+        (cells, mrr_delta, bitwise, misses)
+    };
+    came_tensor::set_backend(kind);
+    let quant_spearman_worst = quant_backend_cells
+        .iter()
+        .map(|c| c.spearman)
+        .fold(1.0f64, f64::min);
+
     // --- report ----------------------------------------------------------
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -963,6 +1118,39 @@ fn main() {
             ],
             &modality_table
         )
+    );
+
+    let store_table: Vec<Vec<String>> = store_cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{}", c.resident_bytes),
+                format!("{:.2}", c.score_ns / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        came_bench::markdown_table(
+            &["embedding store", "resident bytes", "score-all ms"],
+            &store_table
+        )
+    );
+    println!(
+        "embed_store: q8 footprint {:.3}x of f32, fused q8 scoring {:.2}x f32 throughput, \
+         file==q8 bitwise: {file_bitwise} ({file_misses} cache misses)",
+        q8_footprint_ratio, q8_throughput_ratio
+    );
+    println!(
+        "quant parity: mean top-10 Spearman {} (worst {quant_spearman_worst:.4}), \
+         |dMRR| {quant_mrr_delta:.4}, file head bitwise: {quant_file_bitwise} \
+         ({quant_file_misses} misses)",
+        quant_backend_cells
+            .iter()
+            .map(|c| format!("{}={:.4}", c.backend, c.spearman))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let mut json = String::from("{\n");
@@ -1047,6 +1235,38 @@ fn main() {
         ));
     }
     json.push_str("}},\n");
+    json.push_str("  \"embed_store\": {\"stores\": [");
+    for (i, c) in store_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "{{\"name\": \"{}\", \"resident_bytes\": {}, \"score_ns\": {:.0}}}{}",
+            c.name,
+            c.resident_bytes,
+            c.score_ns,
+            if i + 1 < store_cells.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "],\n    \"q8_footprint_ratio\": {q8_footprint_ratio:.4}, \
+         \"q8_throughput_ratio\": {q8_throughput_ratio:.3}, \
+         \"file_bitwise\": {file_bitwise}, \"file_cache_misses\": {file_misses},\n    \
+         \"parity\": {{"
+    ));
+    for (i, c) in quant_backend_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{}_spearman\": {:.5}{}",
+            c.backend,
+            c.spearman,
+            if i + 1 < quant_backend_cells.len() {
+                ", "
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str(&format!(
+        ", \"mrr_delta\": {quant_mrr_delta:.5}, \"file_head_bitwise\": {quant_file_bitwise}, \
+         \"file_head_misses\": {quant_file_misses}}}}},\n"
+    ));
     json.push_str(&format!(
         "  \"provenance\": {}\n",
         came_bench::provenance_json(kind, quick)
@@ -1275,5 +1495,70 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         eprintln!("[micro] degrade gate passed ({s})");
+    }
+
+    // CI gate: with CAME_CHECK_QUANT set, the quantized embedding store must
+    // hold its contract end to end — mean top-10 Spearman >= 0.99 against
+    // the dense path under every backend, |ΔMRR| <= 0.005 on the filtered
+    // evaluation, a resident footprint <= 0.35x of f32 (per-row affine q8:
+    // 1 byte/element + 8 bytes/row of scale+min against 4 bytes/element),
+    // fused dequant scoring >= 0.8x of the dense f32 throughput, and the
+    // file-backed store bitwise equal to the resident q8 store while
+    // actually streaming rows (cache misses > 0).
+    if std::env::var_os("CAME_CHECK_QUANT").is_some() {
+        let mut failed = false;
+        for c in &quant_backend_cells {
+            if c.spearman < 0.99 {
+                eprintln!(
+                    "[micro] QUANT GATE FAILED: {} mean top-10 Spearman {:.4} < 0.99",
+                    c.backend, c.spearman
+                );
+                failed = true;
+            }
+        }
+        if quant_mrr_delta > 0.005 {
+            eprintln!(
+                "[micro] QUANT GATE FAILED: |dMRR| {quant_mrr_delta:.5} > 0.005 \
+                 between dense f32 and q8 serving"
+            );
+            failed = true;
+        }
+        if q8_footprint_ratio > 0.35 {
+            eprintln!(
+                "[micro] QUANT GATE FAILED: q8 resident footprint {q8_footprint_ratio:.3}x \
+                 of f32 (> 0.35x)"
+            );
+            failed = true;
+        }
+        if q8_throughput_ratio < 0.8 {
+            eprintln!(
+                "[micro] QUANT GATE FAILED: fused q8 scoring only {q8_throughput_ratio:.2}x \
+                 of the dense f32 throughput (< 0.8x)"
+            );
+            failed = true;
+        }
+        if !file_bitwise || !quant_file_bitwise {
+            eprintln!(
+                "[micro] QUANT GATE FAILED: file-backed scores diverge from resident q8 \
+                 (synthetic bitwise: {file_bitwise}, trained head bitwise: {quant_file_bitwise})"
+            );
+            failed = true;
+        }
+        if file_misses == 0 || quant_file_misses == 0 {
+            eprintln!(
+                "[micro] QUANT GATE FAILED: file store never missed its cache \
+                 ({file_misses} synthetic / {quant_file_misses} head misses) — \
+                 the streaming path was not exercised"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[micro] quant gate passed (spearman worst {quant_spearman_worst:.4}, \
+             dMRR {quant_mrr_delta:.5}, footprint {q8_footprint_ratio:.3}x, \
+             throughput {q8_throughput_ratio:.2}x)"
+        );
     }
 }

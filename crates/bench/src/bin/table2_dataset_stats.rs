@@ -16,7 +16,7 @@ fn main() {
                 "587,424",
                 "587,426",
             ),
-            presets::drkg_mm_like(scale.data_seed),
+            came_bench::drkg_bkg(scale.data_seed),
         ),
         (
             ("OMAHA-MM", "74,061", "17", "406,773", "50,846", "50,846"),

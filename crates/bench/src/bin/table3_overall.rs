@@ -18,7 +18,7 @@ fn main() {
     for (name, bkg, came_cfg) in [
         (
             "DRKG-MM-like",
-            presets::drkg_mm_like(scale.data_seed),
+            came_bench::drkg_bkg(scale.data_seed),
             came_config_drkg(),
         ),
         (

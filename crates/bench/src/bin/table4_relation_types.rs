@@ -3,7 +3,6 @@
 
 use came_baselines::{train_baseline, Baseline, BaselineHp};
 use came_bench::*;
-use came_biodata::presets;
 use came_encoders::ModalFeatures;
 use came_kg::{evaluate_grouped, EvalConfig, RelationFamily, Split, TailScorer};
 
@@ -28,7 +27,7 @@ fn grouped(
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let d = &bkg.dataset;
     let features = ModalFeatures::build(&bkg, &feature_config());
     let hp = BaselineHp {

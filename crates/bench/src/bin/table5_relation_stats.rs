@@ -1,13 +1,12 @@
 //! Table V: triple counts per relation family on the DRKG-MM-like preset.
 
 use came_bench::{markdown_table, Scale};
-use came_biodata::presets;
 use came_kg::RelationFamily;
 use std::collections::BTreeMap;
 
 fn main() {
     let scale = Scale::from_env();
-    let bkg = presets::drkg_mm_like(scale.data_seed);
+    let bkg = came_bench::drkg_bkg(scale.data_seed);
     let mut counts: BTreeMap<RelationFamily, usize> = BTreeMap::new();
     for t in bkg
         .dataset

@@ -68,6 +68,21 @@ impl Scale {
     }
 }
 
+/// The DRKG-MM benchmark graph every experiment binary trains on: the
+/// CPU-scale [`came_biodata::presets::drkg_mm_like`] preset by default, or
+/// the paper-scale [`came_biodata::presets::drkg_mm_full`] (~97k entities,
+/// ~4.7M triples) when `CAME_DRKG_FULL` is set — the regime the compact
+/// embedding store exists for.
+pub fn drkg_bkg(seed: u64) -> MultimodalBkg {
+    use came_biodata::presets;
+    if presets::drkg_full_env() {
+        eprintln!("[came-bench] CAME_DRKG_FULL set: building paper-scale DRKG-MM (~97k entities)");
+        presets::drkg_mm_full(seed)
+    } else {
+        presets::drkg_mm_like(seed)
+    }
+}
+
 /// Select the kernel backend from `CAME_BACKEND` (`scalar` | `parallel` |
 /// `simd`, default simd where the host supports it) and return the chosen
 /// kind.

@@ -4,15 +4,19 @@
 //! | preset | mirrors | entities | triples | molecule modality |
 //! |--------|---------|----------|---------|-------------------|
 //! | [`drkg_mm_like`]  | DRKG-MM (dense, 6 relation families, Table V ratios) | ~1000 | ~20k | yes |
+//! | [`drkg_mm_full`]  | DRKG-MM at paper scale (`CAME_DRKG_FULL`, opt-in) | ~97k | ~4.7M | yes |
 //! | [`omaha_mm_like`] | OMAHA-MM (sparse, 17 relations, min-degree pruned)   | ~1000 | ~3.5k | no |
 //! | [`tiny`]          | unit-test scale | ~110 | ~500 | yes |
 //! | [`modality_poor_like`] | tiny with ~50% molecule / ~60% text coverage (`CAME_MODALITY_POOR`) | ~110 | ~500 | partial |
 //!
 //! The paper's absolute sizes (97k/74k entities, 4.7M/0.4M triples) are out
 //! of reach for a single-thread CPU reproduction of *fourteen* models; the
-//! presets preserve the properties that drive every reported comparison:
-//! relation-family mix (Table V), density contrast between the two datasets,
-//! Zipf long tails (Fig. 4), and modality-link correlation (Fig. 1).
+//! `*_like` presets preserve the properties that drive every reported
+//! comparison: relation-family mix (Table V), density contrast between the
+//! two datasets, Zipf long tails (Fig. 4), and modality-link correlation
+//! (Fig. 1). [`drkg_mm_full`] restores the absolute scale for the single
+//! experiments that need it (embedding-store footprint and latency), behind
+//! the opt-in `CAME_DRKG_FULL` knob.
 
 use came_kg::EntityKind;
 
@@ -101,6 +105,91 @@ pub fn drkg_mm_like_config(seed: u64) -> BkgConfig {
 /// modalities.
 pub fn drkg_mm_like(seed: u64) -> MultimodalBkg {
     build(&drkg_mm_like_config(seed))
+}
+
+/// Configuration behind [`drkg_mm_full`]: [`drkg_mm_like`]'s kind mix and
+/// Table-V family ratios scaled back up (~×233) to the paper's absolute
+/// DRKG-MM sizes — ~97k entities and ~4.7M generated triples.
+pub fn drkg_mm_full_config(seed: u64) -> BkgConfig {
+    BkgConfig {
+        name: "DRKG-MM-full".into(),
+        kinds: vec![
+            KindSpec {
+                kind: EntityKind::Gene,
+                count: 38_900,
+                n_clusters: 40,
+            },
+            KindSpec {
+                kind: EntityKind::Compound,
+                count: 35_000,
+                n_clusters: 32,
+            },
+            KindSpec {
+                kind: EntityKind::Disease,
+                count: 15_500,
+                n_clusters: 24,
+            },
+            KindSpec {
+                kind: EntityKind::SideEffect,
+                count: 7_800,
+                n_clusters: 12,
+            },
+        ],
+        families: vec![
+            FamilySpec {
+                head: EntityKind::Gene,
+                tail: EntityKind::Gene,
+                n_relations: 3,
+                n_triples: 2_560_000,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Compound,
+                n_relations: 3,
+                n_triples: 1_490_000,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Gene,
+                n_relations: 4,
+                n_triples: 245_000,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::SideEffect,
+                n_relations: 1,
+                n_triples: 163_000,
+            },
+            FamilySpec {
+                head: EntityKind::Disease,
+                tail: EntityKind::Gene,
+                n_relations: 2,
+                n_triples: 142_000,
+            },
+            FamilySpec {
+                head: EntityKind::Compound,
+                tail: EntityKind::Disease,
+                n_relations: 2,
+                n_triples: 100_000,
+            },
+        ],
+        ..drkg_mm_like_config(seed)
+    }
+}
+
+/// The paper-scale DRKG-MM graph (~97k entities, ~4.7M triples). This is
+/// the regime where the compact embedding store matters: a 97k × d f32
+/// entity table no longer fits comfortably next to fourteen baselines.
+/// Opt-in only — bench binaries build it when `CAME_DRKG_FULL` is set (see
+/// [`drkg_full_env`]); generation takes tens of seconds and hundreds of MB.
+pub fn drkg_mm_full(seed: u64) -> MultimodalBkg {
+    build(&drkg_mm_full_config(seed))
+}
+
+/// True when `CAME_DRKG_FULL` is set (to anything but `0`): bench binaries
+/// swap the CPU-scale DRKG-MM-like preset for [`drkg_mm_full`].
+pub fn drkg_full_env() -> bool {
+    std::env::var("CAME_DRKG_FULL").is_ok_and(|v| v != "0")
 }
 
 /// Configuration behind [`omaha_mm_like`].
@@ -359,6 +448,43 @@ mod tests {
             "{low}/{} entities below min degree",
             d.num_entities()
         );
+    }
+
+    #[test]
+    fn drkg_full_config_restores_paper_scale() {
+        let like = drkg_mm_like_config(0);
+        let full = drkg_mm_full_config(0);
+        let entities: usize = full.kinds.iter().map(|k| k.count).sum();
+        assert_eq!(entities, 97_200, "paper reports ~97k DRKG-MM entities");
+        let triples: usize = full.families.iter().map(|f| f.n_triples).sum();
+        assert!(
+            (4_600_000..=4_800_000).contains(&triples),
+            "paper reports ~4.7M triples, config asks for {triples}"
+        );
+        // Same schema as the CPU-scale preset: relation counts per family,
+        // family ordering, modality coverage, split, generator shape.
+        assert_eq!(full.families.len(), like.families.len());
+        for (f, l) in full.families.iter().zip(&like.families) {
+            assert_eq!(
+                (f.head, f.tail, f.n_relations),
+                (l.head, l.tail, l.n_relations)
+            );
+            let ratio = f.n_triples as f64 / l.n_triples as f64;
+            assert!((200.0..280.0).contains(&ratio), "family scale {ratio}");
+        }
+        assert_eq!(full.zipf_exponent, like.zipf_exponent);
+        assert!(full.with_molecules);
+        assert_eq!(full.split, like.split);
+    }
+
+    #[test]
+    #[ignore = "paper-scale generation (~4.7M triples); run explicitly"]
+    fn drkg_full_builds_at_paper_scale() {
+        let bkg = drkg_mm_full(0);
+        assert_eq!(bkg.dataset.num_entities(), 97_200);
+        assert_eq!(bkg.dataset.num_relations(), 15);
+        let total = bkg.dataset.train.len() + bkg.dataset.valid.len() + bkg.dataset.test.len();
+        assert!(total > 4_000_000, "only {total} triples after dedup");
     }
 
     #[test]

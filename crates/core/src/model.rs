@@ -3,11 +3,14 @@
 //! convolutional scoring over all candidate tails → 1-N Bernoulli training
 //! (Eqn. 16).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use came_encoders::{FrozenCache, FrozenError, ModalFeatures};
 use came_kg::{EntityId, FilterIndex, KgDataset, OneToNModel, RelationId, TrainConfig};
-use came_tensor::{EmbeddingTable, Graph, Linear, ParamId, ParamStore, Prng, Shape, Tensor, Var};
+use came_tensor::{
+    build_store, EmbeddingTable, EntityHead, FileBackedStore, Graph, Linear, ParamId, ParamStore,
+    Prng, QuantError, Shape, StoreKind, Tensor, Var,
+};
 
 use crate::config::CamEConfig;
 use crate::mmf::{simple_multiplicative_fusion, MmfModule};
@@ -18,6 +21,17 @@ use crate::scorer::ConvBranch;
 const MOD_MOLECULE: usize = 0;
 const MOD_TEXT: usize = 1;
 const MOD_STRUCT: usize = 2;
+
+/// Serving-head lifecycle: engines call
+/// [`OneToNModel::prepare_serving`] once at the serving boundary; the first
+/// call decides between a frozen [`EntityHead`] (compact stores) and the
+/// dense in-graph scoring path (`Off`, the f32 default — which keeps the
+/// training forward literally unchanged and therefore bit-identical).
+enum HeadState {
+    Untried,
+    Ready(Arc<EntityHead>),
+    Off,
+}
 
 /// The CamE model. Construct with [`CamE::new`], train with
 /// [`came_kg::train_one_to_n`] (or the [`CamE::fit`] convenience), evaluate
@@ -61,6 +75,10 @@ pub struct CamE {
     // leaves the feature-dropout stream (and pre-existing runs) untouched;
     // its position is checkpointed alongside `dropout_rng`.
     modality_rng: Mutex<Prng>,
+    // Frozen entity scoring head for serving (CAME_EMBED_STORE), decided at
+    // the first `prepare_serving` call; `Off` routes through the dense
+    // in-graph matmul exactly as before.
+    serve_head: Mutex<HeadState>,
 }
 
 impl CamE {
@@ -213,6 +231,7 @@ impl CamE {
             fallback_t,
             dropout_rng,
             modality_rng,
+            serve_head: Mutex::new(HeadState::Untried),
             cfg,
         })
     }
@@ -356,10 +375,43 @@ impl CamE {
         let fb = g.matmul(fill_t, g.param(store, fallback));
         g.add(g.mul(rows, keep_t), fb)
     }
+
+    /// Freeze the entity-scoring head into an [`EntityHead`] of the given
+    /// [`StoreKind`], snapshotting the current entity embeddings and bias.
+    /// `F32` disables the head (`Off`): the dense in-graph matmul is already
+    /// the f32 path, and keeping it avoids a redundant copy of the table.
+    /// Serving thereafter scores candidates through the store's fused
+    /// dequant kernels; call again after further training to re-freeze.
+    pub fn freeze_entity_store(
+        &self,
+        store: &ParamStore,
+        kind: StoreKind,
+    ) -> Result<(), QuantError> {
+        if kind == StoreKind::F32 {
+            *self.serve_head.lock().unwrap() = HeadState::Off;
+            return Ok(());
+        }
+        let (n, de) = (self.n_entities, self.cfg.d_embed);
+        let rows = store.value(self.ent.table);
+        let bias = store.value(self.ent_bias).data().to_vec();
+        let est = build_store(
+            kind,
+            rows.data(),
+            n,
+            de,
+            FileBackedStore::cache_rows_from_env(),
+        )?;
+        *self.serve_head.lock().unwrap() = HeadState::Ready(Arc::new(EntityHead::new(est, bias)));
+        Ok(())
+    }
 }
 
-impl OneToNModel for CamE {
-    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+impl CamE {
+    /// The forward graph up to — but excluding — the final all-entity
+    /// scoring product: MMF fusion, RIC interactions, and both convolution
+    /// branches, returning the `[B, d_e]` hidden block such that
+    /// `forward == hidden @ E^T + ent_bias`.
+    fn hidden_forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
         let cfg = &self.cfg;
         let mut rng = self.dropout_rng.lock().unwrap();
 
@@ -425,12 +477,71 @@ impl OneToNModel for CamE {
         let u2 = self.branch2.apply(g, store, &[v_s, v_0]);
         let u1 = g.dropout(u1, cfg.dropout, &mut rng);
         let u2 = g.dropout(u2, cfg.dropout, &mut rng);
+        g.add(u1, u2) // [B, d_e]
+    }
+}
 
+impl OneToNModel for CamE {
+    fn forward(&self, g: &Graph, store: &ParamStore, heads: &[u32], rels: &[u32]) -> Var {
+        let hidden = self.hidden_forward(g, store, heads, rels);
         // scores over all candidate tails
-        let hidden = g.add(u1, u2); // [B, d_e]
+        let _scorer_span = came_obs::span("phase.scorer");
         let all_ent = g.transpose(self.ent.full(g, store), 0, 1); // [d_e, N]
         let scores = g.matmul(hidden, all_ent);
         g.add(scores, g.param(store, self.ent_bias))
+    }
+
+    fn forward_hidden(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        heads: &[u32],
+        rels: &[u32],
+    ) -> Option<Var> {
+        Some(self.hidden_forward(g, store, heads, rels))
+    }
+
+    fn entity_head(&self) -> Option<Arc<EntityHead>> {
+        match &*self.serve_head.lock().unwrap() {
+            HeadState::Ready(h) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    // Serving boundary: decide the scoring path once, from CAME_EMBED_STORE.
+    // Infallible by design — a quantization failure logs once and falls back
+    // to the dense f32 path rather than refusing to serve.
+    fn prepare_serving(&self, store: &ParamStore) {
+        if !matches!(*self.serve_head.lock().unwrap(), HeadState::Untried) {
+            return;
+        }
+        let kind = StoreKind::from_env();
+        if let Err(e) = self.freeze_entity_store(store, kind) {
+            eprintln!(
+                "came: CAME_EMBED_STORE={} unusable ({e}); serving dense f32",
+                kind.name()
+            );
+            *self.serve_head.lock().unwrap() = HeadState::Off;
+        }
+    }
+
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        self.entity_head().map(|h| h.to_blob())
+    }
+
+    fn restore_entity_store(&self, bytes: &[u8]) -> Result<(), String> {
+        let head = EntityHead::from_blob(bytes).map_err(|e| e.to_string())?;
+        if head.store().len() != self.n_entities || head.store().dim() != self.cfg.d_embed {
+            return Err(format!(
+                "entity store shape [{}, {}] does not fit this model's [{}, {}]",
+                head.store().len(),
+                head.store().dim(),
+                self.n_entities,
+                self.cfg.d_embed
+            ));
+        }
+        *self.serve_head.lock().unwrap() = HeadState::Ready(Arc::new(head));
+        Ok(())
     }
 
     // Cross-modal contrastive alignment (InfoNCE): for batch heads carrying

@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use came_biodata::MultimodalBkg;
 use came_kg::KgDataset;
-use came_tensor::{Shape, Tensor};
+use came_tensor::{
+    build_store, DenseF32Store, EmbeddingStore, QuantError, Shape, StoreKind, Tensor,
+};
 
 use crate::compgcn::pretrain_structural;
 use crate::molecule_gin::MoleculeEncoder;
@@ -52,6 +54,14 @@ pub enum FrozenError {
         /// Entity id whose row is absent.
         entity: usize,
     },
+    /// The backing [`EmbeddingStore`](came_tensor::EmbeddingStore) failed to
+    /// build or stream (quantization overflow, backing-file I/O).
+    Store {
+        /// Modality whose store failed.
+        modality: String,
+        /// The underlying store error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for FrozenError {
@@ -77,6 +87,9 @@ impl fmt::Display for FrozenError {
                 f,
                 "entity {entity} carries no {modality} features; serve degraded or use the fallback embedding"
             ),
+            FrozenError::Store { modality, message } => {
+                write!(f, "{modality} feature store failed: {message}")
+            }
         }
     }
 }
@@ -97,10 +110,41 @@ fn zero_absent_rows(t: &mut Tensor, present: &[bool]) {
 /// Count rows of a `[N, d]` table containing any non-finite value.
 fn non_finite_rows(t: &Tensor) -> usize {
     let d = t.shape().at(1).max(1);
-    t.data()
-        .chunks(d)
+    non_finite_rows_flat(t.data(), d)
+}
+
+/// [`non_finite_rows`] over a flat row-major slice.
+fn non_finite_rows_flat(data: &[f32], d: usize) -> usize {
+    data.chunks(d.max(1))
         .filter(|row| row.iter().any(|x| !x.is_finite()))
         .count()
+}
+
+/// Build an [`EmbeddingStore`] of `kind` over `rows`, converting store
+/// failures into [`FrozenError`]s that name the modality: non-finite input
+/// rows map to [`FrozenError::NonFinite`] (the same error a table-level
+/// check reports), everything else (quantization-range overflow, backing
+/// file I/O) to [`FrozenError::Store`].
+fn build_frozen_store(
+    modality: &str,
+    kind: StoreKind,
+    rows: &[f32],
+    n: usize,
+    d: usize,
+) -> Result<Box<dyn EmbeddingStore>, FrozenError> {
+    let cache_rows = came_tensor::FileBackedStore::cache_rows_from_env();
+    build_store(kind, rows, n, d, cache_rows).map_err(|e| match e {
+        QuantError::NonFinite { .. } if non_finite_rows_flat(rows, d) > 0 => {
+            FrozenError::NonFinite {
+                modality: modality.into(),
+                bad_rows: non_finite_rows_flat(rows, d),
+            }
+        }
+        other => FrozenError::Store {
+            modality: modality.into(),
+            message: other.to_string(),
+        },
+    })
 }
 
 /// Options for building [`ModalFeatures`].
@@ -296,6 +340,22 @@ impl ModalFeatures {
         )
     }
 
+    /// [`ModalFeatures::caches`] with every modality re-encoded through the
+    /// given [`StoreKind`] — `q8`/`file` for compact or larger-than-RAM
+    /// feature serving. Presence masks and degraded-path behavior are
+    /// identical to the dense caches regardless of layout.
+    pub fn caches_with(
+        &self,
+        kind: StoreKind,
+    ) -> Result<(FrozenCache, FrozenCache, FrozenCache), FrozenError> {
+        let (m, t, s) = self.caches();
+        Ok((
+            m.with_store_kind(kind)?,
+            t.with_store_kind(kind)?,
+            s.with_store_kind(kind)?,
+        ))
+    }
+
     /// Random features of matching shape — a null control used in tests.
     pub fn random_control(n: usize, cfg: &FeatureConfig, seed: u64) -> ModalFeatures {
         let mut rng = came_tensor::Prng::new(seed);
@@ -309,9 +369,13 @@ impl ModalFeatures {
     }
 }
 
-/// Memoised output table of a frozen encoder: a dense `[N, d]` table
-/// computed once per (entity, encoder-version), served thereafter by row
-/// gathers instead of re-running the encoder forward per batch.
+/// Memoised output table of a frozen encoder: an `[N, d]` table computed
+/// once per (entity, encoder-version), served thereafter by row gathers
+/// instead of re-running the encoder forward per batch. The rows live behind
+/// an [`EmbeddingStore`]: resident f32 by default (bit-identical to the
+/// historical dense path — gathers stay straight `memcpy`s), or quantized /
+/// file-backed via [`FrozenCache::with_store_kind`] so partial-modality
+/// degraded serving behaves identically whichever layout holds the rows.
 ///
 /// The cache is valid as long as the encoder that produced it stays frozen.
 /// Marking the encoder trainable (or calling [`FrozenCache::invalidate`])
@@ -320,7 +384,7 @@ impl ModalFeatures {
 /// version. Gather counters expose how much encoder work was skipped.
 pub struct FrozenCache {
     modality: String,
-    table: Tensor,
+    store: Box<dyn EmbeddingStore>,
     /// Per-row presence mask; `None` means every entity carries this
     /// modality (dense caches pay no per-gather presence check).
     presence: Option<Vec<bool>>,
@@ -335,15 +399,19 @@ pub struct FrozenCache {
 
 impl FrozenCache {
     /// Wrap a precomputed `[N, d]` encoder output table (version 1), tagged
-    /// with the modality it serves so failures name their source.
+    /// with the modality it serves so failures name their source. The rows
+    /// land in the resident-f32 store.
     ///
     /// # Panics
     /// Panics if the table is not 2-D.
     pub fn named(modality: impl Into<String>, table: Tensor) -> Self {
         assert_eq!(table.shape().ndim(), 2, "frozen cache table must be 2-D");
+        let (n, d) = (table.shape().at(0), table.shape().at(1));
+        let store = DenseF32Store::from_rows(table.into_vec(), n, d)
+            .expect("2-D tensor rows always factor");
         FrozenCache {
             modality: modality.into(),
-            table,
+            store: Box::new(store),
             presence: None,
             version: 1,
             trainable: false,
@@ -351,6 +419,32 @@ impl FrozenCache {
             gathers: AtomicU64::new(0),
             rows_served: AtomicU64::new(0),
         }
+    }
+
+    /// Re-encode the cached rows through a different [`StoreKind`] —
+    /// `q8`/`file` for compact or larger-than-RAM feature serving. Presence,
+    /// version, and counters carry over; gathers, strict gathers, and
+    /// degraded-path behavior are layout-independent (quantized layouts
+    /// dequantize on gather). Quantization failures surface as typed
+    /// [`FrozenError`]s naming this modality.
+    pub fn with_store_kind(mut self, kind: StoreKind) -> Result<Self, FrozenError> {
+        let (n, d) = (self.len(), self.dim());
+        let mut rows = vec![0.0f32; n * d];
+        let ids: Vec<u32> = (0..n as u32).collect();
+        self.store.gather_into(&ids, &mut rows);
+        self.store = build_frozen_store(&self.modality, kind, &rows, n, d)?;
+        Ok(self)
+    }
+
+    /// Which row layout backs this cache.
+    pub fn store_kind(&self) -> StoreKind {
+        self.store.kind()
+    }
+
+    /// Bytes of row payload resident in RAM (a file-backed cache reports
+    /// only its LRU cache, not the spilled rows).
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
     }
 
     /// Attach a per-row presence mask: entities whose flag is `false` carry
@@ -387,19 +481,33 @@ impl FrozenCache {
         &self.modality
     }
 
-    /// Check the cache is servable and its table finite, naming the modality
+    /// Check the cache is servable and its rows finite, naming the modality
     /// on failure. The divergence sentinel calls this after a NaN trip to
-    /// report which frozen input (if any) is to blame.
+    /// report which frozen input (if any) is to blame. Rows are scanned in
+    /// bounded chunks so file-backed caches never materialise the full table.
     pub fn check_finite(&self) -> Result<(), FrozenError> {
         if self.dirty {
             return Err(FrozenError::Stale {
                 modality: self.modality.clone(),
             });
         }
-        if self.table.has_non_finite() {
+        let (n, d) = (self.len(), self.dim());
+        const CHUNK: usize = 4096;
+        let mut bad_rows = 0usize;
+        let mut buf = vec![0.0f32; CHUNK.min(n.max(1)) * d];
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + CHUNK).min(n);
+            let ids: Vec<u32> = (lo as u32..hi as u32).collect();
+            let out = &mut buf[..(hi - lo) * d];
+            self.store.gather_into(&ids, out);
+            bad_rows += non_finite_rows_flat(out, d);
+            lo = hi;
+        }
+        if bad_rows > 0 {
             return Err(FrozenError::NonFinite {
                 modality: self.modality.clone(),
-                bad_rows: non_finite_rows(&self.table),
+                bad_rows,
             });
         }
         Ok(())
@@ -412,7 +520,7 @@ impl FrozenCache {
 
     /// Number of cached entities.
     pub fn len(&self) -> usize {
-        self.table.shape().at(0)
+        self.store.len()
     }
 
     /// True when no rows are cached.
@@ -422,7 +530,7 @@ impl FrozenCache {
 
     /// Feature width `d`.
     pub fn dim(&self) -> usize {
-        self.table.shape().at(1)
+        self.store.dim()
     }
 
     /// Whether the backing encoder was marked trainable.
@@ -462,11 +570,16 @@ impl FrozenCache {
         (self.gathers.load(Relaxed), self.rows_served.load(Relaxed))
     }
 
-    /// The full cached table.
+    /// Gather rows `ids` into a fresh `[ids.len(), d]` tensor — the per-batch
+    /// replacement for an encoder forward. The buffer comes from the tensor
+    /// pool uninitialised and every row is overwritten by its gather, so the
+    /// serving hot loop never pays a zero-fill pass. On the default resident
+    /// f32 store each row is a straight `memcpy`; quantized layouts
+    /// dequantize on the fly.
     ///
     /// # Panics
-    /// Panics if the cache was invalidated and not refreshed.
-    pub fn table(&self) -> &Tensor {
+    /// Panics if the cache is stale or an id is out of range.
+    pub fn rows(&self, ids: &[u32]) -> Tensor {
         if self.dirty {
             panic!(
                 "{}",
@@ -475,25 +588,12 @@ impl FrozenCache {
                 }
             );
         }
-        &self.table
-    }
-
-    /// Gather rows `ids` into a fresh `[ids.len(), d]` tensor — the per-batch
-    /// replacement for an encoder forward. The buffer comes from the tensor
-    /// pool uninitialised and every row is overwritten by its gather, so the
-    /// serving hot loop never pays a zero-fill pass.
-    ///
-    /// # Panics
-    /// Panics if the cache is stale or an id is out of range.
-    pub fn rows(&self, ids: &[u32]) -> Tensor {
-        let table = self.table();
-        let (n, d) = (table.shape().at(0), table.shape().at(1));
-        let mut data = came_tensor::pool::alloc_uninit(ids.len() * d);
-        for (row, &id) in ids.iter().enumerate() {
+        let (n, d) = (self.len(), self.dim());
+        for &id in ids {
             assert!((id as usize) < n, "frozen cache id {id} out of {n}");
-            data[row * d..(row + 1) * d]
-                .copy_from_slice(&table.data()[id as usize * d..(id as usize + 1) * d]);
         }
+        let mut data = came_tensor::pool::alloc_uninit(ids.len() * d);
+        self.store.gather_into(ids, &mut data);
         self.gathers.fetch_add(1, Relaxed);
         self.rows_served.fetch_add(ids.len() as u64, Relaxed);
         Tensor::from_vec(Shape::d2(ids.len(), d), data)
@@ -566,13 +666,18 @@ impl FrozenCache {
 
     /// Install a freshly recomputed table and bump the encoder version,
     /// rejecting misaligned or NaN/inf encoder output with a typed error
-    /// (the cache keeps its previous table on failure).
+    /// (the cache keeps its previous rows on failure). The new rows are
+    /// re-encoded through the cache's current [`StoreKind`], so a quantized
+    /// or file-backed cache stays quantized across refreshes.
     pub fn try_refresh(&mut self, table: Tensor) -> Result<(), FrozenError> {
-        if table.shape() != self.table.shape() {
+        if table.shape().ndim() != 2
+            || table.shape().at(0) != self.len()
+            || table.shape().at(1) != self.dim()
+        {
             return Err(FrozenError::Misaligned {
                 modality: self.modality.clone(),
                 rows: table.shape().at(0),
-                expected: self.table.shape().at(0),
+                expected: self.len(),
             });
         }
         if table.has_non_finite() {
@@ -581,7 +686,9 @@ impl FrozenCache {
                 bad_rows: non_finite_rows(&table),
             });
         }
-        self.table = table;
+        let (n, d) = (self.len(), self.dim());
+        let kind = self.store.kind();
+        self.store = build_frozen_store(&self.modality, kind, table.data(), n, d)?;
         self.version += 1;
         self.dirty = false;
         Ok(())
@@ -819,6 +926,98 @@ mod tests {
             }
         }
         a.validate(bkg.num_entities());
+    }
+
+    #[test]
+    fn quantized_cache_serves_near_identical_rows_with_smaller_footprint() {
+        let bkg = presets::tiny(7);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        let dense = FrozenCache::named("textual", f.textual.clone());
+        let q8 = FrozenCache::named("textual", f.textual.clone())
+            .with_store_kind(StoreKind::Q8)
+            .unwrap();
+        assert_eq!(q8.store_kind(), StoreKind::Q8);
+        assert_eq!((q8.len(), q8.dim()), (dense.len(), dense.dim()));
+        assert!(
+            q8.resident_bytes() * 2 < dense.resident_bytes(),
+            "q8 rows should be well under half the f32 footprint: {} vs {}",
+            q8.resident_bytes(),
+            dense.resident_bytes()
+        );
+        let ids: Vec<u32> = (0..dense.len() as u32).collect();
+        let (a, b) = (dense.rows(&ids), q8.rows(&ids));
+        let worst = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        // Per-row affine u8: error bounded by half a quantization step.
+        assert!(worst < 0.05, "worst dequant error {worst}");
+        assert!(q8.check_finite().is_ok());
+    }
+
+    #[test]
+    fn file_backed_cache_matches_quantized_rows_bitwise() {
+        let t = Tensor::randn(Shape::d2(64, 12), 1.0, &mut came_tensor::Prng::new(11));
+        let q8 = FrozenCache::named("molecular", t.clone())
+            .with_store_kind(StoreKind::Q8)
+            .unwrap();
+        let file = FrozenCache::named("molecular", t)
+            .with_store_kind(StoreKind::File)
+            .unwrap();
+        assert_eq!(file.store_kind(), StoreKind::File);
+        let ids: Vec<u32> = (0..64).rev().collect();
+        assert_eq!(q8.rows(&ids).data(), file.rows(&ids).data());
+        assert!(file.check_finite().is_ok());
+    }
+
+    #[test]
+    fn refresh_keeps_the_store_kind() {
+        let mut c = FrozenCache::named("textual", Tensor::zeros(Shape::d2(4, 3)))
+            .with_store_kind(StoreKind::Q8)
+            .unwrap();
+        c.invalidate();
+        c.refresh(Tensor::from_vec(Shape::d2(4, 3), vec![2.0; 12]));
+        assert_eq!(c.store_kind(), StoreKind::Q8);
+        assert_eq!(c.version(), 2);
+        // Constant rows round-trip exactly through the affine.
+        assert_eq!(c.rows(&[1]).data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn degraded_path_is_layout_independent_on_modality_poor_preset() {
+        let bkg = presets::modality_poor_like(12);
+        let f = ModalFeatures::build(&bkg, &small_cfg());
+        let n = f.num_entities();
+        let (dm, dt, ds) = f.caches();
+        for kind in [StoreKind::Q8, StoreKind::File] {
+            let (m, t, s) = f.caches_with(kind).unwrap();
+            // Same coverage, same preflight verdicts, same absent-entity
+            // errors — only the row layout changed.
+            assert_eq!(m.missing_rows(), dm.missing_rows());
+            assert_eq!(t.missing_rows(), dt.missing_rows());
+            assert_eq!(s.missing_rows(), ds.missing_rows());
+            assert_eq!(m.preflight_coverage(n), dm.preflight_coverage(n));
+            let absent = (0..n as u32).find(|&e| !dm.is_present(e)).unwrap();
+            assert_eq!(
+                m.try_rows(&[absent]),
+                Err(FrozenError::MissingModality {
+                    modality: "molecular".into(),
+                    entity: absent as usize,
+                })
+            );
+            let present: Vec<u32> = (0..n as u32).filter(|&e| dt.is_present(e)).collect();
+            let got = t.try_rows(&present).unwrap();
+            let want = dt.try_rows(&present).unwrap();
+            let worst = got
+                .data()
+                .iter()
+                .zip(want.data())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(worst < 0.05, "{kind:?} textual dequant error {worst}");
+        }
     }
 
     #[test]

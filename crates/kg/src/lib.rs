@@ -26,6 +26,7 @@ pub mod labels;
 pub mod metrics;
 pub mod model;
 pub mod negative;
+pub mod parity;
 pub mod relbucket;
 pub mod runtime;
 pub mod serve;
@@ -40,6 +41,7 @@ pub use labels::{NegativePolicy, OneToNBatch, OneToNBatcher};
 pub use metrics::RankMetrics;
 pub use model::{capture_kge, restore_kge, KgeModel, KgeScorer, OneToNKge, TripleKge};
 pub use negative::NegativeSampler;
+pub use parity::{mean_spearman_topk, min_spearman_topk, spearman_topk, top_k_indices};
 pub use relbucket::RelationFamily;
 pub use runtime::{
     fingerprint, observe_event, CheckpointConfig, FaultPlan, RuntimeConfig, SentinelConfig,

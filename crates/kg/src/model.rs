@@ -101,6 +101,24 @@ pub trait KgeModel {
 
     /// Restore state captured by [`KgeModel::state_bytes`].
     fn restore_state(&self, bytes: &[u8]) -> Result<(), String>;
+
+    /// Hook called when this model goes behind a scoring engine: freeze
+    /// serving-side structures (e.g. a compact entity store selected by
+    /// `CAME_EMBED_STORE`). Infallible — implementations fall back to their
+    /// dense scoring path on failure. Default: nothing to prepare.
+    fn prepare_serving(&self, _store: &ParamStore) {}
+
+    /// Serialise the model's frozen entity store for checkpoints, if one is
+    /// active (see [`came_tensor::EntityHead::to_blob`]). Default: none.
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore an entity store captured by [`KgeModel::entity_store_blob`].
+    /// Errs if the model cannot host one.
+    fn restore_entity_store(&self, _bytes: &[u8]) -> Result<(), String> {
+        Err("model has no entity store to restore".into())
+    }
 }
 
 /// [`KgeModel`] adapter for 1-N models: one batched inference forward per
@@ -142,6 +160,9 @@ impl<M: OneToNModel> KgeModel for OneToNKge<M> {
         if queries.is_empty() {
             return;
         }
+        if self.model.entity_head().is_some() {
+            return self.score_range_into(store, queries, 0, n, out);
+        }
         let g = Graph::inference();
         let heads: Vec<u32> = queries.iter().map(|q| q.0 .0).collect();
         let rels: Vec<u32> = queries.iter().map(|q| q.1 .0).collect();
@@ -150,6 +171,50 @@ impl<M: OneToNModel> KgeModel for OneToNKge<M> {
             assert_eq!(t.numel(), out.len(), "forward produced wrong shape");
             out.copy_from_slice(t.data());
         });
+    }
+
+    // 1-N models normally compute all candidates in one fused forward, so
+    // candidate slicing saves nothing — unless serving froze an entity head,
+    // whose fused dequant-scoring kernels do score candidate ranges natively.
+    fn supports_range_scoring(&self) -> bool {
+        self.model.entity_head().is_some()
+    }
+
+    fn score_range_into(
+        &self,
+        store: &ParamStore,
+        queries: &[(EntityId, RelationId)],
+        lo: usize,
+        hi: usize,
+        out: &mut [f32],
+    ) {
+        let n = self.num_entities;
+        assert!(lo <= hi && hi <= n, "candidate range {lo}..{hi} out of {n}");
+        let w = hi - lo;
+        assert_eq!(out.len(), queries.len() * w, "range buffer size mismatch");
+        if queries.is_empty() || w == 0 {
+            return;
+        }
+        if let Some(head) = self.model.entity_head() {
+            let g = Graph::inference();
+            let heads: Vec<u32> = queries.iter().map(|q| q.0 .0).collect();
+            let rels: Vec<u32> = queries.iter().map(|q| q.1 .0).collect();
+            let hidden = self
+                .model
+                .forward_hidden(&g, store, &heads, &rels)
+                .expect("a model exposing an entity head must expose forward_hidden");
+            return g.with_value(hidden, |t| {
+                head.score_into(t.data(), queries.len(), lo, hi, out);
+            });
+        }
+        if lo == 0 && hi == n {
+            return self.score_into(store, queries, out);
+        }
+        let mut full = vec![0.0f32; queries.len() * n];
+        self.score_into(store, queries, &mut full);
+        for (row, slice) in full.chunks(n).zip(out.chunks_mut(w)) {
+            slice.copy_from_slice(&row[lo..hi]);
+        }
     }
 
     fn degraded(&self, entity: u32) -> bool {
@@ -162,6 +227,18 @@ impl<M: OneToNModel> KgeModel for OneToNKge<M> {
 
     fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
         self.model.restore_state(bytes)
+    }
+
+    fn prepare_serving(&self, store: &ParamStore) {
+        self.model.prepare_serving(store);
+    }
+
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        self.model.entity_store_blob()
+    }
+
+    fn restore_entity_store(&self, bytes: &[u8]) -> Result<(), String> {
+        self.model.restore_entity_store(bytes)
     }
 }
 
@@ -307,16 +384,24 @@ pub fn capture_kge(
         model.state_bytes(),
         history,
     )
+    .with_embed_store(model.entity_store_blob())
 }
 
 /// Restore a snapshot through the trait object: parameters into `store`,
-/// model state via [`KgeModel::restore_state`]. The round trip is
-/// bit-identical (PR 3's resume guarantee survives the trait indirection).
+/// model state via [`KgeModel::restore_state`], and — for version-2
+/// snapshots — the frozen entity store via
+/// [`KgeModel::restore_entity_store`]. The round trip is bit-identical
+/// (PR 3's resume guarantee survives the trait indirection, and a restored
+/// quantized store scores bit-identically to the captured one).
 pub fn restore_kge(
     model: &dyn KgeModel,
     store: &mut ParamStore,
     snap: &Snapshot,
 ) -> Result<(), String> {
     snap.restore_into(store).map_err(|e| e.to_string())?;
-    model.restore_state(&snap.model_state)
+    model.restore_state(&snap.model_state)?;
+    if let Some(blob) = &snap.embed_store {
+        model.restore_entity_store(blob)?;
+    }
+    Ok(())
 }

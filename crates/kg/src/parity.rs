@@ -1,0 +1,162 @@
+//! Rank-correlation parity harness for compact embedding stores.
+//!
+//! Quantized scoring trades bit-exactness for memory, so "no worse than
+//! f32" must be asserted on *ranking agreement*, not raw score equality.
+//! The gate this module backs (`CAME_CHECK_QUANT`) requires Spearman
+//! ρ ≥ 0.99 over the union of the two paths' top-k candidate sets, plus a
+//! |ΔMRR| ≤ 0.005 budget computed by evaluating both paths with the standard
+//! [`crate::evaluate`] machinery.
+//!
+//! Serving imposes a *total* candidate order (score descending, entity id
+//! ascending on ties — the same tie-break [`crate::serve`] uses), so ranks
+//! here are always distinct and the closed-form Spearman formula applies.
+
+/// Indices of the `k` highest-scoring candidates of `scores`, ordered by
+/// score descending with ascending-index tie-break (the serving order).
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Rank (1-based, serving order) of every candidate in `of` within `scores`.
+fn ranks_of(scores: &[f32], of: &[usize]) -> Vec<f64> {
+    let order = top_k_indices(scores, scores.len());
+    let mut rank = vec![0usize; scores.len()];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r + 1;
+    }
+    of.iter().map(|&i| rank[i] as f64).collect()
+}
+
+/// Spearman rank correlation between two score vectors over the *union* of
+/// their top-`k` candidate sets — the region retrieval responses are built
+/// from, so agreement there is what serving parity means. Ranks come from
+/// each vector's full total order. Returns 1.0 for degenerate unions
+/// (fewer than two candidates).
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn spearman_topk(a: &[f32], b: &[f32], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let mut union = top_k_indices(a, k);
+    for i in top_k_indices(b, k) {
+        if !union.contains(&i) {
+            union.push(i);
+        }
+    }
+    let m = union.len();
+    if m < 2 {
+        return 1.0;
+    }
+    // Re-rank within the union (1..=m per vector): the closed form needs
+    // both rank vectors to be permutations of the same support.
+    let full_a = ranks_of(a, &union);
+    let full_b = ranks_of(b, &union);
+    let sub_rank = |full: &[f64]| -> Vec<f64> {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&x, &y| full[x].total_cmp(&full[y]));
+        let mut r = vec![0.0; m];
+        for (pos, &i) in order.iter().enumerate() {
+            r[i] = (pos + 1) as f64;
+        }
+        r
+    };
+    let (ra, rb) = (sub_rank(&full_a), sub_rank(&full_b));
+    let d2: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
+    1.0 - 6.0 * d2 / (m as f64 * (m as f64 * m as f64 - 1.0))
+}
+
+/// Minimum [`spearman_topk`] across query rows of two row-major `[m, n]`
+/// score blocks — the worst single query, a coarse statistic (one adjacent
+/// swap in a small union costs ~6/m³) used as a sanity floor.
+///
+/// # Panics
+/// Panics if the blocks are missized.
+pub fn min_spearman_topk(a: &[f32], b: &[f32], n: usize, k: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "score blocks must align");
+    assert!(n > 0 && a.len() % n == 0, "blocks must be [m, n] row-major");
+    a.chunks(n)
+        .zip(b.chunks(n))
+        .map(|(ra, rb)| spearman_topk(ra, rb, k))
+        .fold(1.0f64, f64::min)
+}
+
+/// Mean [`spearman_topk`] across query rows of two row-major `[m, n]` score
+/// blocks — the statistic the `CAME_CHECK_QUANT` gate thresholds (≥ 0.99):
+/// ranking agreement over the retrieval prefixes, averaged over queries.
+/// Returns 1.0 for an empty block.
+///
+/// # Panics
+/// Panics if the blocks are missized.
+pub fn mean_spearman_topk(a: &[f32], b: &[f32], n: usize, k: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "score blocks must align");
+    assert!(n > 0 && a.len() % n == 0, "blocks must be [m, n] row-major");
+    let m = a.len() / n;
+    if m == 0 {
+        return 1.0;
+    }
+    a.chunks(n)
+        .zip(b.chunks(n))
+        .map(|(ra, rb)| spearman_topk(ra, rb, k))
+        .sum::<f64>()
+        / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_correlate_perfectly() {
+        let s = [0.3, -1.0, 2.5, 0.0, 9.0];
+        assert_eq!(spearman_topk(&s, &s, 3), 1.0);
+        assert_eq!(min_spearman_topk(&s, &s, 5, 3), 1.0);
+    }
+
+    #[test]
+    fn reversed_order_is_perfectly_anticorrelated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_topk(&a, &b, 4) - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_perturbations_stay_above_the_gate() {
+        let a: Vec<f32> = (0..200).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+        let b: Vec<f32> = a.iter().map(|x| x + 1e-4 * x.cos()).collect();
+        assert!(spearman_topk(&a, &b, 20) > 0.99);
+    }
+
+    #[test]
+    fn a_swap_inside_the_topk_lowers_but_does_not_tank_rho() {
+        let a: Vec<f32> = (0..50).map(|i| 50.0 - i as f32).collect();
+        let mut b = a.clone();
+        b.swap(0, 1);
+        let rho = spearman_topk(&a, &b, 10);
+        assert!((0.9..1.0).contains(&rho), "rho = {rho}");
+    }
+
+    #[test]
+    fn union_covers_disagreeing_topk_sets() {
+        // a's top-2 is {0, 1}; b promotes index 4 instead of 1.
+        let a = [9.0, 8.0, 1.0, 0.5, 0.2];
+        let b = [9.0, 0.1, 1.0, 0.5, 8.0];
+        let rho = spearman_topk(&a, &b, 2);
+        assert!(rho < 1.0, "disagreement must be visible: {rho}");
+    }
+
+    #[test]
+    fn degenerate_unions_are_perfect() {
+        assert_eq!(spearman_topk(&[1.0], &[2.0], 5), 1.0);
+        let empty: [f32; 0] = [];
+        assert_eq!(spearman_topk(&empty, &empty, 3), 1.0);
+    }
+
+    #[test]
+    fn topk_indices_use_serving_tie_break() {
+        let s = [1.0, 3.0, 3.0, 0.0];
+        assert_eq!(top_k_indices(&s, 3), vec![1, 2, 0]);
+    }
+}

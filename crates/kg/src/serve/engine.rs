@@ -94,6 +94,10 @@ impl<'a> ScoringEngine<'a> {
         cfg: ServeConfig,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        // Putting a model behind an engine is the serving boundary: let it
+        // freeze serving-side structures (e.g. the CAME_EMBED_STORE entity
+        // store) once, before the first request.
+        model.prepare_serving(store);
         Ok(ScoringEngine { model, store, cfg })
     }
 

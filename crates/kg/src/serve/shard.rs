@@ -108,6 +108,9 @@ impl<'a> ShardedEngine<'a> {
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
         let plan = ShardPlan::new(model.num_entities(), shards)?;
+        // Serving boundary: freeze the model's serving-side structures (e.g.
+        // the CAME_EMBED_STORE entity store) before the first request.
+        model.prepare_serving(store);
         Ok(ShardedEngine {
             model,
             store,

@@ -5,11 +5,11 @@
 //! moments and step counter, opaque model-side state (e.g. a dropout RNG),
 //! the per-epoch loss history, and the sentinel's learning-rate scale.
 //!
-//! ## File format (version 1, little-endian)
+//! ## File format (versions 1–2, little-endian)
 //!
 //! ```text
 //! magic    8 B   b"CAMECKPT"
-//! version  u32   1
+//! version  u32   1 or 2
 //! crc32    u32   IEEE CRC-32 of the payload bytes
 //! len      u64   payload length in bytes
 //! payload  len B
@@ -19,6 +19,13 @@
 //! and arrays carry `u64` length prefixes. Floats are stored as raw IEEE-754
 //! bit patterns, so a restore reproduces training *exactly*, not just
 //! approximately.
+//!
+//! Version 2 appends one field to the version-1 payload: the serialised
+//! frozen entity store (an [`came_tensor::EntityHead`] blob), so quantized
+//! serving state survives checkpoints bit-identically. Snapshots without an
+//! entity store still encode as version 1, and version-1 checkpoints decode
+//! with `embed_store: None` — old checkpoints keep loading and serve through
+//! the default f32 path.
 //!
 //! ## Durability
 //!
@@ -40,6 +47,8 @@ use crate::train::EpochStats;
 
 const MAGIC: &[u8; 8] = b"CAMECKPT";
 const VERSION: u32 = 1;
+/// Format version carrying the trailing entity-store blob.
+const VERSION_EMBED: u32 = 2;
 /// Header bytes before the payload: magic + version + crc + length.
 const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 
@@ -134,6 +143,10 @@ pub struct Snapshot {
     pub store_step: u64,
     /// Every parameter in registration order.
     pub params: Vec<ParamRecord>,
+    /// Serialised frozen entity store (an [`came_tensor::EntityHead`] blob),
+    /// when serving had one active at capture time. `Some` bumps the on-disk
+    /// format to version 2; version-1 checkpoints decode as `None`.
+    pub embed_store: Option<Vec<u8>>,
 }
 
 /// Slicing-by-8 lookup tables for the reflected 0xEDB88320 polynomial,
@@ -304,7 +317,15 @@ impl Snapshot {
                     v: s.v.data().to_vec(),
                 })
                 .collect(),
+            embed_store: None,
         }
+    }
+
+    /// Attach (or clear) the serialised entity store; `Some` makes the
+    /// snapshot encode as format version 2.
+    pub fn with_embed_store(mut self, blob: Option<Vec<u8>>) -> Snapshot {
+        self.embed_store = blob;
+        self
     }
 
     /// Write this snapshot's state back into a freshly constructed `store`
@@ -358,10 +379,19 @@ impl Snapshot {
             put_f32s(&mut p, &r.m);
             put_f32s(&mut p, &r.v);
         }
+        // Trailing v2 field: written only when present, so store-less
+        // snapshots stay byte-for-byte version 1 and older readers accept
+        // them.
+        let version = if let Some(blob) = &self.embed_store {
+            put_bytes(&mut p, blob);
+            VERSION_EMBED
+        } else {
+            VERSION
+        };
 
         let mut out = Vec::with_capacity(HEADER_LEN + p.len());
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&crc32(&p).to_le_bytes());
         out.extend_from_slice(&(p.len() as u64).to_le_bytes());
         out.extend_from_slice(&p);
@@ -380,7 +410,7 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != VERSION {
+        if version != VERSION && version != VERSION_EMBED {
             return Err(SnapshotError::BadVersion(version));
         }
         let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -429,6 +459,11 @@ impl Snapshot {
                 v: r.f32s()?,
             });
         }
+        let embed_store = if version >= VERSION_EMBED {
+            Some(r.bytes()?)
+        } else {
+            None
+        };
         Ok(Snapshot {
             fingerprint,
             epoch_next,
@@ -438,6 +473,7 @@ impl Snapshot {
             history,
             store_step,
             params,
+            embed_store,
         })
     }
 }
@@ -574,6 +610,7 @@ mod tests {
                     v: vec![0.0; 4],
                 },
             ],
+            embed_store: None,
         }
     }
 
@@ -583,6 +620,20 @@ mod tests {
         let bytes = s.encode();
         let back = Snapshot::decode(&bytes).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn embed_store_blob_bumps_version_and_round_trips() {
+        let v1 = toy_snapshot().encode();
+        assert_eq!(v1[8], 1, "store-less snapshots stay version 1");
+        let s = toy_snapshot().with_embed_store(Some(vec![9, 8, 7, 6, 5]));
+        let bytes = s.encode();
+        assert_eq!(bytes[8], 2, "embed store bumps the format version");
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.embed_store.as_deref(), Some(&[9, 8, 7, 6, 5][..]));
+        // a v1 file keeps decoding, with no store attached
+        assert_eq!(Snapshot::decode(&v1).unwrap().embed_store, None);
     }
 
     #[test]

@@ -67,6 +67,48 @@ pub trait OneToNModel {
     fn degraded(&self, _entity: u32) -> bool {
         false
     }
+
+    /// Build the forward graph up to — but excluding — the final
+    /// all-entity scoring product: result shape `[B, d]` such that
+    /// `forward == hidden @ E^T + bias`. Models that expose this (plus
+    /// [`OneToNModel::entity_head`]) let serving route candidate scoring
+    /// through a fused [`came_tensor::EntityHead`] instead of the graph's
+    /// dense matmul. Default: not separable.
+    fn forward_hidden(
+        &self,
+        _g: &Graph,
+        _store: &ParamStore,
+        _heads: &[u32],
+        _rels: &[u32],
+    ) -> Option<Var> {
+        None
+    }
+
+    /// The frozen entity scoring head, when [`OneToNModel::prepare_serving`]
+    /// has built one. Default: none.
+    fn entity_head(&self) -> Option<std::sync::Arc<came_tensor::EntityHead>> {
+        None
+    }
+
+    /// Hook called when the model is put behind a scoring engine: freeze
+    /// whatever serving-side structures the model wants (e.g. a quantized
+    /// entity store selected by `CAME_EMBED_STORE`). Must be infallible —
+    /// implementations fall back to their dense path on failure. Default:
+    /// nothing to prepare.
+    fn prepare_serving(&self, _store: &ParamStore) {}
+
+    /// Serialise the frozen entity store for checkpoints, if one is active.
+    /// Default: none.
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore an entity store captured by
+    /// [`OneToNModel::entity_store_blob`]. Errs if the model cannot host
+    /// one.
+    fn restore_entity_store(&self, _bytes: &[u8]) -> Result<(), String> {
+        Err("model has no entity store to restore".into())
+    }
 }
 
 /// A model scored per-triple (for negative-sampling training): higher score
@@ -137,6 +179,27 @@ impl<M: OneToNModel + ?Sized> OneToNModel for &M {
     fn diagnose_non_finite(&self) -> Option<String> {
         (**self).diagnose_non_finite()
     }
+    fn forward_hidden(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        heads: &[u32],
+        rels: &[u32],
+    ) -> Option<Var> {
+        (**self).forward_hidden(g, store, heads, rels)
+    }
+    fn entity_head(&self) -> Option<std::sync::Arc<came_tensor::EntityHead>> {
+        (**self).entity_head()
+    }
+    fn prepare_serving(&self, store: &ParamStore) {
+        (**self).prepare_serving(store)
+    }
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        (**self).entity_store_blob()
+    }
+    fn restore_entity_store(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_entity_store(bytes)
+    }
 }
 
 impl<M: OneToNModel + ?Sized> OneToNModel for Box<M> {
@@ -157,6 +220,27 @@ impl<M: OneToNModel + ?Sized> OneToNModel for Box<M> {
     }
     fn diagnose_non_finite(&self) -> Option<String> {
         (**self).diagnose_non_finite()
+    }
+    fn forward_hidden(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        heads: &[u32],
+        rels: &[u32],
+    ) -> Option<Var> {
+        (**self).forward_hidden(g, store, heads, rels)
+    }
+    fn entity_head(&self) -> Option<std::sync::Arc<came_tensor::EntityHead>> {
+        (**self).entity_head()
+    }
+    fn prepare_serving(&self, store: &ParamStore) {
+        (**self).prepare_serving(store)
+    }
+    fn entity_store_blob(&self) -> Option<Vec<u8>> {
+        (**self).entity_store_blob()
+    }
+    fn restore_entity_store(&self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_entity_store(bytes)
     }
 }
 

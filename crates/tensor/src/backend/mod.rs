@@ -52,6 +52,7 @@ mod parallel;
 mod scalar;
 pub mod simd;
 
+pub(crate) use parallel::q8_strip_for;
 pub use parallel::{num_threads, run_tasks, run_tasks_min_work, ParallelBackend};
 pub use scalar::ScalarBackend;
 pub use simd::SimdBackend;
@@ -454,6 +455,58 @@ pub trait Backend: Send + Sync {
         crate::pool::recycle(scratch);
         gtau
     }
+
+    /// Fused-dequant dot product over one quantized row: the *raw* weighted
+    /// code sum `Σ_t a[t] · codes[t]` with the u8 codes widened to f32 in
+    /// registers — the caller applies the per-row affine
+    /// (`min · Σa + scale · dot_q8`) so no dequantized f32 row is ever
+    /// materialized. Accumulation is in ascending element order (rows are
+    /// embedding-dim sized, far below [`SUM_BLOCK`], so no block grouping);
+    /// scalar and parallel backends are bitwise identical, SIMD is allowed
+    /// the usual reassociation tolerance.
+    ///
+    /// # Panics
+    /// Panics (debug) if `a.len() != codes.len()`.
+    fn dot_q8(&self, a: &[f32], codes: &[u8]) -> f32 {
+        dot_q8_block(a, codes)
+    }
+
+    /// Fused dequant-scoring GEMM over per-row affine-quantized u8 rows:
+    ///
+    /// ```text
+    /// out[i*n + j] = mins[j] * a_sums[i]
+    ///              + scales[j] * Σ_t a[i*k + t] · codes[j*k + t]
+    /// ```
+    ///
+    /// with `a` the row-major `[m, k]` query block, `a_sums[i]` the
+    /// precomputed element sum of query row `i`, and `codes` the row-major
+    /// `[n, k]` u8 code block with per-row `scales` / `mins`. Every output
+    /// element consumes its full `k` extent in one fixed ascending pass, so
+    /// scalar and parallel results are bitwise identical regardless of task
+    /// decomposition; SIMD gets the reassociation tolerance.
+    ///
+    /// # Panics
+    /// Panics (debug) on slice-length mismatches against `m`/`k`/`n`.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_q8_f32(
+        &self,
+        a: &[f32],
+        a_sums: &[f32],
+        codes: &[u8],
+        scales: &[f32],
+        mins: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check_q8_shapes(a, a_sums, codes, scales, mins, out, m, k, n);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            gemm_q8_strip(arow, a_sums[i], codes, scales, mins, orow, k);
+        }
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -475,6 +528,58 @@ pub(crate) fn sum_block(c: &[f32]) -> f32 {
 #[inline]
 pub(crate) fn dot_block(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Raw weighted code sum for [`Backend::dot_q8`]: ascending element order,
+/// codes widened `u8 → f32` per element. The reference every backend's
+/// scalar/parallel path must match bitwise.
+#[inline]
+pub(crate) fn dot_q8_block(a: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(a.len(), codes.len(), "dot_q8 length mismatch");
+    a.iter().zip(codes).map(|(&x, &c)| x * c as f32).sum()
+}
+
+/// One output strip of [`Backend::gemm_q8_f32`]: query row `arow` (sum
+/// `a_sum`) against quantized rows `codes [strip, k]` with per-row affine
+/// `scales` / `mins`, written to `out[j]` in the fixed per-element order the
+/// trait documents. Shared by the scalar default and the parallel override so
+/// their task decompositions stay bitwise identical.
+#[inline]
+pub(crate) fn gemm_q8_strip(
+    arow: &[f32],
+    a_sum: f32,
+    codes: &[u8],
+    scales: &[f32],
+    mins: &[f32],
+    out: &mut [f32],
+    k: usize,
+) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let crow = &codes[j * k..(j + 1) * k];
+        *o = mins[j] * a_sum + scales[j] * dot_q8_block(arow, crow);
+    }
+}
+
+/// Debug-time shape contract for [`Backend::gemm_q8_f32`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_q8_shapes(
+    a: &[f32],
+    a_sums: &[f32],
+    codes: &[u8],
+    scales: &[f32],
+    mins: &[f32],
+    out: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k, "gemm_q8 a shape");
+    debug_assert_eq!(a_sums.len(), m, "gemm_q8 a_sums shape");
+    debug_assert_eq!(codes.len(), n * k, "gemm_q8 codes shape");
+    debug_assert_eq!(scales.len(), n, "gemm_q8 scales shape");
+    debug_assert_eq!(mins.len(), n, "gemm_q8 mins shape");
+    debug_assert_eq!(out.len(), m * n, "gemm_q8 out shape");
 }
 
 // --------------------------------------------------------------------------
@@ -1024,6 +1129,29 @@ impl Backend for TimedBackend {
 
     fn dot(&self, xs: &[f32], ys: &[f32]) -> f32 {
         self.timed("kernel.dot", || self.inner.dot(xs, ys))
+    }
+
+    fn dot_q8(&self, a: &[f32], codes: &[u8]) -> f32 {
+        self.timed("kernel.dot_q8", || self.inner.dot_q8(a, codes))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_q8_f32(
+        &self,
+        a: &[f32],
+        a_sums: &[f32],
+        codes: &[u8],
+        scales: &[f32],
+        mins: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.timed("kernel.gemm_q8_f32", || {
+            self.inner
+                .gemm_q8_f32(a, a_sums, codes, scales, mins, out, m, k, n)
+        })
     }
 
     fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {

@@ -9,11 +9,11 @@
 //! backend.
 
 use super::{
-    adam_chunk, bias_act_rows, dot_block, layer_norm_backward_one_lane, layer_norm_one_lane,
-    outer_attention_backward_block, outer_attention_block, outer_attention_fwd_block,
-    outer_attention_fwd_col_block, softmax_matmul_block, softmax_matmul_fwd_block,
-    softmax_one_lane, sum_block, Activation, AdamHp, Backend, BackendKind, ScalarBackend,
-    SUM_BLOCK,
+    adam_chunk, bias_act_rows, check_q8_shapes, dot_block, gemm_q8_strip,
+    layer_norm_backward_one_lane, layer_norm_one_lane, outer_attention_backward_block,
+    outer_attention_block, outer_attention_fwd_block, outer_attention_fwd_col_block,
+    softmax_matmul_block, softmax_matmul_fwd_block, softmax_one_lane, sum_block, Activation,
+    AdamHp, Backend, BackendKind, ScalarBackend, SUM_BLOCK,
 };
 use std::sync::{Mutex, OnceLock};
 
@@ -166,6 +166,13 @@ pub(crate) fn grain_for(total: usize, lane: usize) -> usize {
     let lane = lane.max(1);
     let g = (GRAIN / lane).max(1) * lane;
     g.min(total.max(1))
+}
+
+/// Output-strip width for the fused q8 GEMM work-stealing decomposition:
+/// roughly [`GRAIN`] multiply-adds per stolen task, never narrower than a
+/// GEMM panel. Shared with the SIMD backend so both fan out identically.
+pub(crate) fn q8_strip_for(k: usize) -> usize {
+    (GRAIN / k.max(1)).max(PANEL_ROWS)
 }
 
 /// Cache-blocked multithreaded backend.
@@ -378,6 +385,56 @@ impl Backend for ParallelBackend {
             .collect();
         steal_tasks(tasks, |((a, b), slot)| *slot = dot_block(a, b));
         partials.iter().sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_q8_f32(
+        &self,
+        a: &[f32],
+        a_sums: &[f32],
+        codes: &[u8],
+        scales: &[f32],
+        mins: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check_q8_shapes(a, a_sums, codes, scales, mins, out, m, k, n);
+        if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 {
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                gemm_q8_strip(arow, a_sums[i], codes, scales, mins, orow, k);
+            }
+            return;
+        }
+        // One task per (query row × candidate strip): each output element
+        // still consumes its full k extent in the shared scalar order, so the
+        // decomposition cannot change any bit of the result.
+        let strip = q8_strip_for(k);
+        let tasks: Vec<(usize, usize, &mut [f32])> = out
+            .chunks_mut(n)
+            .enumerate()
+            .flat_map(|(i, orow)| {
+                orow.chunks_mut(strip)
+                    .enumerate()
+                    .map(move |(s, oseg)| (i, s * strip, oseg))
+            })
+            .collect();
+        steal_tasks(tasks, |(i, j0, oseg)| {
+            let arow = &a[i * k..(i + 1) * k];
+            let w = oseg.len();
+            gemm_q8_strip(
+                arow,
+                a_sums[i],
+                &codes[j0 * k..(j0 + w) * k],
+                &scales[j0..j0 + w],
+                &mins[j0..j0 + w],
+                oseg,
+                k,
+            );
+        });
     }
 
     fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {

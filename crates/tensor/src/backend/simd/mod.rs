@@ -472,6 +472,75 @@ impl Backend for SimdBackend {
         ParallelBackend.dot(xs, ys)
     }
 
+    fn dot_q8(&self, a: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(a.len(), codes.len());
+        #[cfg(target_arch = "x86_64")]
+        if supported() {
+            return dispatch!(dot_q8(a, codes));
+        }
+        ParallelBackend.dot_q8(a, codes)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_q8_f32(
+        &self,
+        a: &[f32],
+        a_sums: &[f32],
+        codes: &[u8],
+        scales: &[f32],
+        mins: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if supported() {
+            super::check_q8_shapes(a, a_sums, codes, scales, mins, out, m, k, n);
+            if m * n * k < PAR_MIN_FLOPS || num_threads() == 1 {
+                for i in 0..m {
+                    dispatch!(gemm_q8_strip(
+                        &a[i * k..(i + 1) * k],
+                        a_sums[i],
+                        codes,
+                        scales,
+                        mins,
+                        &mut out[i * n..(i + 1) * n],
+                        k
+                    ));
+                }
+                return;
+            }
+            // Same (query row × candidate strip) decomposition as the
+            // parallel backend; each output element consumes its full k
+            // extent so the split is invisible in the result.
+            let strip = super::parallel::q8_strip_for(k);
+            let tasks: Vec<(usize, usize, &mut [f32])> = out
+                .chunks_mut(n)
+                .enumerate()
+                .flat_map(|(i, orow)| {
+                    orow.chunks_mut(strip)
+                        .enumerate()
+                        .map(move |(s, oseg)| (i, s * strip, oseg))
+                })
+                .collect();
+            steal_tasks(tasks, |(i, j0, oseg)| {
+                let w = oseg.len();
+                dispatch!(gemm_q8_strip(
+                    &a[i * k..(i + 1) * k],
+                    a_sums[i],
+                    &codes[j0 * k..(j0 + w) * k],
+                    &scales[j0..j0 + w],
+                    &mins[j0..j0 + w],
+                    oseg,
+                    k
+                ));
+            });
+            return;
+        }
+        ParallelBackend.gemm_q8_f32(a, a_sums, codes, scales, mins, out, m, k, n)
+    }
+
     fn adam_update(&self, x: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], hp: &AdamHp) {
         #[cfg(target_arch = "x86_64")]
         if supported() {
@@ -877,6 +946,34 @@ mod tests {
             unsafe { x86::sse2::matmul(&a, &b, &mut got, m, k, n, mr, 64, &mut pack) };
             assert_close(&got, &want, 1e-5, &format!("sse2 gemm mr={mr}"));
         }
+    }
+
+    #[test]
+    fn sse2_q8_entries_match_scalar_reference() {
+        let mut rng = Prng::new(13);
+        // dot_q8: lengths straddling the 4-float vector and its 4x unroll
+        for &k in &[0usize, 1, 3, 4, 7, 15, 16, 17, 64, 257] {
+            let a = randv(k, &mut rng);
+            let codes: Vec<u8> = (0..k).map(|i| (i * 37 % 256) as u8).collect();
+            let want = ScalarBackend.dot_q8(&a, &codes);
+            let got = unsafe { x86::sse2::dot_q8(&a, &codes) };
+            assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "sse2 dot_q8 k={k}: {got} vs {want}"
+            );
+        }
+        // one gemm strip: a query row against affine-quantized rows
+        let (k, n) = (29, 11);
+        let arow = randv(k, &mut rng);
+        let a_sum: f32 = arow.iter().sum();
+        let codes: Vec<u8> = (0..n * k).map(|i| (i * 53 % 256) as u8).collect();
+        let scales: Vec<f32> = (0..n).map(|j| 0.01 + j as f32 * 1e-3).collect();
+        let mins = randv(n, &mut rng);
+        let mut want = vec![0.0f32; n];
+        ScalarBackend.gemm_q8_f32(&arow, &[a_sum], &codes, &scales, &mins, &mut want, 1, k, n);
+        let mut got = vec![0.0f32; n];
+        unsafe { x86::sse2::gemm_q8_strip(&arow, a_sum, &codes, &scales, &mins, &mut got, k) };
+        assert_close(&got, &want, 1e-4, "sse2 gemm_q8_strip");
     }
 
     #[test]

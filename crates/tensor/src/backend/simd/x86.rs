@@ -96,6 +96,10 @@ pub(crate) trait Isa: Copy {
     unsafe fn hsum(v: Self::V) -> f32;
     /// Horizontal max (fixed shuffle tree — deterministic).
     unsafe fn hmax(v: Self::V) -> f32;
+    /// Load `W` unsigned byte codes from `p` and widen them to a float
+    /// vector (exact: every u8 value is representable in f32). `p` must have
+    /// `W` readable bytes; no alignment requirement.
+    unsafe fn loadu8(p: *const u8) -> Self::V;
 }
 
 /// AVX2 + FMA: 8-float lanes.
@@ -209,6 +213,12 @@ impl Isa for Avx2 {
         let s = _mm_max_ss(s, _mm_shuffle_ps::<0b01>(s, s));
         _mm_cvtss_f32(s)
     }
+    #[inline(always)]
+    unsafe fn loadu8(p: *const u8) -> __m256 {
+        // 8 bytes → 8 u32 lanes → 8 f32 lanes
+        let bytes = _mm_loadl_epi64(p as *const __m128i);
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes))
+    }
 }
 
 /// SSE2 (x86_64 baseline): 4-float lanes, no FMA, select via bit ops.
@@ -319,6 +329,17 @@ impl Isa for Sse2 {
         let s = _mm_max_ps(v, _mm_movehl_ps(v, v));
         let s = _mm_max_ss(s, _mm_shuffle_ps::<0b01>(s, s));
         _mm_cvtss_f32(s)
+    }
+    #[inline(always)]
+    unsafe fn loadu8(p: *const u8) -> __m128 {
+        // SSE2 has no cvtepu8 (SSE4.1): widen 4 bytes by unpacking with
+        // zeros (u8 → u16 → u32), then convert. The u32 values fit in i32,
+        // so the signed conversion is exact.
+        let v = _mm_cvtsi32_si128((p as *const i32).read_unaligned());
+        let z = _mm_setzero_si128();
+        let w16 = _mm_unpacklo_epi8(v, z);
+        let w32 = _mm_unpacklo_epi16(w16, z);
+        _mm_cvtepi32_ps(w32)
     }
 }
 
@@ -661,6 +682,72 @@ unsafe fn dot_blocks_g<I: Isa>(xs: &[f32], ys: &[f32]) -> f32 {
         s += dot_block_v::<I>(a, b);
     }
     s
+}
+
+/// Raw fused-dequant dot ([`crate::backend::Backend::dot_q8`]): the u8 codes
+/// are widened to f32 in registers ([`Isa::loadu8`], exact) and accumulated
+/// with the same four-stripe FMA pattern as [`dot_block_v`] — covered by the
+/// reassociation tolerance, never used where bit-compatibility with the
+/// scalar kernel is required.
+#[inline(always)]
+unsafe fn dot_q8_v<I: Isa>(a: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(a.len(), codes.len());
+    let ap = a.as_ptr();
+    let cp = codes.as_ptr();
+    let l = a.len();
+    let (mut a0, mut a1, mut a2, mut a3) = (I::zero(), I::zero(), I::zero(), I::zero());
+    let mut i = 0;
+    while i + 4 * I::W <= l {
+        a0 = I::fmadd(I::loadu(ap.add(i)), I::loadu8(cp.add(i)), a0);
+        a1 = I::fmadd(I::loadu(ap.add(i + I::W)), I::loadu8(cp.add(i + I::W)), a1);
+        a2 = I::fmadd(
+            I::loadu(ap.add(i + 2 * I::W)),
+            I::loadu8(cp.add(i + 2 * I::W)),
+            a2,
+        );
+        a3 = I::fmadd(
+            I::loadu(ap.add(i + 3 * I::W)),
+            I::loadu8(cp.add(i + 3 * I::W)),
+            a3,
+        );
+        i += 4 * I::W;
+    }
+    let mut acc = I::add(I::add(a0, a1), I::add(a2, a3));
+    while i + I::W <= l {
+        acc = I::fmadd(I::loadu(ap.add(i)), I::loadu8(cp.add(i)), acc);
+        i += I::W;
+    }
+    let mut s = I::hsum(acc);
+    while i < l {
+        s += *ap.add(i) * *cp.add(i) as f32;
+        i += 1;
+    }
+    s
+}
+
+/// One [`crate::backend::Backend::gemm_q8_f32`] output strip: one query row
+/// (element sum `a_sum`) against `out.len()` quantized rows (`codes`
+/// row-major `[out.len(), k]`), per-row affine applied in the epilogue. Each
+/// output element consumes its full `k` extent, so strips computed on
+/// different threads can never interleave accumulation.
+#[inline(always)]
+unsafe fn gemm_q8_strip_g<I: Isa>(
+    arow: &[f32],
+    a_sum: f32,
+    codes: &[u8],
+    scales: &[f32],
+    mins: &[f32],
+    out: &mut [f32],
+    k: usize,
+) {
+    debug_assert_eq!(arow.len(), k);
+    debug_assert_eq!(codes.len(), out.len() * k);
+    debug_assert_eq!(scales.len(), out.len());
+    debug_assert_eq!(mins.len(), out.len());
+    for (j, o) in out.iter_mut().enumerate() {
+        let d = dot_q8_v::<I>(arow, codes.get_unchecked(j * k..(j + 1) * k));
+        *o = mins[j] * a_sum + scales[j] * d;
+    }
 }
 
 #[inline(always)]
@@ -1237,6 +1324,25 @@ macro_rules! isa_entries {
             #[target_feature(enable = $features)]
             pub(crate) unsafe fn dot_one_block(xs: &[f32], ys: &[f32]) -> f32 {
                 dot_block_v::<$isa>(xs, ys)
+            }
+
+            #[target_feature(enable = $features)]
+            pub(crate) unsafe fn dot_q8(a: &[f32], codes: &[u8]) -> f32 {
+                dot_q8_v::<$isa>(a, codes)
+            }
+
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = $features)]
+            pub(crate) unsafe fn gemm_q8_strip(
+                arow: &[f32],
+                a_sum: f32,
+                codes: &[u8],
+                scales: &[f32],
+                mins: &[f32],
+                out: &mut [f32],
+                k: usize,
+            ) {
+                gemm_q8_strip_g::<$isa>(arow, a_sum, codes, scales, mins, out, k)
             }
 
             #[target_feature(enable = $features)]

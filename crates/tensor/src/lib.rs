@@ -46,6 +46,7 @@ pub mod nn;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod store;
 pub mod tensor;
 
 /// Serialises tests that toggle the process-global `came_obs` switch.
@@ -63,4 +64,8 @@ pub use graph::{sigmoid, Graph, UnaryKind, Var};
 pub use nn::{Adam, Conv2dLayer, EmbeddingTable, Linear, ParamId, ParamStateView, ParamStore};
 pub use rng::Prng;
 pub use shape::{Shape, MAX_NDIM};
+pub use store::{
+    build_store, store_from_blob, DenseF32Store, EmbeddingStore, EntityHead, FileBackedStore,
+    QuantError, QuantizedStore, StoreKind,
+};
 pub use tensor::Tensor;

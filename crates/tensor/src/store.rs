@@ -1,0 +1,1303 @@
+//! Entity-row embedding stores: one trait, three row layouts.
+//!
+//! Serving scores a handful of query rows against *every* entity row, so the
+//! entity table dominates the serving tier's memory footprint. Historically
+//! the rows lived in three places at once — `came-core` model params, the
+//! `came-encoders` frozen feature caches, and the serving/snapshot layers in
+//! `came-kg` — always as resident f32 tensors. [`EmbeddingStore`] extracts
+//! that data path behind one trait with three implementations:
+//!
+//! * [`DenseF32Store`] — the existing resident layout, extracted verbatim:
+//!   row gathers are straight `memcpy`s and scoring is the plain f32 dot,
+//!   bit-identical to the pre-refactor path.
+//! * [`QuantizedStore`] — per-row affine u8 quantization
+//!   (`x ≈ min + scale·code`, `scale = (max−min)/255`), quantized once at
+//!   freeze time. Scoring never materializes f32 rows: the affine identity
+//!   `dot(q, deq_row) = min·Σq + scale·dot(q, codes)` routes through the
+//!   fused [`Backend::dot_q8`] / [`Backend::gemm_q8_f32`] kernels with the
+//!   per-query sums precomputed once per batch.
+//! * [`FileBackedStore`] — the same quantized rows streamed from disk
+//!   through a fixed-budget LRU row cache (`CAME_EMBED_CACHE_ROWS`), so the
+//!   scorable entity set can exceed RAM. Scores are bitwise identical to
+//!   [`QuantizedStore`] under the same backend: cache state only decides
+//!   where bytes are copied from, never how they are reduced.
+//!
+//! Store selection is environment-driven ([`StoreKind::from_env`], knob
+//! `CAME_EMBED_STORE=f32|q8|file`, default `f32`). Quantization rejects
+//! non-finite rows with the typed [`QuantError::NonFinite`]; constant rows
+//! (including all-zero) get `scale = 0` and reproduce exactly.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::backend;
+
+/// Default LRU row-cache budget for [`FileBackedStore`] when
+/// `CAME_EMBED_CACHE_ROWS` is unset.
+pub const DEFAULT_CACHE_ROWS: usize = 8192;
+
+/// Which row layout an [`EmbeddingStore`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Resident f32 rows (the historical layout; the default).
+    F32,
+    /// Resident per-row affine u8 rows.
+    Q8,
+    /// File-backed u8 rows behind an LRU row cache.
+    File,
+}
+
+impl StoreKind {
+    /// Parse a `CAME_EMBED_STORE` value.
+    pub fn parse(s: &str) -> Option<StoreKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" => Some(StoreKind::F32),
+            "q8" | "int8" => Some(StoreKind::Q8),
+            "file" => Some(StoreKind::File),
+            _ => None,
+        }
+    }
+
+    /// The layout selected by `CAME_EMBED_STORE` (default [`StoreKind::F32`];
+    /// unknown values warn once to stderr and fall back to the default).
+    pub fn from_env() -> StoreKind {
+        match std::env::var("CAME_EMBED_STORE") {
+            Ok(v) => StoreKind::parse(&v).unwrap_or_else(|| {
+                eprintln!("came-tensor: unknown CAME_EMBED_STORE={v:?}, using f32");
+                StoreKind::F32
+            }),
+            Err(_) => StoreKind::F32,
+        }
+    }
+
+    /// Stable lower-case name (env value / report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::F32 => "f32",
+            StoreKind::Q8 => "q8",
+            StoreKind::File => "file",
+        }
+    }
+}
+
+/// Typed failure building or streaming a quantized store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuantError {
+    /// A source row contains NaN or ±inf: affine code assignment is
+    /// undefined, so the row is rejected instead of silently clamped.
+    NonFinite {
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// The flat source buffer does not factor as `rows × dim`.
+    Misaligned {
+        /// Length of the buffer actually supplied.
+        len: usize,
+        /// Declared row count.
+        rows: usize,
+        /// Declared row width.
+        dim: usize,
+    },
+    /// Backing-file I/O failed (create/write/read/seek).
+    Io(String),
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::NonFinite { row } => {
+                write!(
+                    f,
+                    "embedding row {row} contains NaN or infinity; refusing to quantize"
+                )
+            }
+            QuantError::Misaligned { len, rows, dim } => {
+                write!(
+                    f,
+                    "embedding buffer of {len} floats is not {rows} rows x {dim} dims"
+                )
+            }
+            QuantError::Io(msg) => write!(f, "embedding store I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// One entity-row store: `len()` rows of `dim()` f32-valued features, however
+/// they are laid out physically. All scoring entry points are `&self` and
+/// thread-safe — the serving tier calls them from shard workers concurrently.
+pub trait EmbeddingStore: Send + Sync {
+    /// The physical layout.
+    fn kind(&self) -> StoreKind;
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row width.
+    fn dim(&self) -> usize;
+
+    /// Dequantize rows `ids` into the row-major `[ids.len(), dim]` buffer
+    /// `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != ids.len() * dim()` or any id is out of range.
+    fn gather_into(&self, ids: &[u32], out: &mut [f32]);
+
+    /// Fused range scoring: `out[i*(hi-lo) + j] = dot(queries row i, row
+    /// lo+j)` for the row-major `[m, dim]` query block, without
+    /// materializing f32 rows when the layout is quantized.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`, `hi > len()`, or buffer sizes mismatch.
+    fn score_range_into(&self, queries: &[f32], m: usize, lo: usize, hi: usize, out: &mut [f32]);
+
+    /// Bytes of row payload resident in RAM (codes/affine/cache — excludes
+    /// anything living only on disk).
+    fn resident_bytes(&self) -> usize;
+
+    /// `(hits, misses)` of the row cache, when the layout has one.
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Serialize the rows for checkpoints: kind tag, geometry, payload.
+    /// Restored by [`store_from_blob`] to a store scoring bit-identically.
+    fn to_blob(&self) -> Vec<u8>;
+}
+
+fn check_score_args(
+    queries: &[f32],
+    m: usize,
+    lo: usize,
+    hi: usize,
+    out: &[f32],
+    n: usize,
+    d: usize,
+) {
+    assert!(
+        lo <= hi && hi <= n,
+        "score range [{lo}, {hi}) out of bounds for {n} rows"
+    );
+    assert_eq!(queries.len(), m * d, "query buffer size mismatch");
+    assert_eq!(out.len(), m * (hi - lo), "score buffer size mismatch");
+}
+
+// --------------------------------------------------------------------------
+// resident f32
+// --------------------------------------------------------------------------
+
+/// The historical resident layout: flat row-major f32 rows. Gathers are
+/// `memcpy`s and scoring is the plain dot product — bit-identical to the
+/// pre-[`EmbeddingStore`] code path under every backend.
+pub struct DenseF32Store {
+    data: Vec<f32>,
+    n: usize,
+    d: usize,
+}
+
+impl DenseF32Store {
+    /// Wrap a flat row-major `[n, d]` buffer. Values are taken as-is (the
+    /// dense layout represents anything f32 can, so nothing is rejected).
+    pub fn from_rows(data: Vec<f32>, n: usize, d: usize) -> Result<DenseF32Store, QuantError> {
+        if data.len() != n * d {
+            return Err(QuantError::Misaligned {
+                len: data.len(),
+                rows: n,
+                dim: d,
+            });
+        }
+        Ok(DenseF32Store { data, n, d })
+    }
+
+    /// Borrow the flat row buffer.
+    pub fn rows(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl EmbeddingStore for DenseF32Store {
+    fn kind(&self) -> StoreKind {
+        StoreKind::F32
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn gather_into(&self, ids: &[u32], out: &mut [f32]) {
+        assert_eq!(out.len(), ids.len() * self.d, "gather buffer size mismatch");
+        for (slot, &id) in out.chunks_mut(self.d.max(1)).zip(ids) {
+            let at = id as usize * self.d;
+            slot.copy_from_slice(&self.data[at..at + self.d]);
+        }
+    }
+
+    fn score_range_into(&self, queries: &[f32], m: usize, lo: usize, hi: usize, out: &mut [f32]) {
+        check_score_args(queries, m, lo, hi, out, self.n, self.d);
+        let (d, w) = (self.d, hi - lo);
+        let b = backend::active();
+        let tasks: Vec<(usize, usize, &mut [f32])> = strip_tasks(out, w, d);
+        backend::run_tasks_min_work(tasks, m * w * d, |(i, j0, oseg)| {
+            let q = &queries[i * d..(i + 1) * d];
+            for (jj, o) in oseg.iter_mut().enumerate() {
+                let at = (lo + j0 + jj) * d;
+                *o = b.dot(q, &self.data[at..at + d]);
+            }
+        });
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    fn to_blob(&self) -> Vec<u8> {
+        let mut out = blob_header(StoreKind::F32, self.n, self.d);
+        for &x in &self.data {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Decompose a row-major `[m, w]` output buffer into disjoint
+/// `(query row, strip offset, strip)` tasks with roughly equal `k`-weighted
+/// work, matching the backend's own q8 decomposition.
+fn strip_tasks(out: &mut [f32], w: usize, k: usize) -> Vec<(usize, usize, &mut [f32])> {
+    let strip = backend::q8_strip_for(k);
+    out.chunks_mut(w.max(1))
+        .enumerate()
+        .flat_map(|(i, orow)| {
+            orow.chunks_mut(strip)
+                .enumerate()
+                .map(move |(s, oseg)| (i, s * strip, oseg))
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// resident u8
+// --------------------------------------------------------------------------
+
+/// Per-row affine u8 rows, quantized once at freeze time:
+/// `x ≈ min + scale·code` with `scale = (max−min)/255`. Constant rows —
+/// all-zero included — get `scale = 0` and round-trip exactly; rows with
+/// NaN/±inf (or a value range that overflows f32) are rejected with
+/// [`QuantError::NonFinite`]. Scoring goes through the fused
+/// [`Backend::gemm_q8_f32`] kernel and never materializes f32 rows.
+pub struct QuantizedStore {
+    n: usize,
+    d: usize,
+    codes: Vec<u8>,
+    scales: Vec<f32>,
+    mins: Vec<f32>,
+}
+
+impl QuantizedStore {
+    /// Quantize a flat row-major `[n, d]` f32 buffer.
+    pub fn from_rows(rows: &[f32], n: usize, d: usize) -> Result<QuantizedStore, QuantError> {
+        if rows.len() != n * d {
+            return Err(QuantError::Misaligned {
+                len: rows.len(),
+                rows: n,
+                dim: d,
+            });
+        }
+        let mut codes = vec![0u8; n * d];
+        let mut scales = vec![0.0f32; n];
+        let mut mins = vec![0.0f32; n];
+        for (r, row) in rows.chunks(d.max(1)).enumerate().take(n) {
+            quantize_row(
+                row,
+                r,
+                &mut codes[r * d..(r + 1) * d],
+                &mut scales[r],
+                &mut mins[r],
+            )?;
+        }
+        Ok(QuantizedStore {
+            n,
+            d,
+            codes,
+            scales,
+            mins,
+        })
+    }
+
+    /// Rebuild from the parallel arrays a blob or file carries.
+    fn from_parts(
+        n: usize,
+        d: usize,
+        codes: Vec<u8>,
+        scales: Vec<f32>,
+        mins: Vec<f32>,
+    ) -> QuantizedStore {
+        debug_assert_eq!(codes.len(), n * d);
+        debug_assert_eq!(scales.len(), n);
+        debug_assert_eq!(mins.len(), n);
+        QuantizedStore {
+            n,
+            d,
+            codes,
+            scales,
+            mins,
+        }
+    }
+
+    /// Dequantize one element (tests / spot checks).
+    pub fn dequant(&self, row: usize, t: usize) -> f32 {
+        self.mins[row] + self.scales[row] * self.codes[row * self.d + t] as f32
+    }
+}
+
+/// Quantize one row into `codes`/`scale`/`min`. Shared by the resident and
+/// file-backed builders so both assign identical codes.
+fn quantize_row(
+    row: &[f32],
+    r: usize,
+    codes: &mut [u8],
+    scale: &mut f32,
+    min: &mut f32,
+) -> Result<(), QuantError> {
+    if row.iter().any(|x| !x.is_finite()) {
+        return Err(QuantError::NonFinite { row: r });
+    }
+    if row.is_empty() {
+        return Ok(());
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in row {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    // A row whose value range overflows f32 (e.g. [-3e38, 3e38]) has no
+    // representable affine: `scale·code` would reach infinity during
+    // dequant. Reject it like a non-finite row — the affine itself is what
+    // is non-finite.
+    let range = hi - lo;
+    if !range.is_finite() {
+        return Err(QuantError::NonFinite { row: r });
+    }
+    let s = range / 255.0;
+    *min = lo;
+    *scale = s;
+    if s == 0.0 {
+        // constant row (all-zero included): every code is 0, dequant == min
+        codes.fill(0);
+        return Ok(());
+    }
+    for (c, &x) in codes.iter_mut().zip(row) {
+        let q = ((x - lo) / s).round();
+        *c = q.clamp(0.0, 255.0) as u8;
+    }
+    Ok(())
+}
+
+/// Per-query element sums for the affine identity, ascending element order.
+fn query_sums(queries: &[f32], m: usize, d: usize) -> Vec<f32> {
+    (0..m)
+        .map(|i| queries[i * d..(i + 1) * d].iter().sum())
+        .collect()
+}
+
+impl EmbeddingStore for QuantizedStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Q8
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn gather_into(&self, ids: &[u32], out: &mut [f32]) {
+        assert_eq!(out.len(), ids.len() * self.d, "gather buffer size mismatch");
+        for (slot, &id) in out.chunks_mut(self.d.max(1)).zip(ids) {
+            let r = id as usize;
+            assert!(r < self.n, "row {r} out of range for {} rows", self.n);
+            let (scale, min) = (self.scales[r], self.mins[r]);
+            for (o, &c) in slot
+                .iter_mut()
+                .zip(&self.codes[r * self.d..(r + 1) * self.d])
+            {
+                *o = min + scale * c as f32;
+            }
+        }
+    }
+
+    fn score_range_into(&self, queries: &[f32], m: usize, lo: usize, hi: usize, out: &mut [f32]) {
+        check_score_args(queries, m, lo, hi, out, self.n, self.d);
+        let a_sums = query_sums(queries, m, self.d);
+        backend::active().gemm_q8_f32(
+            queries,
+            &a_sums,
+            &self.codes[lo * self.d..hi * self.d],
+            &self.scales[lo..hi],
+            &self.mins[lo..hi],
+            out,
+            m,
+            self.d,
+            hi - lo,
+        );
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.codes.len() + (self.scales.len() + self.mins.len()) * std::mem::size_of::<f32>()
+    }
+
+    fn to_blob(&self) -> Vec<u8> {
+        let mut out = blob_header(StoreKind::Q8, self.n, self.d);
+        push_affine(&mut out, &self.scales, &self.mins);
+        out.extend_from_slice(&self.codes);
+        out
+    }
+}
+
+// --------------------------------------------------------------------------
+// file-backed u8 + LRU row cache
+// --------------------------------------------------------------------------
+
+/// Constant-time LRU over cached rows: a slot arena (codes flat, affine
+/// parallel) threaded on an index-based doubly-linked recency list, plus a
+/// row→slot map. Eviction pops the list tail; hits splice to the head.
+struct LruRowCache {
+    cap: usize,
+    d: usize,
+    map: HashMap<u32, usize>,
+    row_of: Vec<u32>,
+    codes: Vec<u8>,
+    scales: Vec<f32>,
+    mins: Vec<f32>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+impl LruRowCache {
+    fn new(cap: usize, d: usize) -> LruRowCache {
+        LruRowCache {
+            cap: cap.max(1),
+            d,
+            map: HashMap::new(),
+            row_of: Vec::new(),
+            codes: Vec::new(),
+            scales: Vec::new(),
+            mins: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NONE,
+            tail: NONE,
+        }
+    }
+
+    fn unlink(&mut self, s: usize) {
+        let (p, nx) = (self.prev[s], self.next[s]);
+        if p == NONE {
+            self.head = nx;
+        } else {
+            self.next[p] = nx;
+        }
+        if nx == NONE {
+            self.tail = p;
+        } else {
+            self.prev[nx] = p;
+        }
+    }
+
+    fn push_front(&mut self, s: usize) {
+        self.prev[s] = NONE;
+        self.next[s] = self.head;
+        if self.head != NONE {
+            self.prev[self.head] = s;
+        }
+        self.head = s;
+        if self.tail == NONE {
+            self.tail = s;
+        }
+    }
+
+    /// Slot of `row` if cached, refreshed to most-recently-used.
+    fn get(&mut self, row: u32) -> Option<usize> {
+        let s = *self.map.get(&row)?;
+        if self.head != s {
+            self.unlink(s);
+            self.push_front(s);
+        }
+        Some(s)
+    }
+
+    /// Admit `row`, evicting the least-recently-used slot at capacity.
+    /// Returns the slot to fill.
+    fn insert(&mut self, row: u32) -> usize {
+        let s = if self.row_of.len() < self.cap {
+            let s = self.row_of.len();
+            self.row_of.push(row);
+            self.codes.resize((s + 1) * self.d, 0);
+            self.scales.push(0.0);
+            self.mins.push(0.0);
+            self.prev.push(NONE);
+            self.next.push(NONE);
+            s
+        } else {
+            let s = self.tail;
+            self.unlink(s);
+            self.map.remove(&self.row_of[s]);
+            self.row_of[s] = row;
+            s
+        };
+        self.map.insert(row, s);
+        self.push_front(s);
+        s
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.codes.len()
+            + (self.scales.len() + self.mins.len()) * std::mem::size_of::<f32>()
+            + self.map.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<usize>())
+    }
+}
+
+/// Quantized rows streamed from a backing file through a fixed-budget LRU
+/// row cache, so the scorable row set can exceed RAM. The on-disk record is
+/// `[scale f32-LE, min f32-LE, codes u8×d]` per row; scoring gathers each
+/// candidate block's codes into scratch (cache first, disk on miss) and runs
+/// the same fused [`Backend::gemm_q8_f32`] kernel as [`QuantizedStore`], so
+/// scores are bitwise identical to the resident quantized store under the
+/// same backend — cache state decides where bytes come from, never how they
+/// are reduced.
+pub struct FileBackedStore {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    n: usize,
+    d: usize,
+    cache: Mutex<LruRowCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Row block gathered per fused-GEMM call on the streaming score path.
+const SCORE_BLOCK_ROWS: usize = 1024;
+
+impl FileBackedStore {
+    /// Quantize `rows` (same scheme and typed errors as
+    /// [`QuantizedStore::from_rows`]) and spill the codes to `path`, keeping
+    /// at most `cache_rows` rows resident.
+    pub fn create(
+        path: PathBuf,
+        rows: &[f32],
+        n: usize,
+        d: usize,
+        cache_rows: usize,
+    ) -> Result<FileBackedStore, QuantError> {
+        if rows.len() != n * d {
+            return Err(QuantError::Misaligned {
+                len: rows.len(),
+                rows: n,
+                dim: d,
+            });
+        }
+        let io = |e: std::io::Error| QuantError::Io(format!("{}: {e}", path.display()));
+        let mut file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(io)?;
+        let mut record = vec![0u8; 8 + d];
+        let (mut scale, mut min) = (0.0f32, 0.0f32);
+        for (r, row) in rows.chunks(d.max(1)).enumerate().take(n) {
+            quantize_row(row, r, &mut record[8..], &mut scale, &mut min)?;
+            record[0..4].copy_from_slice(&scale.to_le_bytes());
+            record[4..8].copy_from_slice(&min.to_le_bytes());
+            file.write_all(&record).map_err(io)?;
+        }
+        file.flush().map_err(io)?;
+        Ok(FileBackedStore {
+            path,
+            file: Mutex::new(file),
+            n,
+            d,
+            cache: Mutex::new(LruRowCache::new(cache_rows, d)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// A fresh store in the system temp directory (unique per store); the
+    /// backing file is removed on drop.
+    pub fn create_temp(
+        rows: &[f32],
+        n: usize,
+        d: usize,
+        cache_rows: usize,
+    ) -> Result<FileBackedStore, QuantError> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "came-embed-{}-{}.q8rows",
+            std::process::id(),
+            SEQ.fetch_add(1, Relaxed)
+        ));
+        FileBackedStore::create(path, rows, n, d, cache_rows)
+    }
+
+    /// The LRU budget in rows (`CAME_EMBED_CACHE_ROWS`, default
+    /// [`DEFAULT_CACHE_ROWS`]).
+    pub fn cache_rows_from_env() -> usize {
+        std::env::var("CAME_EMBED_CACHE_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_CACHE_ROWS)
+    }
+
+    /// Copy rows `[lo, hi)` — codes plus affine — into the scratch arrays,
+    /// serving from the cache and reading misses from disk (admitting them).
+    fn fetch_block(
+        &self,
+        lo: usize,
+        hi: usize,
+        codes: &mut [u8],
+        scales: &mut [f32],
+        mins: &mut [f32],
+    ) {
+        let d = self.d;
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (jj, r) in (lo..hi).enumerate() {
+            let slot = match cache.get(r as u32) {
+                Some(s) => {
+                    hits += 1;
+                    s
+                }
+                None => {
+                    misses += 1;
+                    let s = cache.insert(r as u32);
+                    let mut rec = vec![0u8; 8 + d];
+                    {
+                        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+                        file.seek(SeekFrom::Start((r * (8 + d)) as u64))
+                            .and_then(|_| file.read_exact(&mut rec))
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "embedding store read failed at row {r} ({}): {e}",
+                                    self.path.display()
+                                )
+                            });
+                    }
+                    cache.scales[s] = f32::from_le_bytes(rec[0..4].try_into().unwrap());
+                    cache.mins[s] = f32::from_le_bytes(rec[4..8].try_into().unwrap());
+                    cache.codes[s * d..(s + 1) * d].copy_from_slice(&rec[8..]);
+                    s
+                }
+            };
+            codes[jj * d..(jj + 1) * d].copy_from_slice(&cache.codes[slot * d..(slot + 1) * d]);
+            scales[jj] = cache.scales[slot];
+            mins[jj] = cache.mins[slot];
+        }
+        self.hits.fetch_add(hits, Relaxed);
+        self.misses.fetch_add(misses, Relaxed);
+    }
+}
+
+impl Drop for FileBackedStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl EmbeddingStore for FileBackedStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::File
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn gather_into(&self, ids: &[u32], out: &mut [f32]) {
+        assert_eq!(out.len(), ids.len() * self.d, "gather buffer size mismatch");
+        let d = self.d;
+        let mut codes = vec![0u8; d];
+        let mut scale = [0.0f32];
+        let mut min = [0.0f32];
+        for (slot, &id) in out.chunks_mut(d.max(1)).zip(ids) {
+            let r = id as usize;
+            assert!(r < self.n, "row {r} out of range for {} rows", self.n);
+            self.fetch_block(r, r + 1, &mut codes, &mut scale, &mut min);
+            for (o, &c) in slot.iter_mut().zip(&codes) {
+                *o = min[0] + scale[0] * c as f32;
+            }
+        }
+    }
+
+    fn score_range_into(&self, queries: &[f32], m: usize, lo: usize, hi: usize, out: &mut [f32]) {
+        check_score_args(queries, m, lo, hi, out, self.n, self.d);
+        let (d, w) = (self.d, hi - lo);
+        if w == 0 {
+            return;
+        }
+        let a_sums = query_sums(queries, m, d);
+        let b = backend::active();
+        let block = SCORE_BLOCK_ROWS;
+        let mut codes = vec![0u8; block.min(w) * d];
+        let mut scales = vec![0.0f32; block.min(w)];
+        let mut mins = vec![0.0f32; block.min(w)];
+        let mut scratch = vec![0.0f32; m * block.min(w)];
+        let mut j0 = lo;
+        while j0 < hi {
+            let j1 = (j0 + block).min(hi);
+            let bw = j1 - j0;
+            self.fetch_block(
+                j0,
+                j1,
+                &mut codes[..bw * d],
+                &mut scales[..bw],
+                &mut mins[..bw],
+            );
+            b.gemm_q8_f32(
+                queries,
+                &a_sums,
+                &codes[..bw * d],
+                &scales[..bw],
+                &mins[..bw],
+                &mut scratch[..m * bw],
+                m,
+                d,
+                bw,
+            );
+            for i in 0..m {
+                let at = i * w + (j0 - lo);
+                out[at..at + bw].copy_from_slice(&scratch[i * bw..(i + 1) * bw]);
+            }
+            j0 = j1;
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident_bytes()
+    }
+
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        Some((self.hits.load(Relaxed), self.misses.load(Relaxed)))
+    }
+
+    fn to_blob(&self) -> Vec<u8> {
+        // Re-read every row so the blob is exact regardless of cache state.
+        let d = self.d;
+        let mut codes = vec![0u8; self.n * d];
+        let mut scales = vec![0.0f32; self.n];
+        let mut mins = vec![0.0f32; self.n];
+        const CHUNK: usize = 4096;
+        let mut j0 = 0;
+        while j0 < self.n {
+            let j1 = (j0 + CHUNK).min(self.n);
+            self.fetch_block(
+                j0,
+                j1,
+                &mut codes[j0 * d..j1 * d],
+                &mut scales[j0..j1],
+                &mut mins[j0..j1],
+            );
+            j0 = j1;
+        }
+        let mut out = blob_header(StoreKind::File, self.n, self.d);
+        push_affine(&mut out, &scales, &mins);
+        out.extend_from_slice(&codes);
+        out
+    }
+}
+
+// --------------------------------------------------------------------------
+// construction / serialization
+// --------------------------------------------------------------------------
+
+/// Build a store of `kind` from flat row-major `[n, d]` f32 rows.
+/// `cache_rows` bounds the [`FileBackedStore`] LRU (ignored by resident
+/// layouts).
+pub fn build_store(
+    kind: StoreKind,
+    rows: &[f32],
+    n: usize,
+    d: usize,
+    cache_rows: usize,
+) -> Result<Box<dyn EmbeddingStore>, QuantError> {
+    Ok(match kind {
+        StoreKind::F32 => Box::new(DenseF32Store::from_rows(rows.to_vec(), n, d)?),
+        StoreKind::Q8 => Box::new(QuantizedStore::from_rows(rows, n, d)?),
+        StoreKind::File => Box::new(FileBackedStore::create_temp(rows, n, d, cache_rows)?),
+    })
+}
+
+const BLOB_MAGIC: &[u8; 4] = b"CEST";
+
+fn blob_header(kind: StoreKind, n: usize, d: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 16);
+    out.extend_from_slice(BLOB_MAGIC);
+    out.push(match kind {
+        StoreKind::F32 => 0,
+        StoreKind::Q8 => 1,
+        StoreKind::File => 2,
+    });
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(d as u64).to_le_bytes());
+    out
+}
+
+fn push_affine(out: &mut Vec<u8>, scales: &[f32], mins: &[f32]) {
+    for &s in scales {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    for &m in mins {
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+}
+
+fn blob_err(msg: &str) -> QuantError {
+    QuantError::Io(format!("store blob: {msg}"))
+}
+
+/// Rebuild a store from [`EmbeddingStore::to_blob`] bytes. A `file`-kind
+/// blob is restored to a fresh temp-backed [`FileBackedStore`] with the
+/// [`FileBackedStore::cache_rows_from_env`] budget; scores are bit-identical
+/// to the captured store in every case.
+pub fn store_from_blob(bytes: &[u8]) -> Result<Box<dyn EmbeddingStore>, QuantError> {
+    if bytes.len() < 21 || &bytes[0..4] != BLOB_MAGIC {
+        return Err(blob_err("bad magic or truncated header"));
+    }
+    let kind = bytes[4];
+    let n = u64::from_le_bytes(bytes[5..13].try_into().unwrap()) as usize;
+    let d = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+    let body = &bytes[21..];
+    let take_f32s = |at: usize, count: usize| -> Result<Vec<f32>, QuantError> {
+        let end = at + count * 4;
+        if end > body.len() {
+            return Err(blob_err("truncated payload"));
+        }
+        Ok(body[at..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    };
+    match kind {
+        0 => {
+            let data = take_f32s(0, n * d)?;
+            Ok(Box::new(DenseF32Store::from_rows(data, n, d)?))
+        }
+        1 | 2 => {
+            let scales = take_f32s(0, n)?;
+            let mins = take_f32s(n * 4, n)?;
+            let at = 8 * n;
+            if at + n * d > body.len() {
+                return Err(blob_err("truncated code payload"));
+            }
+            let codes = body[at..at + n * d].to_vec();
+            if kind == 1 {
+                Ok(Box::new(QuantizedStore::from_parts(
+                    n, d, codes, scales, mins,
+                )))
+            } else {
+                // round-trip through f32 would lose nothing (dequant is
+                // exact in f32) but re-quantizing could reassign codes; spill
+                // the original codes directly instead.
+                let q = QuantizedStore::from_parts(n, d, codes, scales, mins);
+                let mut rows = vec![0.0f32; n * d];
+                let ids: Vec<u32> = (0..n as u32).collect();
+                q.gather_into(&ids, &mut rows);
+                let f = FileBackedStore::create_temp(
+                    &rows,
+                    n,
+                    d,
+                    FileBackedStore::cache_rows_from_env(),
+                )?;
+                // Re-quantizing the exact dequantized lattice reproduces the
+                // original codes only when rounding agrees; overwrite the
+                // file records with the captured codes to guarantee
+                // bit-identity.
+                rewrite_records(&f, &q)?;
+                Ok(Box::new(f))
+            }
+        }
+        k => Err(blob_err(&format!("unknown store kind tag {k}"))),
+    }
+}
+
+/// Overwrite `f`'s on-disk records with `q`'s exact codes/affine (restore
+/// path: guarantees bit-identity with the captured store).
+fn rewrite_records(f: &FileBackedStore, q: &QuantizedStore) -> Result<(), QuantError> {
+    let io = |e: std::io::Error| QuantError::Io(format!("{}: {e}", f.path.display()));
+    let d = f.d;
+    let mut file = f.file.lock().unwrap_or_else(|e| e.into_inner());
+    file.seek(SeekFrom::Start(0)).map_err(io)?;
+    let mut record = vec![0u8; 8 + d];
+    for r in 0..f.n {
+        record[0..4].copy_from_slice(&q.scales[r].to_le_bytes());
+        record[4..8].copy_from_slice(&q.mins[r].to_le_bytes());
+        record[8..].copy_from_slice(&q.codes[r * d..(r + 1) * d]);
+        file.write_all(&record).map_err(io)?;
+    }
+    file.flush().map_err(io)?;
+    // drop any stale cached rows admitted before the rewrite
+    let mut cache = f.cache.lock().unwrap_or_else(|e| e.into_inner());
+    *cache = LruRowCache::new(cache.cap, d);
+    Ok(())
+}
+
+// --------------------------------------------------------------------------
+// the serving head
+// --------------------------------------------------------------------------
+
+/// A frozen entity scoring head: one [`EmbeddingStore`] of entity rows plus
+/// the per-entity bias, scoring `hidden · rowᵀ + bias` without touching the
+/// autodiff tape. This is the compact object the serving tier routes
+/// [`score_range_into`](EmbeddingStore::score_range_into) through when a
+/// non-f32 store is selected.
+pub struct EntityHead {
+    store: Box<dyn EmbeddingStore>,
+    bias: Vec<f32>,
+}
+
+impl EntityHead {
+    /// Wrap a store and its per-row bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != store.len()`.
+    pub fn new(store: Box<dyn EmbeddingStore>, bias: Vec<f32>) -> EntityHead {
+        assert_eq!(bias.len(), store.len(), "entity bias length mismatch");
+        EntityHead { store, bias }
+    }
+
+    /// The underlying row store.
+    pub fn store(&self) -> &dyn EmbeddingStore {
+        self.store.as_ref()
+    }
+
+    /// Fused scoring of the `[m, dim]` hidden block against entity rows
+    /// `[lo, hi)`, bias added per candidate column. `out` is row-major
+    /// `[m, hi-lo]`.
+    pub fn score_into(&self, hidden: &[f32], m: usize, lo: usize, hi: usize, out: &mut [f32]) {
+        self.store.score_range_into(hidden, m, lo, hi, out);
+        let w = hi - lo;
+        for row in out.chunks_mut(w.max(1)) {
+            for (o, &b) in row.iter_mut().zip(&self.bias[lo..hi]) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Serialize store + bias for checkpoints ([`EntityHead::from_blob`]).
+    pub fn to_blob(&self) -> Vec<u8> {
+        let store = self.store.to_blob();
+        let mut out = Vec::with_capacity(8 + store.len() + 4 * self.bias.len());
+        out.extend_from_slice(&(store.len() as u64).to_le_bytes());
+        out.extend_from_slice(&store);
+        for &b in &self.bias {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a head captured by [`EntityHead::to_blob`]; scores
+    /// bit-identically to the captured head.
+    pub fn from_blob(bytes: &[u8]) -> Result<EntityHead, QuantError> {
+        if bytes.len() < 8 {
+            return Err(blob_err("truncated head"));
+        }
+        let slen = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        if 8 + slen > bytes.len() {
+            return Err(blob_err("truncated head store"));
+        }
+        let store = store_from_blob(&bytes[8..8 + slen])?;
+        let bias: Vec<f32> = bytes[8 + slen..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if bias.len() != store.len() {
+            return Err(blob_err("head bias length mismatch"));
+        }
+        Ok(EntityHead::new(store, bias))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn randn_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Prng::new(seed);
+        (0..n * d).map(|_| rng.normal() as f32).collect()
+    }
+
+    #[test]
+    fn dense_store_gathers_and_scores_exactly() {
+        let (n, d) = (7, 5);
+        let rows = randn_rows(n, d, 1);
+        let s = DenseF32Store::from_rows(rows.clone(), n, d).unwrap();
+        let mut got = vec![0.0f32; 2 * d];
+        s.gather_into(&[3, 0], &mut got);
+        assert_eq!(&got[..d], &rows[3 * d..4 * d]);
+        assert_eq!(&got[d..], &rows[..d]);
+
+        let q = randn_rows(1, d, 2);
+        let mut out = vec![0.0f32; n];
+        s.score_range_into(&q, 1, 0, n, &mut out);
+        for (j, &o) in out.iter().enumerate() {
+            let expect: f32 = (0..d).map(|t| q[t] * rows[j * d + t]).sum();
+            assert!((o - expect).abs() <= 1e-5 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let (n, d) = (11, 16);
+        let rows = randn_rows(n, d, 3);
+        let q = QuantizedStore::from_rows(&rows, n, d).unwrap();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut deq = vec![0.0f32; n * d];
+        q.gather_into(&ids, &mut deq);
+        for r in 0..n {
+            let step = q.scales[r];
+            for t in 0..d {
+                let err = (deq[r * d + t] - rows[r * d + t]).abs();
+                assert!(
+                    err <= 0.5 * step + 1e-6,
+                    "row {r} elem {t}: err {err} > half step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_and_constant_rows_round_trip_exactly() {
+        let d = 9;
+        let mut rows = vec![0.0f32; 3 * d];
+        rows[d..2 * d].fill(2.75); // constant row
+        rows[2 * d..].fill(-1.5e38); // extreme constant row
+        let q = QuantizedStore::from_rows(&rows, 3, d).unwrap();
+        let mut deq = vec![0.0f32; 3 * d];
+        q.gather_into(&[0, 1, 2], &mut deq);
+        assert_eq!(deq, rows, "constant rows must dequantize bit-exactly");
+        assert_eq!(q.scales, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn single_element_rows_round_trip_exactly() {
+        let rows = vec![3.25f32, -0.5, 0.0, 1e30];
+        let q = QuantizedStore::from_rows(&rows, 4, 1).unwrap();
+        let mut deq = vec![0.0f32; 4];
+        q.gather_into(&[0, 1, 2, 3], &mut deq);
+        assert_eq!(deq, rows, "d=1 rows are constant rows: exact");
+    }
+
+    #[test]
+    fn non_finite_rows_are_rejected_with_row_index() {
+        let d = 4;
+        let mut rows = randn_rows(5, d, 4);
+        rows[2 * d + 1] = f32::NAN;
+        assert_eq!(
+            QuantizedStore::from_rows(&rows, 5, d).err(),
+            Some(QuantError::NonFinite { row: 2 })
+        );
+        rows[2 * d + 1] = 0.0;
+        rows[4 * d + 3] = f32::NEG_INFINITY;
+        assert_eq!(
+            QuantizedStore::from_rows(&rows, 5, d).err(),
+            Some(QuantError::NonFinite { row: 4 })
+        );
+        assert_eq!(
+            FileBackedStore::create_temp(&rows, 5, d, 8).err(),
+            Some(QuantError::NonFinite { row: 4 })
+        );
+    }
+
+    #[test]
+    fn misaligned_buffers_are_rejected() {
+        let rows = vec![0.0f32; 10];
+        assert_eq!(
+            QuantizedStore::from_rows(&rows, 3, 4).err(),
+            Some(QuantError::Misaligned {
+                len: 10,
+                rows: 3,
+                dim: 4
+            })
+        );
+        assert!(DenseF32Store::from_rows(rows, 3, 4).is_err());
+    }
+
+    #[test]
+    fn f32_overflowing_value_ranges_are_rejected() {
+        // finite values, but max - min overflows f32: no representable affine
+        let rows = vec![-3.0e38f32, 3.0e38, 0.0, 1.0];
+        assert_eq!(
+            QuantizedStore::from_rows(&rows, 1, 4).err(),
+            Some(QuantError::NonFinite { row: 0 })
+        );
+        // a wide-but-representable range still quantizes to finite values
+        let rows = vec![-1.0e38f32, 1.0e38, 0.0, 1.0];
+        let q = QuantizedStore::from_rows(&rows, 1, 4).unwrap();
+        let mut deq = vec![0.0f32; 4];
+        q.gather_into(&[0], &mut deq);
+        assert!(deq.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn file_store_matches_quantized_store_bitwise_and_evicts() {
+        let (n, d, m) = (64, 12, 3);
+        let rows = randn_rows(n, d, 5);
+        let q = QuantizedStore::from_rows(&rows, n, d).unwrap();
+        // budget far below n so scoring must stream and evict
+        let f = FileBackedStore::create_temp(&rows, n, d, 8).unwrap();
+        let queries = randn_rows(m, d, 6);
+        let mut sq = vec![0.0f32; m * n];
+        let mut sf = vec![0.0f32; m * n];
+        q.score_range_into(&queries, m, 0, n, &mut sq);
+        f.score_range_into(&queries, m, 0, n, &mut sf);
+        assert_eq!(
+            sq, sf,
+            "file-backed scores must be bitwise equal to resident q8"
+        );
+        let (hits, misses) = f.cache_stats().unwrap();
+        assert!(
+            misses as usize >= n,
+            "expected at least one miss per row, got {misses}"
+        );
+        // second pass over a sub-range: the tiny cache holds the tail rows
+        let mut sub_q = vec![0.0f32; m * 8];
+        let mut sub_f = vec![0.0f32; m * 8];
+        q.score_range_into(&queries, m, n - 8, n, &mut sub_q);
+        f.score_range_into(&queries, m, n - 8, n, &mut sub_f);
+        assert_eq!(sub_q, sub_f);
+        let (hits2, _) = f.cache_stats().unwrap();
+        assert!(hits2 > hits, "tail rows should now be cache hits");
+        // gathers dequantize identically too
+        let ids = [0u32, 31, 63];
+        let mut gq = vec![0.0f32; ids.len() * d];
+        let mut gf = vec![0.0f32; ids.len() * d];
+        q.gather_into(&ids, &mut gq);
+        f.gather_into(&ids, &mut gf);
+        assert_eq!(gq, gf);
+    }
+
+    #[test]
+    fn q8_footprint_is_within_budget() {
+        let (n, d) = (256, 64);
+        let rows = randn_rows(n, d, 7);
+        let dense = DenseF32Store::from_rows(rows.clone(), n, d).unwrap();
+        let q = QuantizedStore::from_rows(&rows, n, d).unwrap();
+        let ratio = q.resident_bytes() as f64 / dense.resident_bytes() as f64;
+        assert!(ratio <= 0.35, "q8 resident ratio {ratio} > 0.35");
+        let f = FileBackedStore::create_temp(&rows, n, d, 32).unwrap();
+        let mut out = vec![0.0f32; n];
+        f.score_range_into(&randn_rows(1, d, 8), 1, 0, n, &mut out);
+        assert!(
+            f.resident_bytes() < q.resident_bytes(),
+            "cache-bounded store must stay under resident q8"
+        );
+    }
+
+    #[test]
+    fn store_blobs_round_trip_bit_identically() {
+        let (n, d, m) = (40, 10, 2);
+        let rows = randn_rows(n, d, 9);
+        let queries = randn_rows(m, d, 10);
+        for kind in [StoreKind::F32, StoreKind::Q8, StoreKind::File] {
+            let s = build_store(kind, &rows, n, d, 16).unwrap();
+            let restored = store_from_blob(&s.to_blob()).unwrap();
+            let mut a = vec![0.0f32; m * n];
+            let mut b = vec![0.0f32; m * n];
+            s.score_range_into(&queries, m, 0, n, &mut a);
+            restored.score_range_into(&queries, m, 0, n, &mut b);
+            assert_eq!(
+                a,
+                b,
+                "{} blob round-trip must score bit-identically",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn entity_head_adds_bias_and_round_trips() {
+        let (n, d, m) = (20, 6, 2);
+        let rows = randn_rows(n, d, 11);
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.125).collect();
+        let q = build_store(StoreKind::Q8, &rows, n, d, 16).unwrap();
+        let head = EntityHead::new(q, bias.clone());
+        let hidden = randn_rows(m, d, 12);
+        let mut with_bias = vec![0.0f32; m * n];
+        head.score_into(&hidden, m, 0, n, &mut with_bias);
+        let mut raw = vec![0.0f32; m * n];
+        head.store().score_range_into(&hidden, m, 0, n, &mut raw);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(with_bias[i * n + j], raw[i * n + j] + bias[j]);
+            }
+        }
+        let restored = EntityHead::from_blob(&head.to_blob()).unwrap();
+        let mut again = vec![0.0f32; m * n];
+        restored.score_into(&hidden, m, 0, n, &mut again);
+        assert_eq!(
+            with_bias, again,
+            "head blob round-trip must score bit-identically"
+        );
+    }
+
+    #[test]
+    fn range_scoring_matches_full_scoring_on_every_store() {
+        let (n, d, m) = (33, 8, 2);
+        let rows = randn_rows(n, d, 13);
+        let queries = randn_rows(m, d, 14);
+        for kind in [StoreKind::F32, StoreKind::Q8, StoreKind::File] {
+            let s = build_store(kind, &rows, n, d, 8).unwrap();
+            let mut full = vec![0.0f32; m * n];
+            s.score_range_into(&queries, m, 0, n, &mut full);
+            let (lo, hi) = (9, 25);
+            let mut part = vec![0.0f32; m * (hi - lo)];
+            s.score_range_into(&queries, m, lo, hi, &mut part);
+            for i in 0..m {
+                assert_eq!(
+                    &part[i * (hi - lo)..(i + 1) * (hi - lo)],
+                    &full[i * n + lo..i * n + hi],
+                    "{}: range stripe must equal the full-scoring slice",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_parsing_and_env_default() {
+        assert_eq!(StoreKind::parse("f32"), Some(StoreKind::F32));
+        assert_eq!(StoreKind::parse("Q8"), Some(StoreKind::Q8));
+        assert_eq!(StoreKind::parse("int8"), Some(StoreKind::Q8));
+        assert_eq!(StoreKind::parse(" file "), Some(StoreKind::File));
+        assert_eq!(StoreKind::parse("mmap"), None);
+    }
+}

@@ -312,6 +312,160 @@ fn fused_attention_kernel_parity() {
     }
 }
 
+/// k values straddling the q8 strip width, the vector tiles, and the
+/// degenerate sizes; paired with m/n that exercise empty outputs.
+const Q8_KS: &[usize] = &[0, 1, 3, 8, 31, 64, 257];
+
+fn randcodes(n: usize, rng: &mut Prng) -> Vec<u8> {
+    (0..n)
+        .map(|_| (rng.normal_in(128.0, 50.0).clamp(0.0, 255.0)) as u8)
+        .collect()
+}
+
+#[test]
+fn dot_q8_parity_and_scalar_reference() {
+    let mut rng = Prng::new(0x9A79);
+    for &k in Q8_KS {
+        let a = randv(k, &mut rng);
+        let codes = randcodes(k, &mut rng);
+        let reference: f32 = a.iter().zip(&codes).map(|(&x, &c)| x * c as f32).sum();
+        let s = ScalarBackend.dot_q8(&a, &codes);
+        assert!(
+            (s - reference).abs() <= TOL * (1.0 + reference.abs()) * 10.0,
+            "scalar dot_q8 k={k}: {s} vs {reference}"
+        );
+        // parallel shares the scalar strip reduction: bitwise equal
+        assert_eq!(
+            ParallelBackend.dot_q8(&a, &codes).to_bits(),
+            s.to_bits(),
+            "parallel dot_q8 k={k} must be bitwise scalar"
+        );
+        let v = SimdBackend.dot_q8(&a, &codes);
+        assert!(
+            (v - s).abs() <= TOL * (1.0 + s.abs()) * 10.0,
+            "simd dot_q8 k={k}: {v} vs {s}"
+        );
+    }
+}
+
+#[test]
+fn gemm_q8_f32_parity_on_randomized_shapes() {
+    let mut rng = Prng::new(0x9A7A);
+    for &(m, n) in &[(1usize, 1usize), (3, 7), (8, 33), (16, 100), (0, 5), (5, 0)] {
+        for &k in Q8_KS {
+            let a = randv(m * k, &mut rng);
+            let a_sums: Vec<f32> = a.chunks(k.max(1)).map(|r| r.iter().sum()).collect();
+            let a_sums = if k == 0 { vec![0.0; m] } else { a_sums };
+            let codes = randcodes(n * k, &mut rng);
+            let scales = randv(n, &mut rng)
+                .iter()
+                .map(|s| s.abs() * 0.01)
+                .collect::<Vec<_>>();
+            let mins = randv(n, &mut rng);
+            // plain-loop reference for the fused affine-dequant contract
+            let mut reference = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let dot: f32 = (0..k).map(|t| a[i * k + t] * codes[j * k + t] as f32).sum();
+                    reference[i * n + j] = mins[j] * a_sums[i] + scales[j] * dot;
+                }
+            }
+            let mut s = vec![0.0f32; m * n];
+            ScalarBackend.gemm_q8_f32(&a, &a_sums, &codes, &scales, &mins, &mut s, m, k, n);
+            assert_close(&s, &reference, &format!("scalar gemm_q8 {m}x{k}x{n}"));
+            let mut p = vec![0.0f32; m * n];
+            ParallelBackend.gemm_q8_f32(&a, &a_sums, &codes, &scales, &mins, &mut p, m, k, n);
+            assert_eq!(
+                s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                p.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "parallel gemm_q8 {m}x{k}x{n} must be bitwise scalar"
+            );
+            let mut v = vec![0.0f32; m * n];
+            SimdBackend.gemm_q8_f32(&a, &a_sums, &codes, &scales, &mins, &mut v, m, k, n);
+            // long-k reductions group differently under simd: same 10x slack
+            // as the dot/sum parity checks
+            for (i, (x, y)) in v.iter().zip(&s).enumerate() {
+                assert!(
+                    (x - y).abs() <= TOL * (1.0 + x.abs().max(y.abs())) * 10.0,
+                    "simd gemm_q8 {m}x{k}x{n}[{i}]: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn store_variants_agree_under_every_backend() {
+    use came_tensor::{build_store, StoreKind};
+    let mut rng = Prng::new(0x9A7B);
+    let (n, d, m) = (67, 23, 5);
+    let rows = randv(n * d, &mut rng);
+    let queries = randv(m * d, &mut rng);
+    // f32 store scored under the scalar backend is the oracle
+    let f32_store = build_store(StoreKind::F32, &rows, n, d, 8).unwrap();
+    let mut oracle = vec![0.0f32; m * n];
+    with_backend(BackendKind::Scalar, || {
+        f32_store.score_range_into(&queries, m, 0, n, &mut oracle);
+    });
+    for kind in [
+        BackendKind::Scalar,
+        BackendKind::Parallel,
+        BackendKind::Simd,
+    ] {
+        with_backend(kind, || {
+            // tiny cache (n/4 rows) so the file store streams most rows
+            let stores = [
+                build_store(StoreKind::F32, &rows, n, d, 8).unwrap(),
+                build_store(StoreKind::Q8, &rows, n, d, 8).unwrap(),
+                build_store(StoreKind::File, &rows, n, d, n / 4).unwrap(),
+            ];
+            let mut q8_full: Option<Vec<f32>> = None;
+            for st in &stores {
+                // full range and an interior sub-range against the oracle
+                let mut full = vec![0.0f32; m * n];
+                st.score_range_into(&queries, m, 0, n, &mut full);
+                let what = format!("{kind:?} {:?}", st.kind());
+                // q8 dequant error: half-step per element, d elements
+                let budget = if st.kind() == StoreKind::F32 {
+                    TOL
+                } else {
+                    0.05
+                };
+                for (i, (got, want)) in full.iter().zip(&oracle).enumerate() {
+                    assert!(
+                        (got - want).abs() <= budget * (1.0 + want.abs()),
+                        "{what}[{i}]: {got} vs {want}"
+                    );
+                }
+                let (lo, hi) = (n / 3, n - 2);
+                let mut sub = vec![0.0f32; m * (hi - lo)];
+                st.score_range_into(&queries, m, lo, hi, &mut sub);
+                for i in 0..m {
+                    for j in lo..hi {
+                        assert_eq!(
+                            sub[i * (hi - lo) + (j - lo)].to_bits(),
+                            full[i * n + j].to_bits(),
+                            "{what}: sub-range must be a bitwise slice of the full range"
+                        );
+                    }
+                }
+                // file-backed rows are the same codes: bitwise q8 scores
+                match st.kind() {
+                    StoreKind::Q8 => q8_full = Some(full),
+                    StoreKind::File => assert_eq!(
+                        q8_full
+                            .as_ref()
+                            .map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                        Some(full.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+                        "{kind:?}: file store must match resident q8 bitwise"
+                    ),
+                    StoreKind::F32 => {}
+                }
+            }
+        });
+    }
+}
+
 /// Guards the process-global backend selection for the cross-backend
 /// gradient checks below.
 static BACKEND_LOCK: Mutex<()> = Mutex::new(());

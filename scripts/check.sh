@@ -20,9 +20,14 @@ CAME_BACKEND=simd cargo test -q -p came-tensor -p came-kg
 # SIMD gate: the vectorized backend must hold >= 2x over scalar on the
 # softmax/layer-norm/adam kernels and not regress the end-to-end step
 # (skipped automatically on hosts without SSE2/AVX2).
+# Quant gate: the compact embedding store must hold mean top-10 Spearman
+# >= 0.99 against the dense path under every backend, |dMRR| <= 0.005, a
+# q8 resident footprint <= 0.35x of f32, fused dequant scoring >= 0.8x of
+# the dense f32 throughput, and a bitwise, actually-streaming file store.
 # Quick scale; the report goes to a scratch path so the committed full-scale
 # BENCH_micro.json stays untouched.
-CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_MICRO_OUT="$(mktemp)" \
+CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_CHECK_QUANT=1 \
+    CAME_MICRO_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin micro
 
 # Serving gate: the sharded tier must reproduce the single-engine path bit
