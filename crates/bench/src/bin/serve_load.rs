@@ -11,16 +11,30 @@
 //!    omission. Latency is measured from the *scheduled* arrival to
 //!    completion; overload rejections are counted, not retried.
 //!
+//! Observability is enabled for the load phase: every completed response
+//! carries a [`came_kg::RequestTrace`] stage timeline, and the report's
+//! `latency_attribution` block decomposes the tail by stage (exact
+//! percentiles over the raw per-request samples, not histogram buckets)
+//! with a "slowest stage at p99" verdict, the rolling SLO status, the
+//! degraded/partial/shed counters, and a live-endpoint smoke scrape taken
+//! mid-run. A telemetry endpoint is served on `CAME_OBS_ADDR` when set,
+//! else on an ephemeral local port for the scrape.
+//!
 //! Knobs: `CAME_SHARDS` (default min(4, host threads)), `CAME_SERVE_QUEUE`,
 //! `CAME_SERVE_FLUSH_US`, `CAME_SERVE_QPS` (target arrival rate),
 //! `CAME_SERVE_SECS` (load duration), `CAME_SERVE_OUT` (report path,
 //! default `BENCH_serve.json`). With `CAME_CHECK_SERVE` set, the run is a
 //! CI gate: bit-equality must hold, achieved throughput must reach
 //! `CAME_SERVE_QPS_FLOOR` (default half the target), and p99 latency must
-//! stay under `CAME_SERVE_P99_MS` (default 500 ms).
+//! stay under `CAME_SERVE_P99_MS` (default 500 ms). With `CAME_CHECK_TRACE`
+//! set, the tracing pipeline is gated too: every completed response must
+//! carry a complete monotone timeline, the stage p99s must sum to within
+//! `CAME_TRACE_SUM_TOL` (default 0.10) of the end-to-end p99, and the live
+//! endpoint must answer `/metrics` and `/trace` mid-run.
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use came_bench::{came_config_drkg, came_kge, provenance_json, train_came, Scale};
@@ -128,6 +142,20 @@ fn main() {
     eprintln!("[serve_load] shard-vs-single bit-equality: topk={topk_equal} eval={eval_equal}");
 
     // ---- Phase 2: open-loop load through the tier --------------------------
+    // Tracing on for the load phase: the report's latency_attribution block
+    // needs per-request stage timelines (measured overhead is gated <1% by
+    // the micro bench, so the latency numbers stay honest).
+    came_obs::set_enabled(true);
+    // Live telemetry endpoint: CAME_OBS_ADDR when configured, else an
+    // ephemeral local port so the mid-run smoke scrape always has a target.
+    let owned_endpoint;
+    let endpoint_addr: Option<SocketAddr> = match came_obs::telemetry_from_env() {
+        Some(t) => Some(t.local_addr()),
+        None => {
+            owned_endpoint = came_obs::Telemetry::bind("127.0.0.1:0").ok();
+            owned_endpoint.as_ref().map(|t| t.local_addr())
+        }
+    };
     let deadline_us = std::env::var("CAME_SERVE_DEADLINE_US")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -149,6 +177,12 @@ fn main() {
     let partial = AtomicU64::new(0);
     let deadline_shed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    // Every completed response's stage timeline, for exact (sample-level)
+    // tail attribution after the run.
+    let traces: Mutex<Vec<came_kg::RequestTrace>> = Mutex::new(Vec::with_capacity(total));
+    // Mid-run smoke scrape of the live endpoint: (metrics, slo, trace)
+    // payloads captured while the tier is actually under load.
+    let scraped: Mutex<Option<(String, String, String)>> = Mutex::new(None);
     let elapsed_s = ServeTier::run(&kge, &store, Some(&filter), tier_cfg, |handle| {
         let (tx, rx) = mpsc::channel::<(Instant, came_kg::PendingTopK)>();
         let rx = std::sync::Mutex::new(rx);
@@ -170,6 +204,9 @@ fn main() {
                             if resp.partial {
                                 partial.fetch_add(1, Relaxed);
                             }
+                            if let Some(t) = resp.trace {
+                                traces.lock().unwrap().push(t);
+                            }
                         }
                         Err(ServeError::DeadlineExceeded { .. }) => {
                             deadline_shed.fetch_add(1, Relaxed);
@@ -179,6 +216,16 @@ fn main() {
                             failed.fetch_add(1, Relaxed);
                         }
                     }
+                });
+            }
+            if let Some(addr) = endpoint_addr {
+                let scraped = &scraped;
+                s.spawn(move || {
+                    // Scrape halfway through the run, while load is live.
+                    std::thread::sleep(Duration::from_secs_f64(secs * 0.5));
+                    let get =
+                        |cmd: &str| came_obs::telemetry::scrape(&addr, cmd).unwrap_or_default();
+                    *scraped.lock().unwrap() = Some((get("/metrics"), get("/slo"), get("/trace")));
                 });
             }
             let t0 = Instant::now();
@@ -242,7 +289,68 @@ fn main() {
         lat.max() as f64 / 1e6
     );
 
-    let mut json = String::from("{\n  \"schema\": \"came-serve-bench-v1\",\n");
+    // ---- Tail-latency attribution over the collected timelines -------------
+    let traces = traces.into_inner().unwrap();
+    let n_traced = traces.len();
+    let timelines_complete = traces.iter().all(|t| t.is_complete());
+    let mut stage_samples: [Vec<u64>; 5] = std::array::from_fn(|_| Vec::with_capacity(n_traced));
+    let mut e2e_samples: Vec<u64> = Vec::with_capacity(n_traced);
+    for t in &traces {
+        stage_samples[0].push(t.queue_ns());
+        stage_samples[1].push(t.coalesce_ns());
+        stage_samples[2].push(t.score_ns());
+        stage_samples[3].push(t.merge_ns());
+        stage_samples[4].push(t.reply_ns());
+        e2e_samples.push(t.e2e_ns());
+    }
+    let [s_queue, s_coalesce, s_score, s_merge, s_reply] = stage_samples;
+    let attribution = came_obs::attribute(
+        vec![
+            ("queue", s_queue),
+            ("coalesce", s_coalesce),
+            ("score", s_score),
+            ("merge", s_merge),
+            ("reply", s_reply),
+        ],
+        e2e_samples,
+    );
+    let slo_status = came_obs::slo().status();
+    let (m_scrape, slo_scrape, t_scrape) = scraped.into_inner().unwrap().unwrap_or_default();
+    let endpoint_ok = m_scrape.contains("came_") && !t_scrape.is_empty();
+    println!(
+        "stage p99 (ms over {n_traced} traces): {}; e2e p99 {:.2} ms, \
+         slowest stage at p99: {} (tail cohort of {}, stage sum / e2e = {:.3})",
+        attribution
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.2}", s.name, s.p99_ns / 1e6))
+            .collect::<Vec<_>>()
+            .join(", "),
+        attribution.e2e.p99_ns / 1e6,
+        attribution.slowest_stage_p99,
+        attribution.tail.cohort,
+        attribution.tail.stage_sum_over_e2e
+    );
+    println!(
+        "slo: p99 {:.2} ms vs objective {:.0} ms over last {}s -> burn rate {:.2} ({}); \
+         telemetry endpoint {}",
+        slo_status.p99_ms,
+        slo_status.objective_ms,
+        slo_status.window_s,
+        slo_status.burn_rate,
+        if slo_status.breached {
+            "BREACHED"
+        } else {
+            "within budget"
+        },
+        match endpoint_addr {
+            Some(a) if endpoint_ok => format!("{a} scraped ok mid-run"),
+            Some(a) => format!("{a} scrape FAILED"),
+            None => "unavailable".to_string(),
+        }
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"came-serve-bench-v2\",\n");
     json.push_str(&format!(
         "  \"config\": {{\"model\": \"CamE\", \"entities\": {n}, \"shards\": {shards}, \
          \"queue\": {queue}, \"flush_us\": {flush_us}, \"batch_size\": {}, \
@@ -260,15 +368,30 @@ fn main() {
         lat.min(),
         lat.max()
     ));
+    // One coherent attribution block: the stage-decomposed tail (exact
+    // percentiles over per-request timelines), the response-disposition
+    // counters, the rolling SLO status, and the mid-run endpoint smoke.
     json.push_str(&format!(
-        "  \"degraded\": {{\"entities_dropped\": {entities_dropped}, \
-         \"degraded_responses\": {n_degraded}, \"partial_responses\": {n_partial}, \
+        "  \"latency_attribution\": {{\"traced\": {n_traced}, \
+         \"timelines_complete\": {timelines_complete}, \"report\": {}, \
+         \"responses\": {{\"entities_dropped\": {entities_dropped}, \
+         \"degraded\": {n_degraded}, \"partial\": {n_partial}, \
          \"deadline_shed\": {n_deadline}, \"failed\": {n_failed}, \
-         \"shard_panic_at_batch\": {}}},\n",
+         \"rejected\": {shed}, \"shard_panic_at_batch\": {}}}, \
+         \"slo\": {}, \"endpoint\": {{\"addr\": {}, \"scrape_ok\": {endpoint_ok}, \
+         \"metrics_bytes\": {}, \"trace_lines\": {}}}}},\n",
+        attribution.to_json(),
         match faults.shard_panic_at_batch {
             Some(n) => n.to_string(),
             None => "null".to_string(),
-        }
+        },
+        slo_status.to_json(),
+        match endpoint_addr {
+            Some(a) => format!("\"{a}\""),
+            None => "null".to_string(),
+        },
+        m_scrape.len(),
+        t_scrape.lines().count()
     ));
     json.push_str(&format!(
         "  \"provenance\": {}\n}}\n",
@@ -346,6 +469,59 @@ fn main() {
         eprintln!(
             "[serve_load] degrade gate passed ({n_degraded} degraded, {n_partial} partial, \
              {n_failed} failed; tier survived)"
+        );
+    }
+
+    // Tracing gate: the per-request pipeline must account for the tail.
+    if std::env::var_os("CAME_CHECK_TRACE").is_some() {
+        let tol = env_f64("CAME_TRACE_SUM_TOL", 0.10);
+        let mut gate_failed = false;
+        if n_traced as u64 != done {
+            eprintln!(
+                "[serve_load] TRACE GATE FAILED: {done} completed responses but only \
+                 {n_traced} carried a trace"
+            );
+            gate_failed = true;
+        }
+        if !timelines_complete {
+            eprintln!(
+                "[serve_load] TRACE GATE FAILED: a stage timeline is incomplete or \
+                 non-monotone"
+            );
+            gate_failed = true;
+        }
+        // The gated quantity is the tail-cohort decomposition: the stage
+        // durations of the requests at/above the e2e p99 must account for
+        // their end-to-end latency (independent per-stage p99s legitimately
+        // do not sum — each stage's tail can come from different requests).
+        let ratio = attribution.tail.stage_sum_over_e2e;
+        if !ratio.is_finite() || (ratio - 1.0).abs() > tol {
+            eprintln!(
+                "[serve_load] TRACE GATE FAILED: tail-cohort stage sum / e2e = {ratio:.3} \
+                 outside 1 +/- {tol:.2} (stages must account for the p99 tail)"
+            );
+            gate_failed = true;
+        }
+        if !endpoint_ok {
+            eprintln!(
+                "[serve_load] TRACE GATE FAILED: mid-run endpoint scrape failed \
+                 (addr {endpoint_addr:?}, /metrics {} bytes, /trace {} lines)",
+                m_scrape.len(),
+                t_scrape.lines().count()
+            );
+            gate_failed = true;
+        }
+        if came_obs::json::parse(slo_scrape.trim()).is_err() {
+            eprintln!("[serve_load] TRACE GATE FAILED: /slo scrape is not valid JSON");
+            gate_failed = true;
+        }
+        if gate_failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve_load] trace gate passed ({n_traced} traced, complete timelines, \
+             stage-p99 sum ratio {ratio:.3}, slowest stage at p99: {}, endpoint scraped)",
+            attribution.slowest_stage_p99
         );
     }
 }

@@ -48,8 +48,9 @@ pub use runtime::{
     TrainError, TrainEvent, TrainRun,
 };
 pub use serve::{
-    merge_top_k, PendingScores, PendingTopK, ScoredEntity, ScoringEngine, ServeConfig, ServeError,
-    ServeTier, ShardPlan, ShardedEngine, TierConfig, TierHandle, TopKRequest, TopKResponse,
+    merge_top_k, PendingScores, PendingTopK, RequestTrace, ScoredEntity, ScoringEngine,
+    ServeConfig, ServeError, ServeTier, ShardPlan, ShardedEngine, TierConfig, TierHandle,
+    TopKRequest, TopKResponse,
 };
 pub use snapshot::{
     resume_or_init, write_atomic, ParamRecord, ResumeReport, Snapshot, SnapshotError,

@@ -470,6 +470,25 @@ pub fn observe_event(ev: &TrainEvent) {
         };
         rec.emit();
     }
+    if came_obs::enabled() {
+        // Training heartbeat: the live telemetry endpoint (`/metrics` over
+        // `CAME_OBS_ADDR`) exposes the latest epoch/step so a long run can
+        // be watched for progress without tailing the JSONL log.
+        match ev {
+            TrainEvent::EpochEnd(stats) => {
+                came_obs::registry()
+                    .gauge("train.heartbeat.epoch")
+                    .set(stats.epoch as i64 + 1);
+            }
+            TrainEvent::Diverged { epoch, step, .. }
+            | TrainEvent::Recovered { epoch, step, .. } => {
+                let r = came_obs::registry();
+                r.gauge("train.heartbeat.epoch").set(*epoch as i64);
+                r.gauge("train.heartbeat.step").set(*step as i64);
+            }
+            _ => {}
+        }
+    }
     if matches!(ev, TrainEvent::EpochEnd(_)) {
         came_obs::emit_metrics_records();
     }
@@ -528,6 +547,9 @@ pub(crate) fn run_guarded(
         observe_event(ev);
         emit(ev, store);
     };
+    // Bring up the live telemetry endpoint (no-op unless `CAME_OBS_ADDR`
+    // is set; idempotent across trainers in one process).
+    came_obs::telemetry_from_env();
     let mut faults = FaultState::new(&rt.faults);
     let run_dir = rt.checkpoint.as_ref().map(|ck| ck.run_dir(fp));
 

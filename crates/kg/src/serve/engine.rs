@@ -228,6 +228,7 @@ impl<'a> ScoringEngine<'a> {
                     hits: select_top_k(row, k, known),
                     degraded: self.model.degraded(req.head.0),
                     partial: false,
+                    trace: None,
                 });
             }
         }

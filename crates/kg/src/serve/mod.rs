@@ -34,18 +34,28 @@
 //! deadline-shed counter (`serve.router.deadline_exceeded`), per-shard
 //! panic counters (`serve.shard{i}.panics`), and a feature-coverage gauge
 //! (`serve.degraded_entities`, set at cache preflight).
+//!
+//! Per-request tracing ([`trace`], [`RequestTrace`]): every admitted
+//! retrieval request is minted a monotonic trace ID and stamped at each
+//! pipeline stage (queue-wait → coalesce → per-shard score → merge →
+//! reply); the completed timeline rides back on the [`TopKResponse`] and
+//! is recorded into the `serve.stage.*` histograms, the rolling SLO
+//! window, and the K-slowest exemplar reservoir — all inspectable live
+//! over the `CAME_OBS_ADDR` telemetry endpoint.
 
 mod engine;
 mod error;
 mod merge;
 mod router;
 mod shard;
+pub mod trace;
 
 pub use engine::ScoringEngine;
 pub use error::ServeError;
 pub use merge::merge_top_k;
 pub use router::{PendingScores, PendingTopK, ServeTier, TierConfig, TierHandle};
 pub use shard::{ShardPlan, ShardedEngine};
+pub use trace::RequestTrace;
 
 use crate::vocab::{EntityId, RelationId};
 
@@ -174,4 +184,9 @@ pub struct TopKResponse {
     /// and the hits were merged from the surviving shards only — candidates
     /// owned by the failed shard(s) are missing from `hits`.
     pub partial: bool,
+    /// The request's stage timeline, present when the response came
+    /// through the tier with `came-obs` enabled (the single-caller
+    /// [`ScoringEngine`]/[`ShardedEngine`] paths have no queue or merge
+    /// pipeline to attribute and leave this `None`).
+    pub trace: Option<RequestTrace>,
 }

@@ -24,6 +24,7 @@ use came_tensor::ParamStore;
 use super::engine::{record_batch, validate_request};
 use super::merge::{merge_top_k, select_top_k_range};
 use super::shard::ShardPlan;
+use super::trace::{RequestTrace, TraceStamps};
 use super::{ScoredEntity, ServeConfig, ServeError, TopKRequest, TopKResponse};
 use crate::dataset::FilterIndex;
 use crate::model::KgeModel;
@@ -96,11 +97,13 @@ impl TierConfig {
 }
 
 /// One queued request: the payload, its admission time (for deadline
-/// shedding), and its private reply channel.
+/// shedding), its trace stamps (when tracing is on), and its private
+/// reply channel.
 enum Job {
     TopK {
         req: TopKRequest,
         at: Instant,
+        trace: Option<TraceStamps>,
         reply: mpsc::Sender<Result<TopKResponse, ServeError>>,
     },
     Scores {
@@ -108,6 +111,19 @@ enum Job {
         at: Instant,
         reply: mpsc::Sender<Result<Vec<f32>, ServeError>>,
     },
+}
+
+impl Job {
+    /// Stamp the moment the router pulled this job out of the queue.
+    fn stamp_dequeued(&mut self) {
+        if let Job::TopK {
+            trace: Some(stamps),
+            ..
+        } = self
+        {
+            stamps.dequeued_ns = came_obs::now_ns();
+        }
+    }
 }
 
 /// An in-flight [`TierHandle::submit`]; [`PendingTopK::wait`] blocks for
@@ -118,8 +134,21 @@ pub struct PendingTopK {
 
 impl PendingTopK {
     /// Block until the tier answers (or shuts down).
+    ///
+    /// Completion is also where a traced request's timeline is closed:
+    /// `completed_ns` is stamped here, and the finished trace is recorded
+    /// into the per-stage histograms, the rolling SLO window, and the
+    /// exemplar reservoir — on the caller's thread, keeping the router and
+    /// shard hot paths free of reservoir and SLO work.
     pub fn wait(self) -> Result<TopKResponse, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+        let mut resp = self.rx.recv().map_err(|_| ServeError::ShutDown)??;
+        if let Some(t) = resp.trace.as_mut() {
+            t.completed_ns = came_obs::now_ns();
+            if came_obs::enabled() {
+                super::trace::record_completion(t);
+            }
+        }
+        Ok(resp)
     }
 }
 
@@ -163,12 +192,18 @@ impl TierHandle {
     /// Submit a retrieval request without blocking: admission validates ids
     /// and `k`, and a full queue rejects with
     /// [`ServeError::Overloaded`] (bumping `serve.router.rejected`).
+    ///
+    /// With `came-obs` enabled, admission also mints the request's trace
+    /// context — a monotonic trace ID plus the admission timestamp — which
+    /// the tier stamps at every later stage and returns on the response.
     pub fn submit(&self, req: TopKRequest) -> Result<PendingTopK, ServeError> {
         validate_request(&req, self.num_entities, self.relation_bound)?;
+        let trace = came_obs::enabled().then(TraceStamps::admit);
         let (reply, rx) = mpsc::channel();
         self.admit(Job::TopK {
             req,
             at: Instant::now(),
+            trace,
             reply,
         })?;
         Ok(PendingTopK { rx })
@@ -243,13 +278,15 @@ struct BatchPlan<'e> {
 }
 
 /// One dispatch to a shard worker: the shared plan plus the batch's
-/// gather channel. `None` in the reply means the worker panicked while
-/// serving this task; the router merges the surviving shards instead.
+/// gather channel. The reply carries the shard index, the worker's
+/// scoring wall time (for the per-shard trace vector), and `None`
+/// partials when the worker panicked while serving this task — the router
+/// merges the surviving shards instead.
 struct ShardTask<'e> {
     plan: Arc<BatchPlan<'e>>,
     /// Fault injection: the worker panics on this task instead of scoring.
     poison: bool,
-    reply: mpsc::Sender<(usize, Option<Vec<Vec<ScoredEntity>>>)>,
+    reply: mpsc::Sender<(usize, u64, Option<Vec<Vec<ScoredEntity>>>)>,
 }
 
 /// The serving tier: shard workers + router over a bounded queue, run as a
@@ -272,6 +309,10 @@ impl ServeTier {
         f: impl FnOnce(&TierHandle) -> R,
     ) -> Result<R, ServeError> {
         cfg.serve.validate()?;
+        // Expose the tier's registry/SLO/exemplar state over the live
+        // telemetry endpoint when `CAME_OBS_ADDR` is configured (no-op,
+        // once, otherwise).
+        came_obs::telemetry_from_env();
         let plan = ShardPlan::new(model.num_entities(), cfg.shards)?;
         let capacity = cfg.queue.max(1);
         let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
@@ -333,7 +374,7 @@ fn router_loop<'e>(
     loop {
         // Block for the first job; wake periodically to notice shutdown
         // even when a cloned handle keeps the channel open.
-        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+        let mut first = match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(job) => job,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(SeqCst) {
@@ -344,6 +385,7 @@ fn router_loop<'e>(
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
         depth.fetch_sub(1, SeqCst);
+        first.stamp_dequeued();
         let mut batch = vec![first];
         // Continuous batching: drain whatever arrives before the oldest
         // request's flush deadline, up to the serve batch size.
@@ -354,8 +396,9 @@ fn router_loop<'e>(
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(job) => {
+                Ok(mut job) => {
                     depth.fetch_sub(1, SeqCst);
+                    job.stamp_dequeued();
                     batch.push(job);
                 }
                 Err(_) => break,
@@ -391,7 +434,12 @@ fn process_batch<'e>(
 ) -> bool {
     let serve = &cfg.serve;
     let n = model.num_entities();
-    let mut topk: Vec<(TopKRequest, mpsc::Sender<Result<TopKResponse, ServeError>>)> = Vec::new();
+    type TopKEntry = (
+        TopKRequest,
+        Option<TraceStamps>,
+        mpsc::Sender<Result<TopKResponse, ServeError>>,
+    );
+    let mut topk: Vec<TopKEntry> = Vec::new();
     let mut scores: Vec<(
         (EntityId, RelationId),
         mpsc::Sender<Result<Vec<f32>, ServeError>>,
@@ -420,7 +468,9 @@ fn process_batch<'e>(
             continue;
         }
         match job {
-            Job::TopK { req, reply, .. } => topk.push((req, reply)),
+            Job::TopK {
+                req, trace, reply, ..
+            } => topk.push((req, trace, reply)),
             Job::Scores { query, reply, .. } => scores.push((query, reply)),
         }
     }
@@ -447,15 +497,20 @@ fn process_batch<'e>(
         return false;
     }
     let queries: Vec<(EntityId, RelationId)> =
-        topk.iter().map(|(r, _)| (r.head, r.relation)).collect();
+        topk.iter().map(|(r, _, _)| (r.head, r.relation)).collect();
     let ks: Vec<usize> = topk
         .iter()
-        .map(|(r, _)| r.k.unwrap_or(serve.default_k).min(n))
+        .map(|(r, _, _)| r.k.unwrap_or(serve.default_k).min(n))
         .collect();
     let knowns: Vec<Option<&[EntityId]>> = topk
         .iter()
-        .map(|(r, _)| filter.and_then(|f| f.known_tails(r.head, r.relation)))
+        .map(|(r, _, _)| filter.and_then(|f| f.known_tails(r.head, r.relation)))
         .collect();
+    // The score stage starts here: for 1-N models the router itself scores
+    // the full block before the shards select, and that work belongs to
+    // "score", not "coalesce".
+    let traced = topk.iter().any(|(_, t, _)| t.is_some());
+    let dispatched_ns = if traced { came_obs::now_ns() } else { 0 };
     let t0 = Instant::now();
     // 1-N models score the whole block once; shards then only select over
     // column stripes (splitting a fused forward would repeat its work).
@@ -483,7 +538,7 @@ fn process_batch<'e>(
         if stx.send(task).is_err() {
             // A shard worker's channel is gone (tier tearing down); fail
             // the whole batch.
-            for (_, reply) in topk {
+            for (_, _, reply) in topk {
                 let _ = reply.send(Err(ServeError::ShutDown));
             }
             return true;
@@ -491,14 +546,19 @@ fn process_batch<'e>(
     }
     drop(gather_tx);
     let mut per_shard: Vec<Option<Vec<Vec<ScoredEntity>>>> = vec![None; shard_txs.len()];
+    let mut per_shard_ns = vec![0u64; shard_txs.len()];
     let mut failed = 0usize;
     for _ in 0..shard_txs.len() {
         match gather_rx.recv() {
-            Ok((idx, Some(partials))) => per_shard[idx] = Some(partials),
-            // A worker panicked on this task; merge the survivors below.
-            Ok((_, None)) => failed += 1,
+            Ok((idx, elapsed_ns, Some(partials))) => {
+                per_shard[idx] = Some(partials);
+                per_shard_ns[idx] = elapsed_ns;
+            }
+            // A worker panicked on this task (its shard_ns stays 0); merge
+            // the survivors below.
+            Ok((_, _, None)) => failed += 1,
             Err(_) => {
-                for (_, reply) in topk {
+                for (_, _, reply) in topk {
                     let _ = reply.send(Err(ServeError::ShutDown));
                 }
                 return true;
@@ -507,24 +567,44 @@ fn process_batch<'e>(
     }
     if failed == shard_txs.len() {
         // Every shard failed this batch — nothing to merge.
-        for (_, reply) in topk {
+        for (_, _, reply) in topk {
             let _ = reply.send(Err(ServeError::ShutDown));
         }
         return true;
     }
+    let scored_ns = if traced { came_obs::now_ns() } else { 0 };
     if came_obs::enabled() {
         record_batch(nq, t0.elapsed().as_nanos() as u64);
     }
     let partial = failed > 0;
+    let shard_ns: Arc<[u64]> = per_shard_ns.into();
     let per_shard: Vec<Vec<Vec<ScoredEntity>>> = per_shard.into_iter().flatten().collect();
-    for (qi, (req, reply)) in topk.into_iter().enumerate() {
+    for (qi, (req, stamps, reply)) in topk.into_iter().enumerate() {
         let lists: Vec<Vec<ScoredEntity>> = per_shard.iter().map(|s| s[qi].clone()).collect();
+        let hits = merge_top_k(&lists, plan.ks[qi]);
+        let degraded = model.degraded(req.head.0);
+        // The merge stamp is per-request: a request merged late in the
+        // batch sees the earlier merges' time in its own merge stage.
+        let trace = stamps.map(|s| RequestTrace {
+            trace_id: s.trace_id,
+            admitted_ns: s.admitted_ns,
+            dequeued_ns: s.dequeued_ns,
+            dispatched_ns,
+            scored_ns,
+            merged_ns: came_obs::now_ns(),
+            completed_ns: 0,
+            shard_ns: Arc::clone(&shard_ns),
+            batch_size: nq,
+            degraded,
+            partial,
+        });
         let resp = TopKResponse {
             head: req.head,
             relation: req.relation,
-            hits: merge_top_k(&lists, plan.ks[qi]),
-            degraded: model.degraded(req.head.0),
+            hits,
+            degraded,
             partial,
+            trace,
         };
         let _ = reply.send(Ok(resp));
     }
@@ -548,13 +628,19 @@ fn shard_loop(
 ) {
     let n = model.num_entities();
     let w = hi - lo;
-    let gauge =
-        came_obs::enabled().then(|| came_obs::registry().gauge(&format!("serve.shard{idx}.queue")));
+    // Satellite: resolve the per-shard metric handles once at spawn — the
+    // hot/panic paths below update leaked `'static` handles with relaxed
+    // RMWs instead of paying `format!` + a registry lock per task. Handles
+    // are resolved unconditionally so flipping observability on mid-run
+    // still reaches pre-registered metrics.
+    let queue_gauge = came_obs::registry().gauge(&format!("serve.shard{idx}.queue"));
+    let panics = came_obs::registry().counter(&format!("serve.shard{idx}.panics"));
     while let Ok(task) = rx.recv() {
-        if let Some(g) = gauge {
-            g.set(1);
+        if came_obs::enabled() {
+            queue_gauge.set(1);
         }
         let plan = &task.plan;
+        let t0 = Instant::now();
         let scored = catch_unwind(AssertUnwindSafe(|| {
             if task.poison {
                 panic!("injected shard panic (CAME_FAULTS shard_panic@batch)");
@@ -578,21 +664,20 @@ fn shard_loop(
                 })
                 .collect::<Vec<Vec<ScoredEntity>>>()
         }));
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
         match scored {
             Ok(partials) => {
-                let _ = task.reply.send((idx, Some(partials)));
+                let _ = task.reply.send((idx, elapsed_ns, Some(partials)));
             }
             Err(_) => {
                 if came_obs::enabled() {
-                    came_obs::registry()
-                        .counter(&format!("serve.shard{idx}.panics"))
-                        .add(1);
+                    panics.add(1);
                 }
-                let _ = task.reply.send((idx, None));
+                let _ = task.reply.send((idx, 0, None));
             }
         }
-        if let Some(g) = gauge {
-            g.set(0);
+        if came_obs::enabled() {
+            queue_gauge.set(0);
         }
     }
 }

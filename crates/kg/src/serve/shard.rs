@@ -285,6 +285,7 @@ impl<'a> ShardedEngine<'a> {
                     hits: merge_top_k(&shard_lists, *k),
                     degraded: self.model.degraded(req.head.0),
                     partial: false,
+                    trace: None,
                 });
             }
         }

@@ -628,8 +628,17 @@ fn scratch(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("came-serve-{tag}-{}", std::process::id()))
 }
 
+/// Serialises tests that flip the process-global observability state
+/// (`came_obs::set_enabled`, the sink, the exemplar reservoir) — the test
+/// binary runs tests concurrently by default.
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn tier_metrics_land_in_the_jsonl_sink() {
+    let _guard = obs_guard();
     let log_path = scratch("log");
     let _ = std::fs::remove_file(&log_path);
     came_obs::set_enabled(true);
@@ -693,4 +702,112 @@ fn tier_metrics_land_in_the_jsonl_sink() {
     }
 
     let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn every_traced_response_carries_a_complete_timeline_under_concurrent_clients() {
+    let _guard = obs_guard();
+
+    // Tracing off: responses carry no trace at all.
+    let n = 41usize;
+    let store = ParamStore::new();
+    let model = HashModel { n };
+    came_obs::set_enabled(false);
+    let cfg = TierConfig {
+        shards: 3,
+        flush_us: 100,
+        ..TierConfig::default()
+    };
+    ServeTier::run(&model, &store, None, cfg.clone(), |handle| {
+        let resp = handle
+            .top_k(TopKRequest::with_k(EntityId(1), RelationId(0), 5))
+            .unwrap();
+        assert!(
+            resp.trace.is_none(),
+            "tracing disabled must not attach timelines"
+        );
+    })
+    .unwrap();
+
+    // Tracing on: every response's stage timeline is complete and monotone,
+    // trace IDs are unique, and the reservoir holds exactly the K slowest.
+    const K: usize = 4;
+    came_obs::set_enabled(true);
+    came_obs::exemplars().set_capacity(K);
+    let e2e_hist_before = came_obs::registry().histogram("serve.req.e2e_ns").count();
+
+    let clients = 4u32;
+    let per_client = 8u32;
+    let traces: std::sync::Mutex<Vec<came_kg::RequestTrace>> = std::sync::Mutex::new(Vec::new());
+    ServeTier::run(&model, &store, None, cfg, |handle| {
+        std::thread::scope(|s| {
+            for client in 0..clients {
+                let handle = handle.clone();
+                let traces = &traces;
+                s.spawn(move || {
+                    for i in 0..per_client {
+                        let req = TopKRequest::with_k(
+                            EntityId((client * 9 + i) % n as u32),
+                            RelationId(i % 4),
+                            6,
+                        );
+                        let resp = handle.top_k(req).unwrap();
+                        assert_eq!(resp.hits.len(), 6);
+                        let t = resp.trace.expect("tracing enabled must attach a timeline");
+                        traces.lock().unwrap().push(t);
+                    }
+                });
+            }
+        });
+    })
+    .unwrap();
+    came_obs::set_enabled(false);
+
+    let traces = traces.into_inner().unwrap();
+    assert_eq!(traces.len(), (clients * per_client) as usize);
+    let mut ids_seen = BTreeSet::new();
+    for t in &traces {
+        assert!(
+            t.is_complete(),
+            "timeline must be complete and monotone: {t:?}"
+        );
+        assert_eq!(
+            t.queue_ns() + t.coalesce_ns() + t.score_ns() + t.merge_ns() + t.reply_ns(),
+            t.e2e_ns(),
+            "stages must partition the end-to-end latency exactly"
+        );
+        assert_eq!(t.shard_ns.len(), 3, "one scoring duration per shard");
+        assert!(
+            t.shard_ns.iter().any(|&ns| ns > 0),
+            "at least one shard must report scoring time"
+        );
+        assert!(t.batch_size >= 1 && t.batch_size <= (clients * per_client) as usize);
+        assert!(!t.degraded && !t.partial);
+        assert!(ids_seen.insert(t.trace_id), "trace IDs must be unique");
+        let parsed = json::parse(&t.to_json()).expect("trace JSON must parse");
+        assert_eq!(
+            parsed.get("trace_id").unwrap().as_f64(),
+            Some(t.trace_id as f64)
+        );
+    }
+
+    // The per-request histograms saw every completion.
+    let e2e_hist_after = came_obs::registry().histogram("serve.req.e2e_ns").count();
+    assert_eq!(e2e_hist_after - e2e_hist_before, traces.len() as u64);
+
+    // The reservoir kept exactly the K slowest end-to-end latencies.
+    let mut e2e: Vec<u64> = traces.iter().map(|t| t.e2e_ns()).collect();
+    e2e.sort_unstable_by(|a, b| b.cmp(a));
+    let want: Vec<u64> = e2e[..K].to_vec();
+    let kept: Vec<u64> = came_obs::exemplars()
+        .snapshot()
+        .iter()
+        .map(|e| e.latency_ns)
+        .collect();
+    assert_eq!(
+        kept, want,
+        "reservoir must hold exactly the {K} slowest traces"
+    );
+    // Restore the default capacity (and drop this test's entries).
+    came_obs::exemplars().set_capacity(8);
 }

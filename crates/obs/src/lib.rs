@@ -22,6 +22,10 @@
 //! | `CAME_LOG=path` | append structured JSONL records to `path` |
 //! | `CAME_LOG_STDERR=0` | silence the human-readable stderr mirror |
 //! | `CAME_METRICS_EVERY=N` | dump metric records every N optimizer steps |
+//! | `CAME_OBS_ADDR=host:port` | serve the live telemetry endpoint ([`telemetry`]) |
+//! | `CAME_SLO_P99_MS=F` | rolling SLO objective: windowed p99 ≤ F ms ([`slo`]) |
+//! | `CAME_SLO_WINDOW_S=N` | SLO window length in seconds (default 60) |
+//! | `CAME_TRACE_EXEMPLARS=K` | keep the K slowest full traces ([`reservoir`]) |
 //!
 //! ```
 //! came_obs::set_enabled(true);
@@ -36,16 +40,24 @@
 
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod json;
 pub mod metrics;
+pub mod reservoir;
 pub mod sink;
+pub mod slo;
+pub mod telemetry;
 pub mod trace;
 
+pub use attr::{attribute, AttributionReport, StageReport};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use reservoir::{dump_exemplars, exemplars, Exemplar, Reservoir};
 pub use sink::{
     emit_metrics_records, log_active, metrics_every, periodic_dump, set_log_path,
     set_stderr_mirror, stderr_mirror, Record,
 };
+pub use slo::{slo, SloStatus, SloWindow};
+pub use telemetry::{telemetry_from_env, Telemetry};
 pub use trace::{span, Span};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -155,12 +155,22 @@ impl Histogram {
     /// Estimated quantile `q` in `[0, 1]`.
     ///
     /// Finds the bucket holding the rank-`ceil(q·count)` observation and
-    /// interpolates linearly within it, then clamps into the exact
-    /// observed `[min, max]`.
+    /// interpolates linearly within it. Each interpolation edge is clamped
+    /// to the recorded extrema *before* interpolating — the selected
+    /// bucket's geometric bounds can lie well outside anything observed
+    /// (`[512, 1024)` holding only values near 777), and interpolating
+    /// between the raw bounds then clamping the result loses the
+    /// within-bucket position. With the edges pulled to
+    /// `[max(lo, min), min(hi, max)]` the estimate lands inside the
+    /// observed span of the extreme buckets instead of saturating at it.
+    ///
+    /// Contract: an empty histogram (`count() == 0`) has no quantiles and
+    /// returns `NaN`. JSON emitters must map non-finite values to `null`
+    /// (see [`crate::sink::Record::f64`]).
     pub fn quantile(&self, q: f64) -> f64 {
         let count = self.count();
         if count == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cum = 0u64;
@@ -171,9 +181,14 @@ impl Histogram {
             }
             if cum + n >= rank {
                 let (lo, hi) = bucket_bounds(i);
+                // Every observation in this bucket sits in
+                // [max(lo, min), min(hi, max)] — the bucket holds at least
+                // one value v with lo <= v < hi and min <= v <= max, so the
+                // clamped interval is never empty.
+                let lo = lo.max(self.min() as f64);
+                let hi = hi.min(self.max() as f64);
                 let frac = (rank - cum) as f64 / n as f64;
-                let est = lo + (hi - lo) * frac;
-                return est.clamp(self.min() as f64, self.max() as f64);
+                return lo + (hi - lo) * frac;
             }
             cum += n;
         }
@@ -195,7 +210,7 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Relaxed);
         }
@@ -203,6 +218,26 @@ impl Histogram {
         self.sum.store(0, Relaxed);
         self.min.store(u64::MAX, Relaxed);
         self.max.store(0, Relaxed);
+    }
+
+    /// Fold `other`'s observations into `self` (bucket-wise add). Used to
+    /// aggregate the per-second slots of the rolling SLO window into one
+    /// histogram for quantile estimation.
+    pub(crate) fn absorb(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Relaxed);
+            }
+        }
+        let c = other.count.load(Relaxed);
+        if c == 0 {
+            return;
+        }
+        self.count.fetch_add(c, Relaxed);
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
     }
 }
 
@@ -309,14 +344,14 @@ impl Registry {
                 MetricView::Gauge(g) => format!("{{\"kind\":\"gauge\",\"value\":{}}}", g.get()),
                 MetricView::Histogram(h) => format!(
                     "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
-                     \"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}",
+                     \"p50\":{},\"p95\":{},\"p99\":{}}}",
                     h.count(),
                     h.sum(),
                     h.min(),
                     h.max(),
-                    h.p50(),
-                    h.p95(),
-                    h.p99()
+                    json_quantile(h.p50()),
+                    json_quantile(h.p95()),
+                    json_quantile(h.p99())
                 ),
             };
             parts.push(format!("{}:{}", crate::sink::json_string(name), body));
@@ -333,6 +368,15 @@ pub enum MetricView<'a> {
     Gauge(&'a Gauge),
     /// A latency histogram.
     Histogram(&'a Histogram),
+}
+
+/// Empty histograms have `NaN` quantiles; JSON has no `NaN` literal.
+fn json_quantile(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
 }
 
 fn prom_name(name: &str) -> String {
@@ -429,12 +473,66 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_zero() {
+    fn empty_histogram_quantiles_are_nan() {
         let h = Histogram::default();
-        assert_eq!(h.quantile(0.5), 0.0);
+        // Documented contract: no observations means no quantiles.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert!(h.quantile(q).is_nan(), "q={q}");
+        }
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_valid_json() {
+        let r = Registry::default();
+        let _ = r.histogram("empty.ns");
+        let v = crate::json::parse(&r.snapshot_json()).expect("NaN quantiles must become null");
+        let h = v.get("empty.ns").unwrap();
+        assert_eq!(h.get("p99"), Some(&crate::json::Value::Null));
+    }
+
+    #[test]
+    fn quantile_interpolates_between_clamped_bucket_edges() {
+        // 500 x 10 (bucket [8,16)) + 500 x 777 (bucket [512,1024)): p95 has
+        // rank 950, falling in the upper bucket at frac (950-500)/500 = 0.9.
+        // The upper edge is clamped to the recorded max (777) before
+        // interpolation, so the estimate is 512 + (777-512)*0.9 = 750.5 —
+        // not the raw-bounds 512 + 512*0.9 = 972.8 saturated to 777.
+        let h = Histogram::default();
+        for _ in 0..500 {
+            h.record(10);
+        }
+        for _ in 0..500 {
+            h.record(777);
+        }
+        assert_eq!(h.p95(), 750.5);
+        // The lower edge clamps symmetrically: p25 has rank 250, in the low
+        // bucket at frac 0.5, edges [max(8,10)=10, 16] -> 13.
+        assert_eq!(h.quantile(0.25), 13.0);
+        // Estimates never escape the observed extrema.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let e = h.quantile(q);
+            assert!((10.0..=777.0).contains(&e), "q={q} est={e}");
+        }
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_extrema() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 3010);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2000);
+        a.absorb(&Histogram::default());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Lock-cheap exemplar reservoir: the K slowest full traces.
+//!
+//! Aggregate histograms say *how slow* the tail is; exemplars say *what a
+//! tail request actually looked like*. The reservoir keeps the `K` slowest
+//! observations seen so far, each with an opaque pre-serialised JSON
+//! payload (a complete stage timeline plus degraded/partial flags for a
+//! serving trace), dumpable to the JSONL sink and served live over the
+//! telemetry endpoint's `/trace` command.
+//!
+//! The hot path is one relaxed atomic load: once the reservoir is full,
+//! `threshold` holds the smallest kept latency, and any candidate at or
+//! below it is rejected without taking the lock or building its payload
+//! (the payload closure runs only on admission). The threshold only ever
+//! rises while entries accumulate, so a stale read can cause a harmless
+//! extra lock acquisition but never a wrong rejection — the final contents
+//! are exactly the K slowest offers.
+//!
+//! Capacity comes from `CAME_TRACE_EXEMPLARS` (default 8) for the global
+//! reservoir; tests build their own or call [`Reservoir::set_capacity`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// One kept exemplar: the ranking key and its serialised trace.
+#[derive(Clone, Debug)]
+pub struct Exemplar {
+    /// The latency that ranked this trace (ns).
+    pub latency_ns: u64,
+    /// Pre-serialised JSON payload (one complete trace).
+    pub payload: String,
+}
+
+/// Bounded reservoir of the K slowest observations.
+pub struct Reservoir {
+    capacity: AtomicUsize,
+    /// Admission floor: smallest kept latency once full, else 0.
+    threshold: AtomicU64,
+    entries: Mutex<Vec<Exemplar>>,
+}
+
+impl Reservoir {
+    /// An empty reservoir keeping the `capacity` slowest offers.
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            capacity: AtomicUsize::new(capacity),
+            threshold: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Relaxed)
+    }
+
+    /// Resize to `capacity` and drop all kept entries (test hook and
+    /// reconfiguration; the reservoir restarts empty).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        self.capacity.store(capacity, Relaxed);
+        entries.clear();
+        self.threshold.store(0, Relaxed);
+    }
+
+    /// Offer one observation; `make_payload` runs only if it is admitted.
+    /// Returns whether the trace was kept.
+    pub fn offer_with(&self, latency_ns: u64, make_payload: impl FnOnce() -> String) -> bool {
+        if self.capacity.load(Relaxed) == 0 {
+            return false;
+        }
+        // Fast path: full reservoir, candidate no slower than the floor.
+        if latency_ns <= self.threshold.load(Relaxed) && latency_ns != 0 {
+            return false;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let capacity = self.capacity.load(Relaxed);
+        if entries.len() >= capacity {
+            // Re-check under the lock (the floor may have risen).
+            let (min_i, min_lat) = entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.latency_ns))
+                .min_by_key(|&(_, lat)| lat)
+                .expect("full reservoir is non-empty");
+            if latency_ns <= min_lat {
+                return false;
+            }
+            entries[min_i] = Exemplar {
+                latency_ns,
+                payload: make_payload(),
+            };
+        } else {
+            entries.push(Exemplar {
+                latency_ns,
+                payload: make_payload(),
+            });
+        }
+        if entries.len() >= capacity {
+            let floor = entries.iter().map(|e| e.latency_ns).min().unwrap_or(0);
+            self.threshold.store(floor, Relaxed);
+        }
+        true
+    }
+
+    /// Number of kept exemplars.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the reservoir holds no exemplars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Kept exemplars, slowest first.
+    pub fn snapshot(&self) -> Vec<Exemplar> {
+        let mut v = self.entries.lock().unwrap().clone();
+        v.sort_by(|a, b| b.latency_ns.cmp(&a.latency_ns));
+        v
+    }
+
+    /// Drop all kept entries (capacity unchanged).
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+        self.threshold.store(0, Relaxed);
+    }
+}
+
+/// The process-wide exemplar reservoir, sized by `CAME_TRACE_EXEMPLARS`
+/// (default 8, `0` disables keeping exemplars).
+pub fn exemplars() -> &'static Reservoir {
+    static GLOBAL: OnceLock<Reservoir> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let k = std::env::var("CAME_TRACE_EXEMPLARS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(8);
+        Reservoir::new(k)
+    })
+}
+
+/// Emit every kept exemplar as an `{"type":"exemplar",...}` JSONL record
+/// (slowest first). No-op when no sink is configured.
+pub fn dump_exemplars() {
+    if !crate::log_active() {
+        return;
+    }
+    for e in exemplars().snapshot() {
+        crate::Record::new("exemplar")
+            .u64("latency_ns", e.latency_ns)
+            .raw("trace", &e.payload)
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_exactly_the_k_slowest() {
+        let r = Reservoir::new(3);
+        for lat in [50u64, 10, 90, 20, 70, 60, 80, 30] {
+            r.offer_with(lat, || format!("{{\"lat\":{lat}}}"));
+        }
+        let kept: Vec<u64> = r.snapshot().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(kept, vec![90, 80, 70]);
+        assert_eq!(r.snapshot()[0].payload, "{\"lat\":90}");
+    }
+
+    #[test]
+    fn payload_closure_runs_only_on_admission() {
+        let r = Reservoir::new(2);
+        assert!(r.offer_with(100, || "a".into()));
+        assert!(r.offer_with(200, || "b".into()));
+        let mut built = false;
+        assert!(!r.offer_with(50, || {
+            built = true;
+            "c".into()
+        }));
+        assert!(!built, "rejected offers must not serialise their payload");
+    }
+
+    #[test]
+    fn ties_with_the_floor_are_rejected() {
+        let r = Reservoir::new(2);
+        r.offer_with(10, || "a".into());
+        r.offer_with(20, || "b".into());
+        assert!(!r.offer_with(10, || "tie".into()));
+        assert!(r.offer_with(11, || "above".into()));
+        let kept: Vec<u64> = r.snapshot().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(kept, vec![20, 11]);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let r = Reservoir::new(0);
+        assert!(!r.offer_with(100, || "x".into()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn set_capacity_restarts_empty() {
+        let r = Reservoir::new(2);
+        r.offer_with(10, || "a".into());
+        r.offer_with(20, || "b".into());
+        r.set_capacity(4);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 4);
+        // The old floor must not survive the resize.
+        assert!(r.offer_with(1, || "tiny".into()));
+    }
+
+    #[test]
+    fn concurrent_offers_keep_the_global_slowest() {
+        let r = std::sync::Arc::new(Reservoir::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        let lat = t * 250 + i + 1;
+                        r.offer_with(lat, || lat.to_string());
+                    }
+                });
+            }
+        });
+        let kept: Vec<u64> = r.snapshot().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(kept, vec![1000, 999, 998, 997]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Rolling SLO window with error-budget burn-rate accounting.
+//!
+//! The window tracks the last `N` seconds of latency observations in a
+//! ring of per-second slots (one [`Histogram`] plus an over-objective
+//! counter each). Recording is a few relaxed atomic RMWs on the current
+//! slot; a slot is recycled with a compare-exchange on its epoch second
+//! when the clock first enters it, so the window needs no sweeper thread.
+//! The aggregation in [`SloWindow::status`] is approximate under
+//! concurrent recycling — this is telemetry, not accounting.
+//!
+//! The objective is a tail-latency bound: `p99 <= CAME_SLO_P99_MS` over
+//! the window (default 500 ms over `CAME_SLO_WINDOW_S` = 60 s). A p99
+//! objective grants a 1% error budget; the **burn rate** is the observed
+//! violation fraction divided by that budget, so `burn_rate > 1.0` means
+//! the budget is being spent faster than the objective allows and the
+//! window is breached. Two cumulative counters (`slo.requests`,
+//! `slo.over_objective`) feed the same arithmetic over process lifetime.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+use crate::metrics::Histogram;
+
+/// Error budget granted by a p99 objective: 1% of requests may exceed it.
+const BUDGET: f64 = 0.01;
+
+struct Slot {
+    /// Which absolute second this slot currently holds (`u64::MAX` =
+    /// never used).
+    epoch_s: AtomicU64,
+    over: AtomicU64,
+    hist: Histogram,
+}
+
+/// Rolling window of latency observations judged against a fixed
+/// tail-latency objective.
+pub struct SloWindow {
+    objective_ns: u64,
+    window_s: u64,
+    slots: Vec<Slot>,
+    // Cumulative-counter handles, resolved on first use: `record` sits on
+    // the per-request completion path, where a locked registry name lookup
+    // per call would dominate the cost of the recording itself.
+    requests: OnceLock<&'static crate::Counter>,
+    over_objective: OnceLock<&'static crate::Counter>,
+}
+
+/// One evaluation of the window: counts, quantiles, and budget burn.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// The configured objective, in milliseconds.
+    pub objective_ms: f64,
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Observations currently inside the window.
+    pub count: u64,
+    /// Observations over the objective inside the window.
+    pub over: u64,
+    /// Estimated windowed quantiles in milliseconds (NaN when empty).
+    pub p50_ms: f64,
+    /// 95th percentile (ms, NaN when empty).
+    pub p95_ms: f64,
+    /// 99th percentile (ms, NaN when empty).
+    pub p99_ms: f64,
+    /// Violation fraction divided by the 1% error budget; `> 1.0` means
+    /// the budget burns faster than the objective allows.
+    pub burn_rate: f64,
+    /// Whether the window currently breaches the objective.
+    pub breached: bool,
+}
+
+impl SloStatus {
+    /// Serialise as one JSON object.
+    pub fn to_json(&self) -> String {
+        let q = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        };
+        format!(
+            "{{\"objective_ms\":{:.3},\"window_s\":{},\"count\":{},\"over\":{},\
+             \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"burn_rate\":{:.4},\"breached\":{}}}",
+            self.objective_ms,
+            self.window_s,
+            self.count,
+            self.over,
+            q(self.p50_ms),
+            q(self.p95_ms),
+            q(self.p99_ms),
+            self.burn_rate,
+            self.breached
+        )
+    }
+}
+
+impl SloWindow {
+    /// A window judging `p99 <= objective_ms` over the last `window_s`
+    /// seconds (clamped to >= 1).
+    pub fn new(objective_ms: f64, window_s: u64) -> Self {
+        let window_s = window_s.max(1);
+        SloWindow {
+            objective_ns: (objective_ms.max(0.0) * 1e6) as u64,
+            window_s,
+            slots: (0..window_s)
+                .map(|_| Slot {
+                    epoch_s: AtomicU64::new(u64::MAX),
+                    over: AtomicU64::new(0),
+                    hist: Histogram::default(),
+                })
+                .collect(),
+            requests: OnceLock::new(),
+            over_objective: OnceLock::new(),
+        }
+    }
+
+    /// The configured objective in milliseconds.
+    pub fn objective_ms(&self) -> f64 {
+        self.objective_ns as f64 / 1e6
+    }
+
+    /// Record one latency at the current process-monotonic second.
+    pub fn record(&self, latency_ns: u64) {
+        self.record_at(crate::now_ns() / 1_000_000_000, latency_ns);
+    }
+
+    /// Record one latency at an explicit process-monotonic second — for
+    /// callers that already hold a `now_ns()` timestamp (and for tests
+    /// that steer the clock).
+    pub fn record_at(&self, now_s: u64, latency_ns: u64) {
+        let slot = &self.slots[(now_s % self.window_s) as usize];
+        let seen = slot.epoch_s.load(Relaxed);
+        if seen != now_s {
+            // First record of this second: one thread wins the recycle and
+            // zeroes the slot; concurrent records during the reset may be
+            // dropped or double-counted, which the telemetry contract
+            // tolerates.
+            if slot
+                .epoch_s
+                .compare_exchange(seen, now_s, Relaxed, Relaxed)
+                .is_ok()
+            {
+                slot.hist.reset();
+                slot.over.store(0, Relaxed);
+            }
+        }
+        slot.hist.record(latency_ns);
+        let over = latency_ns > self.objective_ns;
+        if over {
+            slot.over.fetch_add(1, Relaxed);
+        }
+        if crate::enabled() {
+            self.requests
+                .get_or_init(|| crate::registry().counter("slo.requests"))
+                .add(1);
+            if over {
+                self.over_objective
+                    .get_or_init(|| crate::registry().counter("slo.over_objective"))
+                    .add(1);
+            }
+        }
+    }
+
+    /// Evaluate the window at the current process-monotonic second.
+    pub fn status(&self) -> SloStatus {
+        self.status_at(crate::now_ns() / 1_000_000_000)
+    }
+
+    /// Evaluate the window at an explicit absolute second (test hook):
+    /// slots whose epoch lies within `(now_s - window_s, now_s]` count.
+    pub fn status_at(&self, now_s: u64) -> SloStatus {
+        let oldest = now_s.saturating_sub(self.window_s - 1);
+        let agg = Histogram::default();
+        let mut over = 0u64;
+        for slot in &self.slots {
+            let epoch = slot.epoch_s.load(Relaxed);
+            if epoch == u64::MAX || epoch < oldest || epoch > now_s {
+                continue;
+            }
+            agg.absorb(&slot.hist);
+            over += slot.over.load(Relaxed);
+        }
+        let count = agg.count();
+        let burn_rate = if count == 0 {
+            0.0
+        } else {
+            (over as f64 / count as f64) / BUDGET
+        };
+        SloStatus {
+            objective_ms: self.objective_ms(),
+            window_s: self.window_s,
+            count,
+            over,
+            p50_ms: agg.p50() / 1e6,
+            p95_ms: agg.p95() / 1e6,
+            p99_ms: agg.p99() / 1e6,
+            burn_rate,
+            breached: burn_rate > 1.0,
+        }
+    }
+}
+
+/// The process-wide SLO window: `p99 <= CAME_SLO_P99_MS` (default 500 ms)
+/// over the last `CAME_SLO_WINDOW_S` seconds (default 60).
+pub fn slo() -> &'static SloWindow {
+    static GLOBAL: OnceLock<SloWindow> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let objective_ms = std::env::var("CAME_SLO_P99_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|&v| v > 0.0)
+            .unwrap_or(500.0);
+        let window_s = std::env::var("CAME_SLO_WINDOW_S")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(60);
+        SloWindow::new(objective_ms, window_s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_healthy() {
+        let w = SloWindow::new(10.0, 5);
+        let s = w.status_at(100);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.burn_rate, 0.0);
+        assert!(!s.breached);
+        assert!(s.p99_ms.is_nan());
+    }
+
+    #[test]
+    fn burn_rate_is_violation_fraction_over_budget() {
+        let w = SloWindow::new(1.0, 10); // objective 1 ms
+        for i in 0..98 {
+            w.record_at(50, 100_000 + i); // well under
+        }
+        w.record_at(50, 5_000_000); // over
+        w.record_at(50, 9_000_000); // over
+        let s = w.status_at(50);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.over, 2);
+        assert!((s.burn_rate - 2.0).abs() < 1e-9);
+        assert!(s.breached);
+    }
+
+    #[test]
+    fn old_seconds_age_out_of_the_window() {
+        let w = SloWindow::new(1.0, 3);
+        w.record_at(10, 5_000_000); // a breach at t=10
+        assert!(w.status_at(10).breached);
+        assert!(w.status_at(12).breached, "t=10 still inside a 3s window");
+        let s = w.status_at(13); // window is (10, 13] — t=10 aged out
+        assert_eq!(s.count, 0);
+        assert!(!s.breached);
+    }
+
+    #[test]
+    fn slot_recycling_drops_stale_contents() {
+        let w = SloWindow::new(1.0, 2);
+        w.record_at(4, 100);
+        w.record_at(5, 100);
+        // t=6 reuses t=4's slot (6 % 2 == 0): the stale second must be
+        // zeroed, not accumulated.
+        w.record_at(6, 100);
+        let s = w.status_at(6);
+        assert_eq!(s.count, 2, "t=5 and t=6 only");
+    }
+
+    #[test]
+    fn status_json_is_parseable() {
+        let w = SloWindow::new(250.0, 5);
+        w.record_at(7, 1_000_000);
+        let s = w.status_at(7);
+        let v = crate::json::parse(&s.to_json()).expect("slo status must be valid JSON");
+        assert_eq!(v.get("window_s").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(1.0));
+        // And the empty-window NaN quantiles serialise as null.
+        let empty = SloWindow::new(250.0, 5).status_at(7);
+        let v = crate::json::parse(&empty.to_json()).unwrap();
+        assert_eq!(v.get("p99_ms"), Some(&crate::json::Value::Null));
+    }
+}

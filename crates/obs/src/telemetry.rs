@@ -1,0 +1,218 @@
+//! Std-only TCP live telemetry endpoint.
+//!
+//! Binding `CAME_OBS_ADDR` (e.g. `127.0.0.1:9600`) starts a background
+//! acceptor so a running `serve_load` or trainer can be inspected without
+//! restarting it — `nc 127.0.0.1 9600` and type a command. The protocol is
+//! line-oriented text: the client sends one command per line, the server
+//! answers with the payload followed by a terminator line containing a
+//! single `.` (none of the payload formats ever emit a bare-dot line).
+//! The connection stays open for further commands until the client closes
+//! it or sends `/quit`.
+//!
+//! | command | payload |
+//! |---|---|
+//! | `/metrics` | Prometheus-style text exposition of the registry |
+//! | `/metrics.json` | one-line JSON snapshot of the registry |
+//! | `/slo` | rolling SLO window status (JSON, see [`crate::slo::SloStatus`]) |
+//! | `/trace` | exemplar reservoir, one JSON trace per line, slowest first |
+//! | `/healthz` | `ok` |
+//!
+//! Connections are handled sequentially on the acceptor thread with a read
+//! timeout, so a stalled scraper cannot hold the endpoint hostage for more
+//! than a few seconds and the endpoint can never amplify load on the
+//! serving tier (one scrape at a time, snapshot reads only).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A live telemetry endpoint bound to a local TCP address.
+pub struct Telemetry {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Telemetry {
+    /// Bind `addr` (use port `0` for an ephemeral port) and start the
+    /// acceptor thread.
+    pub fn bind(addr: &str) -> std::io::Result<Telemetry> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor_stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("came-obs-telemetry".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if acceptor_stop.load(Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = serve_client(stream);
+                    }
+                }
+            })?;
+        Ok(Telemetry { addr, stop })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the acceptor. Pending client connections finish their current
+    /// command; the port is released once the acceptor thread exits.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Relaxed);
+        // Unblock the acceptor with one throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+fn serve_client(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        if cmd == "/quit" {
+            break;
+        }
+        let mut payload = match cmd {
+            "/metrics" => crate::registry().prometheus_text(),
+            "/metrics.json" => crate::registry().snapshot_json(),
+            "/slo" => crate::slo::slo().status().to_json(),
+            "/trace" => {
+                let mut out = String::new();
+                for e in crate::reservoir::exemplars().snapshot() {
+                    out.push_str(&e.payload);
+                    out.push('\n');
+                }
+                out
+            }
+            "/healthz" => "ok".to_string(),
+            other => format!("ERR unknown command {other:?} (try /metrics /slo /trace)"),
+        };
+        if !payload.is_empty() && !payload.ends_with('\n') {
+            payload.push('\n');
+        }
+        payload.push_str(".\n");
+        writer.write_all(payload.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Start the process-wide endpoint on `CAME_OBS_ADDR` if the variable is
+/// set and the bind succeeds (a failed bind warns on stderr and disables
+/// the endpoint instead of crashing the host process). Idempotent: the
+/// first call resolves the environment, later calls return the same
+/// handle. Returns `None` when no endpoint is configured.
+pub fn telemetry_from_env() -> Option<&'static Telemetry> {
+    static GLOBAL: OnceLock<Option<Telemetry>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let addr = std::env::var("CAME_OBS_ADDR").ok()?;
+            let addr = addr.trim();
+            if addr.is_empty() {
+                return None;
+            }
+            match Telemetry::bind(addr) {
+                Ok(t) => {
+                    eprintln!("came-obs: telemetry endpoint listening on {}", t.addr);
+                    Some(t)
+                }
+                Err(e) => {
+                    eprintln!("came-obs: cannot bind CAME_OBS_ADDR={addr}: {e}");
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// One-shot client helper: send `command` to `addr` and return the payload
+/// (terminator stripped). Used by gate smoke tests and handy for tools.
+pub fn scrape(addr: &SocketAddr, command: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect_timeout(addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{command}\n").as_bytes())?;
+    writer.flush()?;
+    let reader = BufReader::new(stream);
+    let mut payload = String::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line == "." {
+            return Ok(payload);
+        }
+        payload.push_str(&line);
+        payload.push('\n');
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "connection closed before the `.` terminator",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_serves_all_commands() {
+        crate::registry().counter("telemetry.test.calls").add(3);
+        crate::reservoir::exemplars().clear();
+        crate::reservoir::exemplars().offer_with(123, || "{\"trace_id\":1}".to_string());
+        let t = Telemetry::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = t.local_addr();
+
+        let metrics = scrape(&addr, "/metrics").unwrap();
+        assert!(metrics.contains("came_telemetry_test_calls 3"));
+
+        let json = scrape(&addr, "/metrics.json").unwrap();
+        let v = crate::json::parse(json.trim()).expect("snapshot is valid JSON");
+        assert!(v.as_object().unwrap().contains_key("telemetry.test.calls"));
+
+        let slo = scrape(&addr, "/slo").unwrap();
+        let v = crate::json::parse(slo.trim()).expect("slo status is valid JSON");
+        assert!(v.get("burn_rate").is_some());
+
+        let trace = scrape(&addr, "/trace").unwrap();
+        assert!(trace.contains("\"trace_id\":1"));
+
+        assert_eq!(scrape(&addr, "/healthz").unwrap().trim(), "ok");
+        assert!(scrape(&addr, "/bogus").unwrap().starts_with("ERR"));
+        t.shutdown();
+        crate::reservoir::exemplars().clear();
+    }
+
+    #[test]
+    fn one_connection_can_issue_multiple_commands() {
+        let t = Telemetry::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(t.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"/healthz\n/healthz\n/quit\n").unwrap();
+        let reader = BufReader::new(stream);
+        let mut oks = 0;
+        let mut dots = 0;
+        for line in reader.lines() {
+            match line.unwrap().as_str() {
+                "ok" => oks += 1,
+                "." => dots += 1,
+                other => panic!("unexpected line {other:?}"),
+            }
+        }
+        assert_eq!((oks, dots), (2, 2));
+        t.shutdown();
+    }
+}

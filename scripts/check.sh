@@ -24,10 +24,12 @@ CAME_BACKEND=simd cargo test -q -p came-tensor -p came-kg
 # >= 0.99 against the dense path under every backend, |dMRR| <= 0.005, a
 # q8 resident footprint <= 0.35x of f32, fused dequant scoring >= 0.8x of
 # the dense f32 throughput, and a bitwise, actually-streaming file store.
+# Trace gate (micro side): per-request tracing must cost < 1% of a batched
+# serving step on the trace off/on A/B row.
 # Quick scale; the report goes to a scratch path so the committed full-scale
 # BENCH_micro.json stays untouched.
 CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_CHECK_QUANT=1 \
-    CAME_MICRO_OUT="$(mktemp)" \
+    CAME_CHECK_TRACE=1 CAME_MICRO_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin micro
 
 # Serving gate: the sharded tier must reproduce the single-engine path bit
@@ -35,7 +37,11 @@ CAME_QUICK=1 CAME_CHECK_INFER=1 CAME_CHECK_OBS=1 CAME_CHECK_SIMD=1 CAME_CHECK_QU
 # and hold the p99 latency SLO under an open-loop load. CAME_SHARDS=4
 # exercises the scatter-gather merge even on small hosts; the report goes to
 # a scratch path so the committed full-scale BENCH_serve.json stays put.
-CAME_QUICK=1 CAME_CHECK_SERVE=1 CAME_SHARDS=4 CAME_SERVE_OUT="$(mktemp)" \
+# Trace gate (serving side): every completed response must carry a complete
+# monotone stage timeline, the tail-cohort stage decomposition must account
+# for the e2e p99, and the live telemetry endpoint must answer /metrics and
+# /trace mid-run.
+CAME_QUICK=1 CAME_CHECK_SERVE=1 CAME_CHECK_TRACE=1 CAME_SHARDS=4 CAME_SERVE_OUT="$(mktemp)" \
     cargo run --release -q -p came-bench --bin serve_load
 
 # Missing-modality robustness gate, training side: the micro modality
